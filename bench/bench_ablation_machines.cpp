@@ -1,0 +1,64 @@
+// Ablation A3: the machine-count trade-off of footnote 3.
+//
+// m controls the balance between worker load (each machine holds ~n/m
+// items) and the coordinator load (it gathers m·k' items). Footnote 3
+// recommends m = √(n/k') to equalize the two. This harness sweeps m on a
+// DBLP-like coverage instance and reports worker/coordinator evaluations,
+// the critical path, and solution quality (which should be flat in m —
+// quality is not what m buys).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_support.h"
+#include "core/bicriteria.h"
+#include "data/graph_gen.h"
+#include "objectives/coverage.h"
+
+int main() {
+  using namespace bds;
+  bench::print_banner(
+      "ablation_machines", "footnote 3 (m = sqrt(n/k'))",
+      "machine-count sweep at fixed k: per-round worker vs coordinator\n"
+      "load, critical-path evaluations, and quality.");
+
+  const auto sets = data::make_dblp_like(30'000, 1);
+  const CoverageOracle oracle(sets);
+  const auto ground = bench::iota_ids(sets->num_sets());
+  const std::size_t k = 20;
+
+  const auto balanced = static_cast<std::size_t>(
+      std::ceil(std::sqrt(double(ground.size()) / double(k))));
+  std::printf("n = %zu, k = %zu -> balanced m = %zu\n\n", ground.size(), k,
+              balanced);
+
+  util::Table table({"m", "max items/machine", "worker evals (max machine)",
+                     "coordinator evals", "critical-path evals", "f(S)",
+                     "note"});
+  for (const std::size_t m :
+       {std::size_t(4), std::size_t(12), balanced, std::size_t(100),
+        std::size_t(300)}) {
+    BicriteriaConfig cfg;
+    cfg.mode = BicriteriaMode::kPractical;
+    cfg.k = k;
+    cfg.machines = m;
+    cfg.seed = 9;
+    const auto result = bicriteria_greedy(oracle, ground, cfg);
+    const auto& round = result.stats.rounds[0];
+    table.add_row({util::Table::fmt_int(m),
+                   util::Table::fmt_int(round.max_machine_items),
+                   util::Table::fmt_int(round.max_machine_evals),
+                   util::Table::fmt_int(round.central_evals),
+                   util::Table::fmt_int(result.stats.critical_path_evals()),
+                   util::Table::fmt(result.value, 0),
+                   m == balanced ? "<- sqrt(n/k)" : ""});
+  }
+  bench::emit_table(table, "ablation_machines",
+                    {"m", "max_items", "worker_evals", "central_evals",
+                     "critical_path", "value", "note"});
+
+  std::printf(
+      "expected shape: worker load falls ~1/m while coordinator load grows\n"
+      "~m; the critical path is minimized near m = sqrt(n/k); quality is\n"
+      "essentially flat across the sweep.\n");
+  return 0;
+}

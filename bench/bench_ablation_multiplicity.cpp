@@ -1,0 +1,76 @@
+// Ablation A1: what the multiplicity trick and the hybrid selection buy.
+//
+// §2.2 claims the output-size bound drops from Õ(α²k) (plain random
+// partition) to Õ(αk) with multiplicity C = α·lnα, and to O(αk) with
+// HybridAlg — at the price of C× the scatter communication. This harness
+// runs all three variants at equal (ε, r) on the synthetic hard instance
+// and reports achieved quality, realized output size, the theorem's bound,
+// and communication, across an ε sweep.
+#include <cstdio>
+
+#include "bench_support.h"
+#include "core/bicriteria.h"
+#include "data/synthetic_coverage.h"
+#include "objectives/coverage.h"
+
+int main() {
+  using namespace bds;
+  bench::print_banner(
+      "ablation_multiplicity", "§2.2 / Theorems 2.2-2.4",
+      "Theory vs Multiplicity vs Hybrid at equal (eps, r = 1): output size\n"
+      "(realized and theorem bound), quality, and communication.");
+
+  data::SyntheticCoverageConfig data_cfg;
+  data_cfg.universe_size = 3'000;
+  data_cfg.planted_sets = 30;
+  data_cfg.random_sets = 30'000;
+  data_cfg.seed = 2017;
+  const auto instance = data::make_synthetic_coverage(data_cfg);
+  const CoverageOracle oracle(instance.sets);
+  const auto ground = bench::iota_ids(instance.sets->num_sets());
+  const std::size_t k = data_cfg.planted_sets;
+  const double opt = data_cfg.universe_size;  // planted optimum value
+
+  util::Table table({"eps", "mode", "alpha", "multiplicity C", "|S|",
+                     "bound on |S|", "f(S)/OPT", "comm (KiB)"});
+
+  const struct {
+    BicriteriaMode mode;
+    const char* name;
+  } modes[] = {
+      {BicriteriaMode::kTheory, "Theory (mult=1)"},
+      {BicriteriaMode::kMultiplicity, "Multiplicity"},
+      {BicriteriaMode::kHybrid, "Hybrid"},
+  };
+
+  for (const double eps : {0.3, 0.2, 0.1}) {
+    for (const auto& m : modes) {
+      BicriteriaConfig cfg;
+      cfg.mode = m.mode;
+      cfg.k = k;
+      cfg.rounds = 1;
+      cfg.epsilon = eps;
+      cfg.seed = 3;
+      const auto plan = plan_bicriteria(cfg, ground.size());
+      const auto result = bicriteria_greedy(oracle, ground, cfg);
+      table.add_row(
+          {util::Table::fmt(eps, 2), m.name, util::Table::fmt(plan.alpha, 1),
+           util::Table::fmt_int(plan.multiplicity),
+           util::Table::fmt_int(result.solution.size()),
+           util::Table::fmt_int(plan.output_bound),
+           util::Table::fmt_pct(result.value / opt),
+           util::Table::fmt(
+               double(result.stats.bytes_communicated()) / 1024.0, 0)});
+    }
+  }
+  bench::emit_table(table, "ablation_multiplicity",
+                    {"eps", "mode", "alpha", "multiplicity", "items",
+                     "item_bound", "ratio", "comm_kib"});
+
+  std::printf(
+      "expected shape: all three modes clear (1-eps); the theorem bound on\n"
+      "|S| orders Theory >> Multiplicity > Hybrid, while scatter\n"
+      "communication orders the other way (multiplicity ships each item C\n"
+      "times).\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Ablation A4: the machine-side selector (§4.2's "lazy variation" choice).
+//
+// The paper runs plain greedy for coverage and the lazier-than-lazy
+// stochastic greedy (c = 3) for exemplar clustering. This harness runs all
+// three selectors inside the same one-round distributed pipeline on both
+// objective families and reports quality vs oracle evaluations — the
+// justification for each choice: lazy is free quality-wise, stochastic
+// trades a hair of quality for a large evaluation cut (decisive when each
+// evaluation costs O(sample·dim) as in clustering).
+#include <cstdio>
+#include <memory>
+
+#include "bench_support.h"
+#include "core/bicriteria.h"
+#include "data/graph_gen.h"
+#include "data/vectors_gen.h"
+#include "objectives/coverage.h"
+#include "objectives/exemplar.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+constexpr double kP0Dist = 2.0;
+
+struct SelectorCase {
+  bds::MachineSelector selector;
+  const char* name;
+};
+
+constexpr SelectorCase kSelectors[] = {
+    {bds::MachineSelector::kGreedy, "naive greedy"},
+    {bds::MachineSelector::kLazyGreedy, "lazy greedy"},
+    {bds::MachineSelector::kStochasticGreedy, "stochastic (c=3)"},
+};
+
+}  // namespace
+
+int main() {
+  using namespace bds;
+  bench::print_banner(
+      "ablation_selectors", "§4.2 selector choice (lazy / stochastic)",
+      "one-round distributed run with naive / lazy / stochastic machine\n"
+      "selectors on a coverage and a clustering instance: quality vs\n"
+      "worker oracle evaluations and wall time.");
+
+  // --- coverage ---
+  {
+    bench::print_section("coverage (DBLP-like, 20k sets, k = 20)");
+    const auto sets = data::make_dblp_like(20'000, 1);
+    const CoverageOracle proto(sets);
+    const auto ground = bench::iota_ids(sets->num_sets());
+
+    util::Table table({"selector", "f(S)", "worker evals",
+                       "critical-path evals", "wall (s)"});
+    for (const auto& c : kSelectors) {
+      BicriteriaConfig cfg;
+      cfg.k = 20;
+      cfg.selector = c.selector;
+      cfg.seed = 3;
+      util::Timer timer;
+      const auto result = bicriteria_greedy(proto, ground, cfg);
+      table.add_row({c.name, util::Table::fmt(result.value, 0),
+                     util::Table::fmt_int(
+                         result.stats.total_worker_evals()),
+                     util::Table::fmt_int(
+                         result.stats.critical_path_evals()),
+                     util::Table::fmt(timer.elapsed_seconds(), 3)});
+    }
+    bench::emit_table(table, "ablation_selectors_coverage",
+                      {"selector", "value", "worker_evals", "critical_path",
+                       "wall"});
+  }
+
+  // --- exemplar clustering ---
+  {
+    bench::print_section("clustering (LDA-like 6k x 100, k = 10, sampled)");
+    data::LdaVectorsConfig gen;
+    gen.documents = 6'000;
+    gen.topics = 100;
+    gen.clusters = 20;
+    gen.seed = 7;
+    const auto points = data::make_lda_like_vectors(gen);
+    util::Rng central_rng(13);
+    const SampledExemplarOracle proto(points, kP0Dist, 500, central_rng);
+    const ExemplarOracle exact(points, kP0Dist);
+    const auto ground = bench::iota_ids(points->size());
+
+    util::Table table({"selector", "exact f(S)", "worker evals",
+                       "critical-path evals", "wall (s)"});
+    for (const auto& c : kSelectors) {
+      BicriteriaConfig cfg;
+      cfg.k = 10;
+      cfg.selector = c.selector;
+      cfg.seed = 3;
+      cfg.machine_oracle_factory =
+          [&points](std::size_t machine)
+          -> std::unique_ptr<SubmodularOracle> {
+        util::Rng rng(util::mix64(600 + machine));
+        return std::make_unique<SampledExemplarOracle>(points, kP0Dist, 500,
+                                                       rng);
+      };
+      util::Timer timer;
+      const auto result = bicriteria_greedy(proto, ground, cfg);
+      const double exact_value = evaluate_set(exact, result.solution);
+      table.add_row({c.name, util::Table::fmt(exact_value, 1),
+                     util::Table::fmt_int(
+                         result.stats.total_worker_evals()),
+                     util::Table::fmt_int(
+                         result.stats.critical_path_evals()),
+                     util::Table::fmt(timer.elapsed_seconds(), 3)});
+    }
+    bench::emit_table(table, "ablation_selectors_clustering",
+                      {"selector", "value", "worker_evals", "critical_path",
+                       "wall"});
+  }
+
+  std::printf(
+      "expected shape: lazy matches naive greedy's value exactly at a\n"
+      "fraction of the evaluations; stochastic cuts evaluations further\n"
+      "(per-pick cost c·N'/k' instead of N') at a small quality cost —\n"
+      "why §4.2 uses it for the expensive clustering oracle.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Extension bench: adaptive rounds with the upper-bound certificate.
+//
+// A deployment can't know ahead of time how many rounds an instance needs.
+// adaptive_bicriteria turns the §4.1 upper bound into a stopping rule:
+// spend another round only while the solution is not yet *certified*
+// within the target. An instructive subtlety this bench surfaces: the
+// certificate's tightness tracks instance *saturation*, not greedy
+// hardness. The synthetic "hard" instance saturates (its universe is fully
+// coverable, so after two rounds the bound collapses onto f(S)) and
+// certifies fast, while sparse graph/bigram instances keep fat top-k
+// marginals — the bound stays loose and the rule conservatively spends its
+// round budget. Either way every round contracts the gap (Lemma 2.1) and
+// the trajectory is monotone.
+#include <cstdio>
+#include <memory>
+
+#include "bench_support.h"
+#include "core/adaptive.h"
+#include "data/bigram_gen.h"
+#include "data/graph_gen.h"
+#include "data/synthetic_coverage.h"
+#include "objectives/coverage.h"
+
+int main() {
+  using namespace bds;
+  bench::print_banner(
+      "adaptive", "extension: certificate-driven round count",
+      "adaptive_bicriteria with target 95% on saturating and\n"
+      "non-saturating instances: rounds spent and certified ratio per\n"
+      "round.");
+
+  struct Case {
+    std::string name;
+    std::shared_ptr<const SetSystem> sets;
+    std::size_t k;
+  };
+  data::SyntheticCoverageConfig hard_cfg;
+  hard_cfg.universe_size = 4'000;
+  hard_cfg.planted_sets = 40;
+  hard_cfg.random_sets = 40'000;
+  hard_cfg.seed = 2017;
+  data::BigramConfig bigram_cfg;
+  bigram_cfg.books = 800;
+  bigram_cfg.vocabulary = 2'000;
+  bigram_cfg.seed = 3;
+  const std::vector<Case> cases{
+      {"DBLP-like (loose UB)", data::make_dblp_like(20'000, 1), 10},
+      {"Gutenberg-like (loose UB)", data::make_bigram_sets(bigram_cfg), 10},
+      {"synthetic hard (saturating)", data::make_synthetic_coverage(hard_cfg).sets, 40},
+  };
+
+  util::Table table({"instance", "rounds spent", "target reached",
+                     "certified ratio", "items output",
+                     "ratio trajectory"});
+  for (const auto& c : cases) {
+    const CoverageOracle oracle(c.sets);
+    const auto ground = bench::iota_ids(c.sets->num_sets());
+    AdaptiveConfig cfg;
+    cfg.k = c.k;
+    cfg.target_ratio = 0.95;
+    cfg.max_rounds = 6;
+    cfg.seed = 7;
+    const auto adaptive = adaptive_bicriteria(oracle, ground, cfg);
+
+    std::string trajectory;
+    for (const double r : adaptive.ratio_after_round) {
+      if (!trajectory.empty()) trajectory += " -> ";
+      trajectory += util::Table::fmt_pct(r, 0);
+    }
+    table.add_row({c.name,
+                   util::Table::fmt_int(adaptive.result.rounds.size()),
+                   adaptive.target_reached ? "yes" : "no (max rounds)",
+                   util::Table::fmt_pct(adaptive.certified_ratio),
+                   util::Table::fmt_int(adaptive.result.solution.size()),
+                   trajectory});
+  }
+  bench::emit_table(table, "adaptive",
+                    {"instance", "rounds", "reached", "ratio", "items",
+                     "trajectory"});
+
+  std::printf(
+      "expected shape: the saturating instance certifies 95%% within two\n"
+      "rounds (its upper bound collapses onto f(S)); the sparse instances\n"
+      "keep a loose bound, so the rule keeps spending rounds and each one\n"
+      "still contracts the gap monotonically — a conservative certificate\n"
+      "never stops too early, only too late.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Figure 1(a): coverage maximization on the synthetic hard instance.
+//
+// Paper setup (§4.1): |U| = 10,000, planted optimum K = 100 disjoint sets,
+// t = 100,000 random decoy sets inflated by ε₁ = 0.2; distributed greedy
+// (practical BicriteriaGreedy) run for r ∈ {1, 2, 3, 5} rounds and output
+// sizes k ≥ K, against a random baseline and the single-machine greedy
+// reference. Reported: objective value as a fraction of the computed upper
+// bound on f(OPT_K).
+//
+// Paper's headline observations this must reproduce:
+//   * k = 1.5K reaches ~95% and k = 2K ~99% of the optimum;
+//   * multiple rounds help on this hard instance (r = 5 ≈ the single-machine
+//     greedy at k = K, paper: 81% vs 81.2%);
+//   * greedy always clearly beats random.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_support.h"
+#include "core/baselines.h"
+#include "core/bicriteria.h"
+#include "core/greedy.h"
+#include "core/upper_bound.h"
+#include "data/synthetic_coverage.h"
+#include "objectives/coverage.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace bds;
+  bench::print_banner(
+      "fig1a", "Figure 1(a) (§4.1, synthetic coverage)",
+      "value/upper-bound vs output size k, for rounds r in {1,2,3,5},\n"
+      "random baseline and single-machine greedy reference; K = 100.");
+
+  data::SyntheticCoverageConfig data_cfg;  // paper parameters
+  data_cfg.universe_size = 10'000;
+  data_cfg.planted_sets = 100;
+  data_cfg.random_sets = 100'000;
+  data_cfg.epsilon1 = 0.2;
+  data_cfg.seed = 2017;
+
+  util::Timer gen_timer;
+  const auto instance = data::make_synthetic_coverage(data_cfg);
+  std::printf("instance: %zu sets over %u elements (generated in %.1fs)\n\n",
+              instance.sets->num_sets(), data_cfg.universe_size,
+              gen_timer.elapsed_seconds());
+
+  const CoverageOracle oracle(instance.sets);
+  const auto ground = bench::iota_ids(instance.sets->num_sets());
+  const std::size_t K = data_cfg.planted_sets;
+  const std::vector<std::size_t> ks{100, 120, 140, 160, 180, 200};
+  const std::vector<std::size_t> rounds{1, 2, 3, 5};
+
+  struct Cell {
+    std::size_t k = 0;
+    std::size_t r = 0;
+    double value = 0.0;
+    std::vector<ElementId> solution;
+  };
+  std::vector<Cell> cells;
+
+  // Distributed runs.
+  for (const std::size_t r : rounds) {
+    for (const std::size_t k : ks) {
+      BicriteriaConfig cfg;
+      cfg.mode = BicriteriaMode::kPractical;
+      cfg.k = K;
+      cfg.output_items = k;
+      cfg.rounds = r;
+      cfg.seed = 7;
+      Cell cell;
+      cell.k = k;
+      cell.r = r;
+      auto result = bicriteria_greedy(oracle, ground, cfg);
+      cell.value = result.value;
+      cell.solution = std::move(result.solution);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  // Single-machine greedy at k = K (the paper's reference line).
+  const auto central = centralized_greedy(oracle, ground, K);
+
+  // Random baseline per k (averaged over a few trials).
+  std::vector<double> random_value(ks.size(), 0.0);
+  constexpr int kRandomTrials = 5;
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    for (int t = 0; t < kRandomTrials; ++t) {
+      auto rnd_oracle = oracle.clone();
+      util::Rng rng(100 + t);
+      random_value[i] +=
+          random_subset(*rnd_oracle, ground, ks[i], rng).gained;
+    }
+    random_value[i] /= kRandomTrials;
+  }
+
+  // Tightest upper bound on f(OPT_K) over all computed solutions
+  // (the paper reports against the best upper bound per (dataset, k)).
+  double ub = oracle.max_value();
+  for (const auto& cell : cells) {
+    ub = std::min(ub, solution_upper_bound(oracle, cell.solution, ground, K));
+  }
+  ub = std::min(ub, solution_upper_bound(oracle, central.solution, ground, K));
+  std::printf("upper bound on f(OPT_%zu): %.0f (trivial cap %u)\n\n", K, ub,
+              data_cfg.universe_size);
+
+  util::Table table({"k", "r=1", "r=2", "r=3", "r=5", "random",
+                     "1-machine greedy (k=K)"});
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    std::vector<std::string> row{util::Table::fmt_int(ks[i])};
+    for (const std::size_t r : rounds) {
+      const auto it =
+          std::find_if(cells.begin(), cells.end(), [&](const Cell& c) {
+            return c.k == ks[i] && c.r == r;
+          });
+      row.push_back(util::Table::fmt_pct(it->value / ub));
+    }
+    row.push_back(util::Table::fmt_pct(random_value[i] / ub));
+    row.push_back(util::Table::fmt_pct(central.value / ub));
+    table.add_row(std::move(row));
+  }
+  bench::emit_table(table, "fig1a",
+                    {"k", "r1", "r2", "r3", "r5", "random", "central_k"});
+
+  std::printf(
+      "expected shape: each column rises with k; r=5 at k=K is within a\n"
+      "point of the single-machine greedy; k=2K reaches ~99%%; random is\n"
+      "far below all greedy variants.\n");
+  return 0;
+}

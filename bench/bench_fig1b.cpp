@@ -1,0 +1,128 @@
+// Figure 1(b): coverage maximization on the "real" datasets.
+//
+// Paper setup (§4.1): target size K = 10; distributed algorithm with one
+// round (r = 1), m = ⌈√(n/k)⌉; output sizes k = 10..70; value reported as a
+// fraction of the best computed upper bound for K = 10, with the random
+// baseline for contrast. Datasets: DBLP co-authorship, LiveJournal
+// friendship and Gutenberg bi-grams — replaced here by structure-matched
+// synthetic stand-ins (see DESIGN.md §2.3): BA-graph neighborhoods (sparse
+// and dense) and a Zipfian bi-gram family.
+//
+// Paper's observations this must reproduce: already at k = 2K the ratio
+// exceeds 98-99% on every dataset, and one round suffices (multi-round runs
+// look the same); random stays far below.
+#include <cstdio>
+#include <memory>
+
+#include "bench_support.h"
+#include "core/bicriteria.h"
+#include "core/greedy.h"
+#include "core/upper_bound.h"
+#include "data/bigram_gen.h"
+#include "data/graph_gen.h"
+#include "data/profile.h"
+#include "objectives/coverage.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+struct Dataset {
+  std::string name;
+  std::shared_ptr<const bds::SetSystem> sets;
+};
+
+}  // namespace
+
+int main() {
+  using namespace bds;
+  bench::print_banner(
+      "fig1b", "Figure 1(b) (§4.1, real-dataset coverage)",
+      "value/upper-bound vs output size k (K = 10, r = 1) on DBLP-like,\n"
+      "LiveJournal-like and Gutenberg-like stand-in datasets, plus the\n"
+      "random baseline.");
+
+  util::Timer gen_timer;
+  data::BigramConfig bigram_cfg;
+  bigram_cfg.books = 2'000;
+  bigram_cfg.vocabulary = 3'000;
+  bigram_cfg.min_tokens = 200;
+  bigram_cfg.max_tokens = 20'000;
+  bigram_cfg.seed = 3;
+  const std::vector<Dataset> datasets{
+      {"DBLP-like", data::make_dblp_like(30'000, 1)},
+      {"LiveJournal-like", data::make_livejournal_like(40'000, 2)},
+      {"Gutenberg-like", data::make_bigram_sets(bigram_cfg)},
+  };
+  std::printf("dataset generation: %.1fs\n", gen_timer.elapsed_seconds());
+  for (const auto& d : datasets) {
+    std::printf("  %-18s %s\n", d.name.c_str(),
+                data::to_string(data::profile_set_system(*d.sets)).c_str());
+  }
+  std::printf("\n");
+
+  const std::size_t K = 10;
+  const std::vector<std::size_t> ks{10, 20, 30, 40, 50, 60, 70};
+
+  for (const auto& dataset : datasets) {
+    bench::print_section(dataset.name);
+    const CoverageOracle oracle(dataset.sets);
+    const auto ground = bench::iota_ids(dataset.sets->num_sets());
+
+    std::vector<double> values;       // r = 1
+    std::vector<double> values_r3;    // r = 3 ("results are very similar")
+    std::vector<std::vector<ElementId>> solutions;
+    for (const std::size_t k : ks) {
+      BicriteriaConfig cfg;
+      cfg.mode = BicriteriaMode::kPractical;
+      cfg.k = K;
+      cfg.output_items = k;
+      cfg.rounds = 1;
+      cfg.seed = 5;
+      auto result = bicriteria_greedy(oracle, ground, cfg);
+      values.push_back(result.value);
+      solutions.push_back(std::move(result.solution));
+
+      cfg.rounds = 3;
+      values_r3.push_back(bicriteria_greedy(oracle, ground, cfg).value);
+    }
+
+    // Two denominators, both valid bounds on f(OPT_K):
+    //  * the per-k bound f(S_k) + top-K marginals at S_k (the paper's
+    //    plotted curve: always <= 100%, saturating as marginals shrink);
+    //  * the best (tightest) bound across all computed solutions — against
+    //    it a k >> K solution can exceed 100%, which certifies that the
+    //    bicriteria output provably beats the K-item optimum.
+    std::vector<double> per_k_ub;
+    double best_ub = oracle.max_value();
+    for (const auto& s : solutions) {
+      per_k_ub.push_back(solution_upper_bound(oracle, s, ground, K));
+      best_ub = std::min(best_ub, per_k_ub.back());
+    }
+
+    util::Table table({"k", "vs per-k UB", "vs best UB", "r=3 vs best UB",
+                       "random vs best UB"});
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      auto rnd_oracle = oracle.clone();
+      util::Rng rng(10 + i);
+      const double rnd = random_subset(*rnd_oracle, ground, ks[i], rng).gained;
+      table.add_row({util::Table::fmt_int(ks[i]),
+                     util::Table::fmt_pct(values[i] / per_k_ub[i]),
+                     util::Table::fmt_pct(values[i] / best_ub),
+                     util::Table::fmt_pct(values_r3[i] / best_ub),
+                     util::Table::fmt_pct(rnd / best_ub)});
+    }
+    std::printf("best upper bound on f(OPT_%zu): %.0f\n", K, best_ub);
+    bench::emit_table(table, "fig1b_" + dataset.name,
+                      {"k", "vs_per_k_ub", "vs_best_ub", "r3_vs_best_ub",
+                       "random"});
+  }
+
+  std::printf(
+      "expected shape: both curves rise with k; at k = 2K the solution\n"
+      "reaches ~96-99%% of the best bound on the K-item optimum (paper:\n"
+      ">98%%, >99%%, >98%% for DBLP / LiveJournal / Gutenberg); random is\n"
+      "far below. 'vs best UB' values above 100%% certify the k-item\n"
+      "solution beats the K-item optimum — the bicriteria pay-off.\n");
+  return 0;
+}

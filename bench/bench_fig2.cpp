@@ -1,0 +1,161 @@
+// Figure 2: exemplar-based clustering.
+//
+// Paper setup (§4.2): target size K = 10, one distributed round,
+// m = ⌈√(N/k)⌉; machines run the *lazier-than-lazy* stochastic greedy
+// (c = 3) and estimate the objective on an independent 500-point sample
+// each; reported values are always exact. Datasets: Wikipedia LDA vectors
+// (100 dims) and TinyImages (3072 dims, JL-projected to 300 before
+// optimization) — replaced by structure-matched synthetic stand-ins
+// (Dirichlet-mixture topic vectors; Gaussian-mixture image vectors).
+//
+// Paper's observations this must reproduce: at k = 2K the ratio is already
+// ≥ ~87-88% of the upper bound, rising with k, with a large gap to random;
+// one round suffices.
+#include <cstdio>
+#include <memory>
+
+#include "bench_support.h"
+#include "core/bicriteria.h"
+#include "core/greedy.h"
+#include "core/upper_bound.h"
+#include "data/vectors_gen.h"
+#include "objectives/exemplar.h"
+#include "objectives/jl_projection.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+constexpr double kP0Dist = 2.0;     // phantom exemplar distance (paper)
+constexpr std::size_t kSample = 500;  // per-machine estimation sample (paper)
+
+struct Dataset {
+  std::string name;
+  std::shared_ptr<const bds::PointSet> optimize_on;  // possibly projected
+  std::shared_ptr<const bds::PointSet> score_on;     // always the originals
+};
+
+}  // namespace
+
+int main() {
+  using namespace bds;
+  bench::print_banner(
+      "fig2", "Figure 2 (§4.2, exemplar-based clustering)",
+      "value/upper-bound vs output size k (K = 10, r = 1) on Wikipedia-like\n"
+      "LDA vectors and TinyImages-like vectors (JL 3072->300), sampled\n"
+      "machine oracles (500 points), stochastic greedy c = 3; exact "
+      "reporting.");
+
+  util::Timer gen_timer;
+  data::LdaVectorsConfig wiki_cfg;
+  wiki_cfg.documents = 10'000;
+  wiki_cfg.topics = 100;
+  wiki_cfg.clusters = 30;
+  wiki_cfg.seed = 11;
+  const auto wiki = data::make_lda_like_vectors(wiki_cfg);
+
+  data::ImageVectorsConfig img_cfg;
+  img_cfg.images = 4'000;
+  img_cfg.dim = 3'072;
+  img_cfg.clusters = 40;
+  img_cfg.seed = 13;
+  const auto images = data::make_image_like_vectors(img_cfg);
+  std::printf("dataset generation: %.1fs\n", gen_timer.elapsed_seconds());
+
+  util::Timer jl_timer;
+  const auto images_projected =
+      std::make_shared<const PointSet>(jl_project(*images, 300, 99));
+  std::printf("JL projection 3072 -> 300: %.1fs\n\n",
+              jl_timer.elapsed_seconds());
+
+  const std::vector<Dataset> datasets{
+      {"Wikipedia-like (100d)", wiki, wiki},
+      {"TinyImages-like (3072d, JL->300)", images_projected, images},
+  };
+
+  const std::size_t K = 10;
+  const std::vector<std::size_t> ks{10, 20, 30, 40, 50};
+
+  for (const auto& dataset : datasets) {
+    bench::print_section(dataset.name);
+    std::printf("points: %zu, optimize dim: %zu, score dim: %zu\n",
+                dataset.score_on->size(), dataset.optimize_on->dim(),
+                dataset.score_on->dim());
+
+    // Machines estimate on the (projected) optimization vectors; the
+    // coordinator also uses a sampled oracle, seeded separately.
+    const auto optimize_on = dataset.optimize_on;
+    util::Rng central_rng(31);
+    const SampledExemplarOracle central_proto(optimize_on, kP0Dist, kSample,
+                                              central_rng);
+    const ExemplarOracle exact_proto(dataset.score_on, kP0Dist);
+    const auto ground = bench::iota_ids(optimize_on->size());
+
+    std::vector<double> exact_values;
+    std::vector<std::vector<ElementId>> solutions;
+    util::Timer run_timer;
+    for (const std::size_t k : ks) {
+      BicriteriaConfig cfg;
+      cfg.mode = BicriteriaMode::kPractical;
+      cfg.k = K;
+      cfg.output_items = k;
+      cfg.rounds = 1;
+      cfg.seed = 5;
+      cfg.selector = MachineSelector::kStochasticGreedy;
+      cfg.stochastic_c = 3.0;
+      cfg.machine_oracle_factory =
+          [&optimize_on](std::size_t machine)
+          -> std::unique_ptr<SubmodularOracle> {
+        util::Rng rng(util::mix64(7'000 + machine));
+        return std::make_unique<SampledExemplarOracle>(optimize_on, kP0Dist,
+                                                       kSample, rng);
+      };
+      auto result = bicriteria_greedy(central_proto, ground, cfg);
+
+      // Exact scoring on the original vectors.
+      auto scorer = exact_proto.clone();
+      for (const ElementId x : result.solution) scorer->add(x);
+      exact_values.push_back(scorer->value());
+      solutions.push_back(std::move(result.solution));
+    }
+    std::printf("distributed runs: %.1fs\n", run_timer.elapsed_seconds());
+
+    // Upper bounds with sampled marginals over the original vectors (the
+    // paper estimates the UB marginals from a 500-point sample too). The
+    // per-k bound is the paper's plotted denominator (<= 100%, saturating);
+    // the best bound makes >100% entries certify beating the K-optimum.
+    util::Timer ub_timer;
+    util::Rng ub_rng(47);
+    const SampledExemplarOracle ub_proto(dataset.score_on, kP0Dist, kSample,
+                                         ub_rng);
+    std::vector<double> per_k_ub;
+    double best_ub = exact_proto.max_value();
+    for (const auto& s : solutions) {
+      per_k_ub.push_back(solution_upper_bound(ub_proto, s, ground, K));
+      best_ub = std::min(best_ub, per_k_ub.back());
+    }
+    std::printf("best upper bound on f(OPT_%zu): %.1f (%.1fs)\n", K, best_ub,
+                ub_timer.elapsed_seconds());
+
+    util::Table table({"k", "vs per-k UB", "vs best UB",
+                       "random vs best UB"});
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      auto rnd_oracle = exact_proto.clone();
+      util::Rng rng(60 + i);
+      const double rnd =
+          random_subset(*rnd_oracle, ground, ks[i], rng).gained;
+      table.add_row({util::Table::fmt_int(ks[i]),
+                     util::Table::fmt_pct(exact_values[i] / per_k_ub[i]),
+                     util::Table::fmt_pct(exact_values[i] / best_ub),
+                     util::Table::fmt_pct(rnd / best_ub)});
+    }
+    bench::emit_table(table, "fig2_" + dataset.name.substr(0, 9),
+                      {"k", "vs_per_k_ub", "vs_best_ub", "random"});
+  }
+
+  std::printf(
+      "expected shape: ratio rises with k, clearing ~87-88%% by k = 2K on\n"
+      "both datasets (paper: >87%% Wikipedia, 88%% TinyImages), with random\n"
+      "well below; the JL-projected pipeline tracks the direct one.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Theorem 3.1, measured: a one-distributed-round algorithm needs Ω(k/ε)
+// output items to reach a (1−ε)-approximation on the lower-bound instance.
+//
+// For each ε the harness builds the construction, runs the one-round
+// distributed greedy with growing output budgets, and reports the smallest
+// budget that clears the (1−ε) target — against the k/ε scaling the theorem
+// predicts and the k·ln(1/ε) a *centralized* algorithm needs on the same
+// instance (the polynomial-vs-logarithmic separation of §3).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_support.h"
+#include "core/baselines.h"
+#include "core/hardness.h"
+#include "objectives/coverage.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace bds;
+  bench::print_banner(
+      "hardness", "Theorem 3.1 (one-round lower bound)",
+      "smallest one-round output budget reaching a (1-eps) approximation on\n"
+      "the A/B/C construction, vs the k/eps lower-bound scaling and the\n"
+      "centralized k*ln(1/eps) reference.");
+
+  const std::size_t k = 10;
+  constexpr int kTrials = 3;
+
+  util::Table table({"eps", "target ratio", "1-round budget needed",
+                     "k/eps", "ratio at budget k", "centralized items needed",
+                     "k*ln(1/eps)"});
+
+  for (const double eps : {0.25, 0.125, 0.0625, 0.04}) {
+    HardnessConfig cfg;
+    cfg.k = k;
+    cfg.epsilon = eps;
+    // Universe large enough that every B-chunk has many elements even for
+    // small eps. The lower bound lives in the memory-limited regime: each
+    // machine's shard (n/m items) must dwarf the per-machine output budget,
+    // so n is large relative to m·budget; m >> k isolates the B-sets.
+    cfg.universe = static_cast<std::uint32_t>(std::lround(80.0 * k / eps));
+    cfg.total_items = 20'000;
+
+    double needed_sum = 0.0;
+    double ratio_at_k_sum = 0.0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      cfg.seed = 100 + trial;
+      const auto instance = make_hardness_instance(cfg);
+      const CoverageOracle oracle(instance.sets);
+      const auto items = instance.all_items();
+      const double opt = instance.config.universe;
+
+      // Grow the budget until the one-round run clears (1-eps)·OPT.
+      std::size_t needed = 0;
+      for (std::size_t budget = k;; budget += k) {
+        OneRoundConfig rc;
+        rc.k = budget;
+        rc.machines = 64;
+        rc.seed = 1'000 + trial;
+        const auto result = rand_greedi(oracle, items, rc);
+        const double ratio = result.value / opt;
+        if (budget == k) ratio_at_k_sum += ratio;
+        if (ratio >= 1.0 - eps || budget > 40 * k) {
+          needed = budget;
+          break;
+        }
+      }
+      needed_sum += double(needed);
+    }
+
+    // Centralized column measured once (it is seed-stable on this instance).
+    cfg.seed = 100;
+    const auto instance = make_hardness_instance(cfg);
+    const CoverageOracle oracle(instance.sets);
+    const auto items = instance.all_items();
+    const double opt = instance.config.universe;
+    const auto central = centralized_greedy(oracle, items, 6 * k);
+    auto probe = oracle.clone();
+    std::size_t central_needed = 6 * k;
+    for (std::size_t i = 0; i < central.solution.size(); ++i) {
+      probe->add(central.solution[i]);
+      if (probe->value() >= (1.0 - eps) * opt) {
+        central_needed = i + 1;
+        break;
+      }
+    }
+
+    table.add_row(
+        {util::Table::fmt(eps, 4), util::Table::fmt_pct(1.0 - eps),
+         util::Table::fmt(needed_sum / kTrials, 0),
+         util::Table::fmt(double(k) / eps, 0),
+         util::Table::fmt_pct(ratio_at_k_sum / kTrials),
+         util::Table::fmt_int(central_needed),
+         util::Table::fmt(k * std::log(1.0 / eps), 1)});
+  }
+  bench::emit_table(table, "hardness",
+                    {"eps", "target", "one_round_needed", "k_over_eps",
+                     "ratio_at_k", "central_needed", "k_ln_inv_eps"});
+
+  std::printf(
+      "expected shape: the one-round budget needed grows polynomially in\n"
+      "1/eps (tracking k/eps), while the centralized algorithm needs only\n"
+      "~k items on this instance — the polynomial-vs-logarithmic separation\n"
+      "of Section 3. The budget-k ratio stays below the target for small\n"
+      "eps.\n");
+  return 0;
+}

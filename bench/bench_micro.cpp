@@ -1,0 +1,184 @@
+// Microbenchmarks (google-benchmark) for the performance-critical
+// primitives: oracle evaluations, the greedy selector family, and the
+// partitioners. These are throughput sanity checks, not paper artifacts.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <numeric>
+
+#include "core/greedy.h"
+#include "data/graph_gen.h"
+#include "data/vectors_gen.h"
+#include "dist/partitioner.h"
+#include "objectives/coverage.h"
+#include "objectives/exemplar.h"
+#include "objectives/logdet.h"
+#include "objectives/prob_coverage.h"
+#include "data/prob_gen.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace bds;
+
+std::shared_ptr<const SetSystem> shared_sets() {
+  static const auto sets = data::make_dblp_like(20'000, 1);
+  return sets;
+}
+
+std::shared_ptr<const PointSet> shared_points() {
+  static const auto points = [] {
+    data::LdaVectorsConfig cfg;
+    cfg.documents = 5'000;
+    cfg.topics = 100;
+    cfg.clusters = 20;
+    return data::make_lda_like_vectors(cfg);
+  }();
+  return points;
+}
+
+std::vector<ElementId> ids(std::size_t n) {
+  std::vector<ElementId> out(n);
+  std::iota(out.begin(), out.end(), ElementId{0});
+  return out;
+}
+
+void BM_RngNextU64(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngNextBelow(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_below(12345));
+}
+BENCHMARK(BM_RngNextBelow);
+
+void BM_CoverageGain(benchmark::State& state) {
+  CoverageOracle oracle(shared_sets());
+  util::Rng rng(2);
+  // A partly-covered state makes gains representative of mid-greedy.
+  for (int i = 0; i < 50; ++i) {
+    oracle.add(static_cast<ElementId>(rng.next_below(oracle.ground_size())));
+  }
+  ElementId x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.gain(x));
+    x = (x + 37) % oracle.ground_size();
+  }
+}
+BENCHMARK(BM_CoverageGain);
+
+void BM_CoverageClone(benchmark::State& state) {
+  CoverageOracle oracle(shared_sets());
+  for (auto _ : state) benchmark::DoNotOptimize(oracle.clone());
+}
+BENCHMARK(BM_CoverageClone);
+
+void BM_ExemplarExactGain(benchmark::State& state) {
+  ExemplarOracle oracle(shared_points(), 2.0);
+  ElementId x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.gain(x));
+    x = (x + 101) % oracle.ground_size();
+  }
+}
+BENCHMARK(BM_ExemplarExactGain);
+
+void BM_ExemplarSampledGain(benchmark::State& state) {
+  util::Rng rng(3);
+  SampledExemplarOracle oracle(shared_points(), 2.0, 500, rng);
+  ElementId x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.gain(x));
+    x = (x + 101) % oracle.ground_size();
+  }
+}
+BENCHMARK(BM_ExemplarSampledGain);
+
+void BM_ProbCoverageGain(benchmark::State& state) {
+  static const auto model = [] {
+    data::ClickModelConfig cfg;
+    cfg.ads = 5'000;
+    cfg.users = 20'000;
+    return data::make_click_model(cfg);
+  }();
+  ProbCoverageOracle oracle(model);
+  ElementId x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.gain(x));
+    x = (x + 13) % oracle.ground_size();
+  }
+}
+BENCHMARK(BM_ProbCoverageGain);
+
+void BM_LogDetGainVsSetSize(benchmark::State& state) {
+  LogDetOracle oracle(shared_points(), 1.0, 0.5);
+  for (ElementId x = 0; x < ElementId(state.range(0)); ++x) {
+    oracle.add(x * 17 % 5'000);
+  }
+  ElementId probe = 1'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.gain(probe));
+    probe = (probe + 101) % oracle.ground_size();
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LogDetGainVsSetSize)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+
+void BM_GreedySelector(benchmark::State& state) {
+  const auto candidates = ids(state.range(0));
+  for (auto _ : state) {
+    CoverageOracle oracle(shared_sets());
+    benchmark::DoNotOptimize(greedy(oracle, candidates, 10));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedySelector)->Arg(500)->Arg(2'000)->Complexity();
+
+void BM_LazyGreedySelector(benchmark::State& state) {
+  const auto candidates = ids(state.range(0));
+  for (auto _ : state) {
+    CoverageOracle oracle(shared_sets());
+    benchmark::DoNotOptimize(lazy_greedy(oracle, candidates, 10));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LazyGreedySelector)->Arg(500)->Arg(2'000)->Arg(8'000)->Complexity();
+
+void BM_StochasticGreedySelector(benchmark::State& state) {
+  const auto candidates = ids(state.range(0));
+  util::Rng rng(5);
+  for (auto _ : state) {
+    CoverageOracle oracle(shared_sets());
+    benchmark::DoNotOptimize(stochastic_greedy(oracle, candidates, 10, rng));
+  }
+}
+BENCHMARK(BM_StochasticGreedySelector)->Arg(2'000)->Arg(8'000);
+
+void BM_PartitionUniform(benchmark::State& state) {
+  const auto items = ids(100'000);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist::partition_uniform(items, state.range(0), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * items.size());
+}
+BENCHMARK(BM_PartitionUniform)->Arg(16)->Arg(128);
+
+void BM_PartitionMultiplicity(benchmark::State& state) {
+  const auto items = ids(100'000);
+  util::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist::partition_multiplicity(items, 128, state.range(0), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * items.size() * state.range(0));
+}
+BENCHMARK(BM_PartitionMultiplicity)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// §4.2 "Speed-ups of the distributed framework".
+//
+// Paper: on Wikipedia with k = 10 / 20 and m = ⌈√(N/k)⌉, the distributed
+// one-round algorithm achieved > 32x / > 37x speed-up over the centralized
+// lazy greedy, while returning > 99.6% / > 99.7% of its value; speed-ups
+// grow with dataset size.
+//
+// Substitution note: the paper measured wall clock on a real cluster. Our
+// cluster is simulated in-process, so the speed-up is reported in
+// *critical-path work* terms: (centralized oracle evaluations) /
+// (Σ_rounds max-machine evaluations + coordinator evaluations). Because
+// every oracle evaluation costs the same (500-point sampled estimate on
+// both sides), evaluation counts are proportional to machine-seconds on a
+// real deployment. Host wall-clock for both runs is also printed.
+#include <cstdio>
+#include <memory>
+
+#include "bench_support.h"
+#include "core/baselines.h"
+#include "core/bicriteria.h"
+#include "data/vectors_gen.h"
+#include "objectives/exemplar.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+constexpr double kP0Dist = 2.0;
+constexpr std::size_t kSample = 500;
+}  // namespace
+
+int main() {
+  using namespace bds;
+  bench::print_banner(
+      "speedup", "§4.2 speed-up paragraph",
+      "centralized lazy greedy vs one-round distributed run on\n"
+      "Wikipedia-like vectors; k in {10, 20}; N sweep shows the speed-up\n"
+      "growing with dataset size (paper: >32x at k=10, >37x at k=20, with\n"
+      ">99.6% / >99.7% of the centralized value).");
+
+  util::Table table({"N", "k", "m", "speedup (critical-path evals)",
+                     "value vs centralized", "central wall (s)",
+                     "distributed wall (s)"});
+
+  for (const std::uint32_t n : {5'000u, 10'000u, 20'000u, 40'000u}) {
+    data::LdaVectorsConfig cfg_data;
+    cfg_data.documents = n;
+    cfg_data.topics = 100;
+    cfg_data.clusters = 30;
+    cfg_data.seed = 11;
+    const auto points = data::make_lda_like_vectors(cfg_data);
+    const auto ground = bench::iota_ids(points->size());
+
+    for (const std::size_t k : {10u, 20u}) {
+      // Both sides use the same estimation oracle (500-point sample), so
+      // per-evaluation cost matches and eval counts compare fairly.
+      util::Rng central_rng(29);
+      const SampledExemplarOracle proto(points, kP0Dist, kSample,
+                                        central_rng);
+
+      util::Timer central_timer;
+      const auto central = centralized_greedy(proto, ground, k);
+      const double central_wall = central_timer.elapsed_seconds();
+      const auto central_evals = central.stats.rounds[0].worker_evals;
+
+      BicriteriaConfig cfg;
+      cfg.mode = BicriteriaMode::kPractical;
+      cfg.k = k;
+      cfg.output_items = k;
+      cfg.rounds = 1;
+      cfg.seed = 5;
+      cfg.machine_oracle_factory =
+          [&points](std::size_t machine)
+          -> std::unique_ptr<SubmodularOracle> {
+        util::Rng rng(util::mix64(400 + machine));
+        return std::make_unique<SampledExemplarOracle>(points, kP0Dist,
+                                                       kSample, rng);
+      };
+      util::Timer dist_timer;
+      const auto dist = bicriteria_greedy(proto, ground, cfg);
+      const double dist_wall = dist_timer.elapsed_seconds();
+
+      // Exact values for the quality comparison.
+      const ExemplarOracle exact(points, kP0Dist);
+      const double central_value = evaluate_set(exact, central.solution);
+      const double dist_value = evaluate_set(exact, dist.solution);
+
+      const double speedup =
+          double(central_evals) /
+          double(std::max<std::uint64_t>(1, dist.stats.critical_path_evals()));
+      table.add_row({util::Table::fmt_int(n), util::Table::fmt_int(k),
+                     util::Table::fmt_int(dist.rounds[0].machines),
+                     util::Table::fmt(speedup, 1) + "x",
+                     util::Table::fmt_pct(dist_value / central_value),
+                     util::Table::fmt(central_wall, 2),
+                     util::Table::fmt(dist_wall, 2)});
+    }
+  }
+  bench::emit_table(table, "speedup",
+                    {"n", "k", "m", "speedup", "value_ratio", "central_wall",
+                     "dist_wall"});
+
+  std::printf(
+      "expected shape: speed-up grows roughly like sqrt(N/k) (the paper's\n"
+      "m), reaching the paper's >30x regime as N grows, while the\n"
+      "distributed value stays within a fraction of a percent of the\n"
+      "centralized one (paper: >99.6%%).\n");
+  return 0;
+}

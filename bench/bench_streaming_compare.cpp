@@ -1,0 +1,87 @@
+// Extra comparison (related-work corner): where the one-pass streaming
+// algorithm [4] sits relative to the distributed pipelines on the paper's
+// synthetic hard instance — the scalability-spectrum table the related-work
+// section describes in prose. Columns report the axes each model trades:
+// passes/rounds over the data, items held in memory, oracle evaluations,
+// and achieved quality.
+#include <cstdio>
+
+#include "bench_support.h"
+#include "core/baselines.h"
+#include "core/bicriteria.h"
+#include "core/streaming.h"
+#include "data/synthetic_coverage.h"
+#include "objectives/coverage.h"
+
+int main() {
+  using namespace bds;
+  bench::print_banner(
+      "streaming_compare", "related work §1.1 (scalability spectrum)",
+      "SieveStreaming (1 pass) vs one-round distributed vs centralized\n"
+      "greedy on the synthetic hard instance; quality, memory, and work.");
+
+  data::SyntheticCoverageConfig data_cfg;
+  data_cfg.universe_size = 4'000;
+  data_cfg.planted_sets = 40;
+  data_cfg.random_sets = 40'000;
+  data_cfg.seed = 2017;
+  const auto instance = data::make_synthetic_coverage(data_cfg);
+  const CoverageOracle oracle(instance.sets);
+  const auto ground = bench::iota_ids(instance.sets->num_sets());
+  const std::size_t k = data_cfg.planted_sets;
+  const double opt = data_cfg.universe_size;
+
+  util::Table table({"algorithm", "passes/rounds", "items in memory",
+                     "oracle evals", "f(S)/OPT"});
+
+  {
+    const auto result = sieve_streaming(oracle, ground, {k, 0.2});
+    table.add_row({"SieveStreaming (k items)", "1 pass",
+                   util::Table::fmt_int(result.peak_memory_items),
+                   util::Table::fmt_int(result.oracle_evals),
+                   util::Table::fmt_pct(result.value / opt)});
+  }
+  {
+    const auto central = centralized_greedy(oracle, ground, k);
+    table.add_row({"centralized greedy (k items)", "k passes",
+                   util::Table::fmt_int(ground.size()),
+                   util::Table::fmt_int(central.stats.total_evals()),
+                   util::Table::fmt_pct(central.value / opt)});
+  }
+  {
+    BicriteriaConfig cfg;
+    cfg.k = k;
+    cfg.seed = 3;
+    const auto result = bicriteria_greedy(oracle, ground, cfg);
+    table.add_row({"distributed greedy (1 round, k items)", "1 round",
+                   util::Table::fmt_int(
+                       result.stats.rounds[0].max_machine_items),
+                   util::Table::fmt_int(result.stats.total_evals()),
+                   util::Table::fmt_pct(result.value / opt)});
+  }
+  {
+    BicriteriaConfig cfg;
+    cfg.k = k;
+    cfg.output_items = 2 * k;
+    cfg.seed = 3;
+    const auto result = bicriteria_greedy(oracle, ground, cfg);
+    table.add_row({"distributed bicriteria (1 round, 2k items)", "1 round",
+                   util::Table::fmt_int(
+                       result.stats.rounds[0].max_machine_items),
+                   util::Table::fmt_int(result.stats.total_evals()),
+                   util::Table::fmt_pct(result.value / opt)});
+  }
+  bench::emit_table(table, "streaming_compare",
+                    {"algorithm", "passes", "memory", "evals", "ratio"});
+
+  std::printf(
+      "expected shape: the instance is adversarial *for greedy* — the\n"
+      "inflated decoys bait every max-marginal selector (centralized and\n"
+      "distributed k-item runs land near 80%%), while the threshold sieve\n"
+      "accepts the planted sets as they stream by and can reach the\n"
+      "optimum despite its weaker 1/2-eps worst case. The bicriteria run\n"
+      "recovers greedy's gap by outputting 2k items in one round — the\n"
+      "paper's trade. Memory: sieve ~ k*log(k)/eps items, distributed\n"
+      "machines ~ n/m items, centralized everything.\n");
+  return 0;
+}

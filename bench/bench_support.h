@@ -1,0 +1,49 @@
+// Shared scaffolding for the experiment harness: uniform headers, table
+// emission with optional CSV mirroring (set BDS_CSV_DIR), and the common
+// "ratio vs upper bound" bookkeeping the figures use.
+#pragma once
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/element.h"
+#include "util/table.h"
+
+namespace bds::bench {
+
+// Prints the standard experiment banner.
+inline void print_banner(const std::string& id, const std::string& paper_ref,
+                         const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — reproduces %s\n", id.c_str(), paper_ref.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+// Prints a sub-section header (e.g. one dataset within a figure).
+inline void print_section(const std::string& title) {
+  std::printf("--- %s ---\n", title.c_str());
+}
+
+// Prints the table and mirrors it to $BDS_CSV_DIR/<csv_name>.csv when set.
+inline void emit_table(const util::Table& table, const std::string& csv_name,
+                       const std::vector<std::string>& csv_header) {
+  std::printf("%s\n", table.to_string().c_str());
+  if (const auto path = util::csv_output_path(csv_name)) {
+    util::CsvWriter csv(*path, csv_header);
+    for (std::size_t r = 0; r < table.rows(); ++r) csv.write_row(table.row(r));
+    std::printf("[csv] wrote %zu rows to %s\n\n", csv.rows_written(),
+                path->c_str());
+  }
+}
+
+inline std::vector<ElementId> iota_ids(std::size_t n) {
+  std::vector<ElementId> ids(n);
+  std::iota(ids.begin(), ids.end(), ElementId{0});
+  return ids;
+}
+
+}  // namespace bds::bench

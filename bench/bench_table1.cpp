@@ -1,0 +1,127 @@
+// Table 1: algorithm comparison — rounds, output size, and achieved
+// approximation for every algorithm row of the paper's summary table,
+// measured empirically on the synthetic hard coverage instance.
+//
+// The paper's Table 1 is theoretical; this harness instantiates each row as
+// a real run and reports (a) the rounds the cluster simulator actually
+// counted, (b) the number of items output, and (c) the achieved fraction of
+// the optimum upper bound — so the qualitative ordering of the table
+// (baselines with k items stay below 1-ε; the bicriteria rows reach it, with
+// output sizes Theory > Multiplicity > Hybrid; NaiveDistributedGreedy needs
+// log(1/ε) rounds) can be checked at a glance.
+#include <cstdio>
+
+#include "bench_support.h"
+#include "core/baselines.h"
+#include "core/bicriteria.h"
+#include "core/upper_bound.h"
+#include "data/synthetic_coverage.h"
+#include "objectives/coverage.h"
+
+int main() {
+  using namespace bds;
+  bench::print_banner(
+      "table1", "Table 1 (algorithm summary)",
+      "each row of the paper's comparison table, run on the synthetic hard\n"
+      "coverage instance (scaled: |U|=4000, K=40, t=40000), k=K, eps=0.1.");
+
+  data::SyntheticCoverageConfig data_cfg;
+  data_cfg.universe_size = 4'000;
+  data_cfg.planted_sets = 40;
+  data_cfg.random_sets = 40'000;
+  data_cfg.seed = 2017;
+  const auto instance = data::make_synthetic_coverage(data_cfg);
+  const CoverageOracle oracle(instance.sets);
+  const auto ground = bench::iota_ids(instance.sets->num_sets());
+  const std::size_t k = data_cfg.planted_sets;
+  const double epsilon = 0.1;
+
+  // On this instance the planted optimum covers the whole universe.
+  const double opt = data_cfg.universe_size;
+  std::printf("instance: %zu sets, f(OPT_%zu) = %.0f (planted)\n\n",
+              instance.sets->num_sets(), k, opt);
+
+  struct Row {
+    std::string name;
+    std::string paper_guarantee;
+    DistributedResult result;
+  };
+  std::vector<Row> rows;
+
+  {
+    GreedyScalingConfig cfg;
+    cfg.k = k;
+    cfg.epsilon = 0.3;
+    rows.push_back({"GreedyScaling [18]", "1-1/e-eps, k items",
+                    greedy_scaling(oracle, ground, cfg)});
+  }
+  {
+    OneRoundConfig cfg;
+    cfg.k = k;
+    cfg.seed = 3;
+    rows.push_back({"GreeDi [23]", ">=1/min(m,k), k items",
+                    greedi(oracle, ground, cfg)});
+    rows.push_back({"PseudoGreedy [21]", "0.54, k items",
+                    pseudo_greedy(oracle, ground, cfg)});
+    rows.push_back({"RandGreeDi [5]", "0.316, k items",
+                    rand_greedi(oracle, ground, cfg)});
+  }
+  {
+    ParallelAlgConfig cfg;
+    cfg.k = k;
+    cfg.epsilon = 0.25;
+    cfg.seed = 3;
+    rows.push_back({"ParallelAlg [6]", "1-1/e-eps, k items, 1/eps rounds",
+                    parallel_alg(oracle, ground, cfg)});
+  }
+  {
+    NaiveDistributedConfig cfg;
+    cfg.k = k;
+    cfg.epsilon = epsilon;
+    cfg.seed = 3;
+    rows.push_back({"NaiveDistributedGreedy", "1-eps, k log(1/eps) items",
+                    naive_distributed_greedy(oracle, ground, cfg)});
+  }
+  for (const std::size_t r : {1u, 2u}) {
+    BicriteriaConfig cfg;
+    cfg.k = k;
+    cfg.rounds = r;
+    cfg.epsilon = epsilon;
+    cfg.seed = 3;
+    cfg.mode = BicriteriaMode::kTheory;
+    rows.push_back({"BicriteriaGreedy* (r=" + std::to_string(r) + ")",
+                    "1-eps, O(r a^2 ln^2(a) k)",
+                    bicriteria_greedy(oracle, ground, cfg)});
+    cfg.mode = BicriteriaMode::kMultiplicity;
+    rows.push_back({"Bicriteria+multiplicity* (r=" + std::to_string(r) + ")",
+                    "1-eps, O(r a ln^2(a) k)",
+                    bicriteria_greedy(oracle, ground, cfg)});
+    cfg.mode = BicriteriaMode::kHybrid;
+    rows.push_back({"HybridAlg* (r=" + std::to_string(r) + ")",
+                    "1-eps, O(r a k)",
+                    bicriteria_greedy(oracle, ground, cfg)});
+  }
+
+  util::Table table({"algorithm", "paper guarantee", "rounds", "|S|",
+                     "f(S)/OPT", "comm (KiB)"});
+  for (const auto& row : rows) {
+    table.add_row(
+        {row.name, row.paper_guarantee,
+         util::Table::fmt_int(row.result.stats.num_rounds()),
+         util::Table::fmt_int(row.result.solution.size()),
+         util::Table::fmt_pct(row.result.value / opt),
+         util::Table::fmt(
+             double(row.result.stats.bytes_communicated()) / 1024.0, 0)});
+  }
+  bench::emit_table(table, "table1",
+                    {"algorithm", "guarantee", "rounds", "items", "ratio",
+                     "comm_kib"});
+
+  std::printf(
+      "expected shape: the k-item baselines sit below 1-eps = %.0f%% on this\n"
+      "hard instance; every bicriteria row clears it; output sizes order\n"
+      "Theory > Multiplicity > Hybrid; NaiveDistributedGreedy needs\n"
+      "ceil(ln(1/eps)) rounds; GreedyScaling needs the most rounds.\n",
+      100.0 * (1 - epsilon));
+  return 0;
+}

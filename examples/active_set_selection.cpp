@@ -1,0 +1,119 @@
+// Active-set selection for non-parametric (Gaussian-process) learning —
+// the paper's intro application [15], on the log-determinant objective:
+//
+//   f(S) = ½ log det(I + σ⁻² K_S)   (information gain of observing S).
+//
+// Greedy picks the most informative points (far apart under the RBF
+// kernel); the distributed one-round pipeline matches centralized greedy;
+// random wastes budget on redundant near-duplicates. Also reports the mean
+// posterior variance over the dataset — the quantity a GP practitioner
+// actually cares about — for each selection.
+//
+//   $ build/examples/active_set_selection [points] [k]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/baselines.h"
+#include "core/bicriteria.h"
+#include "core/greedy.h"
+#include "data/vectors_gen.h"
+#include "objectives/logdet.h"
+#include "util/linalg.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace bds;
+
+// Mean posterior variance of every point given observations S under the
+// regularized RBF kernel — brute force, fine at example scale.
+double mean_posterior_variance(const LogDetOracle& proto,
+                               std::span<const ElementId> selected,
+                               std::size_t n, double noise) {
+  util::IncrementalCholesky chol;
+  std::vector<ElementId> order;
+  for (const ElementId s : selected) {
+    std::vector<double> col(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      col[i] = proto.kernel(s, order[i]) / noise;
+    }
+    chol.extend(col, 1.0 + proto.kernel(s, s) / noise);
+    order.push_back(s);
+  }
+  double total = 0.0;
+  for (ElementId x = 0; x < n; ++x) {
+    std::vector<double> col(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      col[i] = proto.kernel(x, order[i]) / noise;
+    }
+    // Var[x | S] (scaled): Schur complement minus the observation-noise 1.
+    const double schur =
+        chol.conditional_variance(col, 1.0 + proto.kernel(x, x) / noise);
+    total += noise * (schur - 1.0);  // Var[x|S] = sigma^2 (schur - 1)
+  }
+  return total / double(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t n =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 1'200;
+  const std::size_t k = argc > 2 ? std::atoi(argv[2]) : 15;
+  const double noise = 0.1;
+  const double bandwidth = 0.5;
+
+  data::LdaVectorsConfig gen;
+  gen.documents = n;
+  gen.topics = 20;
+  gen.clusters = 15;
+  gen.seed = 3;
+  const auto points = data::make_lda_like_vectors(gen);
+  std::printf("Candidate pool: %u points (20-dim), RBF bandwidth %.2f, "
+              "noise %.2f, k = %zu\n\n",
+              n, bandwidth, noise, k);
+
+  const LogDetOracle oracle(points, bandwidth, noise);
+  std::vector<ElementId> ground(n);
+  for (std::uint32_t i = 0; i < n; ++i) ground[i] = i;
+
+  util::Table table({"strategy", "information gain f(S)",
+                     "mean posterior variance"});
+
+  {
+    auto o = oracle.clone();
+    const auto result = lazy_greedy(*o, ground, k, {true});
+    table.add_row({"centralized greedy", util::Table::fmt(o->value(), 3),
+                   util::Table::fmt(mean_posterior_variance(
+                                        oracle, result.picks, n, noise),
+                                    4)});
+  }
+  {
+    BicriteriaConfig cfg;
+    cfg.k = k;
+    cfg.seed = 5;
+    const auto result = bicriteria_greedy(oracle, ground, cfg);
+    table.add_row({"distributed (1 round)",
+                   util::Table::fmt(result.value, 3),
+                   util::Table::fmt(mean_posterior_variance(
+                                        oracle, result.solution, n, noise),
+                                    4)});
+  }
+  {
+    auto o = oracle.clone();
+    util::Rng rng(5);
+    const auto result = random_subset(*o, ground, k, rng);
+    table.add_row({"random", util::Table::fmt(o->value(), 3),
+                   util::Table::fmt(mean_posterior_variance(
+                                        oracle, result.picks, n, noise),
+                                    4)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Greedy and the distributed pipeline pick mutually-distant,\n"
+      "informative points (high information gain, low residual variance);\n"
+      "random selections overlap clusters and leave variance on the table.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Ad-campaign selection under a budget — probabilistic coverage end to end.
+//
+// A bipartite click model: each candidate ad reaches a (heavy-tailed) set of
+// users, each with a click probability; the objective is the expected number
+// of distinct users who click at least one selected ad:
+//
+//   f(S) = Σ_u (1 − Π_{ad ∈ S} (1 − p_{ad,u}))    (monotone submodular).
+//
+// Unlike hard coverage, gains never hit zero — which makes this the regime
+// where the bicriteria trade-off is smooth: every extra output item buys a
+// predictable slice of the remaining expected audience. Compares the
+// distributed BicriteriaGreedy, ParallelAlg, SieveStreaming (single pass)
+// and random selection.
+//
+//   $ build/examples/ad_placement [ads] [k]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/baselines.h"
+#include "core/bicriteria.h"
+#include "core/greedy.h"
+#include "core/knapsack.h"
+#include "core/streaming.h"
+#include "core/upper_bound.h"
+#include "data/prob_gen.h"
+#include "objectives/prob_coverage.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace bds;
+
+  data::ClickModelConfig model;
+  model.ads = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1]))
+                       : 5'000;
+  model.users = 4 * model.ads;
+  model.seed = 9;
+  const std::size_t k = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  std::printf("Click model: %u candidate ads, %u users...\n", model.ads,
+              model.users);
+  const auto sets = data::make_click_model(model);
+  std::printf("  bipartite entries: %zu (mean reach %.1f users/ad)\n\n",
+              sets->total_entries(),
+              double(sets->total_entries()) / model.ads);
+
+  const ProbCoverageOracle oracle(sets);
+  std::vector<ElementId> ground(sets->num_sets());
+  for (std::size_t i = 0; i < ground.size(); ++i) {
+    ground[i] = static_cast<ElementId>(i);
+  }
+
+  struct Row {
+    std::string name;
+    std::vector<ElementId> solution;
+    double value;
+  };
+  std::vector<Row> rows;
+
+  for (const std::size_t out : {k, 2 * k, 4 * k}) {
+    BicriteriaConfig cfg;
+    cfg.k = k;
+    cfg.output_items = out;
+    cfg.seed = 2;
+    auto result = bicriteria_greedy(oracle, ground, cfg);
+    rows.push_back({"BicriteriaGreedy (" + std::to_string(out) + " ads)",
+                    std::move(result.solution), result.value});
+  }
+  {
+    ParallelAlgConfig cfg;
+    cfg.k = k;
+    cfg.epsilon = 0.25;
+    cfg.seed = 2;
+    auto result = parallel_alg(oracle, ground, cfg);
+    rows.push_back({"ParallelAlg (4 rounds, k ads)",
+                    std::move(result.solution), result.value});
+  }
+  {
+    auto result = sieve_streaming(oracle, ground, {k, 0.1});
+    rows.push_back({"SieveStreaming (1 pass, k ads)",
+                    std::move(result.solution), result.value});
+  }
+  {
+    auto scratch = oracle.clone();
+    util::Rng rng(2);
+    const auto picks = random_subset(*scratch, ground, k, rng);
+    rows.push_back({"Random (k ads)", picks.picks, scratch->value()});
+  }
+
+  double ub = oracle.max_value();
+  for (const auto& row : rows) {
+    ub = std::min(ub, solution_upper_bound(oracle, row.solution, ground, k));
+  }
+
+  util::Table table({"strategy", "ads", "expected clicking users",
+                     "% of k-ad optimum bound"});
+  for (const auto& row : rows) {
+    table.add_row({row.name, util::Table::fmt_int(row.solution.size()),
+                   util::Table::fmt(row.value, 1),
+                   util::Table::fmt_pct(row.value / ub)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("upper bound on the best %zu-ad campaign: %.1f users\n", k, ub);
+
+  // Budgeted variant: ad costs proportional to reach (plus overhead); a
+  // spend budget replaces the count constraint.
+  std::vector<double> costs(sets->num_sets());
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    costs[i] = 1.0 + 0.05 * double(sets->set_entries(
+                                        static_cast<ElementId>(i)).size());
+  }
+  const double budget = double(k) * 3.0;
+  const auto budgeted = knapsack_greedy(oracle, ground, costs, budget);
+  std::printf(
+      "\nbudgeted variant (spend <= %.0f, cost ~ reach): %zu ads, "
+      "%.1f expected clicking users at cost %.1f\n",
+      budget, budgeted.picks.size(), budgeted.gained, budgeted.cost);
+  std::printf(
+      "\nSoft coverage never saturates, so the bicriteria rows climb past\n"
+      "the k-ad optimum smoothly; the streaming pass is competitive at a\n"
+      "fraction of the evaluations; random lags everything.\n");
+  return 0;
+}

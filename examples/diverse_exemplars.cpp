@@ -1,0 +1,134 @@
+// Topic-diverse exemplar selection — matroid-constrained submodular
+// maximization (the library's extension beyond the paper's cardinality
+// setting, following the matroid core-set line of the paper's refs [5,21]).
+//
+// Scenario: summarize a document corpus with k exemplars, but no more than
+// `cap` exemplars per topic cluster (editorial diversity requirement).
+// Unconstrained greedy piles exemplars into the dominant topics; the
+// partition matroid forces spread at a small objective cost, and the
+// distributed matroid greedy (RandGreeDi-style) matches the centralized
+// constrained greedy.
+//
+//   $ build/examples/diverse_exemplars [docs] [k]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "core/greedy.h"
+#include "core/matroid.h"
+#include "data/vectors_gen.h"
+#include "objectives/exemplar.h"
+#include "util/table.h"
+
+namespace {
+
+// Assign each document to its nearest latent archetype by picking the max
+// topic coordinate bucket — a cheap, deterministic proxy for topic labels.
+std::vector<std::uint32_t> topic_labels(const bds::PointSet& points,
+                                        std::uint32_t n_topics) {
+  std::vector<std::uint32_t> labels(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto row = points.point(i);
+    std::uint32_t best = 0;
+    for (std::uint32_t d = 1; d < row.size(); ++d) {
+      if (row[d] > row[best]) best = d;
+    }
+    labels[i] = best % n_topics;
+  }
+  return labels;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bds;
+
+  data::LdaVectorsConfig gen;
+  gen.documents = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1]))
+                           : 4'000;
+  gen.topics = 50;
+  gen.clusters = 12;
+  gen.seed = 21;
+  const std::size_t k = argc > 2 ? std::atoi(argv[2]) : 12;
+  const std::uint32_t n_groups = 6;
+  const std::size_t cap = 2;  // at most 2 exemplars per topic group
+
+  std::printf("Corpus: %u documents, %u topics -> %u topic groups, k = %zu,"
+              " cap = %zu/group\n\n",
+              gen.documents, gen.topics, n_groups, k, cap);
+  const auto points = data::make_lda_like_vectors(gen);
+  const auto labels = topic_labels(*points, n_groups);
+
+  const ExemplarOracle oracle(points, 2.0);
+  std::vector<ElementId> ground(points->size());
+  for (std::size_t i = 0; i < ground.size(); ++i) {
+    ground[i] = static_cast<ElementId>(i);
+  }
+
+  const auto group_histogram = [&](std::span<const ElementId> picks) {
+    std::map<std::uint32_t, int> hist;
+    for (const ElementId x : picks) ++hist[labels[x]];
+    std::string out;
+    for (std::uint32_t g = 0; g < n_groups; ++g) {
+      out += std::to_string(hist.count(g) ? hist[g] : 0);
+      if (g + 1 < n_groups) out += "/";
+    }
+    return out;
+  };
+
+  util::Table table(
+      {"strategy", "f(S)", "picks per group (g0..g5)", "max per group"});
+
+  // Unconstrained greedy.
+  {
+    auto o = oracle.clone();
+    const auto plain = lazy_greedy(*o, ground, k, {true});
+    std::map<std::uint32_t, int> hist;
+    int mx = 0;
+    for (const ElementId x : plain.picks) mx = std::max(mx, ++hist[labels[x]]);
+    table.add_row({"greedy (no constraint)", util::Table::fmt(o->value(), 1),
+                   group_histogram(plain.picks), std::to_string(mx)});
+  }
+
+  // Centralized matroid-constrained greedy (cap per topic + global k).
+  const PartitionMatroid base_matroid(
+      labels, std::vector<std::size_t>(n_groups, cap));
+  {
+    auto o = oracle.clone();
+    LaminarBound constraint(base_matroid, k);
+    const auto result = lazy_greedy_matroid(*o, ground, constraint);
+    std::map<std::uint32_t, int> hist;
+    int mx = 0;
+    for (const ElementId x : result.picks) {
+      mx = std::max(mx, ++hist[labels[x]]);
+    }
+    table.add_row({"constrained greedy", util::Table::fmt(o->value(), 1),
+                   group_histogram(result.picks), std::to_string(mx)});
+  }
+
+  // Distributed matroid greedy.
+  {
+    const LaminarBound constraint(base_matroid, k);
+    MatroidDistributedConfig cfg;
+    cfg.seed = 7;
+    const auto result =
+        rand_greedi_matroid(oracle, ground, constraint, cfg);
+    std::map<std::uint32_t, int> hist;
+    int mx = 0;
+    for (const ElementId x : result.solution) {
+      mx = std::max(mx, ++hist[labels[x]]);
+    }
+    table.add_row({"distributed constrained (1 round)",
+                   util::Table::fmt(result.value, 1),
+                   group_histogram(result.solution), std::to_string(mx)});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "The matroid rows never exceed %zu exemplars in any topic group; the\n"
+      "unconstrained row concentrates on dominant topics. The distributed\n"
+      "run matches the centralized constrained greedy closely — the\n"
+      "greedy-of-greedies merge carries over to matroids.\n",
+      cap);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Demonstrates the Theorem 3.1 lower bound on a live instance: one
+// distributed round cannot reach (1-ε) of the optimum with only k items,
+// because the k/2 small planted sets (family 𝔹) are information-
+// theoretically indistinguishable from the random decoys (family ℂ) on
+// their machines — but outputting O(k/ε) items recovers the gap.
+//
+//   $ build/examples/hardness_demo
+#include <cstdio>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/hardness.h"
+#include "objectives/coverage.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bds;
+
+  HardnessConfig cfg;
+  cfg.k = 10;
+  cfg.epsilon = 0.125;
+  cfg.universe = 48'000;
+  cfg.total_items = 5'000;
+  cfg.seed = 11;
+  const HardnessInstance instance = make_hardness_instance(cfg);
+
+  std::printf(
+      "Hardness instance (Theorem 3.1): k=%zu, eps=%.3f, universe=%u\n"
+      "  family A: %zu large disjoint sets covering %.0f%% of U\n"
+      "  family B: %zu small disjoint sets covering the remaining %.0f%%\n"
+      "  family C: %zu random decoys, same size as B-sets\n\n",
+      cfg.k, cfg.epsilon, cfg.universe, instance.family_a.size(),
+      100.0 * (1 - 2 * cfg.epsilon), instance.family_b.size(),
+      100.0 * 2 * cfg.epsilon, instance.family_c.size());
+
+  const CoverageOracle oracle(instance.sets);
+  const auto items = instance.all_items();
+
+  // Centralized reference: greedy with global information finds A and B.
+  const auto central = centralized_greedy(oracle, items, cfg.k);
+  const auto central_outcome =
+      evaluate_hardness_solution(instance, central.solution);
+
+  util::Table table({"algorithm", "budget", "output items", "B-sets found",
+                     "C-sets used", "% of optimum"});
+  table.add_row({"centralized greedy", util::Table::fmt_int(cfg.k),
+                 util::Table::fmt_int(central.solution.size()),
+                 util::Table::fmt_int(central_outcome.b_selected),
+                 util::Table::fmt_int(central_outcome.c_selected),
+                 util::Table::fmt_pct(central_outcome.ratio)});
+
+  // One distributed round with increasing output budgets.
+  for (const double factor : {1.0, 2.0, 4.0, 1.0 / cfg.epsilon}) {
+    const auto out = static_cast<std::size_t>(cfg.k * factor);
+    OneRoundConfig rc;
+    rc.k = out;
+    rc.machines = 64;  // m >> k: planted B-sets are isolated on machines
+    rc.seed = 3;
+    const auto result = rand_greedi(oracle, items, rc);
+    const auto outcome = evaluate_hardness_solution(instance, result.solution);
+    char name[64];
+    std::snprintf(name, sizeof(name), "1-round distributed, %.0fk items",
+                  factor);
+    table.add_row({name, util::Table::fmt_int(out),
+                   util::Table::fmt_int(result.solution.size()),
+                   util::Table::fmt_int(outcome.b_selected),
+                   util::Table::fmt_int(outcome.c_selected),
+                   util::Table::fmt_pct(outcome.ratio)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Target (1-eps) ratio: %.1f%%. One round with k items falls short of\n"
+      "it because most B-sets are lost; only an ~k/eps-item output closes\n"
+      "the gap -- matching the Omega(k/eps) lower bound.\n",
+      100.0 * (1 - cfg.epsilon));
+  return 0;
+}

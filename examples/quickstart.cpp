@@ -1,0 +1,76 @@
+// Quickstart: maximize coverage over a synthetic hard instance with
+// BicriteriaGreedy and compare against the optimum upper bound.
+//
+//   $ build/examples/quickstart
+//
+// Walks through the whole public API surface in ~60 lines:
+//   1. generate a dataset (the paper's §4.1 synthetic coverage instance);
+//   2. wrap it in a submodular oracle;
+//   3. run the distributed algorithm for a few (output size, rounds) combos;
+//   4. certify quality with the top-k marginal upper bound.
+#include <cstdio>
+#include <numeric>
+
+#include "core/bicriteria.h"
+#include "core/upper_bound.h"
+#include "data/synthetic_coverage.h"
+#include "objectives/coverage.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bds;
+
+  // 1. A universe of 2,000 elements with a planted optimal cover of K = 20
+  //    disjoint sets, hidden among 20,000 slightly larger random sets.
+  data::SyntheticCoverageConfig data_cfg;
+  data_cfg.universe_size = 2'000;
+  data_cfg.planted_sets = 20;
+  data_cfg.random_sets = 20'000;
+  const auto instance = data::make_synthetic_coverage(data_cfg);
+  const std::size_t K = data_cfg.planted_sets;
+
+  // 2. The coverage oracle: f(S) = |union of the selected sets|.
+  const CoverageOracle oracle(instance.sets);
+  std::vector<ElementId> ground(instance.sets->num_sets());
+  std::iota(ground.begin(), ground.end(), ElementId{0});
+
+  std::printf("Synthetic coverage: universe=%u, planted K=%u, decoys=%u\n\n",
+              data_cfg.universe_size, data_cfg.planted_sets,
+              data_cfg.random_sets);
+
+  // 3. BicriteriaGreedy: output k >= K items in r rounds; more items and
+  //    more rounds both close the gap to the optimum.
+  util::Table table({"output k", "rounds", "f(S)", "% of upper bound",
+                     "comm (KiB)"});
+  double ub = static_cast<double>(data_cfg.universe_size);
+  for (const std::size_t rounds : {1u, 3u}) {
+    for (const std::size_t out : {K, 3 * K / 2, 2 * K}) {
+      BicriteriaConfig cfg;
+      cfg.mode = BicriteriaMode::kPractical;
+      cfg.k = K;
+      cfg.output_items = out;
+      cfg.rounds = rounds;
+      cfg.seed = 42;
+      const DistributedResult result = bicriteria_greedy(oracle, ground, cfg);
+
+      // 4. Certify: f(OPT_K) <= f(S) + sum of top-K marginals.
+      ub = std::min(ub, solution_upper_bound(oracle, result.solution, ground,
+                                             K));
+      table.add_row({util::Table::fmt_int(out), util::Table::fmt_int(rounds),
+                     util::Table::fmt(result.value, 0),
+                     util::Table::fmt_pct(result.value / ub),
+                     util::Table::fmt(
+                         double(result.stats.bytes_communicated()) / 1024.0,
+                     1)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("upper bound on f(OPT_%zu): %.0f (universe: %u)\n", K, ub,
+              data_cfg.universe_size);
+  std::printf(
+      "\nReading the table: with k = K the greedy solution is pulled toward\n"
+      "the decoy sets; outputting 1.5-2x more items (or spending a couple\n"
+      "more rounds) recovers ~99%% of the optimum -- the paper's headline\n"
+      "trade-off.\n");
+  return 0;
+}

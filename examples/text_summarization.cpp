@@ -1,0 +1,166 @@
+// Extractive document summarization — the paper's intro application [20]
+// (Lin & Bilmes), end to end on synthetic "sentences":
+//
+//   1. generate sentences as Zipfian token streams grouped into topics;
+//   2. build a cosine similarity matrix over token-count vectors;
+//   3. maximize the Lin–Bilmes objective (saturated coverage + diversity
+//      reward over topic clusters) with greedy, the one-round distributed
+//      pipeline, and random selection.
+//
+//   $ build/examples/text_summarization [sentences] [k]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "core/bicriteria.h"
+#include "core/greedy.h"
+#include "objectives/saturated_coverage.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace bds;
+
+struct Corpus {
+  std::shared_ptr<const SimilarityMatrix> similarity;
+  std::vector<std::uint32_t> topic_of;
+  std::uint32_t n_topics;
+};
+
+// Sentences are bags of Zipf-distributed tokens; each sentence draws most
+// tokens from its topic's band of the vocabulary and some from a shared
+// band, giving within-topic similarity plus global overlap.
+Corpus make_corpus(std::uint32_t n_sentences, std::uint32_t n_topics,
+                   std::uint64_t seed) {
+  constexpr std::uint32_t kVocab = 600;
+  constexpr std::uint32_t kBand = 80;    // tokens per topic band
+  constexpr std::uint32_t kLength = 30;  // tokens per sentence
+  util::Rng rng(seed);
+  const util::ZipfSampler zipf(kBand, 1.0);
+
+  std::vector<std::map<std::uint32_t, double>> bags(n_sentences);
+  Corpus corpus;
+  corpus.n_topics = n_topics;
+  corpus.topic_of.resize(n_sentences);
+  for (std::uint32_t s = 0; s < n_sentences; ++s) {
+    const auto topic = static_cast<std::uint32_t>(rng.next_below(n_topics));
+    corpus.topic_of[s] = topic;
+    for (std::uint32_t t = 0; t < kLength; ++t) {
+      const bool shared = rng.next_bool(0.3);
+      const std::uint32_t band_start =
+          shared ? (n_topics * kBand) : (topic * kBand);
+      const auto token =
+          band_start + static_cast<std::uint32_t>(zipf.sample(rng));
+      bags[s][token % kVocab] += 1.0;
+    }
+  }
+
+  // Cosine similarities.
+  std::vector<double> norms(n_sentences, 0.0);
+  for (std::uint32_t s = 0; s < n_sentences; ++s) {
+    for (const auto& [token, count] : bags[s]) norms[s] += count * count;
+    norms[s] = std::sqrt(norms[s]);
+  }
+  std::vector<double> sim(std::size_t(n_sentences) * n_sentences, 0.0);
+  for (std::uint32_t a = 0; a < n_sentences; ++a) {
+    sim[std::size_t(a) * n_sentences + a] = 1.0;
+    for (std::uint32_t b = a + 1; b < n_sentences; ++b) {
+      double dot = 0.0;
+      for (const auto& [token, count] : bags[a]) {
+        const auto it = bags[b].find(token);
+        if (it != bags[b].end()) dot += count * it->second;
+      }
+      const double value = dot / (norms[a] * norms[b]);
+      sim[std::size_t(a) * n_sentences + b] = value;
+      sim[std::size_t(b) * n_sentences + a] = value;
+    }
+  }
+  corpus.similarity = std::make_shared<const SimilarityMatrix>(
+      n_sentences, std::move(sim));
+  return corpus;
+}
+
+std::string topic_histogram(std::span<const ElementId> picks,
+                            const Corpus& corpus) {
+  std::map<std::uint32_t, int> hist;
+  for (const ElementId x : picks) ++hist[corpus.topic_of[x]];
+  std::string out;
+  for (std::uint32_t t = 0; t < corpus.n_topics; ++t) {
+    out += std::to_string(hist.count(t) ? hist[t] : 0);
+    if (t + 1 < corpus.n_topics) out += "/";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t n =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 800;
+  const std::size_t k = argc > 2 ? std::atoi(argv[2]) : 8;
+  const std::uint32_t n_topics = 4;
+
+  std::printf("Corpus: %u sentences across %u topics; summary size k = %zu\n",
+              n, n_topics, k);
+  const Corpus corpus = make_corpus(n, n_topics, 17);
+
+  SaturatedCoverageConfig objective;
+  // gamma small so per-sentence coverage saturates quickly; lambda on the
+  // coverage scale so the diversity reward actually steers selection.
+  objective.gamma = 0.05;
+  objective.cluster_of = corpus.topic_of;
+  objective.lambda = 400.0;
+  const SaturatedCoverageOracle oracle(corpus.similarity, objective);
+
+  std::vector<ElementId> ground(n);
+  for (std::uint32_t i = 0; i < n; ++i) ground[i] = i;
+
+  util::Table table({"strategy", "L(S)", "% of max", "picks per topic"});
+  {
+    auto o = oracle.clone();
+    const auto result = lazy_greedy(*o, ground, k, {true});
+    table.add_row({"centralized greedy", util::Table::fmt(o->value(), 2),
+                   util::Table::fmt_pct(o->value() / oracle.max_value()),
+                   topic_histogram(result.picks, corpus)});
+  }
+  {
+    BicriteriaConfig cfg;
+    cfg.k = k;
+    cfg.seed = 5;
+    const auto result = bicriteria_greedy(oracle, ground, cfg);
+    table.add_row({"distributed (1 round)",
+                   util::Table::fmt(result.value, 2),
+                   util::Table::fmt_pct(result.value / oracle.max_value()),
+                   topic_histogram(result.solution, corpus)});
+  }
+  {
+    BicriteriaConfig cfg;
+    cfg.k = k;
+    cfg.output_items = 2 * k;
+    cfg.seed = 5;
+    const auto result = bicriteria_greedy(oracle, ground, cfg);
+    table.add_row({"distributed (2k sentences)",
+                   util::Table::fmt(result.value, 2),
+                   util::Table::fmt_pct(result.value / oracle.max_value()),
+                   topic_histogram(result.solution, corpus)});
+  }
+  {
+    auto o = oracle.clone();
+    util::Rng rng(5);
+    const auto result = random_subset(*o, ground, k, rng);
+    table.add_row({"random", util::Table::fmt(o->value(), 2),
+                   util::Table::fmt_pct(o->value() / oracle.max_value()),
+                   topic_histogram(result.picks, corpus)});
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf(
+      "The diversity reward spreads the summary across topics; saturation\n"
+      "stops any single topic from dominating the coverage term. The\n"
+      "distributed run tracks centralized greedy, and doubling the summary\n"
+      "size (the bicriteria trade) pushes L(S) further toward its cap.\n");
+  return 0;
+}

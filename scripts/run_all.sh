@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Full pipeline: configure, build, test, regenerate every experiment.
+# Usage: scripts/run_all.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build}"
+cd "$(dirname "$0")/.."
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

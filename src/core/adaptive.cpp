@@ -1,0 +1,87 @@
+#include "core/adaptive.h"
+
+#include <stdexcept>
+
+#include "core/upper_bound.h"
+#include "util/rng.h"
+
+namespace bds {
+
+AdaptiveResult adaptive_bicriteria(const SubmodularOracle& proto,
+                                   std::span<const ElementId> ground,
+                                   const AdaptiveConfig& config) {
+  if (config.k == 0) {
+    throw std::invalid_argument("adaptive bicriteria: k must be positive");
+  }
+  if (!(config.target_ratio > 0.0 && config.target_ratio < 1.0)) {
+    throw std::invalid_argument(
+        "adaptive bicriteria: target_ratio must be in (0, 1)");
+  }
+  if (config.max_rounds == 0) {
+    throw std::invalid_argument(
+        "adaptive bicriteria: max_rounds must be positive");
+  }
+  const std::size_t per_round =
+      config.items_per_round == 0 ? config.k : config.items_per_round;
+
+  AdaptiveResult adaptive;
+  auto accumulated = proto.clone();  // carries S across rounds
+
+  for (std::size_t round = 0; round < config.max_rounds; ++round) {
+    // One practical round on top of the accumulated solution: the round's
+    // machines clone `accumulated` (holding S), exactly as a later round of
+    // Algorithm 1 would.
+    BicriteriaConfig round_config;
+    round_config.mode = BicriteriaMode::kPractical;
+    round_config.k = config.k;
+    round_config.output_items = per_round;
+    round_config.rounds = 1;
+    round_config.machines = config.machines;
+    round_config.selector = config.selector;
+    round_config.stochastic_c = config.stochastic_c;
+    round_config.machine_oracle_factory = config.machine_oracle_factory;
+    round_config.threads = config.threads;
+    round_config.seed = util::mix64(config.seed + round);
+
+    const DistributedResult step =
+        bicriteria_greedy(*accumulated, ground, round_config);
+
+    // Fold the step into the running result.
+    for (const ElementId x : step.solution) {
+      accumulated->add(x);
+      adaptive.result.solution.push_back(x);
+    }
+    for (auto round_stats : step.stats.rounds) {
+      round_stats.round_index = adaptive.result.stats.rounds.size();
+      adaptive.result.stats.rounds.push_back(round_stats);
+    }
+    RoundTrace trace;
+    trace.round = round;
+    trace.machines = step.rounds.empty() ? 0 : step.rounds[0].machines;
+    trace.machine_budget = per_round;
+    trace.central_budget = per_round;
+    trace.items_added = step.solution.size();
+    trace.value_after = accumulated->value();
+    adaptive.result.rounds.push_back(trace);
+
+    // Certificate: one oracle pass over the ground set.
+    adaptive.upper_bound = solution_upper_bound(
+        proto, adaptive.result.solution, ground, config.k);
+    adaptive.certified_ratio =
+        adaptive.upper_bound > 0.0
+            ? accumulated->value() / adaptive.upper_bound
+            : 1.0;
+    adaptive.ratio_after_round.push_back(adaptive.certified_ratio);
+
+    if (adaptive.certified_ratio >= config.target_ratio) {
+      adaptive.target_reached = true;
+      break;
+    }
+    if (step.solution.empty()) break;  // saturated; more rounds are futile
+  }
+
+  adaptive.result.value = accumulated->value();
+  return adaptive;
+}
+
+}  // namespace bds

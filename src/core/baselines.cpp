@@ -1,0 +1,436 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/greedy.h"
+#include "core/machine_runner.h"
+#include "dist/cluster.h"
+#include "dist/partitioner.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace bds {
+
+namespace {
+
+std::size_t default_machines(std::size_t ground_size, std::size_t k) {
+  if (ground_size == 0) return 1;
+  const double ratio = static_cast<double>(ground_size) /
+                       static_cast<double>(std::max<std::size_t>(1, k));
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(std::sqrt(ratio))));
+}
+
+// Shared skeleton for the one-round greedy-of-greedies algorithms. The
+// "best-of" merge (coordinator solution vs best single machine summary) is
+// the GreeDi-family output rule.
+DistributedResult one_round_merge(const SubmodularOracle& proto,
+                                  std::span<const ElementId> ground,
+                                  const OneRoundConfig& config,
+                                  bool random_partition) {
+  if (config.k == 0) {
+    throw std::invalid_argument("one-round baseline: k must be positive");
+  }
+  const std::size_t machines = config.machines != 0
+                                   ? config.machines
+                                   : default_machines(ground.size(), config.k);
+  const auto machine_budget = static_cast<std::size_t>(std::ceil(
+      std::max(1.0, config.budget_factor) * static_cast<double>(config.k)));
+
+  auto central = proto.clone();
+  dist::Cluster cluster(machines, config.threads);
+  util::Rng rng(util::mix64(config.seed));
+
+  const dist::Partition partition =
+      random_partition ? dist::partition_uniform(ground, machines, rng)
+                       : dist::partition_round_robin(ground, machines);
+
+  detail::MachineWorkerConfig worker_config;
+  worker_config.selector = config.selector;
+  worker_config.stochastic_c = config.stochastic_c;
+  worker_config.stop_when_no_gain = config.stop_when_no_gain;
+  worker_config.budget = machine_budget;
+  worker_config.seed = config.seed;
+  worker_config.round = 0;
+  worker_config.central = central.get();
+  worker_config.factory = config.machine_oracle_factory
+                              ? &config.machine_oracle_factory
+                              : nullptr;
+
+  const auto reports =
+      cluster.run_round(partition, detail::make_machine_worker(worker_config));
+
+  // Coordinator: greedy k over the union of summaries.
+  util::Timer timer;
+  std::vector<ElementId> pool;
+  for (const auto& report : reports) {
+    pool.insert(pool.end(), report.summary.begin(), report.summary.end());
+  }
+  const GreedyResult filtered = lazy_greedy(
+      *central, pool, config.k, GreedyOptions{config.stop_when_no_gain});
+  cluster.record_central_stage(central->evals(), timer.elapsed_seconds(),
+                               filtered.picks.size());
+
+  // Best-of merge: the best machine's own k-prefix may beat the filtered
+  // coordinator set (GreeDi outputs the max of the two).
+  double best_machine_value = -1.0;
+  std::span<const ElementId> best_machine;
+  for (const auto& report : reports) {
+    const std::span<const ElementId> prefix(
+        report.summary.data(), std::min(report.summary.size(), config.k));
+    const double v = evaluate_set(proto, prefix);
+    if (v > best_machine_value) {
+      best_machine_value = v;
+      best_machine = prefix;
+    }
+  }
+
+  DistributedResult result;
+  if (best_machine_value > central->value()) {
+    result.solution.assign(best_machine.begin(), best_machine.end());
+    result.value = best_machine_value;
+  } else {
+    result.solution = filtered.picks;
+    result.value = central->value();
+  }
+
+  RoundTrace trace;
+  trace.round = 0;
+  trace.machines = machines;
+  trace.machine_budget = machine_budget;
+  trace.central_budget = config.k;
+  trace.items_added = result.solution.size();
+  trace.value_after = result.value;
+  result.rounds.push_back(trace);
+  result.stats = cluster.stats();
+  return result;
+}
+
+}  // namespace
+
+DistributedResult greedi(const SubmodularOracle& proto,
+                         std::span<const ElementId> ground,
+                         const OneRoundConfig& config) {
+  return one_round_merge(proto, ground, config, /*random_partition=*/false);
+}
+
+DistributedResult rand_greedi(const SubmodularOracle& proto,
+                              std::span<const ElementId> ground,
+                              const OneRoundConfig& config) {
+  return one_round_merge(proto, ground, config, /*random_partition=*/true);
+}
+
+DistributedResult pseudo_greedy(const SubmodularOracle& proto,
+                                std::span<const ElementId> ground,
+                                OneRoundConfig config) {
+  if (config.budget_factor <= 1.0) config.budget_factor = 4.0;
+  return one_round_merge(proto, ground, config, /*random_partition=*/true);
+}
+
+DistributedResult naive_distributed_greedy(
+    const SubmodularOracle& proto, std::span<const ElementId> ground,
+    const NaiveDistributedConfig& config) {
+  if (config.k == 0) {
+    throw std::invalid_argument("naive distributed: k must be positive");
+  }
+  if (!(config.epsilon > 0.0 && config.epsilon < 1.0)) {
+    throw std::invalid_argument("naive distributed: epsilon in (0,1)");
+  }
+  const auto rounds = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(std::log(1.0 / config.epsilon))));
+  const std::size_t machines = config.machines != 0
+                                   ? config.machines
+                                   : default_machines(ground.size(), config.k);
+
+  auto central = proto.clone();
+  dist::Cluster cluster(machines, config.threads);
+  util::Rng rng(util::mix64(config.seed));
+
+  DistributedResult result;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const dist::Partition partition =
+        dist::partition_uniform(ground, machines, rng);
+
+    detail::MachineWorkerConfig worker_config;
+    worker_config.selector = config.selector;
+    worker_config.stochastic_c = config.stochastic_c;
+    worker_config.stop_when_no_gain = config.stop_when_no_gain;
+    worker_config.budget = config.k;
+    worker_config.seed = config.seed;
+    worker_config.round = round;
+    worker_config.central = central.get();
+    worker_config.factory = config.machine_oracle_factory
+                                ? &config.machine_oracle_factory
+                                : nullptr;
+
+    const auto reports = cluster.run_round(
+        partition, detail::make_machine_worker(worker_config));
+
+    util::Timer timer;
+    const std::uint64_t evals_before = central->evals();
+    std::vector<ElementId> pool;
+    for (const auto& report : reports) {
+      pool.insert(pool.end(), report.summary.begin(), report.summary.end());
+    }
+    const GreedyResult filtered = lazy_greedy(
+        *central, pool, config.k, GreedyOptions{config.stop_when_no_gain});
+    cluster.record_central_stage(central->evals() - evals_before,
+                                 timer.elapsed_seconds(),
+                                 filtered.picks.size());
+    result.solution.insert(result.solution.end(), filtered.picks.begin(),
+                           filtered.picks.end());
+
+    RoundTrace trace;
+    trace.round = round;
+    trace.machines = machines;
+    trace.machine_budget = config.k;
+    trace.central_budget = config.k;
+    trace.items_added = filtered.picks.size();
+    trace.value_after = central->value();
+    result.rounds.push_back(trace);
+  }
+
+  result.value = central->value();
+  result.stats = cluster.stats();
+  return result;
+}
+
+DistributedResult parallel_alg(const SubmodularOracle& proto,
+                               std::span<const ElementId> ground,
+                               const ParallelAlgConfig& config) {
+  if (config.k == 0) {
+    throw std::invalid_argument("parallel alg: k must be positive");
+  }
+  if (!(config.epsilon > 0.0 && config.epsilon < 1.0)) {
+    throw std::invalid_argument("parallel alg: epsilon in (0,1)");
+  }
+  const auto rounds = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(1.0 / config.epsilon)));
+  const std::size_t machines = config.machines != 0
+                                   ? config.machines
+                                   : default_machines(ground.size(), config.k);
+
+  auto central = proto.clone();
+  dist::Cluster cluster(machines, config.threads);
+  util::Rng rng(util::mix64(config.seed));
+
+  DistributedResult result;
+  std::vector<ElementId> pool;           // all candidates returned so far
+  std::vector<ElementId> best_machine;   // best single-machine solution
+  double best_machine_value = -1.0;
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Scatter the ground set, then broadcast the accumulated pool to every
+    // machine (appending it to each shard makes the cluster meter the
+    // broadcast as scattered elements, matching [6]'s communication model).
+    dist::Partition partition =
+        dist::partition_uniform(ground, machines, rng);
+    for (auto& shard : partition) {
+      shard.insert(shard.end(), pool.begin(), pool.end());
+    }
+
+    detail::MachineWorkerConfig worker_config;
+    worker_config.selector = config.selector;
+    worker_config.stochastic_c = config.stochastic_c;
+    worker_config.stop_when_no_gain = config.stop_when_no_gain;
+    worker_config.budget = config.k;
+    worker_config.seed = config.seed;
+    worker_config.round = round;
+    worker_config.central = central.get();
+    worker_config.factory = config.machine_oracle_factory
+                                ? &config.machine_oracle_factory
+                                : nullptr;
+
+    const auto reports = cluster.run_round(
+        partition, detail::make_machine_worker(worker_config));
+
+    util::Timer timer;
+    std::size_t gathered = 0;
+    for (const auto& report : reports) {
+      pool.insert(pool.end(), report.summary.begin(), report.summary.end());
+      gathered += report.summary.size();
+      const double v = evaluate_set(proto, report.summary);
+      if (v > best_machine_value) {
+        best_machine_value = v;
+        best_machine = report.summary;
+      }
+    }
+    pool = unique_candidates(pool);
+    cluster.record_central_stage(0, timer.elapsed_seconds(), 0);
+
+    RoundTrace trace;
+    trace.round = round;
+    trace.machines = machines;
+    trace.machine_budget = config.k;
+    trace.central_budget = 0;       // filtering happens once, after round r
+    trace.items_added = gathered;   // candidates added to the pool
+    trace.value_after = best_machine_value;  // running best machine solution
+    result.rounds.push_back(trace);
+  }
+
+  // Final filter: central greedy k over the pool.
+  util::Timer final_timer;
+  const GreedyResult filtered = lazy_greedy(
+      *central, pool, config.k, GreedyOptions{config.stop_when_no_gain});
+  cluster.mutable_stats().rounds.back().central_evals = central->evals();
+  cluster.mutable_stats().rounds.back().central_seconds +=
+      final_timer.elapsed_seconds();
+  cluster.mutable_stats().rounds.back().central_selected =
+      filtered.picks.size();
+
+  if (best_machine_value > central->value()) {
+    result.solution = best_machine;
+    result.value = best_machine_value;
+  } else {
+    result.solution = filtered.picks;
+    result.value = central->value();
+  }
+  result.rounds.back().central_budget = config.k;
+  result.rounds.back().value_after = result.value;
+  result.stats = cluster.stats();
+  return result;
+}
+
+DistributedResult greedy_scaling(const SubmodularOracle& proto,
+                                 std::span<const ElementId> ground,
+                                 const GreedyScalingConfig& config) {
+  if (config.k == 0) {
+    throw std::invalid_argument("greedy scaling: k must be positive");
+  }
+  if (!(config.epsilon > 0.0 && config.epsilon < 1.0)) {
+    throw std::invalid_argument("greedy scaling: epsilon in (0,1)");
+  }
+  const std::size_t machines = config.machines != 0
+                                   ? config.machines
+                                   : default_machines(ground.size(), config.k);
+
+  auto central = proto.clone();
+  dist::Cluster cluster(machines, config.threads);
+  util::Rng rng(util::mix64(config.seed));
+
+  DistributedResult result;
+  if (ground.empty()) {
+    result.stats = cluster.stats();
+    return result;
+  }
+
+  // Δ = max singleton value (one oracle pass; in MapReduce this is a cheap
+  // max-reduce, so we do not charge it as a round).
+  double delta = 0.0;
+  {
+    auto probe = proto.clone();
+    for (const ElementId x : ground) delta = std::max(delta, probe->gain(x));
+  }
+  if (delta <= 0.0) {
+    result.stats = cluster.stats();
+    return result;
+  }
+
+  const double floor_tau =
+      config.epsilon * delta / static_cast<double>(config.k);
+  double tau = delta;
+  std::size_t round = 0;
+
+  while (result.solution.size() < config.k && tau >= floor_tau) {
+    const std::size_t remaining = config.k - result.solution.size();
+    const dist::Partition partition =
+        dist::partition_uniform(ground, machines, rng);
+
+    // Threshold worker: greedily keep shard items whose marginal on top of
+    // S ∪ (local picks) clears τ, up to `remaining` of them.
+    const double threshold = tau;
+    const SubmodularOracle* central_ptr = central.get();
+    const auto worker = [threshold, remaining, central_ptr](
+                            std::size_t,
+                            std::span<const ElementId> shard)
+        -> dist::MachineReport {
+      auto oracle = central_ptr->clone();
+      dist::MachineReport report;
+      for (const ElementId x : shard) {
+        if (report.summary.size() >= remaining) break;
+        if (oracle->gain(x) >= threshold) {
+          oracle->add(x);
+          report.summary.push_back(x);
+        }
+      }
+      report.oracle_evals = oracle->evals();
+      return report;
+    };
+    const auto reports = cluster.run_round(partition, worker);
+
+    util::Timer timer;
+    const std::uint64_t evals_before = central->evals();
+    std::size_t added = 0;
+    for (const auto& report : reports) {
+      for (const ElementId x : report.summary) {
+        if (result.solution.size() >= config.k) break;
+        if (central->gain(x) >= threshold) {
+          central->add(x);
+          result.solution.push_back(x);
+          ++added;
+        }
+      }
+    }
+    cluster.record_central_stage(central->evals() - evals_before,
+                                 timer.elapsed_seconds(), added);
+
+    RoundTrace trace;
+    trace.round = round++;
+    trace.machines = machines;
+    trace.machine_budget = remaining;
+    trace.central_budget = remaining;
+    trace.items_added = added;
+    trace.value_after = central->value();
+    result.rounds.push_back(trace);
+
+    tau *= (1.0 - config.epsilon);
+  }
+
+  result.value = central->value();
+  result.stats = cluster.stats();
+  return result;
+}
+
+DistributedResult centralized_greedy(const SubmodularOracle& proto,
+                                     std::span<const ElementId> ground,
+                                     std::size_t k, bool lazy) {
+  auto oracle = proto.clone();
+  const GreedyResult selection =
+      lazy ? lazy_greedy(*oracle, ground, k, {true})
+           : greedy(*oracle, ground, k, {true});
+  DistributedResult result;
+  result.solution = selection.picks;
+  result.value = oracle->value();
+
+  RoundTrace trace;
+  trace.machines = 1;
+  trace.machine_budget = k;
+  trace.central_budget = k;
+  trace.items_added = selection.picks.size();
+  trace.value_after = result.value;
+  result.rounds.push_back(trace);
+
+  dist::RoundStats stats;
+  stats.machines_used = 1;
+  stats.elements_scattered = ground.size();
+  stats.worker_evals = oracle->evals();
+  stats.max_machine_evals = oracle->evals();
+  result.stats.rounds.push_back(stats);
+  return result;
+}
+
+DistributedResult centralized_bicriteria(const SubmodularOracle& proto,
+                                         std::span<const ElementId> ground,
+                                         std::size_t k, double epsilon,
+                                         bool lazy) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    throw std::invalid_argument("centralized bicriteria: epsilon in (0,1)");
+  }
+  const auto budget = static_cast<std::size_t>(std::ceil(
+      static_cast<double>(k) * std::log(1.0 / epsilon)));
+  return centralized_greedy(proto, ground, std::max(k, budget), lazy);
+}
+
+}  // namespace bds

@@ -1,0 +1,133 @@
+// The distributed baselines of Table 1, all sharing the one-round
+// partition -> local greedy -> central filter skeleton:
+//
+//  * GreeDi [23]        — deterministic (order-based) partition; each
+//                         machine greedily picks k; coordinator greedily
+//                         picks k from the union; output the better of the
+//                         coordinator's solution and the best machine's.
+//  * RandGreeDi [5]     — same merge, uniform random partition (0.316-apx).
+//  * PseudoGreedy [21]  — random partition; machines return β·k items
+//                         (β = 4 per the 0.54-approximation analysis);
+//                         coordinator greedily picks k from the union;
+//                         best-of merge.
+//  * NaiveDistributedGreedy — repeats a RandGreeDi-style round ⌈ln(1/ε)⌉
+//                         times, each adding k items on top of the
+//                         accumulated solution: (1−ε)-approximation with
+//                         k·⌈ln(1/ε)⌉ items (the Table 1 row this paper
+//                         improves on).
+//
+// And the centralized references:
+//  * centralized_greedy       — single machine, lazy greedy, k items.
+//  * centralized_bicriteria   — single machine, k·⌈ln(1/ε)⌉ items (the
+//                               (1−ε) reference with logarithmic blow-up).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/distributed.h"
+#include "objectives/submodular.h"
+
+namespace bds {
+
+struct OneRoundConfig {
+  std::size_t k = 10;
+  std::size_t machines = 0;  // 0 → ⌈√(n/k)⌉ (load-balancing default)
+  // Machine output size multiplier: machines return ⌈budget_factor·k⌉ items.
+  double budget_factor = 1.0;
+  MachineSelector selector = MachineSelector::kLazyGreedy;
+  double stochastic_c = 3.0;
+  bool stop_when_no_gain = true;
+  MachineOracleFactory machine_oracle_factory;
+  std::size_t threads = 0;
+  std::uint64_t seed = 1;
+};
+
+DistributedResult greedi(const SubmodularOracle& proto,
+                         std::span<const ElementId> ground,
+                         const OneRoundConfig& config);
+
+DistributedResult rand_greedi(const SubmodularOracle& proto,
+                              std::span<const ElementId> ground,
+                              const OneRoundConfig& config);
+
+// PseudoGreedy: OneRoundConfig::budget_factor defaults are overridden to 4
+// unless the caller sets a different positive value explicitly.
+DistributedResult pseudo_greedy(const SubmodularOracle& proto,
+                                std::span<const ElementId> ground,
+                                OneRoundConfig config);
+
+struct NaiveDistributedConfig {
+  std::size_t k = 10;
+  double epsilon = 0.1;       // target 1-ε; rounds = ⌈ln(1/ε)⌉
+  std::size_t machines = 0;   // 0 → ⌈√(n/k)⌉
+  MachineSelector selector = MachineSelector::kLazyGreedy;
+  double stochastic_c = 3.0;
+  bool stop_when_no_gain = true;
+  MachineOracleFactory machine_oracle_factory;
+  std::size_t threads = 0;
+  std::uint64_t seed = 1;
+};
+
+DistributedResult naive_distributed_greedy(const SubmodularOracle& proto,
+                                           std::span<const ElementId> ground,
+                                           const NaiveDistributedConfig& config);
+
+// ParallelAlg (Barbosa, Ene, Nguyen, Ward [6] — "a new framework for
+// distributed submodular maximization"): the accumulating-pool framework
+// for the cardinality constraint. Runs Θ(1/ε) rounds; in each round the
+// ground set is randomly re-partitioned and every machine runs greedy over
+// its shard *plus the pool of all previously returned candidates*; the
+// returned solutions join the pool. The final solution is the better of a
+// central greedy-k over the pool and the best single machine solution.
+// Output size k, (1−1/e−ε)-approximation, O(1/ε) rounds, pool (and thus
+// per-round broadcast) of size O(m·k/ε) — the Table 1 row between the
+// one-round core-set algorithms and GreedyScaling.
+struct ParallelAlgConfig {
+  std::size_t k = 10;
+  double epsilon = 0.25;     // rounds = ⌈1/ε⌉
+  std::size_t machines = 0;  // 0 → ⌈√(n/k)⌉
+  MachineSelector selector = MachineSelector::kLazyGreedy;
+  double stochastic_c = 3.0;
+  bool stop_when_no_gain = true;
+  MachineOracleFactory machine_oracle_factory;
+  std::size_t threads = 0;
+  std::uint64_t seed = 1;
+};
+
+DistributedResult parallel_alg(const SubmodularOracle& proto,
+                               std::span<const ElementId> ground,
+                               const ParallelAlgConfig& config);
+
+// GreedyScaling [18] (Kumar, Moseley, Vassilvitskii, Vattani): distributed
+// threshold greedy. A decreasing threshold τ sweeps from Δ (the max
+// singleton value) down to ε·Δ/k by factors of (1−ε); each sweep step is
+// one distributed round in which machines return items whose marginal gain
+// (on top of the accumulated S) clears τ, and the coordinator keeps those
+// that still clear it. (1−1/e−ε)-approximation with k items in
+// O(log(Δ·k/ε)/ε) rounds — the Table 1 row with the most rounds.
+struct GreedyScalingConfig {
+  std::size_t k = 10;
+  double epsilon = 0.2;      // threshold decay and guarantee slack
+  std::size_t machines = 0;  // 0 → ⌈√(n/k)⌉
+  bool stop_when_no_gain = true;
+  std::size_t threads = 0;
+  std::uint64_t seed = 1;
+};
+
+DistributedResult greedy_scaling(const SubmodularOracle& proto,
+                                 std::span<const ElementId> ground,
+                                 const GreedyScalingConfig& config);
+
+// Single-machine references (no cluster involved; stats left empty except
+// for a one-round record carrying the evaluation count).
+DistributedResult centralized_greedy(const SubmodularOracle& proto,
+                                     std::span<const ElementId> ground,
+                                     std::size_t k, bool lazy = true);
+
+DistributedResult centralized_bicriteria(const SubmodularOracle& proto,
+                                         std::span<const ElementId> ground,
+                                         std::size_t k, double epsilon,
+                                         bool lazy = true);
+
+}  // namespace bds

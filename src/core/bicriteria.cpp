@@ -1,0 +1,212 @@
+#include "core/bicriteria.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/greedy.h"
+#include "core/machine_runner.h"
+#include "dist/cluster.h"
+#include "dist/partitioner.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace bds {
+
+namespace {
+
+std::size_t ceil_to_size(double v) {
+  return static_cast<std::size_t>(std::ceil(std::max(0.0, v)));
+}
+
+// The paper's default machine count (footnote 3): balance the per-machine
+// shard (n/m items) against the coordinator's gather (m·k' items).
+std::size_t default_machines(std::size_t ground_size,
+                             std::size_t machine_budget) {
+  if (ground_size == 0) return 1;
+  const double ratio = static_cast<double>(ground_size) /
+                       static_cast<double>(std::max<std::size_t>(1,
+                                                                 machine_budget));
+  return std::max<std::size_t>(1, ceil_to_size(std::sqrt(ratio)));
+}
+
+}  // namespace
+
+BicriteriaPlan plan_bicriteria(const BicriteriaConfig& config,
+                               std::size_t ground_size) {
+  if (config.k == 0) {
+    throw std::invalid_argument("bicriteria: k must be positive");
+  }
+  if (config.rounds == 0) {
+    throw std::invalid_argument("bicriteria: rounds must be positive");
+  }
+
+  BicriteriaPlan plan;
+  plan.rounds = config.rounds;
+
+  if (config.mode == BicriteriaMode::kPractical) {
+    const std::size_t out =
+        config.output_items == 0 ? config.k : config.output_items;
+    if (out < config.rounds) {
+      throw std::invalid_argument(
+          "bicriteria (practical): output_items must be >= rounds");
+    }
+    plan.alpha = 0.0;
+    plan.multiplicity = 1;
+    plan.machine_budget = out / config.rounds;  // last round adds out % r
+    plan.central_budget = plan.machine_budget;
+    plan.output_bound = out;
+    plan.machines = config.machines != 0
+                        ? config.machines
+                        : default_machines(ground_size, plan.machine_budget);
+    return plan;
+  }
+
+  if (!(config.epsilon > 0.0 && config.epsilon < 1.0)) {
+    throw std::invalid_argument("bicriteria: epsilon must be in (0, 1)");
+  }
+  const double r = static_cast<double>(config.rounds);
+  const double alpha = 3.0 / std::pow(config.epsilon, 1.0 / r);
+  const double ln_a = std::log(alpha);
+  const auto k = static_cast<double>(config.k);
+
+  plan.alpha = alpha;
+  plan.machine_budget = ceil_to_size(alpha * k);
+
+  switch (config.mode) {
+    case BicriteriaMode::kTheory:
+      plan.multiplicity = 1;
+      plan.central_budget = ceil_to_size((alpha * alpha * ln_a * ln_a + ln_a) * k);
+      plan.output_bound = config.rounds * plan.central_budget;
+      break;
+    case BicriteriaMode::kMultiplicity:
+      plan.multiplicity = std::max<std::size_t>(1, ceil_to_size(alpha * ln_a));
+      plan.central_budget = ceil_to_size((alpha * ln_a * ln_a + ln_a) * k);
+      plan.output_bound = config.rounds * plan.central_budget;
+      break;
+    case BicriteriaMode::kHybrid:
+      plan.multiplicity = std::max<std::size_t>(1, ceil_to_size(alpha * ln_a));
+      // Coordinator adopts S1 (machine_budget items) and then greedily adds
+      // k·lnα more, for (α + lnα)k per round.
+      plan.central_budget = ceil_to_size(ln_a * k);
+      plan.output_bound =
+          config.rounds * (plan.machine_budget + plan.central_budget);
+      break;
+    case BicriteriaMode::kPractical:
+      break;  // handled above
+  }
+
+  if (config.machines != 0) {
+    plan.machines = config.machines;
+  } else {
+    // Analysis needs m >= α·lnα machines; also keep the coordinator/worker
+    // load balance of footnote 3.
+    plan.machines = std::max<std::size_t>(
+        ceil_to_size(alpha * ln_a),
+        default_machines(ground_size, plan.machine_budget));
+  }
+  // Multiplicity beyond the machine count is meaningless.
+  plan.multiplicity = std::min(plan.multiplicity, plan.machines);
+  return plan;
+}
+
+DistributedResult bicriteria_greedy(const SubmodularOracle& proto,
+                                    std::span<const ElementId> ground,
+                                    const BicriteriaConfig& config) {
+  const BicriteriaPlan plan = plan_bicriteria(config, ground.size());
+
+  auto central = proto.clone();
+  dist::Cluster cluster(plan.machines, config.threads);
+  util::Rng scatter_rng(util::mix64(config.seed));
+
+  DistributedResult result;
+  const GreedyOptions central_options{config.stop_when_no_gain};
+
+  for (std::size_t round = 0; round < plan.rounds; ++round) {
+    std::size_t machine_budget = plan.machine_budget;
+    std::size_t central_budget = plan.central_budget;
+    if (config.mode == BicriteriaMode::kPractical &&
+        round + 1 == plan.rounds) {
+      // Last round absorbs the remainder so the total is exactly `out`.
+      const std::size_t out =
+          config.output_items == 0 ? config.k : config.output_items;
+      const std::size_t rem = out % plan.rounds;
+      machine_budget += rem;
+      central_budget += rem;
+    }
+
+    const dist::Partition partition = dist::partition_multiplicity(
+        ground, plan.machines, plan.multiplicity, scatter_rng);
+
+    detail::MachineWorkerConfig worker_config;
+    worker_config.selector = config.selector;
+    worker_config.stochastic_c = config.stochastic_c;
+    worker_config.stop_when_no_gain = config.stop_when_no_gain;
+    worker_config.budget = machine_budget;
+    worker_config.seed = config.seed;
+    worker_config.round = round;
+    worker_config.central = central.get();
+    worker_config.factory = config.machine_oracle_factory
+                                ? &config.machine_oracle_factory
+                                : nullptr;
+
+    const std::vector<dist::MachineReport> reports =
+        cluster.run_round(partition, detail::make_machine_worker(worker_config));
+
+    // Coordinator filter stage.
+    util::Timer central_timer;
+    const std::uint64_t evals_before = central->evals();
+    std::size_t added = 0;
+
+    if (config.mode == BicriteriaMode::kHybrid) {
+      // Adopt S1 wholesale (zero-gain members may be dropped from the
+      // reported solution: for monotone f they can never gain later).
+      for (const ElementId x : reports.front().summary) {
+        const double g = central->add(x);
+        if (g > 0.0 || !config.stop_when_no_gain) {
+          result.solution.push_back(x);
+          ++added;
+        }
+      }
+      std::vector<ElementId> pool;
+      for (std::size_t i = 1; i < reports.size(); ++i) {
+        pool.insert(pool.end(), reports[i].summary.begin(),
+                    reports[i].summary.end());
+      }
+      const GreedyResult filtered =
+          lazy_greedy(*central, pool, central_budget, central_options);
+      result.solution.insert(result.solution.end(), filtered.picks.begin(),
+                             filtered.picks.end());
+      added += filtered.picks.size();
+    } else {
+      std::vector<ElementId> pool;
+      for (const auto& report : reports) {
+        pool.insert(pool.end(), report.summary.begin(), report.summary.end());
+      }
+      const GreedyResult filtered =
+          lazy_greedy(*central, pool, central_budget, central_options);
+      result.solution.insert(result.solution.end(), filtered.picks.begin(),
+                             filtered.picks.end());
+      added += filtered.picks.size();
+    }
+
+    cluster.record_central_stage(central->evals() - evals_before,
+                                 central_timer.elapsed_seconds(), added);
+
+    RoundTrace trace;
+    trace.round = round;
+    trace.alpha = plan.alpha;
+    trace.machines = plan.machines;
+    trace.machine_budget = machine_budget;
+    trace.central_budget = central_budget;
+    trace.items_added = added;
+    trace.value_after = central->value();
+    result.rounds.push_back(trace);
+  }
+
+  result.value = central->value();
+  result.stats = cluster.stats();
+  return result;
+}
+
+}  // namespace bds

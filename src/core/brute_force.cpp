@@ -1,0 +1,61 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bds {
+
+namespace {
+
+// C(n, k) with saturation at max+1 to keep the guard cheap.
+std::uint64_t binomial_capped(std::uint64_t n, std::uint64_t k,
+                              std::uint64_t cap) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    if (result > cap) return cap + 1;
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+}  // namespace
+
+BruteForceResult brute_force_opt(const SubmodularOracle& proto,
+                                 std::span<const ElementId> ground,
+                                 std::size_t k, std::uint64_t max_subsets) {
+  const std::size_t n = ground.size();
+  k = std::min(k, n);
+  if (binomial_capped(n, k, max_subsets) > max_subsets) {
+    throw std::invalid_argument("brute_force_opt: instance too large");
+  }
+
+  BruteForceResult result;
+  if (k == 0) return result;
+
+  // Lexicographic combination enumeration over indices into `ground`.
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+
+  std::vector<ElementId> subset(k);
+  for (;;) {
+    for (std::size_t i = 0; i < k; ++i) subset[i] = ground[idx[i]];
+    const double v = evaluate_set(proto, subset);
+    ++result.subsets_evaluated;
+    if (result.best.empty() || v > result.value) {
+      result.value = v;
+      result.best = subset;
+    }
+
+    // Advance to the next combination: find the rightmost index that can
+    // still move, bump it, and reset everything to its right.
+    std::size_t i = k;
+    while (i > 0 && idx[i - 1] == (i - 1) + n - k) --i;
+    if (i == 0) return result;
+    ++idx[i - 1];
+    for (std::size_t j = i; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+}  // namespace bds

@@ -1,0 +1,30 @@
+// Exact optimum by exhaustive enumeration — test-scale instances only
+// (C(n, k) subsets, each evaluated in O(k) oracle calls).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "objectives/submodular.h"
+#include "util/element.h"
+
+namespace bds {
+
+struct BruteForceResult {
+  std::vector<ElementId> best;
+  double value = 0.0;
+  std::uint64_t subsets_evaluated = 0;
+};
+
+// Maximizes f over all subsets of `ground` with size exactly min(k, |ground|)
+// (monotonicity makes "exactly" equal to "at most"). `proto` must be a fresh
+// oracle prototype. Throws std::invalid_argument when the enumeration would
+// exceed `max_subsets` (default 2^22), as a guard against accidental use on
+// real instances.
+BruteForceResult brute_force_opt(const SubmodularOracle& proto,
+                                 std::span<const ElementId> ground,
+                                 std::size_t k,
+                                 std::uint64_t max_subsets = 1ULL << 22);
+
+}  // namespace bds

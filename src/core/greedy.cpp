@@ -1,0 +1,177 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <queue>
+
+namespace bds {
+
+std::vector<ElementId> unique_candidates(
+    std::span<const ElementId> candidates) {
+  std::vector<ElementId> out(candidates.begin(), candidates.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+GreedyResult greedy(SubmodularOracle& oracle,
+                    std::span<const ElementId> candidates, std::size_t budget,
+                    const GreedyOptions& options) {
+  const std::vector<ElementId> pool = unique_candidates(candidates);
+  std::vector<bool> taken(pool.size(), false);
+
+  GreedyResult result;
+  const std::size_t rounds = std::min(budget, pool.size());
+  result.picks.reserve(rounds);
+  result.gains.reserve(rounds);
+
+  for (std::size_t iter = 0; iter < rounds; ++iter) {
+    double best_gain = 0.0;
+    std::size_t best_idx = pool.size();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (taken[i]) continue;
+      const double g = oracle.gain(pool[i]);
+      if (best_idx == pool.size() || g > best_gain) {
+        best_gain = g;
+        best_idx = i;
+      }
+    }
+    if (best_idx == pool.size()) break;  // nothing selectable
+    if (options.stop_when_no_gain && best_gain <= 0.0) break;
+
+    taken[best_idx] = true;
+    const double realized = oracle.add(pool[best_idx]);
+    result.picks.push_back(pool[best_idx]);
+    result.gains.push_back(realized);
+    result.gained += realized;
+  }
+  return result;
+}
+
+GreedyResult lazy_greedy(SubmodularOracle& oracle,
+                         std::span<const ElementId> candidates,
+                         std::size_t budget, const GreedyOptions& options) {
+  const std::vector<ElementId> pool = unique_candidates(candidates);
+
+  // Max-heap entries: cached gain, pool index (ascending for ties — matches
+  // greedy()'s earlier-candidate-wins rule), and the iteration the gain was
+  // computed at.
+  struct Entry {
+    double gain;
+    std::size_t idx;
+    std::size_t stamp;
+  };
+  struct Less {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.gain != b.gain) return a.gain < b.gain;
+      return a.idx > b.idx;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Less> heap;
+
+  // First pass: evaluate everything once at stamp 0.
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    heap.push(Entry{oracle.gain(pool[i]), i, 0});
+  }
+
+  GreedyResult result;
+  const std::size_t rounds = std::min(budget, pool.size());
+  result.picks.reserve(rounds);
+  result.gains.reserve(rounds);
+
+  for (std::size_t iter = 0; iter < rounds && !heap.empty(); ++iter) {
+    // Refresh until the top entry's gain is current for this iteration.
+    // Submodularity guarantees a stale cached gain only over-estimates, so
+    // a current top entry is the true argmax.
+    // Stamp invariant: an entry is current iff it was computed after the
+    // iter-th add, i.e. stamp == iter.
+    while (heap.top().stamp != iter) {
+      Entry e = heap.top();
+      heap.pop();
+      e.gain = oracle.gain(pool[e.idx]);
+      e.stamp = iter;
+      heap.push(e);
+    }
+    const Entry best = heap.top();
+    heap.pop();
+    if (options.stop_when_no_gain && best.gain <= 0.0) break;
+
+    const double realized = oracle.add(pool[best.idx]);
+    result.picks.push_back(pool[best.idx]);
+    result.gains.push_back(realized);
+    result.gained += realized;
+  }
+  return result;
+}
+
+GreedyResult stochastic_greedy(SubmodularOracle& oracle,
+                               std::span<const ElementId> candidates,
+                               std::size_t budget, util::Rng& rng,
+                               const StochasticGreedyOptions& options) {
+  std::vector<ElementId> pool = unique_candidates(candidates);
+
+  GreedyResult result;
+  const std::size_t rounds = std::min(budget, pool.size());
+  if (rounds == 0) return result;
+  result.picks.reserve(rounds);
+  result.gains.reserve(rounds);
+
+  // remaining pool occupies pool[0 .. live).
+  std::size_t live = pool.size();
+  const auto sample_size = static_cast<std::size_t>(std::max<double>(
+      1.0,
+      std::ceil(options.c * static_cast<double>(pool.size()) /
+                static_cast<double>(rounds))));
+
+  for (std::size_t iter = 0; iter < rounds && live > 0; ++iter) {
+    const std::size_t s = std::min(sample_size, live);
+    // Partial Fisher-Yates brings a uniform sample into pool[0 .. s).
+    for (std::size_t i = 0; i < s; ++i) {
+      const std::size_t j = i + rng.next_below(live - i);
+      std::swap(pool[i], pool[j]);
+    }
+    double best_gain = 0.0;
+    std::size_t best_idx = live;
+    for (std::size_t i = 0; i < s; ++i) {
+      const double g = oracle.gain(pool[i]);
+      if (best_idx == live || g > best_gain) {
+        best_gain = g;
+        best_idx = i;
+      }
+    }
+    if (best_idx == live) break;
+    if (options.stop_when_no_gain && best_gain <= 0.0) break;
+
+    const double realized = oracle.add(pool[best_idx]);
+    result.picks.push_back(pool[best_idx]);
+    result.gains.push_back(realized);
+    result.gained += realized;
+    // Remove the pick from the live range.
+    std::swap(pool[best_idx], pool[live - 1]);
+    --live;
+  }
+  return result;
+}
+
+GreedyResult random_subset(SubmodularOracle& oracle,
+                           std::span<const ElementId> candidates,
+                           std::size_t budget, util::Rng& rng) {
+  const std::vector<ElementId> pool = unique_candidates(candidates);
+  const std::size_t take = std::min(budget, pool.size());
+
+  GreedyResult result;
+  result.picks.reserve(take);
+  result.gains.reserve(take);
+  for (const std::uint64_t i :
+       rng.sample_without_replacement(pool.size(), take)) {
+    const ElementId x = pool[i];
+    const double realized = oracle.add(x);
+    result.picks.push_back(x);
+    result.gains.push_back(realized);
+    result.gained += realized;
+  }
+  return result;
+}
+
+}  // namespace bds

@@ -1,0 +1,141 @@
+#include "core/hardness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace bds {
+
+std::vector<ElementId> HardnessInstance::all_items() const {
+  std::vector<ElementId> items;
+  items.reserve(family_a.size() + family_b.size() + family_c.size());
+  items.insert(items.end(), family_a.begin(), family_a.end());
+  items.insert(items.end(), family_b.begin(), family_b.end());
+  items.insert(items.end(), family_c.begin(), family_c.end());
+  return items;
+}
+
+std::vector<ElementId> HardnessInstance::optimum() const {
+  std::vector<ElementId> items;
+  items.reserve(family_a.size() + family_b.size());
+  items.insert(items.end(), family_a.begin(), family_a.end());
+  items.insert(items.end(), family_b.begin(), family_b.end());
+  return items;
+}
+
+HardnessInstance make_hardness_instance(const HardnessConfig& config) {
+  if (config.k < 2 || config.k % 2 != 0) {
+    throw std::invalid_argument("hardness: k must be even and >= 2");
+  }
+  if (!(config.epsilon > 0.0 && config.epsilon < 0.5)) {
+    throw std::invalid_argument("hardness: epsilon must be in (0, 1/2)");
+  }
+  if (config.total_items <= config.k) {
+    throw std::invalid_argument("hardness: need total_items > k");
+  }
+
+  const std::uint32_t L = config.universe;
+  const std::size_t half_k = config.k / 2;
+
+  // Split U into the 𝔸-region [0, La) and the 𝔹-region [La, L).
+  const auto La = static_cast<std::uint32_t>(
+      std::llround((1.0 - 2.0 * config.epsilon) * double(L)));
+  const std::uint32_t Lb = L - La;
+  if (La / half_k == 0 || Lb / half_k == 0) {
+    throw std::invalid_argument(
+        "hardness: universe too small for k and epsilon");
+  }
+
+  std::vector<std::vector<std::uint32_t>> sets;
+  sets.reserve(config.total_items);
+  HardnessInstance instance;
+  instance.config = config;
+
+  // 𝔸: k/2 equal chunks of the (1−2ε)-region (leftover elements join the
+  // last chunk so 𝔸 covers the whole region).
+  for (std::size_t i = 0; i < half_k; ++i) {
+    const std::uint32_t chunk = La / half_k;
+    const std::uint32_t lo = static_cast<std::uint32_t>(i) * chunk;
+    const std::uint32_t hi =
+        (i + 1 == half_k) ? La : lo + chunk;
+    std::vector<std::uint32_t> s;
+    s.reserve(hi - lo);
+    for (std::uint32_t e = lo; e < hi; ++e) s.push_back(e);
+    instance.family_a.push_back(static_cast<ElementId>(sets.size()));
+    sets.push_back(std::move(s));
+  }
+
+  // 𝔹: k/2 equal chunks of the 2ε-region.
+  const std::uint32_t b_chunk = Lb / half_k;
+  for (std::size_t i = 0; i < half_k; ++i) {
+    const std::uint32_t lo = La + static_cast<std::uint32_t>(i) * b_chunk;
+    const std::uint32_t hi = (i + 1 == half_k) ? L : lo + b_chunk;
+    std::vector<std::uint32_t> s;
+    s.reserve(hi - lo);
+    for (std::uint32_t e = lo; e < hi; ++e) s.push_back(e);
+    instance.family_b.push_back(static_cast<ElementId>(sets.size()));
+    sets.push_back(std::move(s));
+  }
+
+  // ℂ: n−k uniform random subsets of U, each of the 𝔹-set size.
+  util::Rng rng(config.seed);
+  const std::size_t c_count = config.total_items - config.k;
+  for (std::size_t i = 0; i < c_count; ++i) {
+    const auto picks = rng.sample_without_replacement(L, b_chunk);
+    std::vector<std::uint32_t> s(picks.begin(), picks.end());
+    instance.family_c.push_back(static_cast<ElementId>(sets.size()));
+    sets.push_back(std::move(s));
+  }
+
+  // Shuffle set ids so family membership is not recoverable from the id —
+  // otherwise deterministic tie-breaking (lowest id wins) would leak which
+  // equal-sized sets are the planted 𝔹-sets and defeat the
+  // indistinguishability the lower-bound argument rests on.
+  std::vector<std::size_t> position(sets.size());
+  for (std::size_t i = 0; i < position.size(); ++i) position[i] = i;
+  rng.shuffle(std::span<std::size_t>(position));
+  std::vector<std::vector<std::uint32_t>> shuffled(sets.size());
+  std::vector<ElementId> new_id(sets.size());
+  for (std::size_t new_pos = 0; new_pos < sets.size(); ++new_pos) {
+    shuffled[new_pos] = std::move(sets[position[new_pos]]);
+    new_id[position[new_pos]] = static_cast<ElementId>(new_pos);
+  }
+  for (auto* family :
+       {&instance.family_a, &instance.family_b, &instance.family_c}) {
+    for (ElementId& id : *family) id = new_id[id];
+  }
+
+  instance.sets = std::make_shared<const SetSystem>(std::move(shuffled), L);
+  return instance;
+}
+
+HardnessOutcome evaluate_hardness_solution(
+    const HardnessInstance& instance, std::span<const ElementId> solution) {
+  HardnessOutcome outcome;
+  const std::unordered_set<ElementId> a(instance.family_a.begin(),
+                                        instance.family_a.end());
+  const std::unordered_set<ElementId> b(instance.family_b.begin(),
+                                        instance.family_b.end());
+  for (const ElementId x : solution) {
+    if (a.count(x) != 0) {
+      ++outcome.a_selected;
+    } else if (b.count(x) != 0) {
+      ++outcome.b_selected;
+    } else {
+      ++outcome.c_selected;
+    }
+  }
+
+  const CoverageOracle proto(instance.sets);
+  outcome.value = evaluate_set(proto, solution);
+  outcome.optimum_value =
+      evaluate_set(proto, instance.optimum());  // == universe size
+  outcome.ratio =
+      outcome.optimum_value > 0 ? outcome.value / outcome.optimum_value : 0.0;
+  return outcome;
+}
+
+}  // namespace bds

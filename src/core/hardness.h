@@ -1,0 +1,65 @@
+// The Theorem 3.1 lower-bound construction: a coverage instance on which any
+// one-distributed-round algorithm needs Ω(k/ε) output items to reach a
+// (1−ε)-approximation.
+//
+// Three families of sets over a universe of L elements:
+//   𝔸 — k/2 disjoint sets jointly covering a (1−2ε) fraction of U;
+//   𝔹 — k/2 disjoint sets covering the remaining 2ε fraction;
+//   ℂ — n−k random sets, each the same size as a 𝔹-set.
+// OPT = 𝔸 ∪ 𝔹 covers everything. A machine that receives a 𝔹-set and
+// otherwise only ℂ-sets cannot distinguish them (information-theoretically),
+// so most of 𝔹 is lost after one round and the coordinator must compensate
+// with many small ℂ-sets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "objectives/coverage.h"
+#include "util/element.h"
+
+namespace bds {
+
+struct HardnessConfig {
+  std::size_t k = 10;            // must be even and >= 2
+  double epsilon = 0.125;        // must be in (0, 1/2)
+  std::uint32_t universe = 40'000;  // L (paper: L >> n)
+  std::size_t total_items = 4'000;  // n (paper: n, m >> k)
+  std::uint64_t seed = 1;
+};
+
+struct HardnessInstance {
+  std::shared_ptr<const SetSystem> sets;
+  std::vector<ElementId> family_a;  // ids of 𝔸
+  std::vector<ElementId> family_b;  // ids of 𝔹
+  std::vector<ElementId> family_c;  // ids of ℂ
+  HardnessConfig config;
+
+  // All n item ids (𝔸 then 𝔹 then ℂ).
+  std::vector<ElementId> all_items() const;
+  // The planted optimum 𝔸 ∪ 𝔹 (covers the whole universe).
+  std::vector<ElementId> optimum() const;
+};
+
+// Builds the instance. Throws std::invalid_argument when k is odd/zero,
+// epsilon outside (0, 1/2), total_items <= k, or the universe is too small
+// to give every set at least one element.
+HardnessInstance make_hardness_instance(const HardnessConfig& config);
+
+// Measurement used by the hardness bench/tests: given a solution, how many
+// ℂ-sets it contains and what fraction of OPT's value it reaches.
+struct HardnessOutcome {
+  std::size_t a_selected = 0;
+  std::size_t b_selected = 0;
+  std::size_t c_selected = 0;
+  double value = 0.0;
+  double optimum_value = 0.0;
+  double ratio = 0.0;
+};
+
+HardnessOutcome evaluate_hardness_solution(
+    const HardnessInstance& instance, std::span<const ElementId> solution);
+
+}  // namespace bds

@@ -1,0 +1,93 @@
+#include "core/knapsack.h"
+
+#include <stdexcept>
+
+#include "core/greedy.h"
+
+namespace bds {
+
+namespace {
+
+void validate(const SubmodularOracle& oracle, std::span<const double> costs,
+              double budget) {
+  if (costs.size() != oracle.ground_size()) {
+    throw std::invalid_argument("knapsack: one cost per ground element");
+  }
+  for (const double c : costs) {
+    if (c <= 0.0) {
+      throw std::invalid_argument("knapsack: costs must be positive");
+    }
+  }
+  if (budget <= 0.0) {
+    throw std::invalid_argument("knapsack: budget must be positive");
+  }
+}
+
+// Both greedy rules share this loop; `by_ratio` switches the scoring.
+KnapsackResult budgeted_loop(SubmodularOracle& oracle,
+                             std::span<const ElementId> candidates,
+                             std::span<const double> costs, double budget,
+                             bool by_ratio) {
+  validate(oracle, costs, budget);
+  const std::vector<ElementId> pool = unique_candidates(candidates);
+  std::vector<bool> taken(pool.size(), false);
+
+  KnapsackResult result;
+  for (;;) {
+    const double remaining = budget - result.cost;
+    double best_score = 0.0;
+    double best_gain = 0.0;
+    std::size_t best_idx = pool.size();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (taken[i] || costs[pool[i]] > remaining) continue;
+      const double g = oracle.gain(pool[i]);
+      const double score = by_ratio ? g / costs[pool[i]] : g;
+      if (best_idx == pool.size() || score > best_score) {
+        best_score = score;
+        best_gain = g;
+        best_idx = i;
+      }
+    }
+    if (best_idx == pool.size() || best_gain <= 0.0) break;
+
+    taken[best_idx] = true;
+    const ElementId x = pool[best_idx];
+    const double realized = oracle.add(x);
+    result.picks.push_back(x);
+    result.gains.push_back(realized);
+    result.gained += realized;
+    result.cost += costs[x];
+  }
+  return result;
+}
+
+}  // namespace
+
+KnapsackResult cost_benefit_greedy(SubmodularOracle& oracle,
+                                   std::span<const ElementId> candidates,
+                                   std::span<const double> costs,
+                                   double budget) {
+  return budgeted_loop(oracle, candidates, costs, budget, /*by_ratio=*/true);
+}
+
+KnapsackResult plain_value_greedy(SubmodularOracle& oracle,
+                                  std::span<const ElementId> candidates,
+                                  std::span<const double> costs,
+                                  double budget) {
+  return budgeted_loop(oracle, candidates, costs, budget, /*by_ratio=*/false);
+}
+
+KnapsackResult knapsack_greedy(const SubmodularOracle& proto,
+                               std::span<const ElementId> candidates,
+                               std::span<const double> costs, double budget) {
+  auto ratio_oracle = proto.clone();
+  KnapsackResult ratio_run =
+      cost_benefit_greedy(*ratio_oracle, candidates, costs, budget);
+  auto value_oracle = proto.clone();
+  KnapsackResult value_run =
+      plain_value_greedy(*value_oracle, candidates, costs, budget);
+  return ratio_run.gained >= value_run.gained ? std::move(ratio_run)
+                                              : std::move(value_run);
+}
+
+}  // namespace bds

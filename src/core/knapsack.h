@@ -1,0 +1,55 @@
+// Knapsack(cost)-constrained submodular maximization — the budgeted variant
+// every applied deployment of coverage/summarization eventually needs
+// (items have heterogeneous costs; the budget caps total cost, not count).
+//
+// Algorithms (Khuller–Moss–Naor / Krause–Guestrin line):
+//  * cost_benefit_greedy  — repeatedly take the feasible item maximizing
+//                           Δ(x,S)/cost(x). Alone it can be arbitrarily
+//                           bad; combined (below) it is constant-factor.
+//  * plain_value_greedy   — repeatedly take the feasible item maximizing
+//                           Δ(x,S) (uniform-cost greedy under the budget).
+//  * knapsack_greedy      — runs both and returns the better: a
+//                           (1−1/√e) ≈ 0.39 approximation (and ½(1−1/e)
+//                           via the classic argument); the standard
+//                           practical choice.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "objectives/submodular.h"
+#include "util/element.h"
+
+namespace bds {
+
+struct KnapsackResult {
+  std::vector<ElementId> picks;   // selection order
+  std::vector<double> gains;
+  double gained = 0.0;
+  double cost = 0.0;              // total cost spent
+
+  std::size_t size() const noexcept { return picks.size(); }
+};
+
+// Shared preconditions for all three: costs.size() == proto.ground_size(),
+// every cost > 0, budget > 0 (throws std::invalid_argument otherwise).
+// Items with cost > remaining budget are skipped, not truncated.
+
+KnapsackResult cost_benefit_greedy(SubmodularOracle& oracle,
+                                   std::span<const ElementId> candidates,
+                                   std::span<const double> costs,
+                                   double budget);
+
+KnapsackResult plain_value_greedy(SubmodularOracle& oracle,
+                                  std::span<const ElementId> candidates,
+                                  std::span<const double> costs,
+                                  double budget);
+
+// Better of the two runs (each on its own clone of `proto`); the returned
+// picks are committed to nothing — evaluate with `evaluate_set` or replay.
+KnapsackResult knapsack_greedy(const SubmodularOracle& proto,
+                               std::span<const ElementId> candidates,
+                               std::span<const double> costs, double budget);
+
+}  // namespace bds

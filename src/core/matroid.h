@@ -1,0 +1,152 @@
+// Matroid-constrained submodular maximization — the natural extension of
+// the paper's framework: its own references ([5] Barbosa et al., [21]
+// Mirrokni–Zadimoghaddam) analyze randomized composable core-sets under
+// matroid constraints, where greedy gives 1/2 and distributed
+// greedy-of-greedies stays constant-factor.
+//
+// A constraint object is a *stateful* independence tracker mirroring the
+// stateful oracle design: `feasible(x)` asks whether the current selection
+// plus x stays independent, `add(x)` commits. Provided matroids:
+//
+//   * CardinalityConstraint — |S| <= k (the paper's setting);
+//   * PartitionMatroid     — ground set partitioned into groups, at most
+//                            cap_g picks from group g (e.g. "at most 2
+//                            exemplars per topic");
+//   * LaminarBound         — cardinality cap on top of a partition matroid
+//                            (a 2-level laminar matroid), handy for
+//                            "diverse top-k" selections.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/distributed.h"
+#include "objectives/submodular.h"
+#include "util/element.h"
+
+namespace bds {
+
+class MatroidConstraint {
+ public:
+  virtual ~MatroidConstraint() = default;
+
+  // True iff the current selection plus x is independent. x already
+  // selected reports false (a set may not pick twice).
+  virtual bool feasible(ElementId x) const = 0;
+
+  // Commits x. Precondition: feasible(x). Throws std::logic_error if
+  // violated (defensive; all call sites check first).
+  virtual void add(ElementId x) = 0;
+
+  // Upper bound on any independent set's size (the matroid rank).
+  virtual std::size_t rank() const noexcept = 0;
+
+  // Number of elements committed so far.
+  virtual std::size_t size() const noexcept = 0;
+
+  // Fresh copy with identical committed state.
+  virtual std::unique_ptr<MatroidConstraint> clone() const = 0;
+};
+
+// |S| <= k.
+class CardinalityConstraint final : public MatroidConstraint {
+ public:
+  explicit CardinalityConstraint(std::size_t k);
+
+  bool feasible(ElementId x) const override;
+  void add(ElementId x) override;
+  std::size_t rank() const noexcept override { return k_; }
+  std::size_t size() const noexcept override { return chosen_.size(); }
+  std::unique_ptr<MatroidConstraint> clone() const override;
+
+ private:
+  std::size_t k_;
+  std::vector<ElementId> chosen_;
+};
+
+// Ground set partitioned by `group[x]`; at most capacities[g] picks from
+// group g.
+class PartitionMatroid final : public MatroidConstraint {
+ public:
+  // group.size() is the ground-set size; every group id must index into
+  // capacities (throws std::invalid_argument otherwise).
+  PartitionMatroid(std::vector<std::uint32_t> group,
+                   std::vector<std::size_t> capacities);
+
+  bool feasible(ElementId x) const override;
+  void add(ElementId x) override;
+  std::size_t rank() const noexcept override { return rank_; }
+  std::size_t size() const noexcept override { return total_; }
+  std::unique_ptr<MatroidConstraint> clone() const override;
+
+  std::uint32_t group_of(ElementId x) const { return (*group_)[x]; }
+
+ private:
+  std::shared_ptr<const std::vector<std::uint32_t>> group_;
+  std::shared_ptr<const std::vector<std::size_t>> capacities_;
+  std::vector<std::size_t> used_;    // per group
+  std::vector<std::uint8_t> taken_;  // per element
+  std::size_t total_ = 0;
+  std::size_t rank_ = 0;
+};
+
+// Partition matroid intersected with a global cardinality cap — a 2-level
+// laminar matroid (still a matroid, so greedy keeps its 1/2 guarantee).
+class LaminarBound final : public MatroidConstraint {
+ public:
+  LaminarBound(PartitionMatroid partition, std::size_t global_cap);
+
+  bool feasible(ElementId x) const override;
+  void add(ElementId x) override;
+  std::size_t rank() const noexcept override;
+  std::size_t size() const noexcept override { return inner_.size(); }
+  std::unique_ptr<MatroidConstraint> clone() const override;
+
+ private:
+  PartitionMatroid inner_;
+  std::size_t global_cap_;
+};
+
+// ------------------------------------------------------------ algorithms
+
+struct ConstrainedGreedyResult {
+  std::vector<ElementId> picks;
+  std::vector<double> gains;
+  double gained = 0.0;
+
+  std::size_t size() const noexcept { return picks.size(); }
+};
+
+// Greedy under a matroid: repeatedly add the feasible candidate of maximum
+// marginal gain. 1/2-approximation for monotone submodular f (Fisher,
+// Nemhauser, Wolsey '78). Extends the oracle's current set; mutates
+// `constraint` in place.
+ConstrainedGreedyResult greedy_matroid(SubmodularOracle& oracle,
+                                       std::span<const ElementId> candidates,
+                                       MatroidConstraint& constraint,
+                                       bool stop_when_no_gain = true);
+
+// Lazy variant (same output, fewer evaluations): stale upper bounds are
+// valid under matroids exactly as under cardinality.
+ConstrainedGreedyResult lazy_greedy_matroid(
+    SubmodularOracle& oracle, std::span<const ElementId> candidates,
+    MatroidConstraint& constraint, bool stop_when_no_gain = true);
+
+// Distributed greedy-of-greedies under a matroid (the RandGreeDi-style
+// extension of [5]): random partition, each machine runs constrained greedy
+// to full rank, coordinator runs constrained greedy over the union, output
+// the better of the coordinator's solution and the best machine's.
+struct MatroidDistributedConfig {
+  std::size_t machines = 0;  // 0 → ⌈√(n/rank)⌉
+  std::size_t threads = 0;
+  std::uint64_t seed = 1;
+};
+
+DistributedResult rand_greedi_matroid(
+    const SubmodularOracle& proto, std::span<const ElementId> ground,
+    const MatroidConstraint& constraint,
+    const MatroidDistributedConfig& config);
+
+}  // namespace bds

@@ -1,0 +1,178 @@
+#include "core/registry.h"
+
+#include <algorithm>
+
+#include "core/adaptive.h"
+#include "core/baselines.h"
+#include "core/bicriteria.h"
+#include "core/greedy.h"
+#include "core/streaming.h"
+#include "util/rng.h"
+
+namespace bds {
+
+namespace {
+
+DistributedResult run_bicriteria_mode(BicriteriaMode mode,
+                                      const SubmodularOracle& proto,
+                                      std::span<const ElementId> ground,
+                                      const AlgorithmParams& params) {
+  BicriteriaConfig cfg;
+  cfg.mode = mode;
+  cfg.k = params.k;
+  cfg.output_items = params.output_items;
+  cfg.rounds = std::max<std::size_t>(1, params.rounds);
+  cfg.epsilon = params.epsilon;
+  cfg.machines = params.machines;
+  cfg.seed = params.seed;
+  return bicriteria_greedy(proto, ground, cfg);
+}
+
+DistributedResult run_one_round(
+    DistributedResult (*fn)(const SubmodularOracle&,
+                            std::span<const ElementId>,
+                            const OneRoundConfig&),
+    const SubmodularOracle& proto, std::span<const ElementId> ground,
+    const AlgorithmParams& params) {
+  OneRoundConfig cfg;
+  cfg.k = params.k;
+  cfg.machines = params.machines;
+  cfg.seed = params.seed;
+  return fn(proto, ground, cfg);
+}
+
+std::vector<AlgorithmSpec> build_registry() {
+  std::vector<AlgorithmSpec> specs;
+
+  specs.push_back(
+      {"bicriteria", "practical BicriteriaGreedy (§4 setup)", true,
+       [](const auto& p, auto g, const auto& a) {
+         return run_bicriteria_mode(BicriteriaMode::kPractical, p, g, a);
+       }});
+  specs.push_back(
+      {"theory", "BicriteriaGreedy, Algorithm 1 budgets (Thm 2.2)", true,
+       [](const auto& p, auto g, const auto& a) {
+         return run_bicriteria_mode(BicriteriaMode::kTheory, p, g, a);
+       }});
+  specs.push_back(
+      {"multiplicity", "BicriteriaGreedy with multiplicity C (Thm 2.3)",
+       true, [](const auto& p, auto g, const auto& a) {
+         return run_bicriteria_mode(BicriteriaMode::kMultiplicity, p, g, a);
+       }});
+  specs.push_back(
+      {"hybrid", "HybridAlg (Thm 2.4)", true,
+       [](const auto& p, auto g, const auto& a) {
+         return run_bicriteria_mode(BicriteriaMode::kHybrid, p, g, a);
+       }});
+  specs.push_back({"greedi", "GreeDi [23], deterministic partition", true,
+                   [](const auto& p, auto g, const auto& a) {
+                     return run_one_round(&greedi, p, g, a);
+                   }});
+  specs.push_back({"randgreedi", "RandGreeDi [5], random partition", true,
+                   [](const auto& p, auto g, const auto& a) {
+                     return run_one_round(&rand_greedi, p, g, a);
+                   }});
+  specs.push_back({"pseudo", "PseudoGreedy [21], 4k core-sets", true,
+                   [](const auto& p, auto g, const auto& a) {
+                     OneRoundConfig cfg;
+                     cfg.k = a.k;
+                     cfg.machines = a.machines;
+                     cfg.seed = a.seed;
+                     return pseudo_greedy(p, g, cfg);
+                   }});
+  specs.push_back({"parallel", "ParallelAlg [6], 1/eps rounds", true,
+                   [](const auto& p, auto g, const auto& a) {
+                     ParallelAlgConfig cfg;
+                     cfg.k = a.k;
+                     cfg.epsilon = a.epsilon;
+                     cfg.machines = a.machines;
+                     cfg.seed = a.seed;
+                     return parallel_alg(p, g, cfg);
+                   }});
+  specs.push_back({"naive", "NaiveDistributedGreedy, ln(1/eps) rounds", true,
+                   [](const auto& p, auto g, const auto& a) {
+                     NaiveDistributedConfig cfg;
+                     cfg.k = a.k;
+                     cfg.epsilon = a.epsilon;
+                     cfg.machines = a.machines;
+                     cfg.seed = a.seed;
+                     return naive_distributed_greedy(p, g, cfg);
+                   }});
+  specs.push_back({"scaling", "GreedyScaling [18], threshold rounds", true,
+                   [](const auto& p, auto g, const auto& a) {
+                     GreedyScalingConfig cfg;
+                     cfg.k = a.k;
+                     cfg.epsilon = std::clamp(a.epsilon, 0.05, 0.9);
+                     cfg.machines = a.machines;
+                     cfg.seed = a.seed;
+                     return greedy_scaling(p, g, cfg);
+                   }});
+  specs.push_back(
+      {"adaptive", "adaptive rounds with UB stopping certificate", true,
+       [](const auto& p, auto g, const auto& a) {
+         AdaptiveConfig cfg;
+         cfg.k = a.k;
+         cfg.target_ratio = std::clamp(1.0 - a.epsilon, 0.01, 0.99);
+         cfg.max_rounds = std::max<std::size_t>(1, a.rounds > 1 ? a.rounds : 8);
+         cfg.machines = a.machines;
+         cfg.seed = a.seed;
+         return adaptive_bicriteria(p, g, cfg).result;
+       }});
+  specs.push_back(
+      {"sieve", "SieveStreaming [4], one pass", false,
+       [](const auto& p, auto g, const auto& a) {
+         SieveStreamingConfig cfg;
+         cfg.k = a.k;
+         cfg.epsilon = std::clamp(a.epsilon, 0.01, 0.9);
+         const auto sieve = sieve_streaming(p, g, cfg);
+         DistributedResult result;
+         result.solution = sieve.solution;
+         result.value = sieve.value;
+         return result;
+       }});
+  specs.push_back({"central", "centralized lazy greedy, k items", false,
+                   [](const auto& p, auto g, const auto& a) {
+                     return centralized_greedy(p, g, a.k);
+                   }});
+  specs.push_back(
+      {"central-bicriteria", "centralized greedy, k*ln(1/eps) items", false,
+       [](const auto& p, auto g, const auto& a) {
+         return centralized_bicriteria(p, g, a.k,
+                                       std::clamp(a.epsilon, 0.001, 0.99));
+       }});
+  specs.push_back(
+      {"random", "uniform random k-subset baseline", false,
+       [](const auto& p, auto g, const auto& a) {
+         auto oracle = p.clone();
+         util::Rng rng(a.seed);
+         const auto picks = random_subset(*oracle, g, a.k, rng);
+         DistributedResult result;
+         result.solution = picks.picks;
+         result.value = oracle->value();
+         return result;
+       }});
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<AlgorithmSpec>& algorithm_registry() {
+  static const std::vector<AlgorithmSpec> registry = build_registry();
+  return registry;
+}
+
+const AlgorithmSpec* find_algorithm(std::string_view name) {
+  for (const auto& spec : algorithm_registry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> algorithm_names() {
+  std::vector<std::string> names;
+  names.reserve(algorithm_registry().size());
+  for (const auto& spec : algorithm_registry()) names.push_back(spec.name);
+  return names;
+}
+
+}  // namespace bds

@@ -1,0 +1,50 @@
+// Algorithm registry: every selection algorithm in the library behind one
+// uniform name → runner mapping, so tools (the CLI, sweep harnesses,
+// notebooks) can enumerate and invoke them without hard-coding the zoo.
+// Each runner adapts the algorithm's own config struct from the common
+// parameter block; algorithm-specific knobs beyond it keep their defaults.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/distributed.h"
+#include "objectives/submodular.h"
+
+namespace bds {
+
+// The common parameter block every registered runner understands.
+struct AlgorithmParams {
+  std::size_t k = 10;
+  std::size_t rounds = 1;         // where meaningful
+  std::size_t output_items = 0;   // bicriteria modes; 0 → k
+  double epsilon = 0.1;           // where meaningful
+  std::size_t machines = 0;       // 0 → algorithm default
+  std::uint64_t seed = 1;
+};
+
+struct AlgorithmSpec {
+  std::string name;         // stable CLI-facing identifier
+  std::string description;  // one line, shown in --help style listings
+  bool distributed = true;  // false for centralized/streaming references
+  std::function<DistributedResult(const SubmodularOracle&,
+                                  std::span<const ElementId>,
+                                  const AlgorithmParams&)>
+      run;
+};
+
+// All registered algorithms, in presentation order. The vector is built
+// once and never mutated (thread-safe to read).
+const std::vector<AlgorithmSpec>& algorithm_registry();
+
+// Lookup by name; nullptr when unknown.
+const AlgorithmSpec* find_algorithm(std::string_view name);
+
+// All registered names, for diagnostics ("unknown algorithm X, try: ...").
+std::vector<std::string> algorithm_names();
+
+}  // namespace bds

@@ -1,0 +1,104 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+namespace bds {
+
+namespace {
+
+// One threshold's sieve: its own oracle (carrying its partial solution).
+struct Sieve {
+  std::unique_ptr<SubmodularOracle> oracle;
+  std::vector<ElementId> picks;
+};
+
+}  // namespace
+
+SieveStreamingResult sieve_streaming(const SubmodularOracle& proto,
+                                     std::span<const ElementId> stream,
+                                     const SieveStreamingConfig& config) {
+  if (config.k == 0) {
+    throw std::invalid_argument("sieve streaming: k must be positive");
+  }
+  if (!(config.epsilon > 0.0 && config.epsilon < 1.0)) {
+    throw std::invalid_argument("sieve streaming: epsilon in (0,1)");
+  }
+  const double base = 1.0 + config.epsilon;
+
+  SieveStreamingResult result;
+  // Sieves keyed by integer i with threshold tau = base^i. Lazily
+  // instantiated when the running singleton max m makes i relevant
+  // (m <= base^i <= 2k·m), dropped when it falls out of range.
+  std::map<long, Sieve> sieves;
+  double singleton_max = 0.0;
+  std::uint64_t evals = 0;
+
+  auto tau_of = [&](long i) { return std::pow(base, double(i)); };
+
+  for (const ElementId x : stream) {
+    // Update the running estimate with f({x}).
+    {
+      auto probe = proto.clone();
+      const double fx = probe->gain(x);
+      ++evals;
+      singleton_max = std::max(singleton_max, fx);
+    }
+    if (singleton_max <= 0.0) continue;
+
+    // Relevant threshold window: m <= tau <= 2k·m.
+    const long lo = static_cast<long>(
+        std::ceil(std::log(singleton_max) / std::log(base) - 1e-12));
+    const long hi = static_cast<long>(std::floor(
+        std::log(2.0 * double(config.k) * singleton_max) / std::log(base) +
+        1e-12));
+
+    // Drop sieves below the window (their threshold is now provably too
+    // small to ever be the best); instantiate missing ones.
+    for (auto it = sieves.begin(); it != sieves.end();) {
+      it = (it->first < lo) ? sieves.erase(it) : std::next(it);
+    }
+    for (long i = lo; i <= hi; ++i) {
+      if (sieves.find(i) == sieves.end()) {
+        sieves.emplace(i, Sieve{proto.clone(), {}});
+      }
+    }
+
+    // Offer x to every sieve.
+    for (auto& [i, sieve] : sieves) {
+      if (sieve.picks.size() >= config.k) continue;
+      const double tau = tau_of(i);
+      const double need =
+          (tau / 2.0 - sieve.oracle->value()) /
+          static_cast<double>(config.k - sieve.picks.size());
+      const double gain = sieve.oracle->gain(x);
+      ++evals;
+      if (gain >= need && gain > 0.0) {
+        sieve.oracle->add(x);
+        ++evals;
+        sieve.picks.push_back(x);
+      }
+    }
+
+    std::uint64_t held = 0;
+    for (const auto& [i, sieve] : sieves) held += sieve.picks.size();
+    result.peak_memory_items = std::max(result.peak_memory_items, held);
+  }
+
+  // Best sieve wins (result starts at value 0 / empty, which any sieve
+  // with positive value beats).
+  for (auto& [i, sieve] : sieves) {
+    if (sieve.oracle->value() > result.value) {
+      result.value = sieve.oracle->value();
+      result.solution = sieve.picks;
+    }
+  }
+  result.sieves_alive = sieves.size();
+  result.oracle_evals = evals;
+  return result;
+}
+
+}  // namespace bds

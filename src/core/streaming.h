@@ -1,0 +1,45 @@
+// SieveStreaming (Badanidiyuru, Mirzasoleiman, Karbasi, Krause, KDD'14 —
+// the paper's reference [4]): single-pass streaming submodular maximization
+// under a cardinality constraint.
+//
+// The paper's related-work section positions streaming algorithms as the
+// other extreme of the scalability spectrum (one pass, O(k·log(k)/ε)
+// memory, 1/2−ε guarantee, no distribution at all); having it in the
+// library completes the comparison surface: centralized greedy vs
+// streaming vs the distributed bicriteria family.
+//
+// Algorithm: maintain a sieve per threshold τ ∈ {(1+ε)^i} bracketing the
+// running estimate m = max singleton value; sieve τ accepts a streamed
+// element when its marginal gain is ≥ (τ/2 − f(S_τ)) / (k − |S_τ|).
+// Output the best sieve.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "objectives/submodular.h"
+#include "util/element.h"
+
+namespace bds {
+
+struct SieveStreamingConfig {
+  std::size_t k = 10;
+  double epsilon = 0.1;  // threshold granularity; guarantee is 1/2 − ε
+};
+
+struct SieveStreamingResult {
+  std::vector<ElementId> solution;  // best sieve's picks, arrival order
+  double value = 0.0;
+  std::size_t sieves_alive = 0;      // thresholds maintained at the end
+  std::uint64_t oracle_evals = 0;    // total across sieves
+  std::uint64_t peak_memory_items = 0;  // Σ sieve sizes at peak
+};
+
+// Consumes `stream` in order (one pass). `proto` must be a fresh oracle.
+// Throws std::invalid_argument on k == 0 or epsilon outside (0, 1).
+SieveStreamingResult sieve_streaming(const SubmodularOracle& proto,
+                                     std::span<const ElementId> stream,
+                                     const SieveStreamingConfig& config);
+
+}  // namespace bds

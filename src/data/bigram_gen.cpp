@@ -1,0 +1,50 @@
+#include "data/bigram_gen.h"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace bds::data {
+
+std::shared_ptr<const SetSystem> make_bigram_sets(const BigramConfig& config) {
+  if (config.books == 0) throw std::invalid_argument("bigram: need books");
+  if (config.vocabulary < 2) {
+    throw std::invalid_argument("bigram: vocabulary must exceed 1");
+  }
+  if (config.min_tokens == 0 || config.min_tokens > config.max_tokens) {
+    throw std::invalid_argument("bigram: bad token length range");
+  }
+
+  util::Rng rng(config.seed);
+  const util::ZipfSampler zipf(config.vocabulary, config.zipf_exponent);
+
+  // Dense re-labelling of (t1, t2) pairs in first-occurrence order.
+  std::unordered_map<std::uint64_t, std::uint32_t> bigram_id;
+  std::vector<std::vector<std::uint32_t>> sets;
+  sets.reserve(config.books);
+
+  for (std::uint32_t b = 0; b < config.books; ++b) {
+    const auto length = static_cast<std::uint32_t>(rng.next_in(
+        config.min_tokens, config.max_tokens));
+    std::vector<std::uint32_t> book;
+    book.reserve(length);
+    std::uint64_t prev = zipf.sample(rng);
+    for (std::uint32_t t = 1; t < length; ++t) {
+      const std::uint64_t cur = zipf.sample(rng);
+      const std::uint64_t key = prev * config.vocabulary + cur;
+      const auto [it, inserted] = bigram_id.try_emplace(
+          key, static_cast<std::uint32_t>(bigram_id.size()));
+      book.push_back(it->second);
+      prev = cur;
+    }
+    sets.push_back(std::move(book));  // SetSystem deduplicates per set
+  }
+
+  const auto universe = static_cast<std::uint32_t>(bigram_id.size());
+  return std::make_shared<const SetSystem>(std::move(sets), universe);
+}
+
+}  // namespace bds::data

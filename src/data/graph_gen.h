@@ -1,0 +1,70 @@
+// Random-graph generators producing neighborhood set systems — the stand-ins
+// for the paper's DBLP co-authorship and LiveJournal friendship coverage
+// datasets (§4.1), where each "item" is a node's neighbor set and the
+// universe is the node set. Real snapshots are not redistributable offline;
+// these generators match the structural properties that drive the
+// experiments (heavy-tailed set sizes for BA, homogeneous ones for ER).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "objectives/coverage.h"
+
+namespace bds::data {
+
+// Undirected simple graph as adjacency lists (no self-loops, no parallels).
+struct Graph {
+  std::vector<std::vector<std::uint32_t>> adjacency;
+
+  std::size_t num_nodes() const noexcept { return adjacency.size(); }
+  std::size_t num_edges() const noexcept;  // undirected edge count
+};
+
+// Barabási–Albert preferential attachment: starts from a clique on
+// (edges_per_node + 1) nodes, then each new node attaches to
+// `edges_per_node` distinct existing nodes with probability proportional to
+// degree. Degree distribution is heavy-tailed, like co-authorship or
+// friendship graphs. Preconditions: nodes > edges_per_node >= 1.
+Graph barabasi_albert(std::uint32_t nodes, std::uint32_t edges_per_node,
+                      std::uint64_t seed);
+
+// Holme–Kim "powerlaw cluster" graph: Barabási–Albert attachment where,
+// after each preferential link to v, the next link closes a triangle with a
+// random neighbor of v with probability triad_p. Heavy-tailed degrees PLUS
+// high clustering — the neighborhood-overlap structure of real
+// co-authorship/friendship graphs that makes coverage saturate after the
+// hubs are taken. Preconditions: nodes > edges_per_node >= 1,
+// 0 <= triad_p <= 1 (triad_p = 0 reduces to plain BA).
+Graph powerlaw_cluster(std::uint32_t nodes, std::uint32_t edges_per_node,
+                       double triad_p, std::uint64_t seed);
+
+// Erdős–Rényi G(n, p) (homogeneous degrees; used for tests/ablations).
+// Preconditions: nodes >= 1, 0 <= p <= 1.
+Graph erdos_renyi(std::uint32_t nodes, double p, std::uint64_t seed);
+
+// Chung–Lu random graph with Zipf-distributed expected degrees: node i has
+// weight w_i ∝ 1/(i+1)^exponent; ~⌈nodes·mean_degree/2⌉ edges are sampled
+// with endpoint probability ∝ weight (duplicates and self-loops rejected).
+// Gives explicit, tunable degree heavy-tails without BA's growth dynamics —
+// the third generator family for partition/selector ablations.
+// Preconditions: nodes >= 2, mean_degree > 0, exponent >= 0.
+Graph chung_lu(std::uint32_t nodes, double mean_degree, double exponent,
+               std::uint64_t seed);
+
+// Converts a graph to the coverage instance the paper uses: one set per
+// node containing its neighbors (plus the node itself when
+// include_self, so every set is non-empty on isolated nodes);
+// universe = nodes.
+std::shared_ptr<const SetSystem> neighborhood_sets(const Graph& graph,
+                                                   bool include_self = false);
+
+// Convenience bundles matching the scaled-down dataset profiles in
+// DESIGN.md §2.3.
+std::shared_ptr<const SetSystem> make_dblp_like(std::uint32_t nodes,
+                                                std::uint64_t seed);
+std::shared_ptr<const SetSystem> make_livejournal_like(std::uint32_t nodes,
+                                                       std::uint64_t seed);
+
+}  // namespace bds::data

@@ -1,0 +1,150 @@
+#include "data/io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace bds::data {
+
+namespace {
+
+constexpr std::uint32_t kSetMagic = 0x42445353;    // "BDSS"
+constexpr std::uint32_t kPointMagic = 0x42445350;  // "BDSP"
+constexpr std::uint32_t kProbMagic = 0x42445342;   // "BDSB" (bipartite)
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("dataset io: truncated file");
+  return value;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("dataset io: cannot write " + path);
+  return out;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("dataset io: cannot read " + path);
+  return in;
+}
+
+void check_header(std::ifstream& in, std::uint32_t expected_magic) {
+  const auto magic = read_pod<std::uint32_t>(in);
+  const auto version = read_pod<std::uint32_t>(in);
+  if (magic != expected_magic) {
+    throw std::runtime_error("dataset io: wrong file type");
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("dataset io: unsupported version");
+  }
+}
+
+}  // namespace
+
+void save_set_system(const SetSystem& sets, const std::string& path) {
+  auto out = open_out(path);
+  write_pod(out, kSetMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(sets.num_sets()));
+  write_pod(out, sets.universe_size());
+  for (ElementId id = 0; id < sets.num_sets(); ++id) {
+    const auto items = sets.set_items(id);
+    write_pod(out, static_cast<std::uint64_t>(items.size()));
+    out.write(reinterpret_cast<const char*>(items.data()),
+              std::streamsize(items.size() * sizeof(std::uint32_t)));
+  }
+  if (!out) throw std::runtime_error("dataset io: write failed: " + path);
+}
+
+std::shared_ptr<const SetSystem> load_set_system(const std::string& path) {
+  auto in = open_in(path);
+  check_header(in, kSetMagic);
+  const auto num_sets = read_pod<std::uint64_t>(in);
+  const auto universe = read_pod<std::uint32_t>(in);
+  std::vector<std::vector<std::uint32_t>> sets(num_sets);
+  for (auto& s : sets) {
+    const auto size = read_pod<std::uint64_t>(in);
+    s.resize(size);
+    in.read(reinterpret_cast<char*>(s.data()),
+            std::streamsize(size * sizeof(std::uint32_t)));
+    if (!in) throw std::runtime_error("dataset io: truncated file");
+  }
+  return std::make_shared<const SetSystem>(std::move(sets), universe);
+}
+
+void save_point_set(const PointSet& points, const std::string& path) {
+  auto out = open_out(path);
+  write_pod(out, kPointMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(points.size()));
+  write_pod(out, static_cast<std::uint64_t>(points.dim()));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto row = points.point(i);
+    out.write(reinterpret_cast<const char*>(row.data()),
+              std::streamsize(row.size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("dataset io: write failed: " + path);
+}
+
+std::shared_ptr<const PointSet> load_point_set(const std::string& path) {
+  auto in = open_in(path);
+  check_header(in, kPointMagic);
+  const auto n = read_pod<std::uint64_t>(in);
+  const auto dim = read_pod<std::uint64_t>(in);
+  std::vector<float> data(n * dim);
+  in.read(reinterpret_cast<char*>(data.data()),
+          std::streamsize(data.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("dataset io: truncated file");
+  return std::make_shared<const PointSet>(n, dim, std::move(data));
+}
+
+void save_prob_set_system(const ProbSetSystem& sets,
+                          const std::string& path) {
+  auto out = open_out(path);
+  write_pod(out, kProbMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(sets.num_sets()));
+  write_pod(out, sets.universe_size());
+  for (ElementId id = 0; id < sets.num_sets(); ++id) {
+    const auto entries = sets.set_entries(id);
+    write_pod(out, static_cast<std::uint64_t>(entries.size()));
+    for (const auto& e : entries) {
+      write_pod(out, e.element);
+      write_pod(out, e.probability);
+    }
+  }
+  if (!out) throw std::runtime_error("dataset io: write failed: " + path);
+}
+
+std::shared_ptr<const ProbSetSystem> load_prob_set_system(
+    const std::string& path) {
+  auto in = open_in(path);
+  check_header(in, kProbMagic);
+  const auto num_sets = read_pod<std::uint64_t>(in);
+  const auto universe = read_pod<std::uint32_t>(in);
+  std::vector<std::vector<ProbSetSystem::Entry>> sets(num_sets);
+  for (auto& s : sets) {
+    const auto size = read_pod<std::uint64_t>(in);
+    s.reserve(size);
+    for (std::uint64_t i = 0; i < size; ++i) {
+      ProbSetSystem::Entry e;
+      e.element = read_pod<std::uint32_t>(in);
+      e.probability = read_pod<float>(in);
+      s.push_back(e);
+    }
+  }
+  return std::make_shared<const ProbSetSystem>(std::move(sets), universe);
+}
+
+}  // namespace bds::data

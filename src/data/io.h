@@ -1,0 +1,30 @@
+// Binary serialization for the dataset substrates, so generated instances
+// can be produced once and reused across benchmark runs (and shared between
+// the CLI tools). Format: little-endian, magic + version header, then raw
+// CSR payloads. Not portable to big-endian hosts (none in scope).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "objectives/coverage.h"
+#include "objectives/exemplar.h"
+#include "objectives/prob_coverage.h"
+
+namespace bds::data {
+
+// SetSystem <-> file. Throws std::runtime_error on IO failure or a
+// malformed/mismatched file.
+void save_set_system(const SetSystem& sets, const std::string& path);
+std::shared_ptr<const SetSystem> load_set_system(const std::string& path);
+
+// PointSet <-> file.
+void save_point_set(const PointSet& points, const std::string& path);
+std::shared_ptr<const PointSet> load_point_set(const std::string& path);
+
+// ProbSetSystem <-> file.
+void save_prob_set_system(const ProbSetSystem& sets, const std::string& path);
+std::shared_ptr<const ProbSetSystem> load_prob_set_system(
+    const std::string& path);
+
+}  // namespace bds::data

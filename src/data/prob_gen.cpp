@@ -1,0 +1,63 @@
+#include "data/prob_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace bds::data {
+
+std::shared_ptr<const ProbSetSystem> make_click_model(
+    const ClickModelConfig& config) {
+  if (config.ads == 0 || config.users == 0) {
+    throw std::invalid_argument("click model: need ads and users");
+  }
+  if (config.mean_reach <= 0.0) {
+    throw std::invalid_argument("click model: mean_reach must be positive");
+  }
+  if (config.min_click < 0.0f || config.max_click > 1.0f ||
+      config.min_click > config.max_click) {
+    throw std::invalid_argument("click model: bad click range");
+  }
+
+  util::Rng rng(config.seed);
+  const util::ZipfSampler user_prior(config.users,
+                                     std::max(0.0, config.user_zipf));
+  const util::ZipfSampler reach_prior(config.ads,
+                                      std::max(0.0, config.reach_zipf));
+
+  // Ad i's reach is its share of a total entry budget of ads * mean_reach,
+  // distributed by Zipf rank: the total stays near the budget while the top
+  // ads reach far more users than the tail.
+  std::vector<std::vector<ProbSetSystem::Entry>> sets(config.ads);
+  std::unordered_set<std::uint32_t> touched;
+  for (std::uint32_t ad = 0; ad < config.ads; ++ad) {
+    const double scale = config.mean_reach *
+                         static_cast<double>(config.ads) *
+                         reach_prior.pmf(ad);
+    const auto reach = static_cast<std::uint32_t>(std::max(
+        1.0, std::min(static_cast<double>(config.users), scale)));
+
+    touched.clear();
+    auto& entries = sets[ad];
+    entries.reserve(reach);
+    // Heavy users are drawn more often; dedupe within the ad.
+    std::uint32_t attempts = 0;
+    while (entries.size() < reach && attempts < 8 * reach) {
+      ++attempts;
+      const auto user = static_cast<std::uint32_t>(user_prior.sample(rng));
+      if (!touched.insert(user).second) continue;
+      const auto p = static_cast<float>(
+          rng.next_double(config.min_click, config.max_click));
+      entries.push_back({user, p});
+    }
+  }
+  return std::make_shared<const ProbSetSystem>(std::move(sets),
+                                               config.users);
+}
+
+}  // namespace bds::data

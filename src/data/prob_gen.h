@@ -1,0 +1,34 @@
+// Generator for probabilistic-coverage instances: an ad-placement-style
+// bipartite click model. Items are ads/campaigns, universe elements are
+// users; ad i reaches user u with a click probability p_{i,u}. Users have
+// Zipf-distributed activity (heavy users are reachable by many ads) and ads
+// have Zipf-distributed reach — the same heavy-tail structure as the
+// coverage datasets, but with soft coverage so marginal gains never
+// saturate to exactly zero.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "objectives/prob_coverage.h"
+
+namespace bds::data {
+
+struct ClickModelConfig {
+  std::uint32_t ads = 5'000;       // items (sets)
+  std::uint32_t users = 20'000;    // universe
+  double mean_reach = 40.0;        // mean users per ad
+  double reach_zipf = 0.7;         // ad-reach heavy tail (0 = uniform)
+  double user_zipf = 0.7;          // user-activity heavy tail
+  float min_click = 0.02f;         // click-probability range
+  float max_click = 0.5f;
+  std::uint64_t seed = 1;
+};
+
+// Generates the bipartite model. Preconditions: ads, users > 0,
+// 0 < mean_reach, 0 <= min_click <= max_click <= 1; throws
+// std::invalid_argument otherwise.
+std::shared_ptr<const ProbSetSystem> make_click_model(
+    const ClickModelConfig& config);
+
+}  // namespace bds::data

@@ -1,0 +1,103 @@
+#include "data/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace bds::data {
+
+SetSystemProfile profile_set_system(const SetSystem& sets) {
+  SetSystemProfile profile;
+  profile.num_sets = sets.num_sets();
+  profile.universe_size = sets.universe_size();
+  profile.total_size = sets.total_size();
+  if (sets.num_sets() == 0) return profile;
+
+  std::vector<double> sizes(sets.num_sets());
+  std::vector<std::uint8_t> touched(sets.universe_size(), 0);
+  for (ElementId id = 0; id < sets.num_sets(); ++id) {
+    sizes[id] = static_cast<double>(sets.set_size(id));
+    for (const auto e : sets.set_items(id)) touched[e] = 1;
+  }
+  profile.min_set_size = static_cast<std::size_t>(
+      *std::min_element(sizes.begin(), sizes.end()));
+  profile.max_set_size = static_cast<std::size_t>(
+      *std::max_element(sizes.begin(), sizes.end()));
+  profile.mean_set_size = util::mean_of(sizes);
+  profile.median_set_size = util::percentile(sizes, 0.5);
+  profile.p90_set_size = util::percentile(sizes, 0.9);
+
+  std::vector<double> sorted = sizes;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const std::size_t top = std::max<std::size_t>(1, sorted.size() / 100);
+  double top_mass = 0.0;
+  for (std::size_t i = 0; i < top; ++i) top_mass += sorted[i];
+  profile.top1pct_mass =
+      profile.total_size > 0 ? top_mass / double(profile.total_size) : 0.0;
+
+  std::size_t covered = 0;
+  for (const auto t : touched) covered += t;
+  profile.coverable_fraction =
+      sets.universe_size() > 0 ? double(covered) / sets.universe_size() : 0.0;
+  return profile;
+}
+
+PointSetProfile profile_point_set(const PointSet& points,
+                                  std::size_t sample_pairs,
+                                  std::uint64_t seed) {
+  PointSetProfile profile;
+  profile.size = points.size();
+  profile.dim = points.dim();
+  if (points.size() == 0) return profile;
+
+  util::RunningStat norms;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double norm2 = 0.0;
+    for (const float v : points.point(i)) norm2 += double(v) * v;
+    norms.add(std::sqrt(norm2));
+  }
+  profile.mean_norm = norms.mean();
+
+  if (points.size() >= 2 && sample_pairs > 0) {
+    util::Rng rng(seed);
+    util::RunningStat distances;
+    for (std::size_t s = 0; s < sample_pairs; ++s) {
+      const auto a = rng.next_below(points.size());
+      auto b = rng.next_below(points.size());
+      while (b == a) b = rng.next_below(points.size());
+      distances.add(squared_l2(points.point(a), points.point(b)));
+    }
+    profile.mean_pairwise_distance = distances.mean();
+    profile.min_sampled_distance = distances.min();
+    profile.max_sampled_distance = distances.max();
+  }
+  return profile;
+}
+
+std::string to_string(const SetSystemProfile& p) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%zu sets over %u elements, total %zu "
+                "(sizes: mean %.1f, median %.0f, p90 %.0f, max %zu; "
+                "top-1%% mass %.1f%%; coverable %.1f%%)",
+                p.num_sets, p.universe_size, p.total_size, p.mean_set_size,
+                p.median_set_size, p.p90_set_size, p.max_set_size,
+                100.0 * p.top1pct_mass, 100.0 * p.coverable_fraction);
+  return buf;
+}
+
+std::string to_string(const PointSetProfile& p) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%zu points x %zu dims (mean norm %.3f; sampled sq-dist "
+                "mean %.3f, range [%.3f, %.3f])",
+                p.size, p.dim, p.mean_norm, p.mean_pairwise_distance,
+                p.min_sampled_distance, p.max_sampled_distance);
+  return buf;
+}
+
+}  // namespace bds::data

@@ -1,0 +1,52 @@
+// Dataset profiling: the summary statistics the paper quotes per dataset
+// ("~300k sets over ~300k elements for a total size of 1.0m", set-size
+// distributions, coverage concentration). Used by benches/examples to print
+// dataset headers and by tests to validate generator shapes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "objectives/coverage.h"
+#include "objectives/exemplar.h"
+
+namespace bds::data {
+
+struct SetSystemProfile {
+  std::size_t num_sets = 0;
+  std::uint32_t universe_size = 0;
+  std::size_t total_size = 0;       // Σ set sizes
+  std::size_t min_set_size = 0;
+  std::size_t max_set_size = 0;
+  double mean_set_size = 0.0;
+  double median_set_size = 0.0;
+  double p90_set_size = 0.0;
+  // Heavy-tail indicator: fraction of the total size held by the largest
+  // 1% of sets (>= 0.01 means "uniform"; real graphs/bigram corpora are
+  // far above it).
+  double top1pct_mass = 0.0;
+  // Fraction of the universe covered by any set at all.
+  double coverable_fraction = 0.0;
+};
+
+SetSystemProfile profile_set_system(const SetSystem& sets);
+
+struct PointSetProfile {
+  std::size_t size = 0;
+  std::size_t dim = 0;
+  double mean_norm = 0.0;   // mean L2 norm (1.0 after normalization)
+  double mean_pairwise_distance = 0.0;  // sampled squared-L2
+  double min_sampled_distance = 0.0;
+  double max_sampled_distance = 0.0;
+};
+
+// Pairwise statistics are estimated from `sample_pairs` random pairs.
+PointSetProfile profile_point_set(const PointSet& points,
+                                  std::size_t sample_pairs = 2'000,
+                                  std::uint64_t seed = 1);
+
+// One-line human-readable renderings for bench/example headers.
+std::string to_string(const SetSystemProfile& profile);
+std::string to_string(const PointSetProfile& profile);
+
+}  // namespace bds::data

@@ -1,0 +1,53 @@
+#include "data/synthetic_coverage.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace bds::data {
+
+SyntheticCoverageInstance make_synthetic_coverage(
+    const SyntheticCoverageConfig& config) {
+  if (config.planted_sets == 0) {
+    throw std::invalid_argument("synthetic coverage: need planted sets");
+  }
+  if (config.universe_size % config.planted_sets != 0) {
+    throw std::invalid_argument(
+        "synthetic coverage: universe size must be a multiple of K");
+  }
+  const std::uint32_t n = config.universe_size;
+  const std::uint32_t chunk = n / config.planted_sets;
+  const auto random_size = static_cast<std::uint32_t>(
+      std::ceil(double(n) / double(config.planted_sets) *
+                (1.0 + config.epsilon1)));
+
+  std::vector<std::vector<std::uint32_t>> sets;
+  sets.reserve(config.planted_sets + config.random_sets);
+
+  SyntheticCoverageInstance instance;
+  instance.config = config;
+  instance.planted_ids.reserve(config.planted_sets);
+
+  // Planted optimum: K disjoint chunks partitioning U.
+  for (std::uint32_t i = 0; i < config.planted_sets; ++i) {
+    std::vector<std::uint32_t> s(chunk);
+    for (std::uint32_t j = 0; j < chunk; ++j) s[j] = i * chunk + j;
+    instance.planted_ids.push_back(static_cast<ElementId>(sets.size()));
+    sets.push_back(std::move(s));
+  }
+
+  // t random decoys, each of (1+ε₁)·(n/K) elements without replacement.
+  util::Rng rng(config.seed);
+  for (std::uint32_t i = 0; i < config.random_sets; ++i) {
+    const auto picks =
+        rng.sample_without_replacement(n, std::min(random_size, n));
+    std::vector<std::uint32_t> s(picks.begin(), picks.end());
+    sets.push_back(std::move(s));
+  }
+
+  instance.sets = std::make_shared<const SetSystem>(std::move(sets), n);
+  return instance;
+}
+
+}  // namespace bds::data

@@ -1,0 +1,40 @@
+// The paper's adversarial synthetic coverage instance (§4.1, "Synthetic
+// instance"): a planted optimal solution of K disjoint sets exactly
+// partitioning the universe, hidden among t random sets that are each
+// slightly *larger* than the planted sets — so plain greedy is drawn to the
+// random sets first and the instance is hard for it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "objectives/coverage.h"
+#include "util/element.h"
+
+namespace bds::data {
+
+struct SyntheticCoverageConfig {
+  std::uint32_t universe_size = 10'000;  // |U| (paper: 10,000)
+  std::uint32_t planted_sets = 100;      // K (paper: 100)
+  std::uint32_t random_sets = 100'000;   // t (paper: 100,000)
+  double epsilon1 = 0.2;                 // random-set inflation (paper: 0.2)
+  std::uint64_t seed = 1;
+};
+
+struct SyntheticCoverageInstance {
+  std::shared_ptr<const SetSystem> sets;
+  // Ids of the planted optimal sets (they exactly cover the universe).
+  std::vector<ElementId> planted_ids;
+  SyntheticCoverageConfig config;
+};
+
+// Builds the instance. Planted sets get ids [0, K); the t random sets,
+// drawn without replacement with size ⌈(n/K)(1+ε₁)⌉, get ids [K, K+t).
+// Preconditions: planted_sets > 0 and universe_size % planted_sets == 0
+// (the paper assumes n is a multiple of K); throws std::invalid_argument
+// otherwise.
+SyntheticCoverageInstance make_synthetic_coverage(
+    const SyntheticCoverageConfig& config);
+
+}  // namespace bds::data

@@ -1,0 +1,86 @@
+#include "data/vectors_gen.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace bds::data {
+
+std::shared_ptr<const PointSet> make_lda_like_vectors(
+    const LdaVectorsConfig& config) {
+  if (config.documents == 0 || config.topics == 0 || config.clusters == 0) {
+    throw std::invalid_argument("lda vectors: zero dimension in config");
+  }
+  util::Rng rng(config.seed);
+
+  // Archetype concentration vectors: sparse Dirichlet draws scaled by the
+  // concentration strength, floored away from zero (gamma sampling requires
+  // strictly positive shape).
+  std::vector<std::vector<double>> archetypes(config.clusters);
+  for (auto& a : archetypes) {
+    a = util::sample_dirichlet(rng, config.topics, 0.2);
+    for (double& v : a) v = std::max(v * config.concentration, 1e-3);
+  }
+
+  const util::ZipfSampler cluster_prior(config.clusters,
+                                        std::max(0.0, config.cluster_zipf));
+  std::vector<float> data;
+  data.reserve(std::size_t(config.documents) * config.topics);
+  for (std::uint32_t i = 0; i < config.documents; ++i) {
+    const auto& alpha = archetypes[cluster_prior.sample(rng)];
+    const auto theta = util::sample_dirichlet(
+        rng, std::span<const double>(alpha));
+    for (const double v : theta) data.push_back(static_cast<float>(v));
+  }
+
+  auto points = std::make_shared<PointSet>(config.documents, config.topics,
+                                           std::move(data));
+  points->normalize_rows();
+  return points;
+}
+
+std::shared_ptr<const PointSet> make_image_like_vectors(
+    const ImageVectorsConfig& config) {
+  if (config.images == 0 || config.dim == 0 || config.clusters == 0) {
+    throw std::invalid_argument("image vectors: zero dimension in config");
+  }
+  util::Rng rng(config.seed);
+
+  std::vector<std::vector<float>> centers(config.clusters);
+  for (auto& c : centers) {
+    c.resize(config.dim);
+    for (float& v : c) v = static_cast<float>(util::sample_normal(rng));
+  }
+
+  const util::ZipfSampler cluster_prior(config.clusters,
+                                        std::max(0.0, config.cluster_zipf));
+  std::vector<float> data;
+  data.reserve(std::size_t(config.images) * config.dim);
+  for (std::uint32_t i = 0; i < config.images; ++i) {
+    const auto& center = centers[cluster_prior.sample(rng)];
+    double mean = 0.0;
+    const std::size_t base = data.size();
+    for (std::uint32_t d = 0; d < config.dim; ++d) {
+      const double v =
+          double(center[d]) + config.noise_sigma * util::sample_normal(rng);
+      data.push_back(static_cast<float>(v));
+      mean += v;
+    }
+    // Per-vector mean subtraction (paper's TinyImages preprocessing).
+    mean /= config.dim;
+    for (std::uint32_t d = 0; d < config.dim; ++d) {
+      data[base + d] -= static_cast<float>(mean);
+    }
+  }
+
+  auto points = std::make_shared<PointSet>(config.images, config.dim,
+                                           std::move(data));
+  points->normalize_rows();
+  return points;
+}
+
+}  // namespace bds::data

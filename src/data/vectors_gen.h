@@ -1,0 +1,48 @@
+// Vector dataset generators for exemplar-based clustering (§4.2), standing
+// in for the paper's Wikipedia-LDA and TinyImages datasets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "objectives/exemplar.h"
+
+namespace bds::data {
+
+// "Wikipedia-like": LDA-style topic-distribution vectors. `clusters`
+// archetype Dirichlet concentration profiles are drawn first; each document
+// samples its topic vector from its archetype's Dirichlet, yielding points
+// on the probability simplex with cluster structure. Rows are then L2
+// normalized (paper preprocessing).
+struct LdaVectorsConfig {
+  std::uint32_t documents = 20'000;
+  std::uint32_t topics = 100;          // paper: 100-dim LDA vectors
+  std::uint32_t clusters = 25;         // latent archetypes
+  double concentration = 60.0;         // per-archetype Dirichlet strength
+  // Zipf exponent for cluster sizes (0 = uniform). Real corpora have a few
+  // dominant topics and a long tail; uneven mass is what separates greedy
+  // (one exemplar per cluster) from random (oversamples big clusters).
+  double cluster_zipf = 0.8;
+  std::uint64_t seed = 1;
+};
+
+std::shared_ptr<const PointSet> make_lda_like_vectors(
+    const LdaVectorsConfig& config);
+
+// "TinyImages-like": Gaussian-mixture vectors in a high ambient dimension
+// with low intrinsic dimension (cluster centers + isotropic noise). Each
+// vector is mean-subtracted per coordinate-average (paper preprocessing for
+// TinyImages) and L2 normalized.
+struct ImageVectorsConfig {
+  std::uint32_t images = 8'000;
+  std::uint32_t dim = 3'072;           // paper: 3*32*32
+  std::uint32_t clusters = 40;
+  double noise_sigma = 0.35;           // relative to unit-scale centers
+  double cluster_zipf = 0.8;           // uneven cluster sizes (0 = uniform)
+  std::uint64_t seed = 1;
+};
+
+std::shared_ptr<const PointSet> make_image_like_vectors(
+    const ImageVectorsConfig& config);
+
+}  // namespace bds::data

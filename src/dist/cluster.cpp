@@ -1,0 +1,129 @@
+#include "dist/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/timer.h"
+
+namespace bds::dist {
+
+std::uint64_t ExecutionStats::total_worker_evals() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rounds) total += r.worker_evals;
+  return total;
+}
+
+std::uint64_t ExecutionStats::total_central_evals() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rounds) total += r.central_evals;
+  return total;
+}
+
+std::uint64_t ExecutionStats::total_evals() const noexcept {
+  return total_worker_evals() + total_central_evals();
+}
+
+std::uint64_t ExecutionStats::bytes_communicated() const noexcept {
+  std::uint64_t ids = 0;
+  for (const auto& r : rounds) {
+    ids += r.elements_scattered + r.elements_gathered;
+  }
+  return ids * sizeof(ElementId);
+}
+
+double ExecutionStats::critical_path_seconds() const noexcept {
+  double total = 0.0;
+  for (const auto& r : rounds) {
+    total += r.max_machine_seconds + r.central_seconds;
+  }
+  return total;
+}
+
+std::uint64_t ExecutionStats::critical_path_evals() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rounds) {
+    total += r.max_machine_evals + r.central_evals;
+  }
+  return total;
+}
+
+double ExecutionStats::total_work_seconds() const noexcept {
+  double total = 0.0;
+  for (const auto& r : rounds) {
+    total += r.sum_machine_seconds + r.central_seconds;
+  }
+  return total;
+}
+
+double ExecutionStats::modeled_cluster_seconds(
+    const NetworkModel& network) const noexcept {
+  double total = critical_path_seconds();
+  for (const auto& r : rounds) {
+    const double bytes = static_cast<double>(
+        (r.elements_scattered + r.elements_gathered) * sizeof(ElementId));
+    total += network.round_latency_seconds;
+    if (network.bytes_per_second > 0.0) {
+      total += bytes / network.bytes_per_second;
+    }
+  }
+  return total;
+}
+
+Cluster::Cluster(std::size_t machines, std::size_t threads)
+    : machines_(machines),
+      // Never spin up more host threads than logical machines.
+      pool_(threads == 0
+                ? std::min<std::size_t>(
+                      machines, std::max<std::size_t>(
+                                    1, std::thread::hardware_concurrency()))
+                : std::min(threads, machines)) {
+  if (machines == 0) {
+    throw std::invalid_argument("Cluster: need at least one machine");
+  }
+}
+
+std::vector<MachineReport> Cluster::run_round(const Partition& partition,
+                                              const WorkerFn& worker) {
+  assert(partition.size() == machines_);
+
+  std::vector<MachineReport> reports(machines_);
+  pool_.parallel_for(machines_, [&](std::size_t i) {
+    util::Timer timer;
+    reports[i] = worker(i, std::span<const ElementId>(partition[i]));
+    reports[i].seconds = timer.elapsed_seconds();
+  });
+
+  RoundStats round;
+  round.round_index = stats_.rounds.size();
+  for (std::size_t i = 0; i < machines_; ++i) {
+    const auto& shard = partition[i];
+    const auto& rep = reports[i];
+    if (!shard.empty()) ++round.machines_used;
+    round.elements_scattered += shard.size();
+    round.elements_gathered += rep.summary.size();
+    round.worker_evals += rep.oracle_evals;
+    round.max_machine_evals = std::max(round.max_machine_evals,
+                                       rep.oracle_evals);
+    round.max_machine_seconds = std::max(round.max_machine_seconds,
+                                         rep.seconds);
+    round.sum_machine_seconds += rep.seconds;
+    round.max_machine_items = std::max<std::uint64_t>(round.max_machine_items,
+                                                      shard.size());
+  }
+  stats_.rounds.push_back(round);
+  return reports;
+}
+
+void Cluster::record_central_stage(std::uint64_t evals, double seconds,
+                                   std::uint64_t selected) {
+  if (stats_.rounds.empty()) {
+    throw std::logic_error("record_central_stage before any round");
+  }
+  auto& round = stats_.rounds.back();
+  round.central_evals = evals;
+  round.central_seconds = seconds;
+  round.central_selected = selected;
+}
+
+}  // namespace bds::dist

@@ -1,0 +1,121 @@
+// In-process simulator of the paper's distributed execution model.
+//
+// The paper's algorithms run on a MapReduce-style cluster: a coordinator
+// scatters the ground set across m workers, every worker runs greedy on its
+// shard and returns a summary (a subset of its element ids), and the
+// coordinator filters the union. We reproduce that round structure exactly,
+// running workers concurrently on a thread pool, and we meter what a real
+// deployment would care about:
+//
+//   * rounds           — coordinator <-> worker interactions (the paper's r);
+//   * communication    — element ids shipped worker-ward (scatter) and
+//                        coordinator-ward (gather), reported in bytes;
+//   * worker load      — per-machine items held and oracle evaluations;
+//   * critical path    — Σ over rounds of (slowest worker + coordinator
+//                        stage), in both oracle-evaluation and wall-clock
+//                        terms. On a real cluster the workers of one round
+//                        run simultaneously, so this is the simulated
+//                        distributed makespan; it backs the §4.2 speed-up
+//                        experiment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "dist/partitioner.h"
+#include "dist/thread_pool.h"
+#include "util/element.h"
+
+namespace bds::dist {
+
+// What one worker returns from one round.
+struct MachineReport {
+  std::vector<ElementId> summary;  // elements sent back to the coordinator
+  std::uint64_t oracle_evals = 0;  // function evaluations spent by the worker
+  double seconds = 0.0;            // filled in by the cluster, not the worker
+};
+
+// Accounting for one scatter -> map -> gather -> filter round.
+struct RoundStats {
+  std::size_t round_index = 0;
+  std::size_t machines_used = 0;        // machines that received >= 1 item
+  std::uint64_t elements_scattered = 0; // total slots incl. multiplicity
+  std::uint64_t elements_gathered = 0;  // summed summary sizes
+  std::uint64_t worker_evals = 0;       // summed over machines
+  std::uint64_t max_machine_evals = 0;  // slowest worker, eval terms
+  double max_machine_seconds = 0.0;     // slowest worker, wall clock
+  double sum_machine_seconds = 0.0;
+  std::uint64_t max_machine_items = 0;
+  // Coordinator filter stage (recorded via Cluster::record_central_stage).
+  std::uint64_t central_evals = 0;
+  double central_seconds = 0.0;
+  std::uint64_t central_selected = 0;
+};
+
+// A simple network-cost model for translating the simulator's communication
+// counters into modeled cluster time: each round pays a fixed latency (the
+// shuffle barrier) plus bytes / bandwidth for its scatter + gather traffic.
+struct NetworkModel {
+  double round_latency_seconds = 1e-3;       // per-round barrier cost
+  double bytes_per_second = 125e6;           // 1 Gbit/s default
+};
+
+// Whole-execution accounting across rounds.
+struct ExecutionStats {
+  std::vector<RoundStats> rounds;
+
+  std::size_t num_rounds() const noexcept { return rounds.size(); }
+  std::uint64_t total_worker_evals() const noexcept;
+  std::uint64_t total_central_evals() const noexcept;
+  std::uint64_t total_evals() const noexcept;
+  // Scatter + gather traffic in bytes (sizeof(ElementId) per shipped id).
+  std::uint64_t bytes_communicated() const noexcept;
+  // Simulated distributed makespan: slowest worker + coordinator, per round.
+  double critical_path_seconds() const noexcept;
+  std::uint64_t critical_path_evals() const noexcept;
+  // Total sequential work (what a single machine would have to do).
+  double total_work_seconds() const noexcept;
+  // Modeled distributed wall clock: critical-path compute plus the network
+  // model's per-round latency and transfer time.
+  double modeled_cluster_seconds(const NetworkModel& network) const noexcept;
+};
+
+// The simulator. One Cluster instance is reused across the r rounds of an
+// algorithm execution; stats accumulate per round.
+class Cluster {
+ public:
+  // machines: logical worker count (the paper's m).
+  // threads: host threads running workers concurrently; 0 = hardware default.
+  explicit Cluster(std::size_t machines, std::size_t threads = 0);
+
+  std::size_t machines() const noexcept { return machines_; }
+
+  // Worker body: given (machine index, shard) produce a MachineReport.
+  // Invoked concurrently — must not share mutable state across machines.
+  using WorkerFn =
+      std::function<MachineReport(std::size_t, std::span<const ElementId>)>;
+
+  // Runs one scatter -> map -> gather round over a prepared partition and
+  // returns the per-machine reports (indexed by machine). Starts a new
+  // RoundStats entry; the caller completes it with record_central_stage().
+  // Precondition: partition.size() == machines().
+  std::vector<MachineReport> run_round(const Partition& partition,
+                                       const WorkerFn& worker);
+
+  // Records the coordinator's filtering stage for the most recent round.
+  // Precondition: run_round() has been called at least once.
+  void record_central_stage(std::uint64_t evals, double seconds,
+                            std::uint64_t selected);
+
+  const ExecutionStats& stats() const noexcept { return stats_; }
+  ExecutionStats& mutable_stats() noexcept { return stats_; }
+
+ private:
+  std::size_t machines_;
+  ThreadPool pool_;
+  ExecutionStats stats_;
+};
+
+}  // namespace bds::dist

@@ -1,0 +1,68 @@
+#include "dist/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bds::dist {
+
+Partition partition_uniform(std::span<const ElementId> items,
+                            std::size_t machines, util::Rng& rng) {
+  assert(machines > 0);
+  Partition parts(machines);
+  const std::size_t expected = items.size() / machines + 1;
+  for (auto& p : parts) p.reserve(expected);
+  for (const ElementId item : items) {
+    parts[rng.next_below(machines)].push_back(item);
+  }
+  return parts;
+}
+
+Partition partition_multiplicity(std::span<const ElementId> items,
+                                 std::size_t machines,
+                                 std::size_t multiplicity, util::Rng& rng) {
+  assert(machines > 0);
+  assert(multiplicity > 0);
+  const std::size_t c = std::min(multiplicity, machines);
+  if (c == 1) return partition_uniform(items, machines, rng);
+
+  Partition parts(machines);
+  const std::size_t expected = items.size() * c / machines + 1;
+  for (auto& p : parts) p.reserve(expected);
+  for (const ElementId item : items) {
+    // c distinct machines per item; c is small (α·lnα), machines moderate,
+    // so Floyd-style rejection over a tiny scratch set is fastest.
+    const auto picks = rng.sample_without_replacement(machines, c);
+    for (const std::uint64_t machine : picks) {
+      parts[machine].push_back(item);
+    }
+  }
+  return parts;
+}
+
+Partition partition_round_robin(std::span<const ElementId> items,
+                                std::size_t machines) {
+  assert(machines > 0);
+  Partition parts(machines);
+  for (auto& p : parts) p.reserve(items.size() / machines + 1);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    parts[i % machines].push_back(items[i]);
+  }
+  return parts;
+}
+
+PartitionStats analyze_partition(const Partition& partition) {
+  PartitionStats stats;
+  stats.machines = partition.size();
+  if (partition.empty()) return stats;
+  stats.min_load = partition.front().size();
+  for (const auto& p : partition) {
+    stats.total_slots += p.size();
+    stats.min_load = std::min(stats.min_load, p.size());
+    stats.max_load = std::max(stats.max_load, p.size());
+  }
+  stats.mean_load = static_cast<double>(stats.total_slots) /
+                    static_cast<double>(stats.machines);
+  return stats;
+}
+
+}  // namespace bds::dist

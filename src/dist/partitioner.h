@@ -1,0 +1,52 @@
+// Ground-set placement strategies for one distributed round.
+//
+// BicriteriaGreedy (Alg. 1, line 6) sends each item to one machine chosen
+// uniformly at random; the multiplicity variant (§2.2) sends each item to C
+// distinct random machines. The hardness experiments additionally need an
+// adversarial placement. All strategies are deterministic given the Rng.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/element.h"
+#include "util/rng.h"
+
+namespace bds::dist {
+
+// The result of scattering a ground set across m machines: one element-id
+// vector per machine. With multiplicity C, each element appears in C
+// distinct machines' vectors.
+using Partition = std::vector<std::vector<ElementId>>;
+
+// Uniform-at-random placement (multiplicity 1): each item lands on exactly
+// one of `machines` machines. Preconditions: machines > 0.
+Partition partition_uniform(std::span<const ElementId> items,
+                            std::size_t machines, util::Rng& rng);
+
+// Multiplicity-C placement: each item is sent to min(C, machines) distinct
+// machines chosen uniformly at random. C = 1 reduces to partition_uniform.
+// Preconditions: machines > 0, multiplicity > 0.
+Partition partition_multiplicity(std::span<const ElementId> items,
+                                 std::size_t machines,
+                                 std::size_t multiplicity, util::Rng& rng);
+
+// Round-robin placement in the given item order — deterministic and
+// perfectly balanced; used as the "worst case partitioning" hook in the
+// hardness experiments (feed adversarially ordered items).
+Partition partition_round_robin(std::span<const ElementId> items,
+                                std::size_t machines);
+
+// Statistics on a partition, used by load-balance tests and benches.
+struct PartitionStats {
+  std::size_t machines = 0;
+  std::size_t total_slots = 0;  // sum of per-machine item counts
+  std::size_t min_load = 0;
+  std::size_t max_load = 0;
+  double mean_load = 0.0;
+};
+
+PartitionStats analyze_partition(const Partition& partition);
+
+}  // namespace bds::dist

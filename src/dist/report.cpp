@@ -1,0 +1,40 @@
+#include "dist/report.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace bds::dist {
+
+std::string render_execution_report(const ExecutionStats& stats) {
+  std::ostringstream out;
+  if (stats.rounds.empty()) {
+    out << "(no distributed rounds executed)\n";
+    return out.str();
+  }
+
+  util::Table table({"round", "machines", "scattered", "gathered",
+                     "worker evals", "max machine", "central evals",
+                     "selected"});
+  for (const auto& r : stats.rounds) {
+    table.add_row({util::Table::fmt_int(r.round_index + 1),
+                   util::Table::fmt_int(r.machines_used),
+                   util::Table::fmt_int(r.elements_scattered),
+                   util::Table::fmt_int(r.elements_gathered),
+                   util::Table::fmt_int(r.worker_evals),
+                   util::Table::fmt_int(r.max_machine_evals),
+                   util::Table::fmt_int(r.central_evals),
+                   util::Table::fmt_int(r.central_selected)});
+  }
+  out << table.to_string();
+  out << "totals: " << stats.num_rounds() << " round(s), "
+      << util::Table::fmt(double(stats.bytes_communicated()) / 1024.0, 1)
+      << " KiB communicated, " << stats.total_evals()
+      << " oracle evals (critical path " << stats.critical_path_evals()
+      << ", " << util::Table::fmt(stats.critical_path_seconds() * 1e3, 1)
+      << " ms; total work "
+      << util::Table::fmt(stats.total_work_seconds() * 1e3, 1) << " ms)\n";
+  return out.str();
+}
+
+}  // namespace bds::dist

@@ -1,0 +1,18 @@
+// Human-readable rendering of ExecutionStats: the per-round scatter/work/
+// filter ledger plus totals — what you'd read off a MapReduce job page.
+// Used by the CLI's --verbose mode and available to any tool.
+#pragma once
+
+#include <string>
+
+#include "dist/cluster.h"
+
+namespace bds::dist {
+
+// Multi-line table: one row per round (machines, elements scattered and
+// gathered, worker evaluations total and max-machine, coordinator
+// evaluations and selections) followed by a totals/derived block
+// (communication bytes, critical-path evaluations and seconds, total work).
+std::string render_execution_report(const ExecutionStats& stats);
+
+}  // namespace bds::dist

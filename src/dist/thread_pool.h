@@ -1,0 +1,66 @@
+// Fixed-size thread pool used by the cluster simulator to run logical
+// machines concurrently. Deliberately simple: a mutex-guarded FIFO queue is
+// plenty, since every submitted task is a whole machine's greedy pass
+// (milliseconds to seconds), not fine-grained work items.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bds::dist {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+
+  // Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  // Enqueues a task and returns a future for its result. Exceptions thrown
+  // by the task surface through the future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  // Runs fn(i) for every i in [0, n) on the pool and blocks until all
+  // complete. The first task exception (if any) is rethrown. fn must be
+  // safe to invoke concurrently from multiple threads.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace bds::dist

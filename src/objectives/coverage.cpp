@@ -1,0 +1,101 @@
+#include "objectives/coverage.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bds {
+
+SetSystem::SetSystem(std::vector<std::vector<std::uint32_t>> sets,
+                     std::uint32_t universe_size)
+    : universe_size_(universe_size) {
+  offsets_.reserve(sets.size() + 1);
+  offsets_.push_back(0);
+  std::size_t total = 0;
+  for (const auto& s : sets) total += s.size();
+  entries_.reserve(total);
+  for (auto& s : sets) {
+    // Deduplicate within each set so gain() and add() always agree on the
+    // contribution of a set containing a repeated element.
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    for (const std::uint32_t e : s) {
+      if (e >= universe_size) {
+        throw std::out_of_range("SetSystem: element beyond universe");
+      }
+      entries_.push_back(e);
+    }
+    offsets_.push_back(entries_.size());
+  }
+}
+
+CoverageOracle::CoverageOracle(std::shared_ptr<const SetSystem> sets)
+    : sets_(std::move(sets)), covered_(sets_->universe_size(), 0) {}
+
+double CoverageOracle::do_gain(ElementId x) const {
+  std::uint64_t fresh = 0;
+  for (const std::uint32_t e : sets_->set_items(x)) {
+    fresh += (covered_[e] == 0);
+  }
+  return static_cast<double>(fresh);
+}
+
+double CoverageOracle::do_add(ElementId x) {
+  std::uint64_t fresh = 0;
+  for (const std::uint32_t e : sets_->set_items(x)) {
+    if (covered_[e] == 0) {
+      covered_[e] = 1;
+      ++fresh;
+    }
+  }
+  covered_count_ += fresh;
+  return static_cast<double>(fresh);
+}
+
+std::unique_ptr<SubmodularOracle> CoverageOracle::do_clone() const {
+  return std::make_unique<CoverageOracle>(*this);
+}
+
+WeightedCoverageOracle::WeightedCoverageOracle(
+    std::shared_ptr<const SetSystem> sets, std::vector<double> weights)
+    : sets_(std::move(sets)),
+      covered_(sets_->universe_size(), 0) {
+  if (weights.size() != sets_->universe_size()) {
+    throw std::invalid_argument(
+        "WeightedCoverageOracle: one weight per universe element required");
+  }
+  for (const double w : weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument(
+          "WeightedCoverageOracle: weights must be non-negative");
+    }
+    total_weight_ += w;
+  }
+  weights_ = std::make_shared<const std::vector<double>>(std::move(weights));
+}
+
+double WeightedCoverageOracle::do_gain(ElementId x) const {
+  double fresh = 0.0;
+  const auto& w = *weights_;
+  for (const std::uint32_t e : sets_->set_items(x)) {
+    if (covered_[e] == 0) fresh += w[e];
+  }
+  return fresh;
+}
+
+double WeightedCoverageOracle::do_add(ElementId x) {
+  double fresh = 0.0;
+  const auto& w = *weights_;
+  for (const std::uint32_t e : sets_->set_items(x)) {
+    if (covered_[e] == 0) {
+      covered_[e] = 1;
+      fresh += w[e];
+    }
+  }
+  return fresh;
+}
+
+std::unique_ptr<SubmodularOracle> WeightedCoverageOracle::do_clone() const {
+  return std::make_unique<WeightedCoverageOracle>(*this);
+}
+
+}  // namespace bds

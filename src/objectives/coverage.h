@@ -1,0 +1,100 @@
+// Coverage maximization (§4.1): the ground set is a family of sets over a
+// universe U; f(S) = |∪_{i∈S} set_i| (or the weighted sum). Selecting an
+// element means selecting a set of the family.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "objectives/submodular.h"
+#include "util/element.h"
+
+namespace bds {
+
+// Immutable CSR-packed family of sets over a universe [0, universe_size).
+// Shared read-only by every oracle clone, so the per-clone state is just the
+// covered bitmap.
+class SetSystem {
+ public:
+  // Builds from explicit sets. Duplicate entries within a set are
+  // deduplicated at construction (they count once for coverage). Throws
+  // std::out_of_range if any element is >= universe_size.
+  SetSystem(std::vector<std::vector<std::uint32_t>> sets,
+            std::uint32_t universe_size);
+
+  std::size_t num_sets() const noexcept { return offsets_.size() - 1; }
+  std::uint32_t universe_size() const noexcept { return universe_size_; }
+  // Sum of set sizes (the "total size" the paper quotes per dataset).
+  std::size_t total_size() const noexcept { return entries_.size(); }
+
+  std::span<const std::uint32_t> set_items(ElementId set_id) const noexcept {
+    return std::span<const std::uint32_t>(
+        entries_.data() + offsets_[set_id],
+        offsets_[set_id + 1] - offsets_[set_id]);
+  }
+
+  std::size_t set_size(ElementId set_id) const noexcept {
+    return offsets_[set_id + 1] - offsets_[set_id];
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;        // num_sets + 1
+  std::vector<std::uint32_t> entries_;      // concatenated set members
+  std::uint32_t universe_size_;
+};
+
+// Unweighted coverage oracle. gain(i) = number of not-yet-covered universe
+// elements of set i: O(|set i|) per evaluation.
+class CoverageOracle final : public SubmodularOracle {
+ public:
+  explicit CoverageOracle(std::shared_ptr<const SetSystem> sets);
+
+  std::size_t ground_size() const noexcept override {
+    return sets_->num_sets();
+  }
+  double max_value() const noexcept override {
+    return static_cast<double>(sets_->universe_size());
+  }
+
+  std::uint64_t covered_count() const noexcept { return covered_count_; }
+  const SetSystem& set_system() const noexcept { return *sets_; }
+
+ protected:
+  double do_gain(ElementId x) const override;
+  double do_add(ElementId x) override;
+  std::unique_ptr<SubmodularOracle> do_clone() const override;
+
+ private:
+  std::shared_ptr<const SetSystem> sets_;
+  std::vector<std::uint8_t> covered_;
+  std::uint64_t covered_count_ = 0;
+};
+
+// Weighted coverage: each universe element has a non-negative weight;
+// f(S) = total weight covered.
+class WeightedCoverageOracle final : public SubmodularOracle {
+ public:
+  // Preconditions: weights.size() == sets->universe_size(), weights >= 0.
+  WeightedCoverageOracle(std::shared_ptr<const SetSystem> sets,
+                         std::vector<double> weights);
+
+  std::size_t ground_size() const noexcept override {
+    return sets_->num_sets();
+  }
+  double max_value() const noexcept override { return total_weight_; }
+
+ protected:
+  double do_gain(ElementId x) const override;
+  double do_add(ElementId x) override;
+  std::unique_ptr<SubmodularOracle> do_clone() const override;
+
+ private:
+  std::shared_ptr<const SetSystem> sets_;
+  std::shared_ptr<const std::vector<double>> weights_;  // shared, immutable
+  std::vector<std::uint8_t> covered_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace bds

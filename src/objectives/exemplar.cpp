@@ -1,0 +1,140 @@
+#include "objectives/exemplar.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace bds {
+
+PointSet::PointSet(std::size_t n, std::size_t dim, std::vector<float> data)
+    : n_(n), dim_(dim), data_(std::move(data)) {
+  if (dim == 0) throw std::invalid_argument("PointSet: dim must be positive");
+  if (data_.size() != n * dim) {
+    throw std::invalid_argument("PointSet: data size != n * dim");
+  }
+}
+
+void PointSet::normalize_rows() noexcept {
+  for (std::size_t i = 0; i < n_; ++i) {
+    float* row = data_.data() + i * dim_;
+    double norm2 = 0.0;
+    for (std::size_t d = 0; d < dim_; ++d) norm2 += double(row[d]) * row[d];
+    if (norm2 <= 0.0) continue;
+    const auto inv = static_cast<float>(1.0 / std::sqrt(norm2));
+    for (std::size_t d = 0; d < dim_; ++d) row[d] *= inv;
+  }
+}
+
+double squared_l2(std::span<const float> a,
+                  std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double diff = double(a[d]) - double(b[d]);
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+ExemplarOracle::ExemplarOracle(std::shared_ptr<const PointSet> points,
+                               double p0_dist)
+    : points_(std::move(points)), p0_dist_(p0_dist) {
+  if (!points_ || points_->size() == 0) {
+    throw std::invalid_argument("ExemplarOracle: empty point set");
+  }
+  if (p0_dist <= 0.0) {
+    throw std::invalid_argument("ExemplarOracle: p0_dist must be positive");
+  }
+  min_dist_.assign(points_->size(), p0_dist_);
+}
+
+double ExemplarOracle::clustering_cost() const noexcept {
+  double cost = 0.0;
+  for (const double d : min_dist_) cost += d;
+  return cost;
+}
+
+double ExemplarOracle::do_gain(ElementId x) const {
+  const auto px = points_->point(x);
+  double gain = 0.0;
+  for (std::size_t v = 0; v < min_dist_.size(); ++v) {
+    const double d = squared_l2(points_->point(v), px);
+    if (d < min_dist_[v]) gain += min_dist_[v] - d;
+  }
+  return gain;
+}
+
+double ExemplarOracle::do_add(ElementId x) {
+  const auto px = points_->point(x);
+  double gain = 0.0;
+  for (std::size_t v = 0; v < min_dist_.size(); ++v) {
+    const double d = squared_l2(points_->point(v), px);
+    if (d < min_dist_[v]) {
+      gain += min_dist_[v] - d;
+      min_dist_[v] = d;
+    }
+  }
+  return gain;
+}
+
+std::unique_ptr<SubmodularOracle> ExemplarOracle::do_clone() const {
+  return std::make_unique<ExemplarOracle>(*this);
+}
+
+SampledExemplarOracle::SampledExemplarOracle(
+    std::shared_ptr<const PointSet> points, double p0_dist,
+    std::size_t sample_size, util::Rng& rng)
+    : points_(std::move(points)), p0_dist_(p0_dist) {
+  if (!points_ || points_->size() == 0) {
+    throw std::invalid_argument("SampledExemplarOracle: empty point set");
+  }
+  if (p0_dist <= 0.0) {
+    throw std::invalid_argument(
+        "SampledExemplarOracle: p0_dist must be positive");
+  }
+  if (sample_size == 0) {
+    throw std::invalid_argument(
+        "SampledExemplarOracle: sample_size must be positive");
+  }
+  sample_size = std::min(sample_size, points_->size());
+  auto ids = rng.sample_without_replacement(points_->size(), sample_size);
+  auto sample = std::make_shared<std::vector<std::uint32_t>>();
+  sample->reserve(ids.size());
+  for (const auto id : ids) sample->push_back(static_cast<std::uint32_t>(id));
+  sample_ = std::move(sample);
+  scale_ = static_cast<double>(points_->size()) /
+           static_cast<double>(sample_->size());
+  min_dist_.assign(sample_->size(), p0_dist_);
+}
+
+double SampledExemplarOracle::do_gain(ElementId x) const {
+  const auto px = points_->point(x);
+  const auto& sample = *sample_;
+  double gain = 0.0;
+  for (std::size_t s = 0; s < sample.size(); ++s) {
+    const double d = squared_l2(points_->point(sample[s]), px);
+    if (d < min_dist_[s]) gain += min_dist_[s] - d;
+  }
+  return gain * scale_;
+}
+
+double SampledExemplarOracle::do_add(ElementId x) {
+  const auto px = points_->point(x);
+  const auto& sample = *sample_;
+  double gain = 0.0;
+  for (std::size_t s = 0; s < sample.size(); ++s) {
+    const double d = squared_l2(points_->point(sample[s]), px);
+    if (d < min_dist_[s]) {
+      gain += min_dist_[s] - d;
+      min_dist_[s] = d;
+    }
+  }
+  return gain * scale_;
+}
+
+std::unique_ptr<SubmodularOracle> SampledExemplarOracle::do_clone() const {
+  return std::make_unique<SampledExemplarOracle>(*this);
+}
+
+}  // namespace bds

@@ -1,0 +1,121 @@
+// Exemplar-based clustering (§4.2): given points with a squared-L2 distance
+// and a phantom exemplar p0 at distance d0 from every point, maximize
+//
+//   f(S) = c({p0}) − c(S ∪ {p0}),   c(S) = Σ_v min_{s∈S} dist(v, s),
+//
+// a monotone submodular function; maximizing it minimizes clustering cost.
+//
+// Two oracles are provided:
+//  * ExemplarOracle — exact; each evaluation touches every point: O(n·dim).
+//  * SampledExemplarOracle — the paper's estimation scheme: the objective is
+//    estimated on a fixed uniform sample V' (500 points per machine in §4.2),
+//    scaled by n/|V'|. Distributed machines each receive an independent
+//    sample; exact values for reporting are always recomputed with the exact
+//    oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "objectives/submodular.h"
+#include "util/element.h"
+#include "util/rng.h"
+
+namespace bds {
+
+// Immutable row-major point matrix (float storage; accumulation in double).
+class PointSet {
+ public:
+  // Preconditions: dim > 0, data.size() == n * dim.
+  PointSet(std::size_t n, std::size_t dim, std::vector<float> data);
+
+  std::size_t size() const noexcept { return n_; }
+  std::size_t dim() const noexcept { return dim_; }
+
+  std::span<const float> point(std::size_t i) const noexcept {
+    return std::span<const float>(data_.data() + i * dim_, dim_);
+  }
+
+  // Scales every point to unit L2 norm (zero vectors are left untouched),
+  // matching the paper's preprocessing.
+  void normalize_rows() noexcept;
+
+ private:
+  std::size_t n_;
+  std::size_t dim_;
+  std::vector<float> data_;
+};
+
+// Squared Euclidean distance between two equal-length vectors.
+double squared_l2(std::span<const float> a, std::span<const float> b) noexcept;
+
+// Exact exemplar-clustering oracle over all points of `points`.
+// p0_dist is dist(v, p0) for every v — the paper fixes it to 2, an upper
+// bound on the squared distance of unit vectors with non-negative dot
+// products.
+class ExemplarOracle final : public SubmodularOracle {
+ public:
+  // Preconditions: points non-null and non-empty, p0_dist > 0.
+  ExemplarOracle(std::shared_ptr<const PointSet> points, double p0_dist);
+
+  std::size_t ground_size() const noexcept override {
+    return points_->size();
+  }
+  // f(S) <= c({p0}) = n * p0_dist for any S.
+  double max_value() const noexcept override {
+    return static_cast<double>(points_->size()) * p0_dist_;
+  }
+
+  // Current clustering cost c(S ∪ {p0}) = Σ_v min_dist[v].
+  double clustering_cost() const noexcept;
+  double p0_dist() const noexcept { return p0_dist_; }
+
+ protected:
+  double do_gain(ElementId x) const override;
+  double do_add(ElementId x) override;
+  std::unique_ptr<SubmodularOracle> do_clone() const override;
+
+ private:
+  std::shared_ptr<const PointSet> points_;
+  double p0_dist_;
+  std::vector<double> min_dist_;  // min over S ∪ {p0}; starts at p0_dist
+};
+
+// Sampled estimate: identical semantics, but cost terms are summed over a
+// fixed uniform sample of `sample_size` points and scaled by n/sample_size.
+// Gains/values are unbiased estimates of the exact oracle's.
+class SampledExemplarOracle final : public SubmodularOracle {
+ public:
+  // Preconditions as ExemplarOracle; additionally 0 < sample_size.
+  // sample_size is clamped to the point count. `rng` draws the sample.
+  SampledExemplarOracle(std::shared_ptr<const PointSet> points,
+                        double p0_dist, std::size_t sample_size,
+                        util::Rng& rng);
+
+  std::size_t ground_size() const noexcept override {
+    return points_->size();
+  }
+  double max_value() const noexcept override {
+    return static_cast<double>(points_->size()) * p0_dist_;
+  }
+
+  std::span<const std::uint32_t> sample_ids() const noexcept {
+    return *sample_;
+  }
+
+ protected:
+  double do_gain(ElementId x) const override;
+  double do_add(ElementId x) override;
+  std::unique_ptr<SubmodularOracle> do_clone() const override;
+
+ private:
+  std::shared_ptr<const PointSet> points_;
+  double p0_dist_;
+  double scale_;  // n / |sample|
+  std::shared_ptr<const std::vector<std::uint32_t>> sample_;
+  std::vector<double> min_dist_;  // parallel to *sample_
+};
+
+}  // namespace bds

@@ -1,0 +1,42 @@
+#include "objectives/jl_projection.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace bds {
+
+PointSet jl_project(const PointSet& input, std::size_t target_dim,
+                    std::uint64_t seed) {
+  if (target_dim == 0) {
+    throw std::invalid_argument("jl_project: target_dim must be positive");
+  }
+  const std::size_t n = input.size();
+  const std::size_t d = input.dim();
+  const auto scale = static_cast<float>(1.0 / std::sqrt(double(target_dim)));
+
+  // Materialize the sign matrix row-by-row as packed bits to keep memory at
+  // d * target_dim / 8 bytes (3072x300 ~ 115 KiB).
+  util::Rng rng(seed);
+  const std::size_t words_per_row = (d + 63) / 64;
+  std::vector<std::uint64_t> signs(target_dim * words_per_row);
+  for (auto& w : signs) w = rng.next_u64();
+
+  std::vector<float> out(n * target_dim, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = input.point(i);
+    float* y = out.data() + i * target_dim;
+    for (std::size_t t = 0; t < target_dim; ++t) {
+      const std::uint64_t* row = signs.data() + t * words_per_row;
+      double acc = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const bool neg = (row[j >> 6] >> (j & 63)) & 1u;
+        acc += neg ? -double(x[j]) : double(x[j]);
+      }
+      y[t] = static_cast<float>(acc) * scale;
+    }
+  }
+  return PointSet(n, target_dim, std::move(out));
+}
+
+}  // namespace bds

@@ -1,0 +1,23 @@
+// Achlioptas-style Johnson–Lindenstrauss random projection (±1 entries,
+// scaled by 1/√target_dim). §4.2 projects TinyImages' 3072-dim vectors to
+// 300 dims before optimization; reported objective values are computed on
+// the originals.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "objectives/exemplar.h"
+#include "util/rng.h"
+
+namespace bds {
+
+// Projects every point of `input` into `target_dim` dimensions using a dense
+// random sign matrix R with entries ±1/√target_dim: y = R x. Squared
+// distances are preserved within (1±ε) with high probability for
+// target_dim = Ω(log n / ε²).
+// Preconditions: target_dim > 0.
+PointSet jl_project(const PointSet& input, std::size_t target_dim,
+                    std::uint64_t seed);
+
+}  // namespace bds

@@ -1,0 +1,57 @@
+// Informative-subset selection (active set selection for non-parametric
+// learning — the paper's intro application [15], Guillory & Bilmes):
+//
+//   f(S) = ½ · log det(I + σ⁻² K_S),
+//
+// where K_S is the kernel (Gram) matrix of the selected points. Monotone
+// submodular for any PSD kernel; the classic objective for choosing an
+// informative active set for Gaussian-process regression (it is exactly the
+// information gain of observing S under noise variance σ²).
+//
+// The oracle keeps an incremental Cholesky factor of (I + σ⁻²K_S):
+//   gain(x)  = ½ log(1 + σ⁻² · Var[x | S])   — O(|S|²) per evaluation,
+//   add(x)   = extend the factor             — O(|S|²).
+// Kernel: RBF k(a,b) = exp(−‖a−b‖² / (2·bandwidth²)) over a PointSet.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "objectives/exemplar.h"
+#include "objectives/submodular.h"
+#include "util/element.h"
+#include "util/linalg.h"
+
+namespace bds {
+
+class LogDetOracle final : public SubmodularOracle {
+ public:
+  // Preconditions: points non-null and non-empty, bandwidth > 0,
+  // noise_variance > 0 (throws std::invalid_argument otherwise).
+  LogDetOracle(std::shared_ptr<const PointSet> points, double bandwidth,
+               double noise_variance);
+
+  std::size_t ground_size() const noexcept override {
+    return points_->size();
+  }
+
+  // RBF kernel value between points a and b.
+  double kernel(ElementId a, ElementId b) const noexcept;
+
+ protected:
+  double do_gain(ElementId x) const override;
+  double do_add(ElementId x) override;
+  std::unique_ptr<SubmodularOracle> do_clone() const override;
+
+ private:
+  // Column of σ⁻²·k(x, s) over the currently selected s (factor order).
+  std::vector<double> scaled_column(ElementId x) const;
+
+  std::shared_ptr<const PointSet> points_;
+  double inv_two_bw2_;      // 1 / (2·bandwidth²)
+  double inv_noise_;        // σ⁻²
+  std::vector<ElementId> selected_;  // factor order
+  util::IncrementalCholesky chol_;   // factor of I + σ⁻² K_S
+};
+
+}  // namespace bds

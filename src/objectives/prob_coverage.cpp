@@ -1,0 +1,95 @@
+#include "objectives/prob_coverage.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bds {
+
+ProbSetSystem::ProbSetSystem(std::vector<std::vector<Entry>> sets,
+                             std::uint32_t universe_size)
+    : universe_size_(universe_size) {
+  offsets_.reserve(sets.size() + 1);
+  offsets_.push_back(0);
+  std::size_t total = 0;
+  for (const auto& s : sets) total += s.size();
+  entries_.reserve(total);
+  std::vector<std::uint32_t> scratch;
+  for (const auto& s : sets) {
+    for (const Entry& e : s) {
+      if (e.element >= universe_size) {
+        throw std::out_of_range("ProbSetSystem: element beyond universe");
+      }
+      if (e.probability < 0.0f || e.probability > 1.0f) {
+        throw std::invalid_argument(
+            "ProbSetSystem: probability outside [0, 1]");
+      }
+      entries_.push_back(e);
+    }
+    // Reject duplicate elements within one set: the incremental gain()
+    // formula assumes each element appears at most once per item.
+    scratch.clear();
+    for (const Entry& e : s) scratch.push_back(e.element);
+    std::sort(scratch.begin(), scratch.end());
+    if (std::adjacent_find(scratch.begin(), scratch.end()) != scratch.end()) {
+      throw std::invalid_argument(
+          "ProbSetSystem: duplicate element within a set");
+    }
+    offsets_.push_back(entries_.size());
+  }
+}
+
+ProbCoverageOracle::ProbCoverageOracle(
+    std::shared_ptr<const ProbSetSystem> sets)
+    : sets_(std::move(sets)),
+      uncovered_prob_(sets_->universe_size(), 1.0),
+      in_set_(sets_->num_sets(), 0),
+      total_weight_(static_cast<double>(sets_->universe_size())) {}
+
+ProbCoverageOracle::ProbCoverageOracle(
+    std::shared_ptr<const ProbSetSystem> sets, std::vector<double> weights)
+    : sets_(std::move(sets)),
+      uncovered_prob_(sets_->universe_size(), 1.0),
+      in_set_(sets_->num_sets(), 0) {
+  if (weights.size() != sets_->universe_size()) {
+    throw std::invalid_argument(
+        "ProbCoverageOracle: one weight per universe element required");
+  }
+  for (const double w : weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument(
+          "ProbCoverageOracle: weights must be non-negative");
+    }
+    total_weight_ += w;
+  }
+  weights_ = std::make_shared<const std::vector<double>>(std::move(weights));
+}
+
+double ProbCoverageOracle::do_gain(ElementId x) const {
+  if (in_set_[x]) return 0.0;  // set semantics: members re-add for free
+  // Adding x multiplies each touched element's uncovered probability by
+  // (1 − p): the expected newly covered weight is w_u · q_u · p.
+  double gain = 0.0;
+  for (const auto& entry : sets_->set_entries(x)) {
+    gain += weight_of(entry.element) * uncovered_prob_[entry.element] *
+            double(entry.probability);
+  }
+  return gain;
+}
+
+double ProbCoverageOracle::do_add(ElementId x) {
+  if (in_set_[x]) return 0.0;
+  in_set_[x] = 1;
+  double gain = 0.0;
+  for (const auto& entry : sets_->set_entries(x)) {
+    const double q = uncovered_prob_[entry.element];
+    gain += weight_of(entry.element) * q * double(entry.probability);
+    uncovered_prob_[entry.element] = q * (1.0 - double(entry.probability));
+  }
+  return gain;
+}
+
+std::unique_ptr<SubmodularOracle> ProbCoverageOracle::do_clone() const {
+  return std::make_unique<ProbCoverageOracle>(*this);
+}
+
+}  // namespace bds

@@ -1,0 +1,86 @@
+// Probabilistic (soft) coverage: each item i covers universe element u only
+// with probability p_{i,u}; the objective is the expected covered weight
+//
+//   f(S) = Σ_u w_u · (1 − Π_{i∈S} (1 − p_{i,u})),
+//
+// a classic monotone submodular function (independent-cascade-style
+// influence on a bipartite graph, soft sensor coverage, weighted keyword
+// coverage with click-through rates). Strictly generalizes CoverageOracle
+// (p ∈ {0,1}) and gives the library an objective whose marginal gains never
+// hit zero exactly — useful for exercising the algorithms away from the
+// saturation regime of hard coverage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "objectives/submodular.h"
+#include "util/element.h"
+
+namespace bds {
+
+// CSR-packed bipartite item -> (element, probability) lists.
+class ProbSetSystem {
+ public:
+  struct Entry {
+    std::uint32_t element;
+    float probability;  // in [0, 1]
+  };
+
+  // Throws std::out_of_range for elements >= universe_size and
+  // std::invalid_argument for probabilities outside [0, 1].
+  ProbSetSystem(std::vector<std::vector<Entry>> sets,
+                std::uint32_t universe_size);
+
+  std::size_t num_sets() const noexcept { return offsets_.size() - 1; }
+  std::uint32_t universe_size() const noexcept { return universe_size_; }
+  std::size_t total_entries() const noexcept { return entries_.size(); }
+
+  std::span<const Entry> set_entries(ElementId set_id) const noexcept {
+    return std::span<const Entry>(entries_.data() + offsets_[set_id],
+                                  offsets_[set_id + 1] - offsets_[set_id]);
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<Entry> entries_;
+  std::uint32_t universe_size_;
+};
+
+class ProbCoverageOracle final : public SubmodularOracle {
+ public:
+  // Unit weights.
+  explicit ProbCoverageOracle(std::shared_ptr<const ProbSetSystem> sets);
+  // Per-element non-negative weights; weights.size() must equal the
+  // universe size (throws std::invalid_argument otherwise).
+  ProbCoverageOracle(std::shared_ptr<const ProbSetSystem> sets,
+                     std::vector<double> weights);
+
+  std::size_t ground_size() const noexcept override {
+    return sets_->num_sets();
+  }
+  double max_value() const noexcept override { return total_weight_; }
+
+ protected:
+  double do_gain(ElementId x) const override;
+  double do_add(ElementId x) override;
+  std::unique_ptr<SubmodularOracle> do_clone() const override;
+
+ private:
+  std::shared_ptr<const ProbSetSystem> sets_;
+  std::shared_ptr<const std::vector<double>> weights_;  // may be null (unit)
+  // Π_{i∈S} (1 − p_{i,u}) per universe element: 1.0 initially.
+  std::vector<double> uncovered_prob_;
+  // Set-function semantics: members contribute exactly once; re-adding an
+  // already-selected item gains nothing.
+  std::vector<std::uint8_t> in_set_;
+  double total_weight_ = 0.0;
+
+  double weight_of(std::uint32_t element) const noexcept {
+    return weights_ ? (*weights_)[element] : 1.0;
+  }
+};
+
+}  // namespace bds

@@ -1,0 +1,18 @@
+#include "objectives/submodular.h"
+
+namespace bds {
+
+std::unique_ptr<SubmodularOracle> seeded_clone(
+    const SubmodularOracle& proto, std::span<const ElementId> seed) {
+  auto oracle = proto.clone();
+  for (const ElementId x : seed) oracle->add(x);
+  return oracle;
+}
+
+double evaluate_set(const SubmodularOracle& proto,
+                    std::span<const ElementId> extra) {
+  const auto oracle = seeded_clone(proto, extra);
+  return oracle->value();
+}
+
+}  // namespace bds

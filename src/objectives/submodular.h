@@ -1,0 +1,101 @@
+// The submodular-oracle abstraction every algorithm in src/core is written
+// against.
+//
+// An oracle is *stateful*: it carries a current solution set S and answers
+// marginal-gain queries Δ(x, S) = f(S ∪ {x}) − f(S) against it. Statefulness
+// is what makes the objectives fast — coverage keeps a covered bitmap,
+// exemplar clustering keeps a min-distance array — so a gain query costs
+// O(|set x|) or O(n_sample) instead of re-evaluating f from scratch.
+//
+// The distributed algorithms rely on clone(): when round ℓ starts, the
+// coordinator's oracle holds exactly the accumulated solution A_{ℓ-1}; each
+// logical machine receives a clone of it (same set state, fresh evaluation
+// counter) and greedily extends its own copy over its shard. Evaluation
+// counters feed the cluster simulator's work accounting.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/element.h"
+
+namespace bds {
+
+class SubmodularOracle {
+ public:
+  virtual ~SubmodularOracle() = default;
+
+  // Δ(x, S) for the current S. Counts one oracle evaluation. For a monotone
+  // f this is always >= 0 (sampled oracles may return small negatives from
+  // estimation noise; callers clamp where it matters).
+  double gain(ElementId x) {
+    ++evals_;
+    return do_gain(x);
+  }
+
+  // Commits x into S and returns its realized marginal gain.
+  // Counts one oracle evaluation. Adding an element twice is permitted and
+  // contributes zero gain.
+  double add(ElementId x) {
+    ++evals_;
+    const double g = do_add(x);
+    set_.push_back(x);
+    value_ += g;
+    return g;
+  }
+
+  // f(S) for the current S (for sampled oracles: the current estimate).
+  double value() const noexcept { return value_; }
+
+  // The committed solution, in insertion order.
+  const std::vector<ElementId>& current_set() const noexcept { return set_; }
+
+  // Number of selectable elements (ids are [0, ground_size())).
+  virtual std::size_t ground_size() const noexcept = 0;
+
+  // A trivial upper bound on f over *any* set, if the objective has one
+  // (coverage: universe size). +inf when no such bound exists.
+  virtual double max_value() const noexcept {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  // Deep copy: identical set state, evaluation counter reset to zero.
+  std::unique_ptr<SubmodularOracle> clone() const {
+    auto copy = do_clone();
+    copy->evals_ = 0;
+    return copy;
+  }
+
+  // Evaluations (gain + add calls) performed since construction/clone.
+  std::uint64_t evals() const noexcept { return evals_; }
+
+ protected:
+  SubmodularOracle() = default;
+  SubmodularOracle(const SubmodularOracle&) = default;
+  SubmodularOracle& operator=(const SubmodularOracle&) = default;
+
+  virtual double do_gain(ElementId x) const = 0;
+  virtual double do_add(ElementId x) = 0;
+  virtual std::unique_ptr<SubmodularOracle> do_clone() const = 0;
+
+ private:
+  std::vector<ElementId> set_;
+  double value_ = 0.0;
+  std::uint64_t evals_ = 0;
+};
+
+// Clones `proto` and commits every element of `seed` into the copy.
+// This is the "oracle for g(B) = f(B ∪ S) − f(S)" the analysis in §2.1 works
+// with: gains of the returned oracle are exactly marginals on top of `seed`.
+std::unique_ptr<SubmodularOracle> seeded_clone(
+    const SubmodularOracle& proto, std::span<const ElementId> seed);
+
+// Evaluates f(S) from scratch on a clone of `proto` (which may already hold
+// elements; they are included). Useful for tests and exact reporting.
+double evaluate_set(const SubmodularOracle& proto,
+                    std::span<const ElementId> extra);
+
+}  // namespace bds

@@ -1,0 +1,35 @@
+// Minimal RFC-4180-ish CSV writer. Benches optionally mirror each printed
+// table to a CSV file (BDS_CSV_DIR env var) for downstream plotting.
+#pragma once
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bds::util {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row.
+  // Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  // Writes one data row; cells containing commas/quotes/newlines are quoted.
+  void write_row(const std::vector<std::string>& cells);
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+
+  void write_cells(const std::vector<std::string>& cells);
+};
+
+// If the BDS_CSV_DIR environment variable is set, returns
+// "<BDS_CSV_DIR>/<name>.csv", else nullopt. Benches use this to decide
+// whether to mirror tables to disk.
+std::optional<std::string> csv_output_path(const std::string& name);
+
+}  // namespace bds::util

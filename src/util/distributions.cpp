@@ -1,0 +1,91 @@
+#include "util/distributions.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bds::util {
+
+double sample_normal(Rng& rng) noexcept {
+  // Marsaglia polar method; rejection loop accepts ~78.5% of candidate pairs.
+  for (;;) {
+    const double u = rng.next_double(-1.0, 1.0);
+    const double v = rng.next_double(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double sample_normal(Rng& rng, double mean, double sd) noexcept {
+  assert(sd >= 0.0);
+  return mean + sd * sample_normal(rng);
+}
+
+double sample_gamma(Rng& rng, double shape) noexcept {
+  assert(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+    const double g = sample_gamma(rng, shape + 1.0);
+    double u = rng.next_double();
+    while (u <= 0.0) u = rng.next_double();
+    return g * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = sample_normal(rng);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.next_double();
+    const double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2) return d * v;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+namespace {
+
+std::vector<double> normalize_gammas(std::vector<double> draws) {
+  double sum = 0.0;
+  for (double g : draws) sum += g;
+  if (sum <= 0.0) {
+    // All-zero underflow corner: fall back to the uniform simplex point.
+    const double uniform = 1.0 / static_cast<double>(draws.size());
+    for (double& g : draws) g = uniform;
+    return draws;
+  }
+  for (double& g : draws) g /= sum;
+  return draws;
+}
+
+}  // namespace
+
+std::vector<double> sample_dirichlet(Rng& rng, std::size_t dim, double alpha) {
+  assert(dim > 0);
+  assert(alpha > 0.0);
+  std::vector<double> draws(dim);
+  for (double& g : draws) g = sample_gamma(rng, alpha);
+  return normalize_gammas(std::move(draws));
+}
+
+std::vector<double> sample_dirichlet(Rng& rng,
+                                     std::span<const double> alphas) {
+  assert(!alphas.empty());
+  std::vector<double> draws(alphas.size());
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    assert(alphas[i] > 0.0);
+    draws[i] = sample_gamma(rng, alphas[i]);
+  }
+  return normalize_gammas(std::move(draws));
+}
+
+}  // namespace bds::util

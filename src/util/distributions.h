@@ -1,0 +1,33 @@
+// Portable samplers for the continuous distributions the dataset generators
+// need (normal, gamma, Dirichlet). Hand-rolled on top of util::Rng so every
+// generated dataset is bit-reproducible across standard libraries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bds::util {
+
+// Standard normal draw via Marsaglia's polar method (deterministic given the
+// Rng stream; no internal caching so call sites stay stateless).
+double sample_normal(Rng& rng) noexcept;
+
+// Normal with the given mean and standard deviation. Precondition: sd >= 0.
+double sample_normal(Rng& rng, double mean, double sd) noexcept;
+
+// Gamma(shape, 1) via Marsaglia & Tsang's squeeze method; handles
+// shape < 1 with the boosting trick. Precondition: shape > 0.
+double sample_gamma(Rng& rng, double shape) noexcept;
+
+// Dirichlet(alpha, ..., alpha) over `dim` coordinates: normalized i.i.d.
+// gamma draws. Preconditions: dim > 0, alpha > 0.
+std::vector<double> sample_dirichlet(Rng& rng, std::size_t dim, double alpha);
+
+// Dirichlet with a per-coordinate concentration vector.
+// Precondition: every alphas[i] > 0, alphas non-empty.
+std::vector<double> sample_dirichlet(Rng& rng, std::span<const double> alphas);
+
+}  // namespace bds::util

@@ -1,0 +1,16 @@
+// The ground-set element handle shared by every module: objectives score
+// elements, partitioners place them on machines, algorithms select them.
+// 32 bits covers every dataset in the paper's evaluation (max 80M items).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bds {
+
+using ElementId = std::uint32_t;
+
+inline constexpr ElementId kInvalidElement =
+    std::numeric_limits<ElementId>::max();
+
+}  // namespace bds

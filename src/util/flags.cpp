@@ -1,0 +1,109 @@
+#include "util/flags.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bds::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = body.substr(0, eq);
+      if (name.empty()) {
+        throw std::invalid_argument("flags: malformed argument " + arg);
+      }
+      values_[name] = body.substr(eq + 1);
+    } else {
+      if (body.empty()) {
+        throw std::invalid_argument("flags: malformed argument " + arg);
+      }
+      // "--name value" when the next token is not itself a flag and the
+      // current token has no '=', otherwise bare boolean.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[body] = argv[++i];
+      } else {
+        values_[body] = "";
+      }
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::optional<std::string> Flags::raw(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  return raw(name).value_or(fallback);
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t parsed = std::stoll(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing chars");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flags: --" + name + " expects an integer, got '" +
+                                *v + "'");
+  }
+}
+
+std::uint64_t Flags::get_uint(const std::string& name,
+                              std::uint64_t fallback) const {
+  const std::int64_t v =
+      get_int(name, static_cast<std::int64_t>(fallback));
+  if (v < 0) {
+    throw std::invalid_argument("flags: --" + name + " must be non-negative");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing chars");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flags: --" + name + " expects a number, got '" +
+                                *v + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  if (v->empty() || *v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw std::invalid_argument("flags: --" + name + " expects a boolean, got '" +
+                              *v + "'");
+}
+
+std::vector<std::string> Flags::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [name, value] : values_) out.push_back(name);
+  return out;
+}
+
+}  // namespace bds::util

@@ -1,0 +1,51 @@
+// Minimal command-line flag parsing for the CLI tools and examples:
+// `--name=value`, `--name value` and boolean `--name` forms, with typed
+// accessors, defaults, and an auto-generated usage string. Deliberately
+// tiny — no subcommands, no repeated flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bds::util {
+
+class Flags {
+ public:
+  // Parses argv. Unknown arguments that do not start with "--" are
+  // collected as positional arguments. Throws std::invalid_argument on a
+  // malformed flag (e.g. "--=x").
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  // Typed getters with defaults. Throw std::invalid_argument when the flag
+  // is present but not parseable as the requested type.
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  std::uint64_t get_uint(const std::string& name,
+                         std::uint64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  // Boolean: bare "--name" or "--name=true/false/1/0".
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  const std::string& program() const noexcept { return program_; }
+
+  // All parsed flag names (for unknown-flag diagnostics in tools).
+  std::vector<std::string> names() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> values_;  // "" for bare boolean flags
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bds::util

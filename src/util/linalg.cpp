@@ -1,0 +1,80 @@
+#include "util/linalg.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace bds::util {
+
+namespace {
+
+// Index of row i's first entry in the packed lower triangle.
+constexpr std::size_t row_offset(std::size_t i) noexcept {
+  return i * (i + 1) / 2;
+}
+
+}  // namespace
+
+double IncrementalCholesky::entry(std::size_t i, std::size_t j) const noexcept {
+  assert(j <= i && i < n_);
+  return rows_[row_offset(i) + j];
+}
+
+void IncrementalCholesky::forward_solve(std::span<double> b) const noexcept {
+  assert(b.size() == n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = b[i];
+    const double* row = rows_.data() + row_offset(i);
+    for (std::size_t j = 0; j < i; ++j) acc -= row[j] * b[j];
+    b[i] = acc / row[i];
+  }
+}
+
+double IncrementalCholesky::conditional_variance(
+    std::span<const double> col, double diag) const {
+  assert(col.size() == n_);
+  std::vector<double> v(col.begin(), col.end());
+  forward_solve(v);
+  double vtv = 0.0;
+  for (const double x : v) vtv += x * x;
+  return diag - vtv;
+}
+
+void IncrementalCholesky::extend(std::span<const double> col, double diag) {
+  assert(col.size() == n_);
+  std::vector<double> v(col.begin(), col.end());
+  forward_solve(v);
+  double vtv = 0.0;
+  for (const double x : v) vtv += x * x;
+  const double schur = diag - vtv;
+  if (schur <= 0.0) {
+    throw std::domain_error("IncrementalCholesky: matrix not positive definite");
+  }
+  rows_.insert(rows_.end(), v.begin(), v.end());
+  rows_.push_back(std::sqrt(schur));
+  ++n_;
+}
+
+double IncrementalCholesky::log_det() const noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    acc += 2.0 * std::log(rows_[row_offset(i) + i]);
+  }
+  return acc;
+}
+
+double cholesky_log_det(std::span<const double> matrix, std::size_t n) {
+  if (matrix.size() != n * n) {
+    throw std::invalid_argument("cholesky_log_det: matrix size != n*n");
+  }
+  IncrementalCholesky chol;
+  std::vector<double> col;
+  for (std::size_t i = 0; i < n; ++i) {
+    col.assign(i, 0.0);
+    for (std::size_t j = 0; j < i; ++j) col[j] = matrix[i * n + j];
+    chol.extend(col, matrix[i * n + i]);
+  }
+  return chol.log_det();
+}
+
+}  // namespace bds::util

@@ -1,0 +1,53 @@
+// Minimal dense linear algebra for the log-determinant objective:
+// column-major symmetric matrices, Cholesky factorization with incremental
+// rank-one extension, and triangular solves. Deliberately small — just what
+// an informative-subset oracle needs, no BLAS dependency.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bds::util {
+
+// Lower-triangular Cholesky factor L (row-major, packed square) of a
+// symmetric positive-definite matrix that grows one row/column at a time.
+// Supports the log-det objective's incremental updates:
+//   extend(col, diag): appends a row given the new column's cross terms
+//   against the existing rows and its diagonal entry.
+class IncrementalCholesky {
+ public:
+  std::size_t size() const noexcept { return n_; }
+
+  // L[i][j] for j <= i < size().
+  double entry(std::size_t i, std::size_t j) const noexcept;
+
+  // Solves L y = b in-place over the current factor (forward substitution).
+  // Precondition: b.size() == size().
+  void forward_solve(std::span<double> b) const noexcept;
+
+  // The Schur complement d − v^T v where L v = col: the variance of the new
+  // point conditioned on the current set. Returns the value WITHOUT
+  // mutating the factor. Precondition: col.size() == size().
+  double conditional_variance(std::span<const double> col,
+                              double diag) const;
+
+  // Appends the new row/column. Throws std::domain_error if the matrix is
+  // not positive definite (conditional variance <= 0).
+  // Preconditions as conditional_variance.
+  void extend(std::span<const double> col, double diag);
+
+  // Σ 2·log(L[i][i]) = log det of the factored matrix.
+  double log_det() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> rows_;  // packed lower triangle, row-major
+};
+
+// One-shot Cholesky log-determinant of a dense symmetric positive-definite
+// matrix (row-major n×n). Throws std::domain_error if not PD. Used by tests
+// to cross-check the incremental path.
+double cholesky_log_det(std::span<const double> matrix, std::size_t n);
+
+}  // namespace bds::util

@@ -1,0 +1,89 @@
+// Deterministic, portable pseudo-random number generation.
+//
+// Experiment reproducibility requires bit-identical random streams across
+// platforms and standard-library versions, so we hand-roll the generators
+// (SplitMix64 for seeding, xoshiro256** as the workhorse) instead of using
+// <random> engines/distributions whose outputs are implementation-defined.
+//
+// Rng is cheap to copy and to split: `split()` derives an independent child
+// stream, which is how the distributed simulator hands every logical machine
+// its own deterministic stream regardless of thread scheduling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace bds::util {
+
+// SplitMix64 step: used both as a standalone mixer and to expand a 64-bit
+// seed into the 256-bit xoshiro state. Reference: Steele, Lea & Flood,
+// "Fast splittable pseudorandom number generators" (OOPSLA'14).
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+// xoshiro256** 1.0 (Blackman & Vigna), a small, fast, high-quality PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  // Seeds the four state words by iterating SplitMix64 on `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  // Next raw 64-bit draw.
+  std::uint64_t next_u64() noexcept;
+  result_type operator()() noexcept { return next_u64(); }
+
+  // Unbiased uniform integer in [0, bound). Precondition: bound > 0.
+  // Uses Lemire's multiply-shift rejection method.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() noexcept;
+
+  // Uniform double in [lo, hi).
+  double next_double(double lo, double hi) noexcept;
+
+  // Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool next_bool(double p) noexcept;
+
+  // Derives an independent child generator. The parent advances, so
+  // successive splits yield distinct streams.
+  Rng split() noexcept;
+
+  // Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // k distinct values sampled uniformly from [0, n) in selection order.
+  // Floyd's algorithm when k << n, partial Fisher-Yates otherwise.
+  // Precondition: k <= n.
+  std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                        std::uint64_t k);
+
+  // Exposes raw state for tests of stream independence.
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+// Convenience: one SplitMix64 mix of `x` (stateless hash-style use).
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+}  // namespace bds::util

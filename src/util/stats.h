@@ -1,0 +1,44 @@
+// Small numerically-stable statistics helpers used by the benchmark harness
+// (Welford running moments, percentile summaries, confidence half-widths).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bds::util {
+
+// Single-pass running mean/variance (Welford). Merging two accumulators is
+// supported so per-thread stats can be combined after a parallel section.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStat& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  // Normal-approximation 95% confidence half-width of the mean.
+  double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Order statistic with linear interpolation; q in [0, 1].
+// Precondition: values non-empty. Copies and sorts internally.
+double percentile(std::span<const double> values, double q);
+
+// Convenience aggregates over a sample vector.
+double mean_of(std::span<const double> values);
+double stddev_of(std::span<const double> values);
+
+}  // namespace bds::util

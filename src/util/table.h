@@ -1,0 +1,40 @@
+// Column-aligned ASCII table builder. The benchmark harness prints every
+// reproduced paper table/figure series through this so outputs stay uniform
+// and diffable.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bds::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  Table(std::initializer_list<std::string> headers);
+
+  // Appends a row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  // Cell formatting helpers.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_pct(double ratio, int precision = 1);  // 0.981 -> "98.1%"
+  static std::string fmt_int(std::uint64_t v);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return headers_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  // Renders with a header rule; numeric-looking cells are right-aligned.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bds::util

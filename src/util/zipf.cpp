@@ -1,0 +1,34 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bds::util {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double exponent)
+    : n_(n), exponent_(exponent), cdf_(n) {
+  assert(n > 0);
+  assert(exponent >= 0.0);
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    acc += std::pow(static_cast<double>(i + 1), -exponent);
+    cdf_[i] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::uint64_t i) const noexcept {
+  assert(i < n_);
+  const double lo = (i == 0) ? 0.0 : cdf_[i - 1];
+  return cdf_[i] - lo;
+}
+
+}  // namespace bds::util

@@ -1,0 +1,35 @@
+// Zipf-distributed integer sampling, used by the Gutenberg-style bi-gram
+// dataset generator: P(X = i) ∝ 1 / (i+1)^s for i in [0, n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bds::util {
+
+// Precomputed-CDF Zipf sampler. Construction is O(n); each draw is
+// O(log n) via binary search on the CDF. Exact (no rejection bias), which
+// matters for the distribution-shape tests.
+class ZipfSampler {
+ public:
+  // Preconditions: n > 0, exponent >= 0 (exponent 0 degenerates to uniform).
+  ZipfSampler(std::uint64_t n, double exponent);
+
+  // Draws a rank in [0, n); rank 0 is the most likely outcome.
+  std::uint64_t sample(Rng& rng) const noexcept;
+
+  std::uint64_t size() const noexcept { return n_; }
+  double exponent() const noexcept { return exponent_; }
+
+  // Probability mass of rank i (for tests). Precondition: i < n.
+  double pmf(std::uint64_t i) const noexcept;
+
+ private:
+  std::uint64_t n_;
+  double exponent_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i); cdf_.back() == 1.0
+};
+
+}  // namespace bds::util

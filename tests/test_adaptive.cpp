@@ -1,0 +1,131 @@
+#include "core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "data/synthetic_coverage.h"
+#include "objectives/coverage.h"
+#include "test_support.h"
+
+namespace bds {
+namespace {
+
+using testing::iota_ids;
+using testing::random_set_system;
+
+TEST(Adaptive, ValidatesArguments) {
+  const auto sys = random_set_system(20, 30, 0.2, 1);
+  const CoverageOracle proto(sys);
+  AdaptiveConfig cfg;
+  cfg.k = 0;
+  EXPECT_THROW(adaptive_bicriteria(proto, iota_ids(20), cfg),
+               std::invalid_argument);
+  cfg = {};
+  cfg.target_ratio = 1.0;
+  EXPECT_THROW(adaptive_bicriteria(proto, iota_ids(20), cfg),
+               std::invalid_argument);
+  cfg = {};
+  cfg.max_rounds = 0;
+  EXPECT_THROW(adaptive_bicriteria(proto, iota_ids(20), cfg),
+               std::invalid_argument);
+}
+
+TEST(Adaptive, EasyInstanceStopsAfterOneRound) {
+  // Heavy-tailed instance: a handful of dominant sets, then singletons.
+  // After one round the top-k marginals are tiny, so the certificate is
+  // tight and the loop stops immediately. (Note the bound is inherently
+  // loose on disjoint *equal* sets — every remaining marginal is as large
+  // as a solution set's — so "easy" for the certificate means skewed.)
+  std::vector<std::vector<std::uint32_t>> sets;
+  std::uint32_t next = 0;
+  for (const std::uint32_t size : {50u, 25u, 12u, 6u, 3u}) {
+    std::vector<std::uint32_t> s;
+    for (std::uint32_t j = 0; j < size; ++j) s.push_back(next++);
+    sets.push_back(std::move(s));
+  }
+  for (int i = 0; i < 30; ++i) sets.push_back({next++});
+  const auto sys = std::make_shared<const SetSystem>(std::move(sets), next);
+  const CoverageOracle proto(sys);
+
+  AdaptiveConfig cfg;
+  cfg.k = 5;
+  cfg.target_ratio = 0.9;
+  const auto adaptive =
+      adaptive_bicriteria(proto, iota_ids(sys->num_sets()), cfg);
+  EXPECT_TRUE(adaptive.target_reached);
+  EXPECT_EQ(adaptive.result.rounds.size(), 1u);
+  EXPECT_GE(adaptive.certified_ratio, 0.9);
+}
+
+TEST(Adaptive, HardInstanceSpendsMoreRounds) {
+  data::SyntheticCoverageConfig data_cfg;
+  data_cfg.universe_size = 1'000;
+  data_cfg.planted_sets = 20;
+  data_cfg.random_sets = 3'000;
+  const auto instance = data::make_synthetic_coverage(data_cfg);
+  const CoverageOracle proto(instance.sets);
+  const auto ground = iota_ids(instance.sets->num_sets());
+
+  AdaptiveConfig cfg;
+  cfg.k = 20;
+  cfg.target_ratio = 0.97;
+  cfg.max_rounds = 6;
+  cfg.seed = 3;
+  const auto adaptive = adaptive_bicriteria(proto, ground, cfg);
+  // Needs >1 round of k items each to certify 97% on the hard instance.
+  EXPECT_GT(adaptive.result.rounds.size(), 1u);
+  // The certificate trajectory is monotone non-decreasing.
+  for (std::size_t i = 1; i < adaptive.ratio_after_round.size(); ++i) {
+    EXPECT_GE(adaptive.ratio_after_round[i] + 1e-9,
+              adaptive.ratio_after_round[i - 1]);
+  }
+  if (adaptive.target_reached) {
+    EXPECT_GE(adaptive.certified_ratio, cfg.target_ratio);
+  } else {
+    EXPECT_EQ(adaptive.result.rounds.size(), cfg.max_rounds);
+  }
+}
+
+TEST(Adaptive, CertificateIsSound) {
+  // Whatever the ratio claims, f(S) really is >= ratio * f(OPT_k): check
+  // against brute force on a tiny instance.
+  const auto sys = random_set_system(12, 24, 0.25, 5);
+  const CoverageOracle proto(sys);
+  AdaptiveConfig cfg;
+  cfg.k = 3;
+  cfg.target_ratio = 0.8;
+  const auto adaptive = adaptive_bicriteria(proto, iota_ids(12), cfg);
+
+  const auto opt = brute_force_opt(proto, iota_ids(12), 3);
+  EXPECT_GE(adaptive.result.value + 1e-9,
+            adaptive.certified_ratio * opt.value);
+}
+
+TEST(Adaptive, MaxRoundsBoundsWork) {
+  const auto sys = random_set_system(200, 400, 0.01, 7);
+  const CoverageOracle proto(sys);
+  AdaptiveConfig cfg;
+  cfg.k = 3;
+  cfg.items_per_round = 3;
+  cfg.target_ratio = 0.999;  // unreachable for k=3 on a sparse instance
+  cfg.max_rounds = 2;
+  const auto adaptive = adaptive_bicriteria(proto, iota_ids(200), cfg);
+  EXPECT_LE(adaptive.result.rounds.size(), 2u);
+  EXPECT_EQ(adaptive.ratio_after_round.size(),
+            adaptive.result.rounds.size());
+}
+
+TEST(Adaptive, ValueMatchesIndependentEvaluation) {
+  const auto sys = random_set_system(150, 200, 0.04, 9);
+  const CoverageOracle proto(sys);
+  AdaptiveConfig cfg;
+  cfg.k = 6;
+  cfg.target_ratio = 0.95;
+  const auto adaptive = adaptive_bicriteria(proto, iota_ids(150), cfg);
+  EXPECT_NEAR(adaptive.result.value,
+              evaluate_set(proto, adaptive.result.solution), 1e-9);
+  EXPECT_GT(adaptive.upper_bound, 0.0);
+}
+
+}  // namespace
+}  // namespace bds

@@ -1,0 +1,312 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/brute_force.h"
+#include "core/greedy.h"
+#include "objectives/coverage.h"
+#include "test_support.h"
+
+namespace bds {
+namespace {
+
+using testing::iota_ids;
+using testing::random_set_system;
+
+TEST(CentralizedGreedy, MatchesDirectGreedy) {
+  const auto sys = random_set_system(60, 120, 0.08, 1);
+  const CoverageOracle proto(sys);
+  const auto result = centralized_greedy(proto, iota_ids(60), 8);
+
+  auto oracle = proto.clone();
+  const auto direct = lazy_greedy(*oracle, iota_ids(60), 8, {true});
+  EXPECT_EQ(result.solution, direct.picks);
+  EXPECT_DOUBLE_EQ(result.value, oracle->value());
+  EXPECT_EQ(result.stats.num_rounds(), 1u);
+}
+
+TEST(CentralizedGreedy, NaiveFlagMatchesLazy) {
+  const auto sys = random_set_system(40, 80, 0.1, 2);
+  const CoverageOracle proto(sys);
+  const auto lazy = centralized_greedy(proto, iota_ids(40), 6, true);
+  const auto naive = centralized_greedy(proto, iota_ids(40), 6, false);
+  EXPECT_EQ(lazy.solution, naive.solution);
+}
+
+TEST(CentralizedBicriteria, OutputsKLogOneOverEpsItems) {
+  const auto sys = random_set_system(300, 600, 0.02, 3);
+  const CoverageOracle proto(sys);
+  const auto result =
+      centralized_bicriteria(proto, iota_ids(300), 10, 0.05);
+  // k ln(1/eps) = 10 * ln 20 ~ 30.
+  EXPECT_EQ(result.solution.size(),
+            std::size_t(std::ceil(10 * std::log(20.0))));
+  EXPECT_THROW(centralized_bicriteria(proto, iota_ids(300), 10, 0.0),
+               std::invalid_argument);
+}
+
+TEST(CentralizedBicriteria, BeatsPlainGreedyValue) {
+  const auto sys = random_set_system(200, 500, 0.02, 4);
+  const CoverageOracle proto(sys);
+  const auto plain = centralized_greedy(proto, iota_ids(200), 10);
+  const auto bi = centralized_bicriteria(proto, iota_ids(200), 10, 0.1);
+  EXPECT_GE(bi.value + 1e-9, plain.value);
+}
+
+class OneRoundFamily
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OneRoundFamily, AllBaselinesProduceValidSolutions) {
+  const auto sys = random_set_system(150, 200, 0.04, GetParam());
+  const CoverageOracle proto(sys);
+  OneRoundConfig cfg;
+  cfg.k = 8;
+  cfg.machines = 6;
+  cfg.seed = GetParam();
+
+  for (const auto& result :
+       {greedi(proto, iota_ids(150), cfg), rand_greedi(proto, iota_ids(150), cfg),
+        pseudo_greedy(proto, iota_ids(150), cfg)}) {
+    EXPECT_LE(result.solution.size(), 8u);
+    std::set<ElementId> unique(result.solution.begin(),
+                               result.solution.end());
+    EXPECT_EQ(unique.size(), result.solution.size());
+    EXPECT_NEAR(result.value, evaluate_set(proto, result.solution), 1e-9);
+    EXPECT_EQ(result.stats.num_rounds(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OneRoundFamily, ::testing::Values(1, 2, 3, 4));
+
+TEST(OneRoundBaselines, RespectTheirApproximationOnSmallInstances) {
+  // Empirically these algorithms do far better than their worst case; check
+  // a conservative floor vs brute OPT across seeds.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto sys = random_set_system(16, 40, 0.15, seed);
+    const CoverageOracle proto(sys);
+    const auto opt = brute_force_opt(proto, iota_ids(16), 3);
+    OneRoundConfig cfg;
+    cfg.k = 3;
+    cfg.machines = 4;
+    cfg.seed = seed;
+    EXPECT_GE(rand_greedi(proto, iota_ids(16), cfg).value,
+              0.316 * opt.value - 1e-9);
+    EXPECT_GE(pseudo_greedy(proto, iota_ids(16), cfg).value,
+              0.54 * opt.value - 1e-9);
+    EXPECT_GE(greedi(proto, iota_ids(16), cfg).value,
+              opt.value / 4.0 - 1e-9);  // 1/min(m,k) with m=4,k=3 -> 1/3
+  }
+}
+
+TEST(PseudoGreedy, MachinesReturnFourKItems) {
+  const auto sys = random_set_system(200, 300, 0.03, 7);
+  const CoverageOracle proto(sys);
+  OneRoundConfig cfg;
+  cfg.k = 5;
+  cfg.machines = 4;
+  cfg.stop_when_no_gain = false;
+  const auto result = pseudo_greedy(proto, iota_ids(200), cfg);
+  // 4 machines x 4k = 80 items gathered.
+  EXPECT_EQ(result.stats.rounds[0].elements_gathered, 4u * 4u * 5u);
+}
+
+TEST(GreediVsRandGreedi, PartitionStyleDiffers) {
+  const auto sys = random_set_system(100, 150, 0.05, 9);
+  const CoverageOracle proto(sys);
+  OneRoundConfig cfg;
+  cfg.k = 5;
+  cfg.machines = 5;
+  cfg.seed = 42;
+  const auto det = greedi(proto, iota_ids(100), cfg);
+  // GreeDi's round-robin partition is seed-independent.
+  cfg.seed = 43;
+  const auto det2 = greedi(proto, iota_ids(100), cfg);
+  EXPECT_EQ(det.solution, det2.solution);
+
+  // RandGreeDi depends on the seed.
+  const auto ra = rand_greedi(proto, iota_ids(100), cfg);
+  cfg.seed = 44;
+  const auto rb = rand_greedi(proto, iota_ids(100), cfg);
+  EXPECT_NE(ra.solution, rb.solution);
+}
+
+TEST(NaiveDistributed, RoundCountIsLogOneOverEps) {
+  const auto sys = random_set_system(200, 300, 0.03, 11);
+  const CoverageOracle proto(sys);
+  NaiveDistributedConfig cfg;
+  cfg.k = 5;
+  cfg.epsilon = 0.05;  // ceil(ln 20) = 3
+  cfg.machines = 5;
+  const auto result = naive_distributed_greedy(proto, iota_ids(200), cfg);
+  EXPECT_EQ(result.stats.num_rounds(), 3u);
+  EXPECT_LE(result.solution.size(), 3u * 5u);
+}
+
+TEST(NaiveDistributed, ReachesNearOptimalValue) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto sys = random_set_system(16, 40, 0.15, seed + 20);
+    const CoverageOracle proto(sys);
+    const auto opt = brute_force_opt(proto, iota_ids(16), 3);
+    NaiveDistributedConfig cfg;
+    cfg.k = 3;
+    cfg.epsilon = 0.1;
+    cfg.machines = 4;
+    cfg.seed = seed;
+    const auto result = naive_distributed_greedy(proto, iota_ids(16), cfg);
+    EXPECT_GE(result.value, (1.0 - cfg.epsilon) * opt.value - 1e-9);
+  }
+}
+
+TEST(NaiveDistributed, ValueImprovesAcrossRounds) {
+  const auto sys = random_set_system(300, 500, 0.02, 13);
+  const CoverageOracle proto(sys);
+  NaiveDistributedConfig cfg;
+  cfg.k = 8;
+  cfg.epsilon = 0.02;  // 4 rounds
+  const auto result = naive_distributed_greedy(proto, iota_ids(300), cfg);
+  for (std::size_t r = 1; r < result.rounds.size(); ++r) {
+    EXPECT_GE(result.rounds[r].value_after + 1e-9,
+              result.rounds[r - 1].value_after);
+  }
+}
+
+TEST(ParallelAlg, RunsCeilOneOverEpsRounds) {
+  const auto sys = random_set_system(200, 300, 0.03, 61);
+  const CoverageOracle proto(sys);
+  ParallelAlgConfig cfg;
+  cfg.k = 6;
+  cfg.epsilon = 0.34;  // ceil(1/0.34) = 3
+  cfg.machines = 5;
+  const auto result = parallel_alg(proto, iota_ids(200), cfg);
+  EXPECT_EQ(result.stats.num_rounds(), 3u);
+  EXPECT_EQ(result.rounds.size(), 3u);
+  EXPECT_LE(result.solution.size(), 6u);
+  EXPECT_NEAR(result.value, evaluate_set(proto, result.solution), 1e-9);
+}
+
+TEST(ParallelAlg, PoolBroadcastGrowsScatterTraffic) {
+  const auto sys = random_set_system(300, 400, 0.02, 63);
+  const CoverageOracle proto(sys);
+  ParallelAlgConfig cfg;
+  cfg.k = 5;
+  cfg.epsilon = 0.5;  // 2 rounds
+  cfg.machines = 6;
+  const auto result = parallel_alg(proto, iota_ids(300), cfg);
+  // Round 2 scatters the ground set plus the pool broadcast to 6 machines.
+  EXPECT_GT(result.stats.rounds[1].elements_scattered,
+            result.stats.rounds[0].elements_scattered);
+}
+
+TEST(ParallelAlg, BeatsItsGuaranteeOnSmallInstances) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto sys = random_set_system(16, 40, 0.15, seed + 60);
+    const CoverageOracle proto(sys);
+    const auto opt = brute_force_opt(proto, iota_ids(16), 3);
+    ParallelAlgConfig cfg;
+    cfg.k = 3;
+    cfg.epsilon = 0.25;
+    cfg.machines = 4;
+    cfg.seed = seed;
+    const auto result = parallel_alg(proto, iota_ids(16), cfg);
+    EXPECT_GE(result.value,
+              (1.0 - 1.0 / std::exp(1.0) - cfg.epsilon) * opt.value - 1e-9);
+  }
+}
+
+TEST(ParallelAlg, ValidatesArguments) {
+  const auto sys = random_set_system(20, 30, 0.2, 65);
+  const CoverageOracle proto(sys);
+  ParallelAlgConfig cfg;
+  cfg.k = 0;
+  EXPECT_THROW(parallel_alg(proto, iota_ids(20), cfg),
+               std::invalid_argument);
+  cfg.k = 3;
+  cfg.epsilon = 0.0;
+  EXPECT_THROW(parallel_alg(proto, iota_ids(20), cfg),
+               std::invalid_argument);
+}
+
+TEST(GreedyScaling, OutputsAtMostKItemsWithGoodValue) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto sys = random_set_system(16, 40, 0.15, seed + 40);
+    const CoverageOracle proto(sys);
+    const auto opt = brute_force_opt(proto, iota_ids(16), 3);
+    GreedyScalingConfig cfg;
+    cfg.k = 3;
+    cfg.epsilon = 0.2;
+    cfg.machines = 4;
+    cfg.seed = seed;
+    const auto result = greedy_scaling(proto, iota_ids(16), cfg);
+    EXPECT_LE(result.solution.size(), 3u);
+    // 1 - 1/e - eps floor.
+    EXPECT_GE(result.value,
+              (1.0 - 1.0 / std::exp(1.0) - cfg.epsilon) * opt.value - 1e-9);
+  }
+}
+
+TEST(GreedyScaling, UsesMultipleRounds) {
+  const auto sys = random_set_system(300, 500, 0.02, 45);
+  const CoverageOracle proto(sys);
+  GreedyScalingConfig cfg;
+  cfg.k = 10;
+  cfg.epsilon = 0.3;
+  const auto result = greedy_scaling(proto, iota_ids(300), cfg);
+  // Threshold sweeps log(k/eps)/eps times unless k items found earlier.
+  EXPECT_GE(result.stats.num_rounds(), 2u);
+  EXPECT_NEAR(result.value, evaluate_set(proto, result.solution), 1e-9);
+}
+
+TEST(GreedyScaling, HandlesDegenerateInputs) {
+  const auto sys = random_set_system(20, 30, 0.2, 47);
+  const CoverageOracle proto(sys);
+  GreedyScalingConfig cfg;
+  cfg.k = 5;
+  const auto empty = greedy_scaling(proto, {}, cfg);
+  EXPECT_TRUE(empty.solution.empty());
+
+  // All-empty sets: zero delta, no rounds.
+  const auto zero_sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{{}, {}, {}}, 4);
+  const CoverageOracle zero_proto(zero_sys);
+  const auto zero = greedy_scaling(zero_proto, iota_ids(3), cfg);
+  EXPECT_TRUE(zero.solution.empty());
+  EXPECT_EQ(zero.stats.num_rounds(), 0u);
+
+  cfg.k = 0;
+  EXPECT_THROW(greedy_scaling(proto, iota_ids(20), cfg),
+               std::invalid_argument);
+}
+
+TEST(GreedyScaling, RoundCountGrowsAsEpsilonShrinks) {
+  const auto sys = random_set_system(400, 800, 0.01, 49);
+  const CoverageOracle proto(sys);
+  GreedyScalingConfig loose, tight;
+  loose.k = tight.k = 8;
+  loose.epsilon = 0.5;
+  tight.epsilon = 0.1;
+  const auto a = greedy_scaling(proto, iota_ids(400), loose);
+  const auto b = greedy_scaling(proto, iota_ids(400), tight);
+  EXPECT_GE(b.stats.num_rounds(), a.stats.num_rounds());
+}
+
+TEST(Baselines, ValidateArguments) {
+  const auto sys = random_set_system(20, 30, 0.2, 15);
+  const CoverageOracle proto(sys);
+  OneRoundConfig bad;
+  bad.k = 0;
+  EXPECT_THROW(greedi(proto, iota_ids(20), bad), std::invalid_argument);
+  NaiveDistributedConfig nd;
+  nd.k = 0;
+  EXPECT_THROW(naive_distributed_greedy(proto, iota_ids(20), nd),
+               std::invalid_argument);
+  nd.k = 3;
+  nd.epsilon = 1.5;
+  EXPECT_THROW(naive_distributed_greedy(proto, iota_ids(20), nd),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bds

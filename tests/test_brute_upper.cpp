@@ -1,0 +1,147 @@
+#include "core/brute_force.h"
+#include "core/upper_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/greedy.h"
+#include "objectives/coverage.h"
+#include "test_support.h"
+
+namespace bds {
+namespace {
+
+using testing::iota_ids;
+using testing::random_set_system;
+
+TEST(BruteForce, FindsExactOptimumOnHandInstance) {
+  // set0={0,1}, set1={2,3}, set2={0,2}: best pair is {0,1} x {2,3} = 4.
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{{0, 1}, {2, 3}, {0, 2}}, 4);
+  const CoverageOracle proto(sys);
+  const auto result = brute_force_opt(proto, iota_ids(3), 2);
+  EXPECT_DOUBLE_EQ(result.value, 4.0);
+  const std::set<ElementId> best(result.best.begin(), result.best.end());
+  EXPECT_EQ(best, (std::set<ElementId>{0, 1}));
+  EXPECT_EQ(result.subsets_evaluated, 3u);  // C(3,2)
+}
+
+TEST(BruteForce, KZeroReturnsEmpty) {
+  const auto sys = random_set_system(5, 10, 0.3, 1);
+  const CoverageOracle proto(sys);
+  const auto result = brute_force_opt(proto, iota_ids(5), 0);
+  EXPECT_TRUE(result.best.empty());
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+}
+
+TEST(BruteForce, KAtLeastNTakesEverything) {
+  const auto sys = random_set_system(4, 12, 0.4, 2);
+  const CoverageOracle proto(sys);
+  const auto result = brute_force_opt(proto, iota_ids(4), 10);
+  EXPECT_EQ(result.best.size(), 4u);
+  EXPECT_EQ(result.subsets_evaluated, 1u);
+}
+
+TEST(BruteForce, EnumeratesAllCombinations) {
+  const auto sys = random_set_system(10, 20, 0.2, 3);
+  const CoverageOracle proto(sys);
+  const auto result = brute_force_opt(proto, iota_ids(10), 3);
+  EXPECT_EQ(result.subsets_evaluated, 120u);  // C(10,3)
+}
+
+TEST(BruteForce, GuardsAgainstHugeInstances) {
+  const auto sys = random_set_system(64, 10, 0.2, 4);
+  const CoverageOracle proto(sys);
+  EXPECT_THROW(brute_force_opt(proto, iota_ids(64), 20, 1'000),
+               std::invalid_argument);
+}
+
+TEST(BruteForce, NeverBelowGreedy) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto sys = random_set_system(11, 22, 0.25, seed);
+    const CoverageOracle proto(sys);
+    auto oracle = proto.clone();
+    const auto g = greedy(*oracle, iota_ids(11), 3);
+    const auto opt = brute_force_opt(proto, iota_ids(11), 3);
+    EXPECT_GE(opt.value + 1e-9, g.gained) << "seed " << seed;
+  }
+}
+
+class UpperBoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UpperBoundProperty, BoundsTrueOptimumFromAnySolution) {
+  const auto sys = random_set_system(12, 30, 0.2, GetParam());
+  const CoverageOracle proto(sys);
+  const std::size_t k = 3;
+  const auto opt = brute_force_opt(proto, iota_ids(12), k);
+
+  // From the greedy solution.
+  auto oracle = proto.clone();
+  const auto g = greedy(*oracle, iota_ids(12), k);
+  const double ub_greedy =
+      solution_upper_bound(proto, g.picks, iota_ids(12), k);
+  EXPECT_GE(ub_greedy + 1e-9, opt.value);
+
+  // From an arbitrary (bad) solution the bound must still hold.
+  const std::vector<ElementId> bad{0};
+  const double ub_bad = solution_upper_bound(proto, bad, iota_ids(12), k);
+  EXPECT_GE(ub_bad + 1e-9, opt.value);
+
+  // From the empty solution: bound = sum of top-k singleton values.
+  const double ub_empty = solution_upper_bound(proto, {}, iota_ids(12), k);
+  EXPECT_GE(ub_empty + 1e-9, opt.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpperBoundProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(UpperBound, CappedByTrivialMaxValue) {
+  // Universe of 4: the bound can never exceed 4 even if marginals add up.
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+      4);
+  const CoverageOracle proto(sys);
+  const double ub = solution_upper_bound(proto, {}, iota_ids(4), 4);
+  EXPECT_DOUBLE_EQ(ub, 4.0);
+}
+
+TEST(UpperBound, TightWhenSolutionIsOptimal) {
+  // Disjoint sets: greedy-k is optimal and the top-k marginals after it are
+  // small, so the bound should be close to the optimum.
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{
+          {0, 1, 2}, {3, 4, 5}, {6}, {7}},
+      8);
+  const CoverageOracle proto(sys);
+  const std::vector<ElementId> solution{0, 1};
+  const double ub = solution_upper_bound(proto, solution, iota_ids(4), 2);
+  // f(S)=6; top-2 remaining marginals are 1+1 -> bound 8, capped at 8.
+  EXPECT_DOUBLE_EQ(ub, 8.0);
+  // Optimum for k=2 is 6; the ratio 6/8 = 0.75 is a valid lower bound.
+}
+
+TEST(BestUpperBound, TakesTightest) {
+  const auto sys = random_set_system(14, 28, 0.2, 17);
+  const CoverageOracle proto(sys);
+  auto oracle = proto.clone();
+  const auto g = greedy(*oracle, iota_ids(14), 8);
+
+  const std::vector<std::vector<ElementId>> solutions{
+      {}, {0}, g.picks};
+  const double best = best_upper_bound(proto, solutions, iota_ids(14), 4);
+  for (const auto& s : solutions) {
+    EXPECT_LE(best, solution_upper_bound(proto, s, iota_ids(14), 4) + 1e-12);
+  }
+  const auto opt = brute_force_opt(proto, iota_ids(14), 4);
+  EXPECT_GE(best + 1e-9, opt.value);
+}
+
+TEST(BestUpperBound, EmptySolutionListGivesTrivialCap) {
+  const auto sys = random_set_system(5, 9, 0.4, 19);
+  const CoverageOracle proto(sys);
+  EXPECT_DOUBLE_EQ(best_upper_bound(proto, {}, iota_ids(5), 2), 9.0);
+}
+
+}  // namespace
+}  // namespace bds

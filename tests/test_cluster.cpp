@@ -1,0 +1,199 @@
+#include "dist/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "test_support.h"
+
+namespace bds::dist {
+namespace {
+
+// A worker that "selects" the first half of its shard and reports one eval
+// per item received.
+MachineReport half_selector(std::size_t /*machine*/,
+                            std::span<const ElementId> shard) {
+  MachineReport report;
+  report.summary.assign(shard.begin(), shard.begin() + shard.size() / 2);
+  report.oracle_evals = shard.size();
+  return report;
+}
+
+TEST(Cluster, RejectsZeroMachines) {
+  EXPECT_THROW(Cluster(0), std::invalid_argument);
+}
+
+TEST(Cluster, RunRoundReturnsPerMachineReports) {
+  Cluster cluster(3, 2);
+  Partition partition{{0, 1, 2, 3}, {4, 5}, {}};
+  const auto reports = cluster.run_round(partition, half_selector);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(reports[0].summary, (std::vector<ElementId>{0, 1}));
+  EXPECT_EQ(reports[1].summary, (std::vector<ElementId>{4}));
+  EXPECT_TRUE(reports[2].summary.empty());
+}
+
+TEST(Cluster, RoundStatsAccounting) {
+  Cluster cluster(3, 1);
+  Partition partition{{0, 1, 2, 3}, {4, 5}, {}};
+  cluster.run_round(partition, half_selector);
+
+  const auto& stats = cluster.stats();
+  ASSERT_EQ(stats.num_rounds(), 1u);
+  const auto& round = stats.rounds[0];
+  EXPECT_EQ(round.machines_used, 2u);  // third machine got nothing
+  EXPECT_EQ(round.elements_scattered, 6u);
+  EXPECT_EQ(round.elements_gathered, 3u);
+  EXPECT_EQ(round.worker_evals, 6u);
+  EXPECT_EQ(round.max_machine_evals, 4u);
+  EXPECT_EQ(round.max_machine_items, 4u);
+}
+
+TEST(Cluster, MultipleRoundsAccumulate) {
+  Cluster cluster(2, 1);
+  Partition partition{{0, 1}, {2, 3}};
+  cluster.run_round(partition, half_selector);
+  cluster.run_round(partition, half_selector);
+  EXPECT_EQ(cluster.stats().num_rounds(), 2u);
+  EXPECT_EQ(cluster.stats().total_worker_evals(), 8u);
+}
+
+TEST(Cluster, CentralStageRecording) {
+  Cluster cluster(2, 1);
+  Partition partition{{0, 1}, {2, 3}};
+  cluster.run_round(partition, half_selector);
+  cluster.record_central_stage(17, 0.25, 3);
+  const auto& round = cluster.stats().rounds.back();
+  EXPECT_EQ(round.central_evals, 17u);
+  EXPECT_DOUBLE_EQ(round.central_seconds, 0.25);
+  EXPECT_EQ(round.central_selected, 3u);
+  EXPECT_EQ(cluster.stats().total_central_evals(), 17u);
+  EXPECT_EQ(cluster.stats().total_evals(), 4u + 17u);
+}
+
+TEST(Cluster, CentralStageBeforeRoundThrows) {
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.record_central_stage(1, 0.0, 1), std::logic_error);
+}
+
+TEST(Cluster, BytesCommunicated) {
+  Cluster cluster(2, 1);
+  Partition partition{{0, 1, 2}, {3, 4}};  // 5 scattered
+  cluster.run_round(partition, half_selector);  // 1 + 1 gathered
+  EXPECT_EQ(cluster.stats().bytes_communicated(),
+            (5u + 2u) * sizeof(ElementId));
+}
+
+TEST(Cluster, CriticalPathUsesSlowestWorkerPlusCentral) {
+  Cluster cluster(2, 2);
+  Partition partition{{0}, {1}};
+  const auto slow_then_fast = [](std::size_t machine,
+                                 std::span<const ElementId> shard) {
+    if (machine == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    MachineReport report;
+    report.summary.assign(shard.begin(), shard.end());
+    report.oracle_evals = machine == 0 ? 100 : 1;
+    return report;
+  };
+  cluster.run_round(partition, slow_then_fast);
+  cluster.record_central_stage(5, 0.010, 1);
+
+  const auto& stats = cluster.stats();
+  EXPECT_EQ(stats.critical_path_evals(), 105u);
+  EXPECT_GE(stats.critical_path_seconds(), 0.030 + 0.010 - 1e-6);
+  EXPECT_GE(stats.total_work_seconds(), stats.critical_path_seconds() - 1e-9);
+}
+
+TEST(Cluster, WorkerSecondsArePopulated) {
+  Cluster cluster(1, 1);
+  Partition partition{{0, 1, 2}};
+  const auto reports = cluster.run_round(partition, half_selector);
+  EXPECT_GE(reports[0].seconds, 0.0);
+}
+
+TEST(Cluster, WorkerExceptionPropagates) {
+  Cluster cluster(2, 2);
+  Partition partition{{0}, {1}};
+  EXPECT_THROW(
+      cluster.run_round(partition,
+                        [](std::size_t m, std::span<const ElementId>)
+                            -> MachineReport {
+                          if (m == 1) throw std::runtime_error("worker died");
+                          return {};
+                        }),
+      std::runtime_error);
+}
+
+TEST(Cluster, ConcurrentWorkersMatchSequentialExecution) {
+  // The same round executed with 1 host thread and with 4 must produce
+  // identical reports: worker lambdas only touch their own shard state.
+  const auto sys = testing::random_set_system(200, 150, 0.05, 42);
+  const auto ids = testing::iota_ids(200);
+  util::Rng r1(7), r4(7);
+  const Partition p1 = partition_uniform(ids, 8, r1);
+  const Partition p4 = partition_uniform(ids, 8, r4);
+  ASSERT_EQ(p1, p4);
+
+  const auto worker = [&sys](std::size_t,
+                             std::span<const ElementId> shard)
+      -> MachineReport {
+    // A real oracle workload: greedy-ish scan accumulating coverage.
+    bds::CoverageOracle oracle(sys);
+    MachineReport report;
+    for (const ElementId x : shard) {
+      if (oracle.gain(x) > 2.0) {
+        oracle.add(x);
+        report.summary.push_back(x);
+      }
+    }
+    report.oracle_evals = oracle.evals();
+    return report;
+  };
+
+  Cluster sequential(8, 1);
+  Cluster concurrent(8, 4);
+  const auto a = sequential.run_round(p1, worker);
+  const auto b = concurrent.run_round(p4, worker);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].summary, b[i].summary) << "machine " << i;
+    EXPECT_EQ(a[i].oracle_evals, b[i].oracle_evals);
+  }
+  EXPECT_EQ(sequential.stats().rounds[0].elements_gathered,
+            concurrent.stats().rounds[0].elements_gathered);
+}
+
+TEST(ExecutionStats, NetworkModelAddsLatencyAndTransfer) {
+  ExecutionStats stats;
+  RoundStats r;
+  r.elements_scattered = 1'000;
+  r.elements_gathered = 250;  // 1250 ids * 4 B = 5000 B
+  r.max_machine_seconds = 0.1;
+  stats.rounds.push_back(r);
+  stats.rounds.push_back(r);
+
+  NetworkModel network;
+  network.round_latency_seconds = 0.5;
+  network.bytes_per_second = 10'000.0;  // 5000 B -> 0.5 s per round
+  // 2 rounds * (0.1 compute + 0.5 latency + 0.5 transfer) = 2.2 s.
+  EXPECT_NEAR(stats.modeled_cluster_seconds(network), 2.2, 1e-9);
+
+  // Zero bandwidth disables the transfer term rather than dividing by 0.
+  network.bytes_per_second = 0.0;
+  EXPECT_NEAR(stats.modeled_cluster_seconds(network), 1.2, 1e-9);
+}
+
+TEST(ExecutionStats, EmptyStatsAreZero) {
+  ExecutionStats stats;
+  EXPECT_EQ(stats.num_rounds(), 0u);
+  EXPECT_EQ(stats.total_evals(), 0u);
+  EXPECT_EQ(stats.bytes_communicated(), 0u);
+  EXPECT_DOUBLE_EQ(stats.critical_path_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace bds::dist

@@ -1,0 +1,109 @@
+#include "core/curvature.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/brute_force.h"
+#include "core/greedy.h"
+#include "objectives/coverage.h"
+#include "test_support.h"
+
+namespace bds {
+namespace {
+
+using testing::iota_ids;
+using testing::random_set_system;
+
+TEST(Curvature, RefinedFactorEndpoints) {
+  EXPECT_DOUBLE_EQ(refined_greedy_factor(0.0), 1.0);
+  EXPECT_NEAR(refined_greedy_factor(1.0), 1.0 - 1.0 / std::exp(1.0), 1e-12);
+  // Monotone decreasing in c.
+  EXPECT_GT(refined_greedy_factor(0.3), refined_greedy_factor(0.7));
+  // Clamped outside [0, 1].
+  EXPECT_DOUBLE_EQ(refined_greedy_factor(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(refined_greedy_factor(2.0), refined_greedy_factor(1.0));
+}
+
+TEST(Curvature, ModularFunctionHasZeroCurvature) {
+  // Disjoint sets: marginals never shrink => c = 0, greedy optimal.
+  std::vector<std::vector<std::uint32_t>> sets;
+  for (std::uint32_t i = 0; i < 10; ++i) sets.push_back({2 * i, 2 * i + 1});
+  const auto sys = std::make_shared<const SetSystem>(std::move(sets), 20);
+  const CoverageOracle proto(sys);
+  const auto estimate = estimate_curvature(proto, iota_ids(10));
+  EXPECT_TRUE(estimate.exact);
+  EXPECT_NEAR(estimate.curvature, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(estimate.refined_greedy_factor, 1.0);
+}
+
+TEST(Curvature, FullyCurvedInstance) {
+  // Identical sets: after the rest of V is in, x adds nothing => c = 1.
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{{0, 1}, {0, 1}, {0, 1}}, 2);
+  const CoverageOracle proto(sys);
+  const auto estimate = estimate_curvature(proto, iota_ids(3));
+  EXPECT_NEAR(estimate.curvature, 1.0, 1e-12);
+  EXPECT_NEAR(estimate.refined_greedy_factor, 1.0 - 1.0 / std::exp(1.0),
+              1e-12);
+}
+
+TEST(Curvature, HandComputedPartialOverlap) {
+  // set0 = {0,1}, set1 = {1,2}: f({set0}) = 2, Δ(set0, {set1}) = 1.
+  // Ratio 1/2 both ways => c = 1/2.
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{{0, 1}, {1, 2}}, 3);
+  const CoverageOracle proto(sys);
+  const auto estimate = estimate_curvature(proto, iota_ids(2));
+  EXPECT_NEAR(estimate.curvature, 0.5, 1e-12);
+}
+
+TEST(Curvature, SampledEstimateIsDeterministicAndBounded) {
+  const auto sys = random_set_system(60, 100, 0.1, 5);
+  const CoverageOracle proto(sys);
+  const auto a = estimate_curvature(proto, iota_ids(60), 10, 7);
+  const auto b = estimate_curvature(proto, iota_ids(60), 10, 7);
+  EXPECT_FALSE(a.exact);
+  EXPECT_EQ(a.elements_used, 10u);
+  EXPECT_DOUBLE_EQ(a.curvature, b.curvature);
+  EXPECT_GE(a.curvature, 0.0);
+  EXPECT_LE(a.curvature, 1.0);
+  // Sampled curvature can only miss high-curvature elements, so it lower-
+  // bounds the exact measurement.
+  const auto exact = estimate_curvature(proto, iota_ids(60));
+  EXPECT_LE(a.curvature, exact.curvature + 1e-12);
+}
+
+TEST(Curvature, SkipsZeroValueElements) {
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{{0}, {}, {1}}, 2);
+  const CoverageOracle proto(sys);
+  const auto estimate = estimate_curvature(proto, iota_ids(3));
+  EXPECT_EQ(estimate.elements_used, 2u);  // the empty set is skipped
+}
+
+TEST(Curvature, ValidatesEmptyGround) {
+  const auto sys = random_set_system(5, 10, 0.3, 9);
+  const CoverageOracle proto(sys);
+  EXPECT_THROW(estimate_curvature(proto, {}), std::invalid_argument);
+}
+
+TEST(Curvature, GreedyBeatsRefinedFactorOnRandomInstances) {
+  // The refined factor is a valid guarantee: greedy's value clears
+  // factor * OPT on brute-forceable instances.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto sys = random_set_system(12, 24, 0.25, seed + 300);
+    const CoverageOracle proto(sys);
+    const auto estimate = estimate_curvature(proto, iota_ids(12));
+    const auto opt = brute_force_opt(proto, iota_ids(12), 3);
+    auto oracle = proto.clone();
+    const auto result = greedy(*oracle, iota_ids(12), 3);
+    EXPECT_GE(result.gained,
+              estimate.refined_greedy_factor * opt.value - 1e-9)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace bds

@@ -1,0 +1,373 @@
+#include "data/bigram_gen.h"
+#include "data/graph_gen.h"
+#include "data/synthetic_coverage.h"
+#include "data/vectors_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "objectives/submodular.h"
+
+namespace bds::data {
+namespace {
+
+// ---------------------------------------------------------------- synthetic
+
+TEST(SyntheticCoverage, PlantedSetsPartitionUniverse) {
+  SyntheticCoverageConfig cfg;
+  cfg.universe_size = 1'000;
+  cfg.planted_sets = 20;
+  cfg.random_sets = 50;
+  const auto instance = make_synthetic_coverage(cfg);
+
+  ASSERT_EQ(instance.planted_ids.size(), 20u);
+  std::set<std::uint32_t> covered;
+  for (const ElementId id : instance.planted_ids) {
+    const auto items = instance.sets->set_items(id);
+    EXPECT_EQ(items.size(), 50u);  // n/K
+    for (const auto e : items) {
+      EXPECT_TRUE(covered.insert(e).second) << "planted sets must be disjoint";
+    }
+  }
+  EXPECT_EQ(covered.size(), 1'000u);  // they cover everything
+}
+
+TEST(SyntheticCoverage, RandomSetsHaveInflatedSize) {
+  SyntheticCoverageConfig cfg;
+  cfg.universe_size = 1'000;
+  cfg.planted_sets = 20;
+  cfg.random_sets = 30;
+  cfg.epsilon1 = 0.2;
+  const auto instance = make_synthetic_coverage(cfg);
+  // ceil(50 * 1.2) = 60.
+  for (std::size_t id = 20; id < 50; ++id) {
+    EXPECT_EQ(instance.sets->set_size(static_cast<ElementId>(id)), 60u);
+  }
+  EXPECT_EQ(instance.sets->num_sets(), 50u);
+}
+
+TEST(SyntheticCoverage, DeterministicBySeed) {
+  SyntheticCoverageConfig cfg;
+  cfg.universe_size = 500;
+  cfg.planted_sets = 10;
+  cfg.random_sets = 20;
+  const auto a = make_synthetic_coverage(cfg);
+  const auto b = make_synthetic_coverage(cfg);
+  for (ElementId id = 0; id < 30; ++id) {
+    const auto sa = a.sets->set_items(id);
+    const auto sb = b.sets->set_items(id);
+    EXPECT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin(), sb.end()));
+  }
+}
+
+TEST(SyntheticCoverage, RejectsNonDivisibleUniverse) {
+  SyntheticCoverageConfig cfg;
+  cfg.universe_size = 1'001;
+  cfg.planted_sets = 20;
+  EXPECT_THROW(make_synthetic_coverage(cfg), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- graph
+
+TEST(BarabasiAlbert, DegreeSumAndSimplicity) {
+  const Graph g = barabasi_albert(500, 3, 1);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  // Seed clique C(4,2)=6 edges, then 3 per new node.
+  EXPECT_EQ(g.num_edges(), 6u + 3u * (500 - 4));
+  for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+    std::set<std::uint32_t> nbrs(g.adjacency[u].begin(), g.adjacency[u].end());
+    EXPECT_EQ(nbrs.size(), g.adjacency[u].size()) << "parallel edge at " << u;
+    EXPECT_EQ(nbrs.count(u), 0u) << "self loop at " << u;
+  }
+}
+
+TEST(BarabasiAlbert, AdjacencyIsSymmetric) {
+  const Graph g = barabasi_albert(200, 2, 3);
+  for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+    for (const std::uint32_t v : g.adjacency[u]) {
+      const auto& back = g.adjacency[v];
+      EXPECT_NE(std::find(back.begin(), back.end(), u), back.end());
+    }
+  }
+}
+
+TEST(BarabasiAlbert, HeavyTailedDegrees) {
+  const Graph g = barabasi_albert(5'000, 2, 5);
+  std::size_t max_degree = 0;
+  for (const auto& nbrs : g.adjacency) {
+    max_degree = std::max(max_degree, nbrs.size());
+  }
+  // Preferential attachment produces hubs far above the mean degree (~4).
+  EXPECT_GT(max_degree, 40u);
+}
+
+TEST(BarabasiAlbert, RejectsBadParameters) {
+  EXPECT_THROW(barabasi_albert(5, 5, 1), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(10, 0, 1), std::invalid_argument);
+}
+
+namespace {
+double global_clustering(const Graph& g) {
+  // Fraction of closed wedges (transitivity), computed naively.
+  std::size_t wedges = 0, triangles = 0;
+  std::vector<std::set<std::uint32_t>> nbrs(g.num_nodes());
+  for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+    nbrs[u] = std::set<std::uint32_t>(g.adjacency[u].begin(),
+                                      g.adjacency[u].end());
+  }
+  for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+    const auto d = g.adjacency[u].size();
+    wedges += d * (d - 1) / 2;
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = a + 1; b < d; ++b) {
+        triangles += nbrs[g.adjacency[u][a]].count(g.adjacency[u][b]);
+      }
+    }
+  }
+  return wedges == 0 ? 0.0 : double(triangles) / double(wedges);
+}
+}  // namespace
+
+TEST(PowerlawCluster, SimpleSymmetricAndEdgeCount) {
+  const Graph g = powerlaw_cluster(400, 3, 0.7, 1);
+  EXPECT_EQ(g.num_nodes(), 400u);
+  // Seed clique on m+1=4 nodes (6 edges), then 3 edges per new node.
+  EXPECT_EQ(g.num_edges(), 6u + 3u * (400 - 4));
+  for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+    std::set<std::uint32_t> unique(g.adjacency[u].begin(),
+                                   g.adjacency[u].end());
+    EXPECT_EQ(unique.size(), g.adjacency[u].size());
+    EXPECT_EQ(unique.count(u), 0u);
+    for (const std::uint32_t v : g.adjacency[u]) {
+      const auto& back = g.adjacency[v];
+      EXPECT_NE(std::find(back.begin(), back.end(), u), back.end());
+    }
+  }
+}
+
+TEST(PowerlawCluster, TriadClosureRaisesClustering) {
+  const Graph plain = barabasi_albert(1'500, 3, 5);
+  const Graph clustered = powerlaw_cluster(1'500, 3, 0.9, 5);
+  EXPECT_GT(global_clustering(clustered), 3.0 * global_clustering(plain));
+}
+
+TEST(PowerlawCluster, ZeroTriadBehavesLikeBa) {
+  // Same edge budget and heavy tail; exact equality is not required.
+  const Graph g = powerlaw_cluster(2'000, 2, 0.0, 9);
+  const Graph ba = barabasi_albert(2'000, 2, 9);
+  EXPECT_EQ(g.num_edges(), ba.num_edges());
+}
+
+TEST(PowerlawCluster, RejectsBadParameters) {
+  EXPECT_THROW(powerlaw_cluster(5, 5, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(powerlaw_cluster(10, 2, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW(powerlaw_cluster(10, 2, -0.1, 1), std::invalid_argument);
+}
+
+TEST(ChungLu, EdgeBudgetAndSimplicity) {
+  const Graph g = chung_lu(2'000, 6.0, 0.8, 1);
+  // Target edges = n * mean/2; rejection may fall slightly short.
+  EXPECT_GT(g.num_edges(), 5'000u);
+  EXPECT_LE(g.num_edges(), 6'000u);
+  for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+    std::set<std::uint32_t> unique(g.adjacency[u].begin(),
+                                   g.adjacency[u].end());
+    EXPECT_EQ(unique.size(), g.adjacency[u].size());
+    EXPECT_EQ(unique.count(u), 0u);
+  }
+}
+
+TEST(ChungLu, ExponentControlsDegreeTail) {
+  const Graph flat = chung_lu(3'000, 6.0, 0.0, 2);
+  const Graph heavy = chung_lu(3'000, 6.0, 1.0, 2);
+  std::size_t flat_max = 0, heavy_max = 0;
+  for (const auto& nbrs : flat.adjacency) {
+    flat_max = std::max(flat_max, nbrs.size());
+  }
+  for (const auto& nbrs : heavy.adjacency) {
+    heavy_max = std::max(heavy_max, nbrs.size());
+  }
+  EXPECT_GT(heavy_max, 3 * flat_max);
+}
+
+TEST(ChungLu, ValidatesArguments) {
+  EXPECT_THROW(chung_lu(1, 2.0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(chung_lu(10, 0.0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(chung_lu(10, 2.0, -0.5, 1), std::invalid_argument);
+}
+
+TEST(ChungLu, DeterministicBySeed) {
+  const Graph a = chung_lu(500, 4.0, 0.7, 9);
+  const Graph b = chung_lu(500, 4.0, 0.7, 9);
+  EXPECT_EQ(a.adjacency, b.adjacency);
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  const Graph g = erdos_renyi(400, 0.05, 7);
+  const double expected = 0.05 * 400 * 399 / 2.0;
+  EXPECT_NEAR(double(g.num_edges()), expected, 5 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyi, ExtremesProbabilities) {
+  EXPECT_EQ(erdos_renyi(50, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi(50, 1.0, 1).num_edges(), 50u * 49 / 2);
+  EXPECT_THROW(erdos_renyi(10, 1.5, 1), std::invalid_argument);
+}
+
+TEST(NeighborhoodSets, MatchesAdjacency) {
+  const Graph g = erdos_renyi(60, 0.1, 9);
+  const auto sys = neighborhood_sets(g);
+  EXPECT_EQ(sys->num_sets(), 60u);
+  EXPECT_EQ(sys->universe_size(), 60u);
+  EXPECT_EQ(sys->total_size(), 2 * g.num_edges());
+}
+
+TEST(NeighborhoodSets, IncludeSelfAddsOnePerNode) {
+  const Graph g = erdos_renyi(40, 0.1, 11);
+  const auto open = neighborhood_sets(g, false);
+  const auto closed = neighborhood_sets(g, true);
+  EXPECT_EQ(closed->total_size(), open->total_size() + 40u);
+}
+
+TEST(DatasetProfiles, DblpAndLivejournalShapes) {
+  const auto dblp = make_dblp_like(2'000, 1);
+  const auto lj = make_livejournal_like(2'000, 1);
+  EXPECT_EQ(dblp->num_sets(), 2'000u);
+  EXPECT_EQ(lj->num_sets(), 2'000u);
+  // LiveJournal-like is denser.
+  EXPECT_GT(lj->total_size(), dblp->total_size());
+}
+
+// ------------------------------------------------------------------ bigrams
+
+TEST(Bigrams, UniverseIsCompactAndCovered) {
+  BigramConfig cfg;
+  cfg.books = 50;
+  cfg.vocabulary = 100;
+  cfg.min_tokens = 50;
+  cfg.max_tokens = 500;
+  const auto sys = make_bigram_sets(cfg);
+  EXPECT_EQ(sys->num_sets(), 50u);
+  // Every universe element appears in at least one set (compaction).
+  std::set<std::uint32_t> seen;
+  for (ElementId id = 0; id < sys->num_sets(); ++id) {
+    const auto items = sys->set_items(id);
+    seen.insert(items.begin(), items.end());
+  }
+  EXPECT_EQ(seen.size(), sys->universe_size());
+}
+
+TEST(Bigrams, ZipfMakesFewSetsCoverMost) {
+  BigramConfig cfg;
+  cfg.books = 100;
+  cfg.vocabulary = 500;
+  cfg.min_tokens = 100;
+  cfg.max_tokens = 5'000;
+  cfg.zipf_exponent = 1.1;
+  const auto sys = make_bigram_sets(cfg);
+  // The largest set alone covers a sizable slice of the universe.
+  std::size_t max_size = 0;
+  for (ElementId id = 0; id < sys->num_sets(); ++id) {
+    max_size = std::max(max_size, sys->set_size(id));
+  }
+  EXPECT_GT(double(max_size) / sys->universe_size(), 0.05);
+}
+
+TEST(Bigrams, ValidatesConfig) {
+  BigramConfig cfg;
+  cfg.vocabulary = 1;
+  EXPECT_THROW(make_bigram_sets(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.min_tokens = 10;
+  cfg.max_tokens = 5;
+  EXPECT_THROW(make_bigram_sets(cfg), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ vectors
+
+TEST(LdaVectors, ShapeAndNormalization) {
+  LdaVectorsConfig cfg;
+  cfg.documents = 200;
+  cfg.topics = 20;
+  cfg.clusters = 4;
+  const auto pts = make_lda_like_vectors(cfg);
+  EXPECT_EQ(pts->size(), 200u);
+  EXPECT_EQ(pts->dim(), 20u);
+  for (std::size_t i = 0; i < pts->size(); i += 13) {
+    double norm2 = 0.0;
+    for (const float v : pts->point(i)) {
+      EXPECT_GE(v, 0.0f);  // topic proportions are non-negative
+      norm2 += double(v) * v;
+    }
+    EXPECT_NEAR(norm2, 1.0, 1e-5);
+  }
+}
+
+TEST(LdaVectors, ClusterStructureExists) {
+  // Same-cluster docs should typically be closer than cross-cluster docs;
+  // proxy: the mean pairwise distance is clearly below the max (structure),
+  // and distances vary (not a single blob).
+  LdaVectorsConfig cfg;
+  cfg.documents = 120;
+  cfg.topics = 30;
+  cfg.clusters = 3;
+  cfg.concentration = 60.0;
+  const auto pts = make_lda_like_vectors(cfg);
+  double min_d = 1e9, max_d = 0.0;
+  for (std::size_t i = 0; i < 60; ++i) {
+    for (std::size_t j = i + 1; j < 60; ++j) {
+      const double d = squared_l2(pts->point(i), pts->point(j));
+      min_d = std::min(min_d, d);
+      max_d = std::max(max_d, d);
+    }
+  }
+  EXPECT_LT(min_d, 0.25 * max_d);
+}
+
+TEST(ImageVectors, ShapeMeanSubtractionAndNorm) {
+  ImageVectorsConfig cfg;
+  cfg.images = 50;
+  cfg.dim = 64;
+  cfg.clusters = 5;
+  const auto pts = make_image_like_vectors(cfg);
+  EXPECT_EQ(pts->size(), 50u);
+  EXPECT_EQ(pts->dim(), 64u);
+  for (std::size_t i = 0; i < pts->size(); i += 7) {
+    double sum = 0.0, norm2 = 0.0;
+    for (const float v : pts->point(i)) {
+      sum += v;
+      norm2 += double(v) * v;
+    }
+    EXPECT_NEAR(norm2, 1.0, 1e-4);
+    // Mean subtraction happened before normalization: mean remains ~0.
+    EXPECT_NEAR(sum / 64.0, 0.0, 1e-4);
+  }
+}
+
+TEST(VectorsGen, DeterministicBySeed) {
+  LdaVectorsConfig cfg;
+  cfg.documents = 20;
+  cfg.topics = 10;
+  const auto a = make_lda_like_vectors(cfg);
+  const auto b = make_lda_like_vectors(cfg);
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    for (std::size_t d = 0; d < a->dim(); ++d) {
+      EXPECT_FLOAT_EQ(a->point(i)[d], b->point(i)[d]);
+    }
+  }
+}
+
+TEST(VectorsGen, ValidatesConfig) {
+  LdaVectorsConfig lda;
+  lda.topics = 0;
+  EXPECT_THROW(make_lda_like_vectors(lda), std::invalid_argument);
+  ImageVectorsConfig img;
+  img.clusters = 0;
+  EXPECT_THROW(make_image_like_vectors(img), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bds::data

@@ -1,0 +1,300 @@
+// Cross-cutting invariants every distributed algorithm in the library must
+// satisfy, checked over a grid of (algorithm × objective × seed):
+//
+//   I1. reported value == independent re-evaluation of the solution;
+//   I2. solution ids are valid and (for stop-on-no-gain runs) distinct;
+//   I3. per-round traces are monotone in value and sum to the output size
+//       (bicriteria family);
+//   I4. stats sanity: critical path <= total work, worker evals > 0 when
+//       anything was selected, bytes accounted;
+//   I5. determinism: same seed -> identical solution; and
+//   I6. failure injection: a throwing oracle inside a worker surfaces as an
+//       exception, never a silent wrong answer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "core/baselines.h"
+#include "core/bicriteria.h"
+#include "data/prob_gen.h"
+#include "data/vectors_gen.h"
+#include "objectives/coverage.h"
+#include "objectives/exemplar.h"
+#include "objectives/logdet.h"
+#include "objectives/prob_coverage.h"
+#include "test_support.h"
+
+namespace bds {
+namespace {
+
+using testing::iota_ids;
+using testing::random_set_system;
+
+// ------------------------------------------------------------ the grid
+
+enum class Algo {
+  kPractical,
+  kTheory,
+  kMultiplicity,
+  kHybrid,
+  kGreedi,
+  kRandGreedi,
+  kPseudo,
+  kParallel,
+  kNaive,
+  kScaling,
+};
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kPractical: return "practical";
+    case Algo::kTheory: return "theory";
+    case Algo::kMultiplicity: return "multiplicity";
+    case Algo::kHybrid: return "hybrid";
+    case Algo::kGreedi: return "greedi";
+    case Algo::kRandGreedi: return "randgreedi";
+    case Algo::kPseudo: return "pseudo";
+    case Algo::kParallel: return "parallel";
+    case Algo::kNaive: return "naive";
+    case Algo::kScaling: return "scaling";
+  }
+  return "?";
+}
+
+enum class Objective { kCoverage, kProbCoverage, kExemplar, kLogDet };
+
+DistributedResult run(Algo algo, const SubmodularOracle& proto,
+                      std::span<const ElementId> ground, std::uint64_t seed) {
+  constexpr std::size_t kK = 5;
+  switch (algo) {
+    case Algo::kPractical:
+    case Algo::kTheory:
+    case Algo::kMultiplicity:
+    case Algo::kHybrid: {
+      BicriteriaConfig cfg;
+      cfg.mode = algo == Algo::kPractical   ? BicriteriaMode::kPractical
+                 : algo == Algo::kTheory    ? BicriteriaMode::kTheory
+                 : algo == Algo::kMultiplicity
+                     ? BicriteriaMode::kMultiplicity
+                     : BicriteriaMode::kHybrid;
+      cfg.k = kK;
+      cfg.output_items = 10;
+      cfg.rounds = 2;
+      cfg.epsilon = 0.2;
+      cfg.machines = algo == Algo::kPractical ? 0 : 6;
+      cfg.seed = seed;
+      return bicriteria_greedy(proto, ground, cfg);
+    }
+    case Algo::kGreedi:
+    case Algo::kRandGreedi:
+    case Algo::kPseudo: {
+      OneRoundConfig cfg;
+      cfg.k = kK;
+      cfg.machines = 6;
+      cfg.seed = seed;
+      if (algo == Algo::kGreedi) return greedi(proto, ground, cfg);
+      if (algo == Algo::kRandGreedi) return rand_greedi(proto, ground, cfg);
+      return pseudo_greedy(proto, ground, cfg);
+    }
+    case Algo::kParallel: {
+      ParallelAlgConfig cfg;
+      cfg.k = kK;
+      cfg.epsilon = 0.4;
+      cfg.machines = 6;
+      cfg.seed = seed;
+      return parallel_alg(proto, ground, cfg);
+    }
+    case Algo::kNaive: {
+      NaiveDistributedConfig cfg;
+      cfg.k = kK;
+      cfg.epsilon = 0.2;
+      cfg.machines = 6;
+      cfg.seed = seed;
+      return naive_distributed_greedy(proto, ground, cfg);
+    }
+    case Algo::kScaling: {
+      GreedyScalingConfig cfg;
+      cfg.k = kK;
+      cfg.epsilon = 0.3;
+      cfg.machines = 6;
+      cfg.seed = seed;
+      return greedy_scaling(proto, ground, cfg);
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+std::unique_ptr<SubmodularOracle> make_proto(Objective objective,
+                                             std::uint64_t seed) {
+  if (objective == Objective::kCoverage) {
+    return std::make_unique<CoverageOracle>(
+        random_set_system(120, 150, 0.05, seed));
+  }
+  if (objective == Objective::kProbCoverage) {
+    data::ClickModelConfig cfg;
+    cfg.ads = 120;
+    cfg.users = 300;
+    cfg.mean_reach = 8.0;
+    cfg.seed = seed;
+    return std::make_unique<ProbCoverageOracle>(data::make_click_model(cfg));
+  }
+  data::LdaVectorsConfig cfg;
+  cfg.documents = 120;
+  cfg.topics = 8;
+  cfg.clusters = 5;
+  cfg.seed = seed;
+  const auto points = data::make_lda_like_vectors(cfg);
+  if (objective == Objective::kExemplar) {
+    return std::make_unique<ExemplarOracle>(points, 2.0);
+  }
+  return std::make_unique<LogDetOracle>(points, 0.6, 0.3);
+}
+
+class DistributedInvariants
+    : public ::testing::TestWithParam<
+          std::tuple<Algo, Objective, std::uint64_t>> {};
+
+TEST_P(DistributedInvariants, HoldAcrossTheGrid) {
+  const auto [algo, objective, seed] = GetParam();
+  SCOPED_TRACE(algo_name(algo));
+  const auto proto = make_proto(objective, seed);
+  const auto ground = iota_ids(proto->ground_size());
+
+  const auto result = run(algo, *proto, ground, seed);
+
+  // I1: value is real.
+  EXPECT_NEAR(result.value, evaluate_set(*proto, result.solution), 1e-6);
+
+  // I2: ids valid and distinct.
+  std::set<ElementId> unique;
+  for (const ElementId x : result.solution) {
+    EXPECT_LT(x, proto->ground_size());
+    EXPECT_TRUE(unique.insert(x).second) << "duplicate pick " << x;
+  }
+
+  // I3: traces are value-monotone.
+  double prev = 0.0;
+  for (const auto& trace : result.rounds) {
+    EXPECT_GE(trace.value_after + 1e-9, prev);
+    prev = trace.value_after;
+  }
+  if (!result.rounds.empty()) {
+    EXPECT_NEAR(result.rounds.back().value_after, result.value, 1e-9);
+  }
+
+  // I4: stats sanity.
+  const auto& stats = result.stats;
+  EXPECT_LE(stats.critical_path_evals(), stats.total_evals());
+  if (!result.solution.empty()) {
+    EXPECT_GT(stats.total_evals(), 0u);
+    EXPECT_GT(stats.bytes_communicated(), 0u);
+  }
+  for (const auto& round : stats.rounds) {
+    EXPECT_LE(round.max_machine_evals, round.worker_evals);
+    EXPECT_LE(round.max_machine_seconds, round.sum_machine_seconds + 1e-12);
+  }
+
+  // I5: determinism under the same seed.
+  const auto again = run(algo, *proto, ground, seed);
+  EXPECT_EQ(again.solution, result.solution);
+  EXPECT_DOUBLE_EQ(again.value, result.value);
+}
+
+std::string grid_name(
+    const ::testing::TestParamInfo<std::tuple<Algo, Objective, std::uint64_t>>&
+        info) {
+  const char* objective = "";
+  switch (std::get<1>(info.param)) {
+    case Objective::kCoverage: objective = "_cov_"; break;
+    case Objective::kProbCoverage: objective = "_prob_"; break;
+    case Objective::kExemplar: objective = "_exemplar_"; break;
+    case Objective::kLogDet: objective = "_logdet_"; break;
+  }
+  return std::string(algo_name(std::get<0>(info.param))) + objective +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DistributedInvariants,
+    ::testing::Combine(
+        ::testing::Values(Algo::kPractical, Algo::kTheory,
+                          Algo::kMultiplicity, Algo::kHybrid, Algo::kGreedi,
+                          Algo::kRandGreedi, Algo::kPseudo, Algo::kParallel,
+                          Algo::kNaive, Algo::kScaling),
+        ::testing::Values(Objective::kCoverage, Objective::kProbCoverage,
+                          Objective::kExemplar, Objective::kLogDet),
+        ::testing::Values<std::uint64_t>(1, 2)),
+    grid_name);
+
+// ------------------------------------------------- failure injection (I6)
+
+// An oracle that throws after a fixed number of evaluations — simulates a
+// worker crashing mid-greedy.
+class FusedOracle final : public SubmodularOracle {
+ public:
+  FusedOracle(std::shared_ptr<const SetSystem> sets, std::uint64_t fuse)
+      : inner_(std::move(sets)), fuse_(fuse) {}
+
+  std::size_t ground_size() const noexcept override {
+    return inner_.ground_size();
+  }
+
+ protected:
+  double do_gain(ElementId x) const override {
+    burn();
+    return inner_.gain(x);
+  }
+  double do_add(ElementId x) override {
+    burn();
+    return inner_.add(x);
+  }
+  std::unique_ptr<SubmodularOracle> do_clone() const override {
+    return std::make_unique<FusedOracle>(*this);
+  }
+
+ private:
+  void burn() const {
+    if (++burned_ > fuse_) {
+      throw std::runtime_error("fused oracle: evaluation budget exhausted");
+    }
+  }
+
+  mutable CoverageOracle inner_;
+  std::uint64_t fuse_;
+  mutable std::uint64_t burned_ = 0;
+};
+
+TEST(FailureInjection, WorkerOracleExplosionPropagates) {
+  const auto sys = random_set_system(200, 150, 0.05, 9);
+  const FusedOracle proto(sys, 50);  // dies partway through round 1
+
+  BicriteriaConfig cfg;
+  cfg.k = 5;
+  cfg.output_items = 10;
+  EXPECT_THROW(bicriteria_greedy(proto, iota_ids(200), cfg),
+               std::runtime_error);
+}
+
+TEST(FailureInjection, HealthyRunWithGenerousFuseSucceeds) {
+  const auto sys = random_set_system(60, 80, 0.1, 11);
+  const FusedOracle proto(sys, 1u << 20);
+  BicriteriaConfig cfg;
+  cfg.k = 4;
+  cfg.output_items = 8;
+  const auto result = bicriteria_greedy(proto, iota_ids(60), cfg);
+  EXPECT_FALSE(result.solution.empty());
+}
+
+TEST(FailureInjection, BaselineAlsoPropagates) {
+  const auto sys = random_set_system(200, 150, 0.05, 13);
+  const FusedOracle proto(sys, 30);
+  OneRoundConfig cfg;
+  cfg.k = 5;
+  cfg.machines = 6;
+  EXPECT_THROW(rand_greedi(proto, iota_ids(200), cfg), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bds

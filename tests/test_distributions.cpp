@@ -1,0 +1,118 @@
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace bds::util {
+namespace {
+
+TEST(Normal, MomentsMatchStandardNormal) {
+  Rng rng(1);
+  RunningStat stat;
+  for (int i = 0; i < 200'000; ++i) stat.add(sample_normal(rng));
+  EXPECT_NEAR(stat.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.01);
+}
+
+TEST(Normal, ShiftAndScale) {
+  Rng rng(2);
+  RunningStat stat;
+  for (int i = 0; i < 100'000; ++i) stat.add(sample_normal(rng, 5.0, 2.0));
+  EXPECT_NEAR(stat.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(Normal, ZeroSdIsDegenerate) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(sample_normal(rng, 3.5, 0.0), 3.5);
+  }
+}
+
+TEST(Normal, TailProbabilityIsSane) {
+  Rng rng(4);
+  int beyond2 = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) beyond2 += (std::abs(sample_normal(rng)) > 2.0);
+  // P(|Z| > 2) ~ 4.55%.
+  EXPECT_NEAR(double(beyond2) / kDraws, 0.0455, 0.005);
+}
+
+class GammaMoments : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaMoments, MeanAndVarianceMatchShape) {
+  const double shape = GetParam();
+  Rng rng(static_cast<std::uint64_t>(shape * 1000) + 5);
+  RunningStat stat;
+  for (int i = 0; i < 200'000; ++i) {
+    const double g = sample_gamma(rng, shape);
+    EXPECT_GE(g, 0.0);
+    stat.add(g);
+  }
+  // Gamma(shape, 1): mean = shape, variance = shape.
+  EXPECT_NEAR(stat.mean(), shape, 0.03 * std::max(1.0, shape));
+  EXPECT_NEAR(stat.variance(), shape, 0.06 * std::max(1.0, shape));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaMoments,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 7.5, 30.0));
+
+class DirichletSymmetric : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletSymmetric, SimplexAndMean) {
+  const double alpha = GetParam();
+  Rng rng(11);
+  constexpr std::size_t kDim = 8;
+  std::vector<RunningStat> coords(kDim);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto v = sample_dirichlet(rng, kDim, alpha);
+    ASSERT_EQ(v.size(), kDim);
+    double sum = 0.0;
+    for (std::size_t d = 0; d < kDim; ++d) {
+      EXPECT_GE(v[d], 0.0);
+      sum += v[d];
+      coords[d].add(v[d]);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  // Symmetric Dirichlet: every coordinate has mean 1/dim.
+  for (const auto& c : coords) EXPECT_NEAR(c.mean(), 1.0 / kDim, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DirichletSymmetric,
+                         ::testing::Values(0.1, 0.5, 1.0, 5.0));
+
+TEST(Dirichlet, AsymmetricConcentratesOnLargeAlpha) {
+  Rng rng(13);
+  const std::vector<double> alphas{10.0, 1.0, 1.0, 1.0};
+  RunningStat first;
+  for (int i = 0; i < 20'000; ++i) {
+    const auto v = sample_dirichlet(rng, std::span<const double>(alphas));
+    first.add(v[0]);
+  }
+  // E[v0] = 10 / 13.
+  EXPECT_NEAR(first.mean(), 10.0 / 13.0, 0.01);
+}
+
+TEST(Dirichlet, SparseAlphaYieldsSparseVectors) {
+  Rng rng(17);
+  int dominated = 0;
+  double mean_max = 0.0;
+  for (int i = 0; i < 2'000; ++i) {
+    const auto v = sample_dirichlet(rng, 50, 0.02);
+    const double mx = *std::max_element(v.begin(), v.end());
+    mean_max += mx;
+    dominated += (mx > 0.5);
+  }
+  mean_max /= 2'000;
+  // With tiny alpha a single coordinate usually dominates: for comparison a
+  // uniform Dirichlet(1) on 50 coords has mean max ~= 0.09.
+  EXPECT_GT(mean_max, 0.5);
+  EXPECT_GT(dominated, 1'000);
+}
+
+}  // namespace
+}  // namespace bds::util

@@ -1,0 +1,212 @@
+// Edge cases and cross-module seams that the per-module suites don't cover:
+// degenerate sizes, saturated instances, boundary parameters, and paths
+// only reachable through unusual configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/baselines.h"
+#include "core/bicriteria.h"
+#include "core/greedy.h"
+#include "core/upper_bound.h"
+#include "objectives/coverage.h"
+#include "objectives/exemplar.h"
+#include "test_support.h"
+#include "util/table.h"
+
+namespace bds {
+namespace {
+
+using testing::iota_ids;
+using testing::random_set_system;
+
+// --------------------------------------------------------- tiny grounds
+
+TEST(EdgeCases, SingleItemGroundSet) {
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{{0, 1}}, 2);
+  const CoverageOracle proto(sys);
+
+  BicriteriaConfig cfg;
+  cfg.k = 1;
+  const auto result = bicriteria_greedy(proto, iota_ids(1), cfg);
+  EXPECT_EQ(result.solution, (std::vector<ElementId>{0}));
+  EXPECT_DOUBLE_EQ(result.value, 2.0);
+}
+
+TEST(EdgeCases, MoreMachinesThanItems) {
+  const auto sys = random_set_system(5, 10, 0.4, 1);
+  const CoverageOracle proto(sys);
+  BicriteriaConfig cfg;
+  cfg.k = 2;
+  cfg.machines = 50;  // most machines get empty shards
+  const auto result = bicriteria_greedy(proto, iota_ids(5), cfg);
+  EXPECT_FALSE(result.solution.empty());
+  EXPECT_LE(result.stats.rounds[0].machines_used, 5u);
+}
+
+TEST(EdgeCases, KLargerThanGroundSet) {
+  const auto sys = random_set_system(4, 10, 0.4, 2);
+  const CoverageOracle proto(sys);
+  const auto central = centralized_greedy(proto, iota_ids(4), 100);
+  EXPECT_LE(central.solution.size(), 4u);
+
+  BicriteriaConfig cfg;
+  cfg.k = 100;
+  const auto result = bicriteria_greedy(proto, iota_ids(4), cfg);
+  EXPECT_LE(result.solution.size(), 4u);
+}
+
+TEST(EdgeCases, AllSetsEmptyEverywhereGivesEmptySolution) {
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>(10), 5);
+  const CoverageOracle proto(sys);
+  BicriteriaConfig cfg;
+  cfg.k = 3;
+  const auto result = bicriteria_greedy(proto, iota_ids(10), cfg);
+  EXPECT_TRUE(result.solution.empty());  // stop_when_no_gain trims all
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+}
+
+TEST(EdgeCases, FaithfulModeKeepsZeroGainPicks) {
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{{0}, {}, {}, {}}, 1);
+  const CoverageOracle proto(sys);
+  BicriteriaConfig cfg;
+  cfg.k = 3;
+  cfg.stop_when_no_gain = false;  // Algorithm 1 verbatim
+  const auto result = bicriteria_greedy(proto, iota_ids(4), cfg);
+  EXPECT_EQ(result.solution.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.value, 1.0);
+}
+
+// ------------------------------------------------------- plan boundaries
+
+TEST(EdgeCases, EpsilonNearOneGivesSmallAlpha) {
+  BicriteriaConfig cfg;
+  cfg.mode = BicriteriaMode::kTheory;
+  cfg.k = 5;
+  cfg.epsilon = 0.99;
+  const auto plan = plan_bicriteria(cfg, 1'000);
+  EXPECT_NEAR(plan.alpha, 3.0 / 0.99, 1e-12);
+  EXPECT_GE(plan.machines, 1u);
+  EXPECT_GE(plan.central_budget, cfg.k);
+}
+
+TEST(EdgeCases, TinyEpsilonStaysFinite) {
+  BicriteriaConfig cfg;
+  cfg.mode = BicriteriaMode::kHybrid;
+  cfg.k = 2;
+  cfg.epsilon = 1e-6;
+  cfg.rounds = 3;
+  const auto plan = plan_bicriteria(cfg, 1'000'000);
+  EXPECT_NEAR(plan.alpha, 3.0 * 100.0, 1e-9);  // 3/1e-2
+  EXPECT_LT(plan.output_bound, 10'000u);
+}
+
+TEST(EdgeCases, PracticalModeOneItemPerRound) {
+  const auto sys = random_set_system(100, 80, 0.05, 3);
+  const CoverageOracle proto(sys);
+  BicriteriaConfig cfg;
+  cfg.k = 4;
+  cfg.output_items = 4;
+  cfg.rounds = 4;  // k' = 1 per round
+  const auto result = bicriteria_greedy(proto, iota_ids(100), cfg);
+  EXPECT_EQ(result.stats.num_rounds(), 4u);
+  for (const auto& trace : result.rounds) {
+    EXPECT_LE(trace.items_added, 1u);
+  }
+}
+
+TEST(EdgeCases, MultiplicityClampedToMachines) {
+  BicriteriaConfig cfg;
+  cfg.mode = BicriteriaMode::kMultiplicity;
+  cfg.k = 3;
+  cfg.epsilon = 0.05;  // alpha = 60 -> C = 246, way above m
+  cfg.machines = 8;
+  const auto plan = plan_bicriteria(cfg, 500);
+  EXPECT_EQ(plan.multiplicity, 8u);
+}
+
+// ----------------------------------------------------------- upper bound
+
+TEST(EdgeCases, UpperBoundOnExemplarObjective) {
+  util::Rng rng(7);
+  std::vector<float> data(40 * 2);
+  for (float& v : data) v = static_cast<float>(rng.next_double(-1.0, 1.0));
+  const auto pts = std::make_shared<const PointSet>(40, 2, std::move(data));
+  const ExemplarOracle proto(pts, 8.0);
+
+  auto oracle = proto.clone();
+  const auto picks = lazy_greedy(*oracle, iota_ids(40), 4, {true});
+  const double ub = solution_upper_bound(proto, picks.picks, iota_ids(40), 4);
+  EXPECT_GE(ub + 1e-9, oracle->value());
+  EXPECT_LE(ub, proto.max_value() + 1e-9);
+  // Greedy-4 on 40 points should already be within 1-1/e of the bound.
+  EXPECT_GE(oracle->value(), (1.0 - 1.0 / std::exp(1.0)) * ub * 0.9);
+}
+
+TEST(EdgeCases, UpperBoundWithEmptyGround) {
+  const auto sys = random_set_system(5, 10, 0.3, 8);
+  const CoverageOracle proto(sys);
+  // No candidates to scan: bound = f(solution) vs trivial cap.
+  const std::vector<ElementId> solution{0, 1};
+  const double ub = solution_upper_bound(proto, solution, {}, 3);
+  EXPECT_NEAR(ub, evaluate_set(proto, solution), 1e-12);
+}
+
+// -------------------------------------------------------------- baselines
+
+TEST(EdgeCases, OneRoundWithSingleMachineEqualsCentralized) {
+  const auto sys = random_set_system(60, 100, 0.08, 9);
+  const CoverageOracle proto(sys);
+  OneRoundConfig cfg;
+  cfg.k = 6;
+  cfg.machines = 1;
+  cfg.seed = 2;
+  const auto dist_result = rand_greedi(proto, iota_ids(60), cfg);
+  const auto central = centralized_greedy(proto, iota_ids(60), 6);
+  EXPECT_DOUBLE_EQ(dist_result.value, central.value);
+}
+
+TEST(EdgeCases, NaiveDistributedWithHugeEpsilonIsOneRound) {
+  const auto sys = random_set_system(50, 80, 0.1, 10);
+  const CoverageOracle proto(sys);
+  NaiveDistributedConfig cfg;
+  cfg.k = 5;
+  cfg.epsilon = 0.9;  // ceil(ln(1/0.9)) = 1
+  const auto result = naive_distributed_greedy(proto, iota_ids(50), cfg);
+  EXPECT_EQ(result.stats.num_rounds(), 1u);
+}
+
+TEST(EdgeCases, PseudoGreedyRespectsExplicitBudgetFactor) {
+  const auto sys = random_set_system(80, 120, 0.06, 11);
+  const CoverageOracle proto(sys);
+  OneRoundConfig cfg;
+  cfg.k = 4;
+  cfg.machines = 4;
+  cfg.budget_factor = 2.0;  // explicit overrides the default 4
+  cfg.stop_when_no_gain = false;
+  const auto result = pseudo_greedy(proto, iota_ids(80), cfg);
+  EXPECT_EQ(result.stats.rounds[0].elements_gathered, 4u * 2u * 4u);
+}
+
+// ------------------------------------------------------------- formatting
+
+TEST(EdgeCases, TableHandlesEmptyAndUnicodeHeaders) {
+  util::Table table({"α", ""});
+  table.add_row({"x", "1"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("α"), std::string::npos);
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(EdgeCases, PercentFormattingExtremes) {
+  EXPECT_EQ(util::Table::fmt_pct(0.0), "0.0%");
+  EXPECT_EQ(util::Table::fmt_pct(-0.051), "-5.1%");
+  EXPECT_EQ(util::Table::fmt_pct(2.5, 0), "250%");
+}
+
+}  // namespace
+}  // namespace bds

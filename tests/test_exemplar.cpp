@@ -1,0 +1,178 @@
+#include "objectives/exemplar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "test_support.h"
+#include "util/stats.h"
+
+namespace bds {
+namespace {
+
+// Four points on a line: 0, 1, 4, 5 (1-d coordinates).
+std::shared_ptr<const PointSet> line_points() {
+  return std::make_shared<const PointSet>(
+      4, 1, std::vector<float>{0.0f, 1.0f, 4.0f, 5.0f});
+}
+
+std::shared_ptr<const PointSet> random_points(std::size_t n, std::size_t dim,
+                                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> data(n * dim);
+  for (float& v : data) v = static_cast<float>(rng.next_double(-1.0, 1.0));
+  return std::make_shared<const PointSet>(n, dim, std::move(data));
+}
+
+TEST(PointSet, AccessorsAndValidation) {
+  const auto pts = line_points();
+  EXPECT_EQ(pts->size(), 4u);
+  EXPECT_EQ(pts->dim(), 1u);
+  EXPECT_FLOAT_EQ(pts->point(2)[0], 4.0f);
+  EXPECT_THROW(PointSet(2, 3, std::vector<float>(5)), std::invalid_argument);
+  EXPECT_THROW(PointSet(2, 0, {}), std::invalid_argument);
+}
+
+TEST(PointSet, NormalizeRows) {
+  PointSet pts(2, 2, {3.0f, 4.0f, 0.0f, 0.0f});
+  pts.normalize_rows();
+  EXPECT_NEAR(pts.point(0)[0], 0.6f, 1e-6);
+  EXPECT_NEAR(pts.point(0)[1], 0.8f, 1e-6);
+  // Zero rows untouched.
+  EXPECT_FLOAT_EQ(pts.point(1)[0], 0.0f);
+}
+
+TEST(SquaredL2, HandComputed) {
+  const std::vector<float> a{1.0f, 2.0f}, b{4.0f, 6.0f};
+  EXPECT_DOUBLE_EQ(squared_l2(a, b), 9.0 + 16.0);
+  EXPECT_DOUBLE_EQ(squared_l2(a, a), 0.0);
+}
+
+TEST(ExemplarOracle, InitialCostIsP0Everywhere) {
+  const ExemplarOracle oracle(line_points(), 100.0);
+  EXPECT_DOUBLE_EQ(oracle.clustering_cost(), 400.0);
+  EXPECT_DOUBLE_EQ(oracle.value(), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.max_value(), 400.0);
+}
+
+TEST(ExemplarOracle, GainMatchesHandComputation) {
+  ExemplarOracle oracle(line_points(), 100.0);
+  // Adding point 1 (coord 1): distances to {0,1,4,5} are 1,0,9,16 — all
+  // below 100, so gain = 400 - (1+0+9+16) = 374.
+  EXPECT_DOUBLE_EQ(oracle.gain(1), 374.0);
+  EXPECT_DOUBLE_EQ(oracle.add(1), 374.0);
+  EXPECT_DOUBLE_EQ(oracle.clustering_cost(), 26.0);
+  // Now adding point 3 (coord 5): improves points 2 (9 -> 1) and 3 (16 -> 0).
+  EXPECT_DOUBLE_EQ(oracle.gain(3), 8.0 + 16.0);
+}
+
+TEST(ExemplarOracle, ValueEqualsCostReduction) {
+  ExemplarOracle oracle(line_points(), 50.0);
+  const double initial = oracle.clustering_cost();
+  oracle.add(0);
+  oracle.add(2);
+  EXPECT_NEAR(oracle.value(), initial - oracle.clustering_cost(), 1e-9);
+}
+
+TEST(ExemplarOracle, ReaddingGainsNothing) {
+  ExemplarOracle oracle(line_points(), 10.0);
+  oracle.add(2);
+  EXPECT_DOUBLE_EQ(oracle.gain(2), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.add(2), 0.0);
+}
+
+TEST(ExemplarOracle, CloneIsIndependent) {
+  ExemplarOracle oracle(line_points(), 10.0);
+  oracle.add(0);
+  const auto copy = oracle.clone();
+  copy->add(3);
+  EXPECT_GT(copy->value(), oracle.value());
+}
+
+TEST(ExemplarOracle, RejectsBadConstruction) {
+  EXPECT_THROW(ExemplarOracle(nullptr, 1.0), std::invalid_argument);
+  EXPECT_THROW(ExemplarOracle(line_points(), 0.0), std::invalid_argument);
+  EXPECT_THROW(ExemplarOracle(line_points(), -2.0), std::invalid_argument);
+}
+
+class ExemplarProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExemplarProperty, IsMonotoneSubmodular) {
+  const auto pts = random_points(15, 3, GetParam());
+  const ExemplarOracle proto(pts, 8.0);
+  EXPECT_EQ(testing::count_submodularity_violations(proto, GetParam(), 40,
+                                                    1e-7),
+            0);
+  EXPECT_EQ(
+      testing::count_monotonicity_violations(proto, GetParam(), 20, 1e-7), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExemplarProperty,
+                         ::testing::Values(21, 22, 23, 24, 25));
+
+TEST(SampledExemplar, FullSampleMatchesExactOracle) {
+  const auto pts = random_points(40, 4, 31);
+  util::Rng rng(31);
+  SampledExemplarOracle sampled(pts, 16.0, 40, rng);  // sample == everything
+  ExemplarOracle exact(pts, 16.0);
+  for (ElementId x = 0; x < 40; x += 7) {
+    EXPECT_NEAR(sampled.gain(x), exact.gain(x), 1e-6);
+  }
+  sampled.add(5);
+  exact.add(5);
+  EXPECT_NEAR(sampled.value(), exact.value(), 1e-6);
+}
+
+TEST(SampledExemplar, SampleSizeClampedToPopulation) {
+  const auto pts = random_points(10, 2, 33);
+  util::Rng rng(33);
+  SampledExemplarOracle oracle(pts, 4.0, 500, rng);
+  EXPECT_EQ(oracle.sample_ids().size(), 10u);
+}
+
+TEST(SampledExemplar, EstimateIsUnbiasedAcrossSamples) {
+  const auto pts = random_points(300, 3, 35);
+  ExemplarOracle exact(pts, 12.0);
+  const double true_gain = exact.gain(7);
+
+  util::Rng rng(35);
+  util::RunningStat estimates;
+  for (int trial = 0; trial < 200; ++trial) {
+    SampledExemplarOracle sampled(pts, 12.0, 50, rng);
+    estimates.add(sampled.gain(7));
+  }
+  // Mean of the estimates should be within a few standard errors of truth.
+  EXPECT_NEAR(estimates.mean(), true_gain,
+              4.0 * estimates.stddev() / std::sqrt(200.0) + 1e-9);
+}
+
+TEST(SampledExemplar, IndependentRngsGiveDifferentSamples) {
+  const auto pts = random_points(100, 2, 37);
+  util::Rng r1(1), r2(2);
+  SampledExemplarOracle a(pts, 4.0, 20, r1), b(pts, 4.0, 20, r2);
+  const auto sa = a.sample_ids(), sb = b.sample_ids();
+  EXPECT_NE(std::vector<std::uint32_t>(sa.begin(), sa.end()),
+            std::vector<std::uint32_t>(sb.begin(), sb.end()));
+}
+
+TEST(SampledExemplar, RejectsZeroSample) {
+  const auto pts = random_points(10, 2, 39);
+  util::Rng rng(39);
+  EXPECT_THROW(SampledExemplarOracle(pts, 4.0, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(SampledExemplar, PropertyCheckOnSampledObjective) {
+  // The sampled objective is itself a (scaled) exemplar objective on the
+  // sample, hence monotone submodular as a set function.
+  const auto pts = random_points(60, 2, 41);
+  util::Rng rng(41);
+  const SampledExemplarOracle proto(pts, 6.0, 25, rng);
+  EXPECT_EQ(testing::count_submodularity_violations(proto, 41, 30, 1e-7), 0);
+  EXPECT_EQ(testing::count_monotonicity_violations(proto, 41, 15, 1e-7), 0);
+}
+
+}  // namespace
+}  // namespace bds

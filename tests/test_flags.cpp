@@ -1,0 +1,102 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace bds::util {
+namespace {
+
+Flags parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Flags, EmptyArgv) {
+  const Flags flags(0, nullptr);
+  EXPECT_FALSE(flags.has("anything"));
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(Flags, ProgramName) {
+  EXPECT_EQ(parse({}).program(), "prog");
+}
+
+TEST(Flags, EqualsForm) {
+  const auto flags = parse({"--k=12", "--eps=0.25", "--name=hello"});
+  EXPECT_EQ(flags.get_int("k", 0), 12);
+  EXPECT_DOUBLE_EQ(flags.get_double("eps", 0.0), 0.25);
+  EXPECT_EQ(flags.get_string("name", ""), "hello");
+}
+
+TEST(Flags, SpaceForm) {
+  const auto flags = parse({"--k", "7", "--name", "world"});
+  EXPECT_EQ(flags.get_int("k", 0), 7);
+  EXPECT_EQ(flags.get_string("name", ""), "world");
+}
+
+TEST(Flags, BareBooleanForm) {
+  const auto flags = parse({"--verbose", "--quiet=false", "--fast=1"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_FALSE(flags.get_bool("quiet", true));
+  EXPECT_TRUE(flags.get_bool("fast", false));
+  EXPECT_TRUE(flags.get_bool("missing", true));
+}
+
+TEST(Flags, BooleanFollowedByFlagStaysBare) {
+  const auto flags = parse({"--verbose", "--k=3"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_EQ(flags.get_int("k", 0), 3);
+}
+
+TEST(Flags, Positional) {
+  const auto flags = parse({"input.txt", "--k=3", "output.txt"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "output.txt");
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const auto flags = parse({});
+  EXPECT_EQ(flags.get_int("k", 42), 42);
+  EXPECT_EQ(flags.get_uint("n", 7u), 7u);
+  EXPECT_DOUBLE_EQ(flags.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(flags.get_string("s", "dflt"), "dflt");
+}
+
+TEST(Flags, TypeErrors) {
+  const auto flags = parse({"--k=abc", "--x=1.2.3", "--b=maybe", "--n=-4"});
+  EXPECT_THROW(flags.get_int("k", 0), std::invalid_argument);
+  EXPECT_THROW(flags.get_double("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(flags.get_bool("b", false), std::invalid_argument);
+  EXPECT_THROW(flags.get_uint("n", 0), std::invalid_argument);
+  EXPECT_EQ(flags.get_int("n", 0), -4);  // fine as signed
+}
+
+TEST(Flags, MalformedFlagThrows) {
+  EXPECT_THROW(parse({"--=x"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+}
+
+TEST(Flags, LastValueWins) {
+  const auto flags = parse({"--k=1", "--k=2"});
+  EXPECT_EQ(flags.get_int("k", 0), 2);
+}
+
+TEST(Flags, NamesListsAllFlags) {
+  const auto flags = parse({"--b=1", "--a=2", "pos"});
+  const auto names = flags.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // map order: sorted
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(Flags, NegativeNumbersAsValues) {
+  const auto flags = parse({"--offset=-17", "--temp", "-3.5"});
+  EXPECT_EQ(flags.get_int("offset", 0), -17);
+  EXPECT_DOUBLE_EQ(flags.get_double("temp", 0.0), -3.5);
+}
+
+}  // namespace
+}  // namespace bds::util

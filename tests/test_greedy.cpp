@@ -1,0 +1,253 @@
+#include "core/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/brute_force.h"
+#include "objectives/coverage.h"
+#include "test_support.h"
+
+namespace bds {
+namespace {
+
+using testing::iota_ids;
+using testing::random_set_system;
+
+TEST(UniqueCandidates, SortsAndDeduplicates) {
+  const std::vector<ElementId> in{5, 1, 5, 3, 1};
+  EXPECT_EQ(unique_candidates(in), (std::vector<ElementId>{1, 3, 5}));
+  EXPECT_TRUE(unique_candidates({}).empty());
+}
+
+TEST(Greedy, PicksObviousBestFirst) {
+  // set0 covers 3, set1 covers 1 (new), set2 covers 1.
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{{0, 1, 2}, {2, 3}, {4}}, 5);
+  CoverageOracle oracle(sys);
+  const auto result = greedy(oracle, iota_ids(3), 2);
+  EXPECT_EQ(result.picks[0], 0u);
+  EXPECT_DOUBLE_EQ(result.gains[0], 3.0);
+  EXPECT_DOUBLE_EQ(result.gained, oracle.value());
+}
+
+TEST(Greedy, RespectsBudget) {
+  const auto sys = random_set_system(20, 40, 0.2, 1);
+  CoverageOracle oracle(sys);
+  const auto result = greedy(oracle, iota_ids(20), 5);
+  EXPECT_EQ(result.size(), 5u);
+}
+
+TEST(Greedy, BudgetBeyondPoolSelectsEverything) {
+  const auto sys = random_set_system(6, 20, 0.3, 2);
+  CoverageOracle oracle(sys);
+  const auto result = greedy(oracle, iota_ids(6), 100);
+  EXPECT_EQ(result.size(), 6u);
+}
+
+TEST(Greedy, PicksAreDistinct) {
+  const auto sys = random_set_system(15, 30, 0.3, 3);
+  CoverageOracle oracle(sys);
+  const auto result = greedy(oracle, iota_ids(15), 15);
+  std::set<ElementId> unique(result.picks.begin(), result.picks.end());
+  EXPECT_EQ(unique.size(), result.picks.size());
+}
+
+TEST(Greedy, DuplicateCandidatesHandled) {
+  const auto sys = random_set_system(10, 20, 0.3, 4);
+  CoverageOracle oracle(sys);
+  std::vector<ElementId> dup;
+  for (int r = 0; r < 3; ++r) {
+    for (ElementId i = 0; i < 10; ++i) dup.push_back(i);
+  }
+  const auto result = greedy(oracle, dup, 10);
+  std::set<ElementId> unique(result.picks.begin(), result.picks.end());
+  EXPECT_EQ(unique.size(), result.picks.size());
+}
+
+TEST(Greedy, StopWhenNoGainTruncates) {
+  // Universe of 3, after covering it all further gains are zero.
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{{0, 1, 2}, {0}, {1}, {2}}, 3);
+  CoverageOracle stop_oracle(sys);
+  const auto stopped = greedy(stop_oracle, iota_ids(4), 4, {true});
+  EXPECT_EQ(stopped.size(), 1u);
+
+  CoverageOracle full_oracle(sys);
+  const auto full = greedy(full_oracle, iota_ids(4), 4, {false});
+  EXPECT_EQ(full.size(), 4u);
+  EXPECT_DOUBLE_EQ(full.gained, stopped.gained);
+}
+
+TEST(Greedy, EmptyCandidates) {
+  const auto sys = random_set_system(5, 10, 0.3, 5);
+  CoverageOracle oracle(sys);
+  const auto result = greedy(oracle, {}, 3);
+  EXPECT_TRUE(result.picks.empty());
+  EXPECT_DOUBLE_EQ(result.gained, 0.0);
+}
+
+TEST(Greedy, ExtendsSeededOracle) {
+  // Algorithm 2 semantics: marginal gains are relative to S ∪ S_i.
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{{0, 1, 2}, {0, 1, 3}, {4}}, 5);
+  CoverageOracle proto(sys);
+  const auto seeded = seeded_clone(proto, std::vector<ElementId>{0});
+  const auto result = greedy(*seeded, std::vector<ElementId>{1, 2}, 1);
+  // Against S = {0}: set1 gains 1 (element 3), set2 gains 1 (element 4) —
+  // ties break toward the earlier candidate.
+  EXPECT_EQ(result.picks[0], 1u);
+}
+
+class GreedyApproximation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyApproximation, AchievesNemhauserBoundVsBruteForce) {
+  const auto sys = random_set_system(12, 24, 0.25, GetParam());
+  const CoverageOracle proto(sys);
+  const auto opt = brute_force_opt(proto, iota_ids(12), 3);
+
+  auto oracle = proto.clone();
+  const auto result = greedy(*oracle, iota_ids(12), 3);
+  EXPECT_GE(result.gained, (1.0 - 1.0 / std::exp(1.0)) * opt.value - 1e-9);
+  EXPECT_LE(result.gained, opt.value + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyApproximation,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+class LazyEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LazyEquivalence, LazyGreedyMatchesNaiveExactly) {
+  const auto sys = random_set_system(40, 80, 0.12, GetParam());
+  const CoverageOracle proto(sys);
+
+  auto naive_oracle = proto.clone();
+  const auto naive = greedy(*naive_oracle, iota_ids(40), 12);
+
+  auto lazy_oracle = proto.clone();
+  const auto lazy = lazy_greedy(*lazy_oracle, iota_ids(40), 12);
+
+  EXPECT_EQ(lazy.picks, naive.picks);
+  EXPECT_EQ(lazy.gains, naive.gains);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(LazyGreedy, UsesFewerEvaluationsThanNaive) {
+  const auto sys = random_set_system(200, 400, 0.05, 31);
+  const CoverageOracle proto(sys);
+
+  auto naive_oracle = proto.clone();
+  greedy(*naive_oracle, iota_ids(200), 20);
+  auto lazy_oracle = proto.clone();
+  lazy_greedy(*lazy_oracle, iota_ids(200), 20);
+
+  EXPECT_LT(lazy_oracle->evals(), naive_oracle->evals() / 2);
+}
+
+TEST(LazyGreedy, StopWhenNoGain) {
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{{0, 1}, {0}, {1}}, 2);
+  CoverageOracle oracle(sys);
+  const auto result = lazy_greedy(oracle, iota_ids(3), 3, {true});
+  EXPECT_EQ(result.size(), 1u);
+}
+
+TEST(StochasticGreedy, FullSampleMatchesGreedyValueClosely) {
+  const auto sys = random_set_system(50, 100, 0.1, 41);
+  const CoverageOracle proto(sys);
+
+  auto greedy_oracle = proto.clone();
+  const auto exact = greedy(*greedy_oracle, iota_ids(50), 10);
+
+  // With c so large every sample covers the full pool, stochastic greedy
+  // behaves like plain greedy except for tie-breaking (the sample order is
+  // shuffled), so values agree within a whisker.
+  auto st_oracle = proto.clone();
+  util::Rng rng(41);
+  StochasticGreedyOptions options;
+  options.c = 100.0;
+  const auto st = stochastic_greedy(*st_oracle, iota_ids(50), 10, rng,
+                                    options);
+  EXPECT_GE(st.gained, 0.95 * exact.gained);
+  EXPECT_LE(st.gained, exact.gained + 1e-9);
+}
+
+class StochasticQuality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StochasticQuality, CloseToGreedyWithDefaultC) {
+  const auto sys = random_set_system(120, 200, 0.06, GetParam());
+  const CoverageOracle proto(sys);
+
+  auto g_oracle = proto.clone();
+  const auto exact = greedy(*g_oracle, iota_ids(120), 12);
+
+  auto s_oracle = proto.clone();
+  util::Rng rng(GetParam() * 7 + 1);
+  const auto st = stochastic_greedy(*s_oracle, iota_ids(120), 12, rng);
+  EXPECT_GE(st.gained, 0.80 * exact.gained);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StochasticQuality,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(StochasticGreedy, EvaluatesFarFewerCandidates) {
+  const auto sys = random_set_system(1'000, 500, 0.02, 51);
+  const CoverageOracle proto(sys);
+  auto oracle = proto.clone();
+  util::Rng rng(51);
+  stochastic_greedy(*oracle, iota_ids(1'000), 10, rng);
+  // Naive would use ~10 * 1000 evals (gain) + adds; stochastic uses
+  // ~10 * ceil(3 * 1000 / 10) = ~3000.
+  EXPECT_LT(oracle->evals(), 4'000u);
+}
+
+TEST(StochasticGreedy, DeterministicGivenRng) {
+  const auto sys = random_set_system(60, 100, 0.1, 61);
+  const CoverageOracle proto(sys);
+  auto o1 = proto.clone();
+  auto o2 = proto.clone();
+  util::Rng r1(9), r2(9);
+  const auto a = stochastic_greedy(*o1, iota_ids(60), 8, r1);
+  const auto b = stochastic_greedy(*o2, iota_ids(60), 8, r2);
+  EXPECT_EQ(a.picks, b.picks);
+}
+
+TEST(RandomSubset, SizesAndDistinctness) {
+  const auto sys = random_set_system(30, 50, 0.2, 71);
+  CoverageOracle oracle(sys);
+  util::Rng rng(71);
+  const auto result = random_subset(oracle, iota_ids(30), 10, rng);
+  EXPECT_EQ(result.size(), 10u);
+  std::set<ElementId> unique(result.picks.begin(), result.picks.end());
+  EXPECT_EQ(unique.size(), 10u);
+  EXPECT_DOUBLE_EQ(result.gained, oracle.value());
+}
+
+TEST(RandomSubset, TypicallyWorseThanGreedy) {
+  const auto sys = random_set_system(100, 300, 0.03, 81);
+  const CoverageOracle proto(sys);
+  double greedy_total = 0.0, random_total = 0.0;
+  util::Rng rng(81);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto g = proto.clone();
+    greedy_total += greedy(*g, iota_ids(100), 10).gained;
+    auto r = proto.clone();
+    random_total += random_subset(*r, iota_ids(100), 10, rng).gained;
+  }
+  EXPECT_GT(greedy_total, random_total * 1.2);
+}
+
+TEST(GreedyFamily, WorksOnSqrtModularOracle) {
+  // Non-coverage oracle: weights 9, 4, 1 — greedy takes heaviest first.
+  testing::SqrtModularOracle oracle({4.0, 9.0, 1.0});
+  const auto result = greedy(oracle, iota_ids(3), 2);
+  EXPECT_EQ(result.picks[0], 1u);
+  EXPECT_EQ(result.picks[1], 0u);
+  EXPECT_NEAR(oracle.value(), std::sqrt(13.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace bds

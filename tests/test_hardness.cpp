@@ -1,0 +1,158 @@
+#include "core/hardness.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/baselines.h"
+#include "core/greedy.h"
+#include "objectives/submodular.h"
+#include "test_support.h"
+
+namespace bds {
+namespace {
+
+HardnessConfig small_config() {
+  HardnessConfig cfg;
+  cfg.k = 6;
+  cfg.epsilon = 0.125;
+  cfg.universe = 9'600;
+  cfg.total_items = 400;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(Hardness, ValidatesConfig) {
+  HardnessConfig cfg = small_config();
+  cfg.k = 5;  // odd
+  EXPECT_THROW(make_hardness_instance(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.epsilon = 0.5;
+  EXPECT_THROW(make_hardness_instance(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.total_items = 6;
+  EXPECT_THROW(make_hardness_instance(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.universe = 2;
+  EXPECT_THROW(make_hardness_instance(cfg), std::invalid_argument);
+}
+
+TEST(Hardness, FamilySizesMatchConstruction) {
+  const auto instance = make_hardness_instance(small_config());
+  EXPECT_EQ(instance.family_a.size(), 3u);
+  EXPECT_EQ(instance.family_b.size(), 3u);
+  EXPECT_EQ(instance.family_c.size(), 400u - 6u);
+  EXPECT_EQ(instance.sets->num_sets(), 400u);
+  EXPECT_EQ(instance.all_items().size(), 400u);
+}
+
+TEST(Hardness, OptimumCoversWholeUniverse) {
+  const auto instance = make_hardness_instance(small_config());
+  const CoverageOracle proto(instance.sets);
+  EXPECT_DOUBLE_EQ(evaluate_set(proto, instance.optimum()),
+                   double(instance.config.universe));
+}
+
+TEST(Hardness, FamiliesAAndBAreDisjointPartitions) {
+  const auto instance = make_hardness_instance(small_config());
+  std::set<std::uint32_t> seen;
+  for (const ElementId id : instance.optimum()) {
+    for (const auto e : instance.sets->set_items(id)) {
+      EXPECT_TRUE(seen.insert(e).second) << "overlap at element " << e;
+    }
+  }
+  EXPECT_EQ(seen.size(), instance.config.universe);
+}
+
+TEST(Hardness, ACoversRoughlyOneMinusTwoEps) {
+  const auto instance = make_hardness_instance(small_config());
+  const CoverageOracle proto(instance.sets);
+  const double a_value = evaluate_set(proto, instance.family_a);
+  const double frac = a_value / instance.config.universe;
+  EXPECT_NEAR(frac, 1.0 - 2 * instance.config.epsilon, 0.01);
+}
+
+TEST(Hardness, CSetsMatchBSetSize) {
+  const auto instance = make_hardness_instance(small_config());
+  const std::size_t b_size =
+      instance.sets->set_size(instance.family_b.front());
+  for (const ElementId id : instance.family_c) {
+    EXPECT_EQ(instance.sets->set_size(id), b_size);
+  }
+}
+
+TEST(Hardness, EvaluateSolutionCategorizesCorrectly) {
+  const auto instance = make_hardness_instance(small_config());
+  std::vector<ElementId> mixed;
+  mixed.push_back(instance.family_a[0]);
+  mixed.push_back(instance.family_b[0]);
+  mixed.push_back(instance.family_b[1]);
+  mixed.push_back(instance.family_c[5]);
+  const auto outcome = evaluate_hardness_solution(instance, mixed);
+  EXPECT_EQ(outcome.a_selected, 1u);
+  EXPECT_EQ(outcome.b_selected, 2u);
+  EXPECT_EQ(outcome.c_selected, 1u);
+  EXPECT_GT(outcome.ratio, 0.0);
+  EXPECT_LT(outcome.ratio, 1.0);
+}
+
+TEST(Hardness, CentralizedGreedyWithKItemsIsNearOptimal) {
+  // With global information, greedy finds A and B directly.
+  const auto instance = make_hardness_instance(small_config());
+  const CoverageOracle proto(instance.sets);
+  const auto result =
+      centralized_greedy(proto, instance.all_items(), instance.config.k);
+  const auto outcome = evaluate_hardness_solution(instance, result.solution);
+  EXPECT_GT(outcome.ratio, 0.97);
+}
+
+TEST(Hardness, OneRoundAlgorithmLosesBSets) {
+  // The heart of Theorem 3.1: in one distributed round with many machines,
+  // 𝔹-sets are indistinguishable from ℂ-sets on their machine, so the
+  // solution misses most of 𝔹 and its ratio is materially below 1-ε/2.
+  HardnessConfig cfg = small_config();
+  cfg.total_items = 2'000;
+  cfg.seed = 3;
+  const auto instance = make_hardness_instance(cfg);
+  const CoverageOracle proto(instance.sets);
+
+  OneRoundConfig rg;
+  rg.k = cfg.k;
+  rg.machines = 50;  // m >> k: B-sets land on machines alone
+  rg.seed = 7;
+  const auto result = rand_greedi(proto, instance.all_items(), rg);
+  const auto outcome = evaluate_hardness_solution(instance, result.solution);
+  EXPECT_LT(outcome.b_selected, instance.family_b.size());
+  EXPECT_LT(outcome.ratio, 1.0 - cfg.epsilon / 2.0);
+}
+
+TEST(Hardness, LargerOutputRecoversTheGap) {
+  // Allowing the one-round algorithm to output O(k/eps) items restores the
+  // (1-eps) ratio — the flip side of the lower bound.
+  HardnessConfig cfg = small_config();
+  cfg.total_items = 2'000;
+  cfg.seed = 5;
+  const auto instance = make_hardness_instance(cfg);
+  const CoverageOracle proto(instance.sets);
+
+  OneRoundConfig rg;
+  rg.k = static_cast<std::size_t>(double(cfg.k) / cfg.epsilon);  // k/eps
+  rg.machines = 50;
+  rg.seed = 9;
+  const auto result = rand_greedi(proto, instance.all_items(), rg);
+  const auto outcome = evaluate_hardness_solution(instance, result.solution);
+  EXPECT_GT(outcome.value / instance.config.universe, 1.0 - cfg.epsilon);
+}
+
+TEST(Hardness, DeterministicBySeed) {
+  const auto a = make_hardness_instance(small_config());
+  const auto b = make_hardness_instance(small_config());
+  for (const ElementId id : a.family_c) {
+    const auto sa = a.sets->set_items(id);
+    const auto sb = b.sets->set_items(id);
+    EXPECT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin(), sb.end()));
+  }
+}
+
+}  // namespace
+}  // namespace bds

@@ -1,0 +1,225 @@
+// End-to-end pipelines mirroring the paper's experiments at test scale:
+// data generator -> oracle -> distributed algorithm -> upper bound -> ratio.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include <cmath>
+
+#include "core/baselines.h"
+#include "core/bicriteria.h"
+#include "core/greedy.h"
+#include "core/upper_bound.h"
+#include "data/bigram_gen.h"
+#include "data/graph_gen.h"
+#include "data/synthetic_coverage.h"
+#include "data/vectors_gen.h"
+#include "objectives/coverage.h"
+#include "objectives/exemplar.h"
+#include "objectives/jl_projection.h"
+#include "test_support.h"
+
+namespace bds {
+namespace {
+
+using testing::iota_ids;
+
+TEST(Integration, SyntheticCoveragePipelineRatiosIncreaseWithK) {
+  // Mini Figure 1(a): ratio vs output size on the hard instance.
+  data::SyntheticCoverageConfig data_cfg;
+  data_cfg.universe_size = 2'000;
+  data_cfg.planted_sets = 20;
+  data_cfg.random_sets = 5'000;
+  const auto instance = data::make_synthetic_coverage(data_cfg);
+  const CoverageOracle proto(instance.sets);
+  const auto ground = iota_ids(instance.sets->num_sets());
+  const std::size_t K = 20;
+
+  // Upper bound from the largest solution we compute.
+  BicriteriaConfig big;
+  big.k = K;
+  big.output_items = 2 * K;
+  big.seed = 1;
+  const auto big_result = bicriteria_greedy(proto, ground, big);
+  const double ub =
+      solution_upper_bound(proto, big_result.solution, ground, K);
+  ASSERT_GT(ub, 0.0);
+
+  double prev_ratio = 0.0;
+  for (const std::size_t out : {K, K + K / 2, 2 * K}) {
+    BicriteriaConfig cfg;
+    cfg.k = K;
+    cfg.output_items = out;
+    cfg.seed = 1;
+    const auto result = bicriteria_greedy(proto, ground, cfg);
+    const double ratio = result.value / ub;
+    EXPECT_GE(ratio + 0.02, prev_ratio);  // monotone up to small noise
+    prev_ratio = ratio;
+  }
+  // With 2K items the hard instance is nearly solved (paper: ~99%).
+  EXPECT_GT(prev_ratio, 0.90);
+}
+
+TEST(Integration, GraphCoveragePipelineBeatsRandomBaseline) {
+  // Mini Figure 1(b): DBLP-like graph, distributed greedy vs random.
+  const auto sys = data::make_dblp_like(3'000, 7);
+  const CoverageOracle proto(sys);
+  const auto ground = iota_ids(sys->num_sets());
+  const std::size_t K = 10;
+
+  BicriteriaConfig cfg;
+  cfg.k = K;
+  cfg.output_items = 2 * K;
+  cfg.seed = 2;
+  const auto dist_result = bicriteria_greedy(proto, ground, cfg);
+
+  auto random_oracle = proto.clone();
+  util::Rng rng(2);
+  const auto random_result =
+      random_subset(*random_oracle, ground, 2 * K, rng);
+
+  EXPECT_GT(dist_result.value, 2.0 * random_result.gained);
+
+  const double ub =
+      solution_upper_bound(proto, dist_result.solution, ground, K);
+  EXPECT_GT(dist_result.value / ub, 0.78);
+}
+
+TEST(Integration, BigramPipelineConvergesInOneRound) {
+  data::BigramConfig bc;
+  bc.books = 150;
+  bc.vocabulary = 300;
+  bc.min_tokens = 100;
+  bc.max_tokens = 3'000;
+  const auto sys = data::make_bigram_sets(bc);
+  const CoverageOracle proto(sys);
+  const auto ground = iota_ids(sys->num_sets());
+
+  BicriteriaConfig cfg;
+  cfg.k = 10;
+  cfg.output_items = 20;
+  cfg.seed = 3;
+  const auto one_round = bicriteria_greedy(proto, ground, cfg);
+  const auto central = centralized_greedy(proto, ground, 20);
+  // Distributed one-round result is within a whisker of centralized.
+  EXPECT_GT(one_round.value, 0.95 * central.value);
+}
+
+TEST(Integration, ExemplarClusteringPipeline) {
+  // Mini Figure 2: LDA-like vectors, sampled machine oracles, exact scoring.
+  data::LdaVectorsConfig vc;
+  vc.documents = 600;
+  vc.topics = 25;
+  vc.clusters = 6;
+  vc.seed = 11;
+  const auto pts = data::make_lda_like_vectors(vc);
+  const double p0 = 2.0;
+  const ExemplarOracle exact_proto(pts, p0);
+  const auto ground = iota_ids(pts->size());
+  const std::size_t K = 5;
+
+  std::atomic<std::size_t> machine_counter{0};
+  BicriteriaConfig cfg;
+  cfg.k = K;
+  cfg.output_items = 2 * K;
+  cfg.seed = 4;
+  cfg.selector = MachineSelector::kStochasticGreedy;
+  cfg.machine_oracle_factory =
+      [&](std::size_t machine) -> std::unique_ptr<SubmodularOracle> {
+    ++machine_counter;
+    util::Rng rng(util::mix64(1000 + machine));
+    return std::make_unique<SampledExemplarOracle>(pts, p0, 200, rng);
+  };
+  const auto result = bicriteria_greedy(exact_proto, ground, cfg);
+  EXPECT_GT(machine_counter.load(), 0u);
+
+  // Score exactly (the paper always reports exact values).
+  const double exact_value = evaluate_set(exact_proto, result.solution);
+  EXPECT_GT(exact_value, 0.0);
+
+  auto random_oracle = exact_proto.clone();
+  util::Rng rng(5);
+  const auto random_result =
+      random_subset(*random_oracle, ground, 2 * K, rng);
+  EXPECT_GT(exact_value, random_result.gained);
+
+  const double ub =
+      solution_upper_bound(exact_proto, result.solution, ground, K);
+  EXPECT_GT(exact_value / ub, 0.5);
+}
+
+TEST(Integration, JlProjectionPreservesExemplarChoicesApproximately) {
+  // TinyImages-style path: optimize on JL-projected vectors, score on the
+  // originals; the scored value should be close to optimizing directly.
+  data::ImageVectorsConfig ic;
+  ic.images = 300;
+  ic.dim = 256;
+  ic.clusters = 8;
+  ic.seed = 13;
+  const auto original = data::make_image_like_vectors(ic);
+  const auto projected = std::make_shared<const PointSet>(
+      jl_project(*original, 64, 99));
+
+  const double p0 = 2.0;
+  const ExemplarOracle orig_proto(original, p0);
+  const ExemplarOracle proj_proto(projected, p0);
+  const auto ground = iota_ids(original->size());
+
+  const auto direct = centralized_greedy(orig_proto, ground, 8);
+  const auto via_jl = centralized_greedy(proj_proto, ground, 8);
+  const double scored = evaluate_set(orig_proto, via_jl.solution);
+  EXPECT_GT(scored, 0.9 * direct.value);
+}
+
+TEST(Integration, SpeedupAccountingFavorsDistribution) {
+  // §4.2 speed-up logic at test scale: the distributed critical path does
+  // far fewer oracle evaluations than the centralized run.
+  const auto sys = data::make_dblp_like(4'000, 17);
+  const CoverageOracle proto(sys);
+  const auto ground = iota_ids(sys->num_sets());
+  const std::size_t k = 10;
+
+  const auto central = centralized_greedy(proto, ground, k, /*lazy=*/false);
+  BicriteriaConfig cfg;
+  cfg.k = k;
+  cfg.selector = MachineSelector::kGreedy;  // same selector both sides
+  cfg.seed = 6;
+  const auto dist_result = bicriteria_greedy(proto, ground, cfg);
+
+  const auto central_evals = central.stats.rounds[0].worker_evals;
+  const auto dist_critical = dist_result.stats.critical_path_evals();
+  EXPECT_LT(dist_critical, central_evals / 4);
+  // And quality stays close.
+  EXPECT_GT(dist_result.value, 0.9 * central.value);
+}
+
+TEST(Integration, AllAlgorithmsAgreeOnEasyInstance) {
+  // Disjoint equal sets: every sensible algorithm finds an optimal cover.
+  std::vector<std::vector<std::uint32_t>> sets;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    sets.push_back({i * 3, i * 3 + 1, i * 3 + 2});
+  }
+  const auto sys =
+      std::make_shared<const SetSystem>(std::move(sets), 120);
+  const CoverageOracle proto(sys);
+  const auto ground = iota_ids(40);
+  const std::size_t k = 10;
+  const double opt = 30.0;  // any k disjoint triples
+
+  EXPECT_DOUBLE_EQ(centralized_greedy(proto, ground, k).value, opt);
+
+  OneRoundConfig rc;
+  rc.k = k;
+  rc.seed = 1;
+  EXPECT_DOUBLE_EQ(rand_greedi(proto, ground, rc).value, opt);
+  EXPECT_DOUBLE_EQ(greedi(proto, ground, rc).value, opt);
+  EXPECT_DOUBLE_EQ(pseudo_greedy(proto, ground, rc).value, opt);
+
+  BicriteriaConfig bc;
+  bc.k = k;
+  bc.seed = 1;
+  EXPECT_DOUBLE_EQ(bicriteria_greedy(proto, ground, bc).value, opt);
+}
+
+}  // namespace
+}  // namespace bds

@@ -1,0 +1,138 @@
+#include "data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/graph_gen.h"
+#include "data/prob_gen.h"
+#include "data/vectors_gen.h"
+#include "objectives/submodular.h"
+#include "test_support.h"
+
+namespace bds::data {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/bds_io_test.bin";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(IoTest, SetSystemRoundTrip) {
+  const auto original = bds::testing::random_set_system(50, 80, 0.15, 1);
+  save_set_system(*original, path_);
+  const auto loaded = load_set_system(path_);
+
+  ASSERT_EQ(loaded->num_sets(), original->num_sets());
+  EXPECT_EQ(loaded->universe_size(), original->universe_size());
+  EXPECT_EQ(loaded->total_size(), original->total_size());
+  for (ElementId id = 0; id < original->num_sets(); ++id) {
+    const auto a = original->set_items(id);
+    const auto b = loaded->set_items(id);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "set " << id;
+  }
+}
+
+TEST_F(IoTest, SetSystemWithEmptySets) {
+  const SetSystem original({{1, 2}, {}, {0}}, 3);
+  save_set_system(original, path_);
+  const auto loaded = load_set_system(path_);
+  EXPECT_EQ(loaded->set_size(1), 0u);
+  EXPECT_EQ(loaded->set_size(0), 2u);
+}
+
+TEST_F(IoTest, PointSetRoundTrip) {
+  LdaVectorsConfig cfg;
+  cfg.documents = 30;
+  cfg.topics = 12;
+  cfg.clusters = 3;
+  const auto original = make_lda_like_vectors(cfg);
+  save_point_set(*original, path_);
+  const auto loaded = load_point_set(path_);
+
+  ASSERT_EQ(loaded->size(), original->size());
+  ASSERT_EQ(loaded->dim(), original->dim());
+  for (std::size_t i = 0; i < original->size(); ++i) {
+    for (std::size_t d = 0; d < original->dim(); ++d) {
+      EXPECT_FLOAT_EQ(loaded->point(i)[d], original->point(i)[d]);
+    }
+  }
+}
+
+TEST_F(IoTest, ProbSetSystemRoundTrip) {
+  data::ClickModelConfig cfg;
+  cfg.ads = 60;
+  cfg.users = 200;
+  cfg.mean_reach = 6.0;
+  cfg.seed = 5;
+  const auto original = make_click_model(cfg);
+  save_prob_set_system(*original, path_);
+  const auto loaded = load_prob_set_system(path_);
+
+  ASSERT_EQ(loaded->num_sets(), original->num_sets());
+  EXPECT_EQ(loaded->universe_size(), original->universe_size());
+  EXPECT_EQ(loaded->total_entries(), original->total_entries());
+  for (ElementId id = 0; id < original->num_sets(); ++id) {
+    const auto a = original->set_entries(id);
+    const auto b = loaded->set_entries(id);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].element, b[i].element);
+      EXPECT_FLOAT_EQ(a[i].probability, b[i].probability);
+    }
+  }
+}
+
+TEST_F(IoTest, ProbFileTypeIsDistinct) {
+  const auto sets = bds::testing::random_set_system(5, 10, 0.3, 6);
+  save_set_system(*sets, path_);
+  EXPECT_THROW(load_prob_set_system(path_), std::runtime_error);
+}
+
+TEST_F(IoTest, RejectsMissingFile) {
+  EXPECT_THROW(load_set_system("/nonexistent/file.bin"), std::runtime_error);
+  EXPECT_THROW(load_point_set("/nonexistent/file.bin"), std::runtime_error);
+}
+
+TEST_F(IoTest, RejectsWrongFileType) {
+  const auto sets = bds::testing::random_set_system(5, 10, 0.3, 2);
+  save_set_system(*sets, path_);
+  EXPECT_THROW(load_point_set(path_), std::runtime_error);
+}
+
+TEST_F(IoTest, RejectsTruncatedFile) {
+  const auto sets = bds::testing::random_set_system(20, 30, 0.3, 3);
+  save_set_system(*sets, path_);
+  // Truncate to half.
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), std::streamsize(contents.size() / 2));
+  out.close();
+  EXPECT_THROW(load_set_system(path_), std::runtime_error);
+}
+
+TEST_F(IoTest, RejectsGarbage) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "this is not a dataset";
+  out.close();
+  EXPECT_THROW(load_set_system(path_), std::runtime_error);
+}
+
+TEST_F(IoTest, LoadedSystemBehavesIdentically) {
+  const auto original = bds::testing::random_set_system(40, 60, 0.2, 4);
+  save_set_system(*original, path_);
+  const auto loaded = load_set_system(path_);
+  const CoverageOracle a(original);
+  const CoverageOracle b(loaded);
+  const std::vector<ElementId> sol{3, 17, 29};
+  EXPECT_DOUBLE_EQ(evaluate_set(a, sol), evaluate_set(b, sol));
+}
+
+}  // namespace
+}  // namespace bds::data

@@ -1,0 +1,105 @@
+#include "objectives/jl_projection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace bds {
+namespace {
+
+PointSet random_points(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> data(n * dim);
+  for (float& v : data) v = static_cast<float>(rng.next_double(-1.0, 1.0));
+  return PointSet(n, dim, std::move(data));
+}
+
+TEST(JlProjection, OutputShape) {
+  const auto input = random_points(20, 128, 1);
+  const PointSet out = jl_project(input, 16, 7);
+  EXPECT_EQ(out.size(), 20u);
+  EXPECT_EQ(out.dim(), 16u);
+}
+
+TEST(JlProjection, RejectsZeroTargetDim) {
+  const auto input = random_points(5, 8, 2);
+  EXPECT_THROW(jl_project(input, 0, 1), std::invalid_argument);
+}
+
+TEST(JlProjection, DeterministicGivenSeed) {
+  const auto input = random_points(10, 64, 3);
+  const PointSet a = jl_project(input, 8, 42);
+  const PointSet b = jl_project(input, 8, 42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t d = 0; d < a.dim(); ++d) {
+      EXPECT_FLOAT_EQ(a.point(i)[d], b.point(i)[d]);
+    }
+  }
+}
+
+TEST(JlProjection, DifferentSeedsDiffer) {
+  const auto input = random_points(4, 64, 4);
+  const PointSet a = jl_project(input, 8, 1);
+  const PointSet b = jl_project(input, 8, 2);
+  bool any_diff = false;
+  for (std::size_t d = 0; d < 8; ++d) {
+    any_diff |= (a.point(0)[d] != b.point(0)[d]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(JlProjection, PreservesNormsInExpectation) {
+  // E[||Rx||^2] = ||x||^2 for the scaled sign matrix.
+  const auto input = random_points(200, 100, 5);
+  const PointSet out = jl_project(input, 64, 9);
+  util::RunningStat ratio;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const double orig = squared_l2(input.point(i),
+                                   std::vector<float>(100, 0.0f));
+    const double proj = squared_l2(out.point(i),
+                                   std::vector<float>(64, 0.0f));
+    if (orig > 0) ratio.add(proj / orig);
+  }
+  EXPECT_NEAR(ratio.mean(), 1.0, 0.05);
+}
+
+TEST(JlProjection, PreservesPairwiseDistancesApproximately) {
+  // With target_dim = 256 distortion should be modest for a handful of
+  // pairs: within +-35% for the vast majority.
+  const auto input = random_points(30, 512, 6);
+  const PointSet out = jl_project(input, 256, 11);
+  int within = 0, total = 0;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    for (std::size_t j = i + 1; j < input.size(); ++j) {
+      const double orig = squared_l2(input.point(i), input.point(j));
+      const double proj = squared_l2(out.point(i), out.point(j));
+      ++total;
+      if (proj > 0.65 * orig && proj < 1.35 * orig) ++within;
+    }
+  }
+  EXPECT_GT(double(within) / total, 0.95);
+}
+
+TEST(JlProjection, LinearityUnderScaling) {
+  // R(2x) = 2 Rx: projecting a scaled copy scales the output.
+  PointSet input(2, 32, [] {
+    std::vector<float> d(64);
+    util::Rng rng(13);
+    for (std::size_t i = 0; i < 32; ++i) {
+      d[i] = static_cast<float>(rng.next_double(-1.0, 1.0));
+      d[32 + i] = 2.0f * d[i];
+    }
+    return d;
+  }());
+  const PointSet out = jl_project(input, 8, 17);
+  for (std::size_t d = 0; d < 8; ++d) {
+    EXPECT_NEAR(out.point(1)[d], 2.0f * out.point(0)[d], 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace bds

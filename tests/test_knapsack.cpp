@@ -1,0 +1,167 @@
+#include "core/knapsack.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/greedy.h"
+#include "objectives/coverage.h"
+#include "test_support.h"
+
+namespace bds {
+namespace {
+
+using testing::iota_ids;
+using testing::random_set_system;
+
+std::vector<double> unit_costs(std::size_t n) {
+  return std::vector<double>(n, 1.0);
+}
+
+TEST(Knapsack, ValidatesArguments) {
+  const auto sys = random_set_system(10, 20, 0.3, 1);
+  CoverageOracle oracle(sys);
+  EXPECT_THROW(
+      cost_benefit_greedy(oracle, iota_ids(10), unit_costs(3), 5.0),
+      std::invalid_argument);
+  std::vector<double> bad = unit_costs(10);
+  bad[4] = 0.0;
+  EXPECT_THROW(cost_benefit_greedy(oracle, iota_ids(10), bad, 5.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      cost_benefit_greedy(oracle, iota_ids(10), unit_costs(10), 0.0),
+      std::invalid_argument);
+}
+
+TEST(Knapsack, UnitCostsReduceToCardinalityGreedy) {
+  const auto sys = random_set_system(40, 80, 0.1, 2);
+  const CoverageOracle proto(sys);
+  auto o1 = proto.clone();
+  const auto budgeted =
+      plain_value_greedy(*o1, iota_ids(40), unit_costs(40), 6.0);
+  auto o2 = proto.clone();
+  const auto plain = greedy(*o2, iota_ids(40), 6, {true});
+  EXPECT_EQ(budgeted.picks, plain.picks);
+  EXPECT_DOUBLE_EQ(budgeted.cost, double(budgeted.picks.size()));
+}
+
+TEST(Knapsack, RespectsBudgetExactly) {
+  const auto sys = random_set_system(30, 60, 0.15, 3);
+  CoverageOracle oracle(sys);
+  util::Rng rng(3);
+  std::vector<double> costs(30);
+  for (double& c : costs) c = rng.next_double(0.5, 3.0);
+  const double budget = 7.0;
+  const auto result =
+      cost_benefit_greedy(oracle, iota_ids(30), costs, budget);
+  EXPECT_LE(result.cost, budget + 1e-12);
+  // The loop must not have stopped while an affordable positive-gain item
+  // remained (maximality).
+  for (ElementId x = 0; x < 30; ++x) {
+    if (costs[x] <= budget - result.cost) {
+      EXPECT_LE(oracle.gain(x), 0.0) << "affordable item " << x << " skipped";
+    }
+  }
+}
+
+TEST(Knapsack, ExpensiveItemsAreSkippedNotTruncated) {
+  // One giant valuable set that costs more than the budget; knapsack must
+  // work around it.
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{
+          {0, 1, 2, 3, 4, 5, 6, 7}, {0, 1}, {2, 3}, {4}},
+      8);
+  CoverageOracle oracle(sys);
+  const std::vector<double> costs{10.0, 1.0, 1.0, 1.0};
+  const auto result = cost_benefit_greedy(oracle, iota_ids(4), costs, 3.0);
+  for (const ElementId x : result.picks) EXPECT_NE(x, 0u);
+  EXPECT_DOUBLE_EQ(result.gained, 5.0);  // sets 1,2,3 cover {0..4}
+}
+
+TEST(Knapsack, CostBenefitBeatsPlainOnCheapGems) {
+  // Plain value greedy blows the budget on one big expensive set; the
+  // cost-benefit rule buys many cheap sets covering more in total.
+  std::vector<std::vector<std::uint32_t>> sets;
+  sets.push_back({0, 1, 2, 3, 4, 5});  // big, costs the whole budget
+  for (std::uint32_t i = 0; i < 10; ++i) sets.push_back({6 + i});
+  const auto sys = std::make_shared<const SetSystem>(std::move(sets), 16);
+  const CoverageOracle proto(sys);
+  std::vector<double> costs(11, 1.0);
+  costs[0] = 10.0;
+
+  auto value_oracle = proto.clone();
+  const auto value_run =
+      plain_value_greedy(*value_oracle, iota_ids(11), costs, 10.0);
+  EXPECT_EQ(value_run.picks.front(), 0u);
+  EXPECT_DOUBLE_EQ(value_run.gained, 6.0);
+
+  auto ratio_oracle = proto.clone();
+  const auto ratio_run =
+      cost_benefit_greedy(*ratio_oracle, iota_ids(11), costs, 10.0);
+  EXPECT_DOUBLE_EQ(ratio_run.gained, 10.0);  // ten singletons
+}
+
+TEST(Knapsack, PlainBeatsCostBenefitOnRatioTrap) {
+  // The classic trap for pure cost-benefit: a tiny cheap item with huge
+  // ratio crowds out the optimal big item.
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{
+          {0}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+      11);
+  const CoverageOracle proto(sys);
+  // Item 0: 1 element for cost 0.1 (ratio 10); item 1: 10 elements for
+  // cost 1.0 (ratio 10-). Budget 1.0: cost-benefit takes item 0 first and
+  // can no longer afford item 1.
+  const std::vector<double> costs{0.1, 1.0};
+
+  auto ratio_oracle = proto.clone();
+  const auto ratio_run =
+      cost_benefit_greedy(*ratio_oracle, iota_ids(2), costs, 1.0);
+  EXPECT_DOUBLE_EQ(ratio_run.gained, 1.0);
+
+  auto value_oracle = proto.clone();
+  const auto value_run =
+      plain_value_greedy(*value_oracle, iota_ids(2), costs, 1.0);
+  EXPECT_DOUBLE_EQ(value_run.gained, 10.0);
+
+  // The combined algorithm returns the better one.
+  const auto combined = knapsack_greedy(proto, iota_ids(2), costs, 1.0);
+  EXPECT_DOUBLE_EQ(combined.gained, 10.0);
+}
+
+class KnapsackQuality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnapsackQuality, CombinedRuleIsConstantFactor) {
+  // Brute-force the budgeted optimum on tiny instances and check the
+  // (1 - 1/sqrt(e)) ~ 0.393 floor for the better-of-two rule.
+  const auto sys = random_set_system(10, 25, 0.25, GetParam() + 200);
+  const CoverageOracle proto(sys);
+  util::Rng rng(GetParam());
+  std::vector<double> costs(10);
+  for (double& c : costs) c = rng.next_double(0.5, 2.0);
+  const double budget = 4.0;
+
+  // Brute force over all subsets within budget.
+  double opt = 0.0;
+  for (std::uint32_t mask = 0; mask < (1u << 10); ++mask) {
+    double cost = 0.0;
+    std::vector<ElementId> subset;
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      if (mask & (1u << i)) {
+        cost += costs[i];
+        subset.push_back(i);
+      }
+    }
+    if (cost <= budget) opt = std::max(opt, evaluate_set(proto, subset));
+  }
+
+  const auto result = knapsack_greedy(proto, iota_ids(10), costs, budget);
+  EXPECT_GE(result.gained, 0.393 * opt - 1e-9) << "seed " << GetParam();
+  EXPECT_LE(result.gained, opt + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackQuality,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace bds

@@ -1,0 +1,111 @@
+#include "util/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bds::util {
+namespace {
+
+TEST(IncrementalCholesky, EmptyFactor) {
+  IncrementalCholesky chol;
+  EXPECT_EQ(chol.size(), 0u);
+  EXPECT_DOUBLE_EQ(chol.log_det(), 0.0);
+}
+
+TEST(IncrementalCholesky, OneByOne) {
+  IncrementalCholesky chol;
+  chol.extend({}, 4.0);
+  EXPECT_EQ(chol.size(), 1u);
+  EXPECT_DOUBLE_EQ(chol.entry(0, 0), 2.0);
+  EXPECT_NEAR(chol.log_det(), std::log(4.0), 1e-12);
+}
+
+TEST(IncrementalCholesky, HandTwoByTwo) {
+  // M = [[4, 2], [2, 3]]: L = [[2, 0], [1, sqrt(2)]], det = 8.
+  IncrementalCholesky chol;
+  chol.extend({}, 4.0);
+  const std::vector<double> col{2.0};
+  chol.extend(col, 3.0);
+  EXPECT_DOUBLE_EQ(chol.entry(1, 0), 1.0);
+  EXPECT_NEAR(chol.entry(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(chol.log_det(), std::log(8.0), 1e-12);
+}
+
+TEST(IncrementalCholesky, ConditionalVarianceMatchesSchur) {
+  IncrementalCholesky chol;
+  chol.extend({}, 4.0);
+  // For M extended with col [2], diag 3: Schur = 3 - 2*2/4 = 2.
+  const std::vector<double> col{2.0};
+  EXPECT_NEAR(chol.conditional_variance(col, 3.0), 2.0, 1e-12);
+  // conditional_variance must not mutate.
+  EXPECT_EQ(chol.size(), 1u);
+}
+
+TEST(IncrementalCholesky, RejectsNonPositiveDefinite) {
+  IncrementalCholesky chol;
+  chol.extend({}, 1.0);
+  const std::vector<double> col{2.0};  // Schur = 1 - 4 < 0
+  EXPECT_THROW(chol.extend(col, 1.0), std::domain_error);
+}
+
+TEST(IncrementalCholesky, ForwardSolve) {
+  // L = [[2,0],[1,sqrt(2)]], solve L y = [4, 3] -> y = [2, 1/sqrt(2)].
+  IncrementalCholesky chol;
+  chol.extend({}, 4.0);
+  chol.extend(std::vector<double>{2.0}, 3.0);
+  std::vector<double> b{4.0, 3.0};
+  chol.forward_solve(b);
+  EXPECT_NEAR(b[0], 2.0, 1e-12);
+  EXPECT_NEAR(b[1], 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(CholeskyLogDet, MatchesKnownDeterminants) {
+  // Identity.
+  const std::vector<double> eye{1, 0, 0, 0, 1, 0, 0, 0, 1};
+  EXPECT_NEAR(cholesky_log_det(eye, 3), 0.0, 1e-12);
+  // Diagonal(2, 5): det = 10.
+  const std::vector<double> diag{2, 0, 0, 5};
+  EXPECT_NEAR(cholesky_log_det(diag, 2), std::log(10.0), 1e-12);
+  EXPECT_THROW(cholesky_log_det(diag, 3), std::invalid_argument);
+}
+
+TEST(CholeskyLogDet, RandomPsdMatricesAgreeWithIncrementalPath) {
+  // Build A A^T + I (PSD) and compare the one-shot and incremental
+  // factorizations entry by entry via log_det.
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + rng.next_below(6);
+    std::vector<double> a(n * n);
+    for (double& v : a) v = rng.next_double(-1.0, 1.0);
+    std::vector<double> m(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = (i == j) ? 1.0 : 0.0;
+        for (std::size_t k = 0; k < n; ++k) acc += a[i * n + k] * a[j * n + k];
+        m[i * n + j] = acc;
+      }
+    }
+    const double direct = cholesky_log_det(m, n);
+
+    IncrementalCholesky chol;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> col(i);
+      for (std::size_t j = 0; j < i; ++j) col[j] = m[i * n + j];
+      chol.extend(col, m[i * n + i]);
+    }
+    EXPECT_NEAR(chol.log_det(), direct, 1e-9);
+    EXPECT_GT(direct, 0.0) << "A A^T + I has det > 1";
+  }
+}
+
+TEST(CholeskyLogDet, ThrowsOnIndefinite) {
+  const std::vector<double> indefinite{1, 2, 2, 1};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky_log_det(indefinite, 2), std::domain_error);
+}
+
+}  // namespace
+}  // namespace bds::util

@@ -1,0 +1,148 @@
+#include "objectives/logdet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/greedy.h"
+#include "test_support.h"
+#include "util/linalg.h"
+#include "util/rng.h"
+
+namespace bds {
+namespace {
+
+std::shared_ptr<const PointSet> random_points(std::size_t n, std::size_t dim,
+                                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> data(n * dim);
+  for (float& v : data) v = static_cast<float>(rng.next_double(-1.0, 1.0));
+  return std::make_shared<const PointSet>(n, dim, std::move(data));
+}
+
+TEST(LogDet, ValidatesConstruction) {
+  const auto pts = random_points(5, 2, 1);
+  EXPECT_THROW(LogDetOracle(nullptr, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogDetOracle(pts, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogDetOracle(pts, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(LogDet, KernelProperties) {
+  const auto pts = random_points(6, 3, 2);
+  const LogDetOracle oracle(pts, 1.0, 0.5);
+  for (ElementId a = 0; a < 6; ++a) {
+    EXPECT_DOUBLE_EQ(oracle.kernel(a, a), 1.0);
+    for (ElementId b = 0; b < 6; ++b) {
+      EXPECT_DOUBLE_EQ(oracle.kernel(a, b), oracle.kernel(b, a));
+      EXPECT_GT(oracle.kernel(a, b), 0.0);
+      EXPECT_LE(oracle.kernel(a, b), 1.0);
+    }
+  }
+}
+
+TEST(LogDet, FirstGainIsClosedForm) {
+  // f({x}) = 1/2 log(1 + k(x,x)/sigma^2) = 1/2 log(1 + 1/noise).
+  const auto pts = random_points(4, 2, 3);
+  const double noise = 0.7;
+  LogDetOracle oracle(pts, 1.0, noise);
+  const double expected = 0.5 * std::log(1.0 + 1.0 / noise);
+  EXPECT_NEAR(oracle.gain(2), expected, 1e-12);
+  EXPECT_NEAR(oracle.add(2), expected, 1e-12);
+}
+
+TEST(LogDet, ValueMatchesDirectDeterminant) {
+  // Cross-check against a one-shot Cholesky of I + K_S / noise.
+  const auto pts = random_points(10, 3, 5);
+  const double noise = 0.5;
+  LogDetOracle oracle(pts, 1.2, noise);
+  const std::vector<ElementId> picks{1, 4, 7, 9};
+  for (const ElementId x : picks) oracle.add(x);
+
+  const std::size_t s = picks.size();
+  std::vector<double> m(s * s);
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j < s; ++j) {
+      m[i * s + j] = oracle.kernel(picks[i], picks[j]) / noise +
+                     (i == j ? 1.0 : 0.0);
+    }
+  }
+  EXPECT_NEAR(oracle.value(), 0.5 * util::cholesky_log_det(m, s), 1e-9);
+}
+
+TEST(LogDet, ReaddIsFree) {
+  const auto pts = random_points(5, 2, 7);
+  LogDetOracle oracle(pts, 1.0, 1.0);
+  oracle.add(3);
+  EXPECT_DOUBLE_EQ(oracle.gain(3), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.add(3), 0.0);
+}
+
+TEST(LogDet, DuplicatePointsGainAlmostNothingSecondTime) {
+  // Two identical points: once one is chosen, the other is fully predicted
+  // (up to noise) and its gain collapses.
+  std::vector<float> data{0.5f, 0.5f, 0.5f, 0.5f, -1.0f, 2.0f};
+  const auto pts = std::make_shared<const PointSet>(3, 2, std::move(data));
+  LogDetOracle oracle(pts, 1.0, 0.1);
+  const double solo = oracle.gain(0);
+  oracle.add(0);
+  EXPECT_LT(oracle.gain(1), 0.3 * solo);  // near-duplicate ~ predicted
+  EXPECT_GT(oracle.gain(2), 0.8 * solo);  // far point keeps its value
+}
+
+TEST(LogDet, CloneIsIndependent) {
+  const auto pts = random_points(8, 2, 9);
+  LogDetOracle oracle(pts, 1.0, 0.5);
+  oracle.add(0);
+  const auto copy = oracle.clone();
+  copy->add(5);
+  EXPECT_GT(copy->value(), oracle.value());
+  EXPECT_NEAR(oracle.value(), 0.5 * std::log(1.0 + 2.0), 1e-9);
+}
+
+class LogDetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LogDetProperty, IsMonotoneSubmodular) {
+  const auto pts = random_points(12, 3, GetParam());
+  const LogDetOracle proto(pts, 1.0, 0.5);
+  EXPECT_EQ(testing::count_submodularity_violations(proto, GetParam(), 40,
+                                                    1e-8),
+            0);
+  EXPECT_EQ(testing::count_monotonicity_violations(proto, GetParam(), 20,
+                                                   1e-8),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LogDetProperty,
+                         ::testing::Values(41, 42, 43, 44, 45));
+
+TEST(LogDet, GreedySelectsDiversePoints) {
+  // Two tight clusters of 5 points each: greedy k=2 takes one per cluster.
+  std::vector<float> data;
+  util::Rng rng(11);
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 5; ++i) {
+      data.push_back(static_cast<float>(c * 10.0 + 0.01 * rng.next_double()));
+      data.push_back(static_cast<float>(c * 10.0 + 0.01 * rng.next_double()));
+    }
+  }
+  const auto pts = std::make_shared<const PointSet>(10, 2, std::move(data));
+  LogDetOracle oracle(pts, 1.0, 0.2);
+  const auto result = lazy_greedy(oracle, testing::iota_ids(10), 2, {true});
+  ASSERT_EQ(result.size(), 2u);
+  const bool one_per_cluster = (result.picks[0] < 5) != (result.picks[1] < 5);
+  EXPECT_TRUE(one_per_cluster);
+}
+
+TEST(LogDet, LazyMatchesNaiveGreedy) {
+  const auto pts = random_points(25, 3, 13);
+  const LogDetOracle proto(pts, 1.0, 0.5);
+  auto o1 = proto.clone();
+  const auto naive = greedy(*o1, testing::iota_ids(25), 6, {true});
+  auto o2 = proto.clone();
+  const auto lazy = lazy_greedy(*o2, testing::iota_ids(25), 6, {true});
+  EXPECT_EQ(naive.picks, lazy.picks);
+}
+
+}  // namespace
+}  // namespace bds

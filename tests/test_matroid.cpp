@@ -1,0 +1,237 @@
+#include "core/matroid.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "core/greedy.h"
+#include "objectives/coverage.h"
+#include "test_support.h"
+
+namespace bds {
+namespace {
+
+using testing::iota_ids;
+using testing::random_set_system;
+
+// Exact optimum under an arbitrary MatroidConstraint by recursive
+// enumeration (test-scale instances only).
+double brute_force_matroid(const SubmodularOracle& proto,
+                           std::span<const ElementId> ground,
+                           const MatroidConstraint& constraint) {
+  double best = 0.0;
+  std::vector<ElementId> chosen;
+  const std::function<void(std::size_t, const MatroidConstraint&)> recurse =
+      [&](std::size_t start, const MatroidConstraint& state) {
+        best = std::max(best, evaluate_set(proto, chosen));
+        for (std::size_t i = start; i < ground.size(); ++i) {
+          if (!state.feasible(ground[i])) continue;
+          const auto next = state.clone();
+          next->add(ground[i]);
+          chosen.push_back(ground[i]);
+          recurse(i + 1, *next);
+          chosen.pop_back();
+        }
+      };
+  recurse(0, constraint);
+  return best;
+}
+
+// ----------------------------------------------------------- constraints
+
+TEST(CardinalityConstraint, Basics) {
+  CardinalityConstraint c(2);
+  EXPECT_EQ(c.rank(), 2u);
+  EXPECT_TRUE(c.feasible(5));
+  c.add(5);
+  EXPECT_FALSE(c.feasible(5)) << "no element twice";
+  EXPECT_TRUE(c.feasible(6));
+  c.add(6);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_FALSE(c.feasible(7)) << "rank reached";
+  EXPECT_THROW(c.add(7), std::logic_error);
+}
+
+TEST(CardinalityConstraint, CloneIsIndependent) {
+  CardinalityConstraint c(3);
+  c.add(1);
+  const auto copy = c.clone();
+  copy->add(2);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(copy->size(), 2u);
+  EXPECT_FALSE(copy->feasible(1));
+}
+
+TEST(PartitionMatroid, CapsPerGroup) {
+  // Elements 0,1,2 in group 0 (cap 2); 3,4 in group 1 (cap 1).
+  PartitionMatroid m({0, 0, 0, 1, 1}, {2, 1});
+  EXPECT_EQ(m.rank(), 3u);
+  m.add(0);
+  m.add(1);
+  EXPECT_FALSE(m.feasible(2)) << "group 0 full";
+  EXPECT_TRUE(m.feasible(3));
+  m.add(3);
+  EXPECT_FALSE(m.feasible(4)) << "group 1 full";
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_THROW(m.add(4), std::logic_error);
+  EXPECT_EQ(m.group_of(4), 1u);
+}
+
+TEST(PartitionMatroid, RejectsBadGroups) {
+  EXPECT_THROW(PartitionMatroid({0, 3}, {1, 1}), std::invalid_argument);
+}
+
+TEST(PartitionMatroid, OutOfRangeElementInfeasible) {
+  PartitionMatroid m({0, 0}, {1});
+  EXPECT_FALSE(m.feasible(5));
+}
+
+TEST(LaminarBound, GlobalCapOnTopOfGroups) {
+  PartitionMatroid inner({0, 0, 1, 1, 2, 2}, {2, 2, 2});
+  LaminarBound bound(std::move(inner), 3);
+  EXPECT_EQ(bound.rank(), 3u);
+  bound.add(0);
+  bound.add(2);
+  bound.add(4);
+  EXPECT_FALSE(bound.feasible(1)) << "global cap reached before group cap";
+  EXPECT_THROW(bound.add(1), std::logic_error);
+}
+
+// ------------------------------------------------------------ greedy
+
+TEST(GreedyMatroid, RespectsGroupsOnHandInstance) {
+  // Two groups; the two best sets are both in group 0, cap 1 forces the
+  // second pick into group 1.
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{
+          {0, 1, 2, 3}, {0, 1, 2}, {4}, {5, 6}},
+      7);
+  CoverageOracle oracle(sys);
+  PartitionMatroid matroid({0, 0, 1, 1}, {1, 1});
+  const auto result = greedy_matroid(oracle, iota_ids(4), matroid);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result.picks[0], 0u);
+  EXPECT_EQ(result.picks[1], 3u);  // best feasible from group 1
+  EXPECT_DOUBLE_EQ(result.gained, 6.0);
+}
+
+class LazyMatroidEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LazyMatroidEquivalence, LazyMatchesNaive) {
+  const auto sys = random_set_system(30, 60, 0.15, GetParam());
+  util::Rng rng(GetParam());
+  std::vector<std::uint32_t> groups(30);
+  for (auto& g : groups) g = static_cast<std::uint32_t>(rng.next_below(4));
+
+  const CoverageOracle proto(sys);
+  auto o1 = proto.clone();
+  PartitionMatroid m1(groups, {2, 2, 2, 2});
+  const auto naive = greedy_matroid(*o1, iota_ids(30), m1);
+
+  auto o2 = proto.clone();
+  PartitionMatroid m2(groups, {2, 2, 2, 2});
+  const auto lazy = lazy_greedy_matroid(*o2, iota_ids(30), m2);
+
+  EXPECT_EQ(lazy.picks, naive.picks);
+  EXPECT_EQ(lazy.gains, naive.gains);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyMatroidEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+class MatroidGreedyApprox : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatroidGreedyApprox, AchievesHalfOfBruteOptimum) {
+  const auto sys = random_set_system(10, 25, 0.25, GetParam() + 100);
+  util::Rng rng(GetParam());
+  std::vector<std::uint32_t> groups(10);
+  for (auto& g : groups) g = static_cast<std::uint32_t>(rng.next_below(3));
+  const PartitionMatroid matroid(groups, {1, 2, 1});
+
+  const CoverageOracle proto(sys);
+  const double opt = brute_force_matroid(proto, iota_ids(10), matroid);
+
+  auto oracle = proto.clone();
+  auto state = matroid.clone();
+  const auto result = greedy_matroid(*oracle, iota_ids(10), *state);
+  EXPECT_GE(result.gained, 0.5 * opt - 1e-9);
+  EXPECT_LE(result.gained, opt + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatroidGreedyApprox,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(GreedyMatroid, CardinalityConstraintMatchesPlainGreedy) {
+  const auto sys = random_set_system(40, 80, 0.1, 55);
+  const CoverageOracle proto(sys);
+
+  auto o1 = proto.clone();
+  CardinalityConstraint c(8);
+  const auto constrained = greedy_matroid(*o1, iota_ids(40), c);
+
+  auto o2 = proto.clone();
+  const auto plain = greedy(*o2, iota_ids(40), 8, {true});
+  EXPECT_EQ(constrained.picks, plain.picks);
+}
+
+// -------------------------------------------------------- distributed
+
+TEST(RandGreediMatroid, SolutionIsIndependentAndValued) {
+  const auto sys = random_set_system(150, 200, 0.05, 77);
+  const CoverageOracle proto(sys);
+  util::Rng rng(77);
+  std::vector<std::uint32_t> groups(150);
+  for (auto& g : groups) g = static_cast<std::uint32_t>(rng.next_below(5));
+  const PartitionMatroid matroid(groups, {2, 2, 2, 2, 2});
+
+  MatroidDistributedConfig cfg;
+  cfg.machines = 6;
+  cfg.seed = 3;
+  const auto result = rand_greedi_matroid(proto, iota_ids(150), matroid, cfg);
+
+  EXPECT_LE(result.solution.size(), matroid.rank());
+  // Re-verify independence by replaying into a fresh constraint.
+  auto check = matroid.clone();
+  for (const ElementId x : result.solution) {
+    ASSERT_TRUE(check->feasible(x));
+    check->add(x);
+  }
+  EXPECT_NEAR(result.value, evaluate_set(proto, result.solution), 1e-9);
+  EXPECT_EQ(result.stats.num_rounds(), 1u);
+}
+
+TEST(RandGreediMatroid, CloseToCentralizedConstrainedGreedy) {
+  const auto sys = random_set_system(200, 300, 0.04, 81);
+  const CoverageOracle proto(sys);
+  util::Rng rng(81);
+  std::vector<std::uint32_t> groups(200);
+  for (auto& g : groups) g = static_cast<std::uint32_t>(rng.next_below(4));
+  const PartitionMatroid matroid(groups, {3, 3, 3, 3});
+
+  auto central_oracle = proto.clone();
+  auto central_state = matroid.clone();
+  const auto central =
+      lazy_greedy_matroid(*central_oracle, iota_ids(200), *central_state);
+
+  MatroidDistributedConfig cfg;
+  cfg.seed = 5;
+  const auto dist_result =
+      rand_greedi_matroid(proto, iota_ids(200), matroid, cfg);
+  EXPECT_GE(dist_result.value, 0.8 * central.gained);
+}
+
+TEST(RandGreediMatroid, DeterministicBySeed) {
+  const auto sys = random_set_system(100, 150, 0.06, 85);
+  const CoverageOracle proto(sys);
+  const CardinalityConstraint constraint(6);
+  MatroidDistributedConfig cfg;
+  cfg.seed = 9;
+  const auto a = rand_greedi_matroid(proto, iota_ids(100), constraint, cfg);
+  const auto b = rand_greedi_matroid(proto, iota_ids(100), constraint, cfg);
+  EXPECT_EQ(a.solution, b.solution);
+}
+
+}  // namespace
+}  // namespace bds

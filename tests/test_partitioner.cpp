@@ -1,0 +1,137 @@
+#include "dist/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "test_support.h"
+
+namespace bds::dist {
+namespace {
+
+std::vector<ElementId> items(std::size_t n) { return testing::iota_ids(n); }
+
+// Flattens a partition into (element -> machines holding it).
+std::map<ElementId, std::vector<std::size_t>> placement(const Partition& p) {
+  std::map<ElementId, std::vector<std::size_t>> where;
+  for (std::size_t m = 0; m < p.size(); ++m) {
+    for (const ElementId e : p[m]) where[e].push_back(m);
+  }
+  return where;
+}
+
+TEST(PartitionUniform, EveryItemPlacedExactlyOnce) {
+  util::Rng rng(1);
+  const auto ids = items(1000);
+  const auto p = partition_uniform(ids, 7, rng);
+  ASSERT_EQ(p.size(), 7u);
+  const auto where = placement(p);
+  EXPECT_EQ(where.size(), 1000u);
+  for (const auto& [e, machines] : where) EXPECT_EQ(machines.size(), 1u);
+}
+
+TEST(PartitionUniform, SingleMachineGetsEverything) {
+  util::Rng rng(2);
+  const auto ids = items(50);
+  const auto p = partition_uniform(ids, 1, rng);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].size(), 50u);
+}
+
+TEST(PartitionUniform, EmptyItems) {
+  util::Rng rng(3);
+  const auto p = partition_uniform({}, 4, rng);
+  ASSERT_EQ(p.size(), 4u);
+  for (const auto& shard : p) EXPECT_TRUE(shard.empty());
+}
+
+TEST(PartitionUniform, LoadsAreBalancedInExpectation) {
+  util::Rng rng(4);
+  const auto ids = items(100'000);
+  const auto p = partition_uniform(ids, 10, rng);
+  const auto stats = analyze_partition(p);
+  EXPECT_EQ(stats.total_slots, 100'000u);
+  // Each machine expects 10k items; 5 sigma ~ 475.
+  EXPECT_GT(stats.min_load, 9'500u);
+  EXPECT_LT(stats.max_load, 10'500u);
+}
+
+TEST(PartitionUniform, DeterministicGivenRngState) {
+  const auto ids = items(500);
+  util::Rng a(42), b(42);
+  EXPECT_EQ(partition_uniform(ids, 5, a), partition_uniform(ids, 5, b));
+}
+
+TEST(PartitionUniform, DifferentSeedsDiffer) {
+  const auto ids = items(500);
+  util::Rng a(1), b(2);
+  EXPECT_NE(partition_uniform(ids, 5, a), partition_uniform(ids, 5, b));
+}
+
+class MultiplicityTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MultiplicityTest, EachItemOnExactlyCDistinctMachines) {
+  const std::size_t c = GetParam();
+  util::Rng rng(5);
+  const auto ids = items(2'000);
+  const auto p = partition_multiplicity(ids, 16, c, rng);
+  const auto where = placement(p);
+  EXPECT_EQ(where.size(), 2'000u);
+  for (const auto& [e, machines] : where) {
+    EXPECT_EQ(machines.size(), std::min<std::size_t>(c, 16));
+    auto sorted = machines;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end())
+        << "machines must be distinct for element " << e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Multiplicities, MultiplicityTest,
+                         ::testing::Values(1u, 2u, 3u, 8u, 16u, 40u));
+
+TEST(PartitionMultiplicity, MultiplicityOneEqualsUniform) {
+  const auto ids = items(300);
+  util::Rng a(7), b(7);
+  EXPECT_EQ(partition_multiplicity(ids, 6, 1, a),
+            partition_uniform(ids, 6, b));
+}
+
+TEST(PartitionMultiplicity, TotalSlotsScaleWithC) {
+  util::Rng rng(8);
+  const auto ids = items(1'000);
+  const auto p = partition_multiplicity(ids, 20, 5, rng);
+  EXPECT_EQ(analyze_partition(p).total_slots, 5'000u);
+}
+
+TEST(PartitionRoundRobin, DeterministicBalancedSplit) {
+  const auto ids = items(103);
+  const auto p = partition_round_robin(ids, 10);
+  const auto stats = analyze_partition(p);
+  EXPECT_EQ(stats.total_slots, 103u);
+  EXPECT_EQ(stats.max_load - stats.min_load, 1u);
+  // First item goes to machine 0, second to 1, ...
+  EXPECT_EQ(p[0][0], 0u);
+  EXPECT_EQ(p[1][0], 1u);
+  EXPECT_EQ(p[0][1], 10u);
+}
+
+TEST(AnalyzePartition, EmptyPartition) {
+  const auto stats = analyze_partition({});
+  EXPECT_EQ(stats.machines, 0u);
+  EXPECT_EQ(stats.total_slots, 0u);
+}
+
+TEST(AnalyzePartition, MeanLoad) {
+  Partition p{{1, 2, 3}, {4}, {}};
+  const auto stats = analyze_partition(p);
+  EXPECT_EQ(stats.machines, 3u);
+  EXPECT_EQ(stats.min_load, 0u);
+  EXPECT_EQ(stats.max_load, 3u);
+  EXPECT_NEAR(stats.mean_load, 4.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bds::dist

@@ -1,0 +1,171 @@
+#include "objectives/prob_coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/greedy.h"
+#include "objectives/coverage.h"
+#include "test_support.h"
+
+namespace bds {
+namespace {
+
+using Entry = ProbSetSystem::Entry;
+
+std::shared_ptr<const ProbSetSystem> tiny_system() {
+  // Universe {0,1,2}; item0 covers 0 w.p. 1 and 1 w.p. 0.5;
+  // item1 covers 1 w.p. 0.5; item2 covers 2 w.p. 0.2.
+  return std::make_shared<const ProbSetSystem>(
+      std::vector<std::vector<Entry>>{
+          {{0, 1.0f}, {1, 0.5f}}, {{1, 0.5f}}, {{2, 0.2f}}},
+      3);
+}
+
+std::shared_ptr<const ProbSetSystem> random_system(std::uint32_t n_sets,
+                                                   std::uint32_t universe,
+                                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<Entry>> sets(n_sets);
+  for (auto& s : sets) {
+    for (std::uint32_t e = 0; e < universe; ++e) {
+      if (rng.next_bool(0.25)) {
+        s.push_back({e, static_cast<float>(rng.next_double(0.05, 1.0))});
+      }
+    }
+  }
+  return std::make_shared<const ProbSetSystem>(std::move(sets), universe);
+}
+
+TEST(ProbSetSystem, AccessorsAndValidation) {
+  const auto sys = tiny_system();
+  EXPECT_EQ(sys->num_sets(), 3u);
+  EXPECT_EQ(sys->universe_size(), 3u);
+  EXPECT_EQ(sys->total_entries(), 4u);
+  EXPECT_EQ(sys->set_entries(0).size(), 2u);
+
+  EXPECT_THROW(ProbSetSystem({{{5, 0.5f}}}, 3), std::out_of_range);
+  EXPECT_THROW(ProbSetSystem({{{0, 1.5f}}}, 3), std::invalid_argument);
+  EXPECT_THROW(ProbSetSystem({{{0, -0.1f}}}, 3), std::invalid_argument);
+  // Duplicate element within one set is rejected.
+  EXPECT_THROW(ProbSetSystem({{{0, 0.5f}, {0, 0.5f}}}, 3),
+               std::invalid_argument);
+}
+
+TEST(ProbCoverage, HandComputedGains) {
+  ProbCoverageOracle oracle(tiny_system());
+  EXPECT_DOUBLE_EQ(oracle.gain(0), 1.0 + 0.5);
+  EXPECT_DOUBLE_EQ(oracle.add(0), 1.5);
+  // Element 1 now uncovered w.p. 0.5, so item1 gains 0.5 * 0.5.
+  EXPECT_DOUBLE_EQ(oracle.gain(1), 0.25);
+  EXPECT_DOUBLE_EQ(oracle.add(1), 0.25);
+  EXPECT_DOUBLE_EQ(oracle.value(), 1.75);
+  EXPECT_DOUBLE_EQ(oracle.max_value(), 3.0);
+}
+
+TEST(ProbCoverage, ReaddIsFreeButDistinctItemsStack) {
+  // Re-adding has zero gain (set semantics), but two *distinct* items with
+  // the same entry stack: 1-(1-p)^2.
+  const auto sys = std::make_shared<const ProbSetSystem>(
+      std::vector<std::vector<Entry>>{{{0, 0.5f}}, {{0, 0.5f}}}, 1);
+  ProbCoverageOracle oracle(sys);
+  EXPECT_DOUBLE_EQ(oracle.add(0), 0.5);
+  EXPECT_DOUBLE_EQ(oracle.gain(0), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.add(0), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.add(1), 0.25);
+  EXPECT_DOUBLE_EQ(oracle.value(), 0.75);
+}
+
+TEST(ProbCoverage, DeterministicProbabilitiesMatchHardCoverage) {
+  // p = 1 everywhere reduces to plain coverage.
+  const auto hard = testing::random_set_system(15, 25, 0.3, 7);
+  std::vector<std::vector<Entry>> soft_sets(15);
+  for (ElementId i = 0; i < 15; ++i) {
+    for (const auto e : hard->set_items(i)) soft_sets[i].push_back({e, 1.0f});
+  }
+  const auto soft = std::make_shared<const ProbSetSystem>(
+      std::move(soft_sets), 25);
+
+  CoverageOracle a(hard);
+  ProbCoverageOracle b(soft);
+  for (ElementId x = 0; x < 15; ++x) {
+    EXPECT_DOUBLE_EQ(a.gain(x), b.gain(x));
+  }
+  a.add(4);
+  b.add(4);
+  a.add(9);
+  b.add(9);
+  EXPECT_DOUBLE_EQ(a.value(), b.value());
+}
+
+TEST(ProbCoverage, WeightsScaleGains) {
+  const auto sys = std::make_shared<const ProbSetSystem>(
+      std::vector<std::vector<Entry>>{{{0, 0.5f}, {1, 0.5f}}}, 2);
+  ProbCoverageOracle oracle(sys, {10.0, 2.0});
+  EXPECT_DOUBLE_EQ(oracle.gain(0), 5.0 + 1.0);
+  EXPECT_DOUBLE_EQ(oracle.max_value(), 12.0);
+  EXPECT_THROW(ProbCoverageOracle(sys, {1.0}), std::invalid_argument);
+  EXPECT_THROW(ProbCoverageOracle(sys, {1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(ProbCoverage, CloneIsIndependent) {
+  ProbCoverageOracle oracle(tiny_system());
+  oracle.add(0);
+  const auto copy = oracle.clone();
+  copy->add(1);
+  EXPECT_GT(copy->value(), oracle.value());
+  EXPECT_DOUBLE_EQ(oracle.gain(1), 0.25);
+}
+
+class ProbCoverageProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ProbCoverageProperty, IsMonotoneSubmodular) {
+  const auto sys = random_system(18, 24, GetParam());
+  const ProbCoverageOracle proto(sys);
+  EXPECT_EQ(
+      testing::count_submodularity_violations(proto, GetParam(), 50, 1e-9),
+      0);
+  EXPECT_EQ(
+      testing::count_monotonicity_violations(proto, GetParam(), 25, 1e-9),
+      0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProbCoverageProperty,
+                         ::testing::Values(31, 32, 33, 34, 35, 36));
+
+TEST(ProbCoverage, GreedyNeverSaturatesEarly) {
+  // Unlike hard coverage, gains stay strictly positive (p < 1), so greedy
+  // with stop_when_no_gain still uses its whole budget.
+  util::Rng rng(41);
+  std::vector<std::vector<Entry>> sets(30);
+  for (auto& s : sets) {
+    for (std::uint32_t e = 0; e < 20; ++e) {
+      s.push_back({e, static_cast<float>(rng.next_double(0.05, 0.5))});
+    }
+  }
+  const auto sys =
+      std::make_shared<const ProbSetSystem>(std::move(sets), 20);
+  ProbCoverageOracle oracle(sys);
+  const auto result = greedy(oracle, testing::iota_ids(30), 15, {true});
+  EXPECT_EQ(result.size(), 15u);
+  for (const double g : result.gains) EXPECT_GT(g, 0.0);
+  EXPECT_LT(oracle.value(), oracle.max_value());
+}
+
+TEST(ProbCoverage, ValueApproachesMaxGeometrically) {
+  // n identical items each covering one element w.p. p: after t picks the
+  // value is 1 - (1-p)^t.
+  std::vector<std::vector<Entry>> sets(12, {{0u, 0.3f}});
+  const auto sys =
+      std::make_shared<const ProbSetSystem>(std::move(sets), 1);
+  ProbCoverageOracle oracle(sys);
+  for (int t = 1; t <= 12; ++t) {
+    oracle.add(static_cast<ElementId>(t - 1));
+    EXPECT_NEAR(oracle.value(), 1.0 - std::pow(0.7, t), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace bds

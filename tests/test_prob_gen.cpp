@@ -1,0 +1,119 @@
+#include "data/prob_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/greedy.h"
+#include "test_support.h"
+
+namespace bds::data {
+namespace {
+
+ClickModelConfig small_config() {
+  ClickModelConfig cfg;
+  cfg.ads = 200;
+  cfg.users = 800;
+  cfg.mean_reach = 10.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(ClickModel, ShapeAndRanges) {
+  const auto cfg = small_config();
+  const auto sets = make_click_model(cfg);
+  EXPECT_EQ(sets->num_sets(), cfg.ads);
+  EXPECT_EQ(sets->universe_size(), cfg.users);
+  for (ElementId ad = 0; ad < cfg.ads; ++ad) {
+    std::set<std::uint32_t> users;
+    for (const auto& e : sets->set_entries(ad)) {
+      EXPECT_LT(e.element, cfg.users);
+      EXPECT_GE(e.probability, cfg.min_click);
+      EXPECT_LE(e.probability, cfg.max_click);
+      EXPECT_TRUE(users.insert(e.element).second)
+          << "duplicate user in ad " << ad;
+    }
+    EXPECT_GE(users.size(), 1u);
+  }
+}
+
+TEST(ClickModel, TotalEntriesNearBudget) {
+  const auto cfg = small_config();
+  const auto sets = make_click_model(cfg);
+  const double budget = double(cfg.ads) * cfg.mean_reach;
+  EXPECT_GT(double(sets->total_entries()), 0.4 * budget);
+  EXPECT_LT(double(sets->total_entries()), 1.5 * budget);
+}
+
+TEST(ClickModel, ReachIsHeavyTailed) {
+  auto cfg = small_config();
+  cfg.ads = 1'000;
+  cfg.users = 5'000;
+  const auto sets = make_click_model(cfg);
+  std::size_t max_reach = 0, min_reach = cfg.users;
+  for (ElementId ad = 0; ad < cfg.ads; ++ad) {
+    max_reach = std::max(max_reach, sets->set_entries(ad).size());
+    min_reach = std::min(min_reach, sets->set_entries(ad).size());
+  }
+  EXPECT_GT(max_reach, 20 * std::max<std::size_t>(1, min_reach));
+}
+
+TEST(ClickModel, DeterministicBySeed) {
+  const auto a = make_click_model(small_config());
+  const auto b = make_click_model(small_config());
+  ASSERT_EQ(a->total_entries(), b->total_entries());
+  for (ElementId ad = 0; ad < a->num_sets(); ++ad) {
+    const auto ea = a->set_entries(ad);
+    const auto eb = b->set_entries(ad);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].element, eb[i].element);
+      EXPECT_FLOAT_EQ(ea[i].probability, eb[i].probability);
+    }
+  }
+}
+
+TEST(ClickModel, ValidatesConfig) {
+  auto cfg = small_config();
+  cfg.ads = 0;
+  EXPECT_THROW(make_click_model(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.mean_reach = 0.0;
+  EXPECT_THROW(make_click_model(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.min_click = 0.7f;
+  cfg.max_click = 0.3f;
+  EXPECT_THROW(make_click_model(cfg), std::invalid_argument);
+}
+
+TEST(ClickModel, OracleIsSubmodularOnGeneratedInstance) {
+  auto cfg = small_config();
+  cfg.ads = 25;
+  cfg.users = 60;
+  const auto sets = make_click_model(cfg);
+  const ProbCoverageOracle proto(sets);
+  EXPECT_EQ(bds::testing::count_submodularity_violations(proto, 5, 40, 1e-9),
+            0);
+  EXPECT_EQ(bds::testing::count_monotonicity_violations(proto, 5, 20, 1e-9),
+            0);
+}
+
+TEST(ClickModel, GreedyBeatsRandomClearly) {
+  auto cfg = small_config();
+  cfg.ads = 400;
+  cfg.users = 1'500;
+  const auto sets = make_click_model(cfg);
+  const ProbCoverageOracle proto(sets);
+  const auto ground = bds::testing::iota_ids(cfg.ads);
+
+  auto g = proto.clone();
+  const double greedy_value = lazy_greedy(*g, ground, 10).gained;
+  util::Rng rng(3);
+  auto r = proto.clone();
+  const double random_value = random_subset(*r, ground, 10, rng).gained;
+  EXPECT_GT(greedy_value, 1.5 * random_value);
+}
+
+}  // namespace
+}  // namespace bds::data

@@ -1,0 +1,95 @@
+#include "data/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/bigram_gen.h"
+#include "data/graph_gen.h"
+#include "data/vectors_gen.h"
+#include "test_support.h"
+
+namespace bds::data {
+namespace {
+
+TEST(ProfileSetSystem, HandInstance) {
+  const SetSystem sys({{0, 1, 2}, {3}, {}}, 6);
+  const auto p = profile_set_system(sys);
+  EXPECT_EQ(p.num_sets, 3u);
+  EXPECT_EQ(p.universe_size, 6u);
+  EXPECT_EQ(p.total_size, 4u);
+  EXPECT_EQ(p.min_set_size, 0u);
+  EXPECT_EQ(p.max_set_size, 3u);
+  EXPECT_NEAR(p.mean_set_size, 4.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p.median_set_size, 1.0);
+  // Elements 4, 5 are never covered.
+  EXPECT_NEAR(p.coverable_fraction, 4.0 / 6.0, 1e-12);
+}
+
+TEST(ProfileSetSystem, EmptySystem) {
+  const SetSystem sys({}, 10);
+  const auto p = profile_set_system(sys);
+  EXPECT_EQ(p.num_sets, 0u);
+  EXPECT_EQ(p.total_size, 0u);
+}
+
+TEST(ProfileSetSystem, HeavyTailIndicatorSeparatesGenerators) {
+  // Powerlaw graph neighborhoods concentrate mass in hubs; ER does not.
+  const auto heavy = neighborhood_sets(powerlaw_cluster(5'000, 2, 0.8, 1));
+  const auto uniform = neighborhood_sets(erdos_renyi(2'000, 0.002, 1));
+  const auto ph = profile_set_system(*heavy);
+  const auto pu = profile_set_system(*uniform);
+  EXPECT_GT(ph.top1pct_mass, 2.0 * pu.top1pct_mass);
+}
+
+TEST(ProfileSetSystem, MatchesBigramScale) {
+  BigramConfig cfg;
+  cfg.books = 100;
+  cfg.vocabulary = 200;
+  cfg.min_tokens = 50;
+  cfg.max_tokens = 2'000;
+  const auto sys = make_bigram_sets(cfg);
+  const auto p = profile_set_system(*sys);
+  EXPECT_EQ(p.num_sets, 100u);
+  EXPECT_DOUBLE_EQ(p.coverable_fraction, 1.0);  // compacted universe
+  EXPECT_GT(p.max_set_size, p.median_set_size);
+}
+
+TEST(ProfilePointSet, NormalizedVectorsHaveUnitNorm) {
+  LdaVectorsConfig cfg;
+  cfg.documents = 150;
+  cfg.topics = 15;
+  cfg.clusters = 4;
+  const auto pts = make_lda_like_vectors(cfg);
+  const auto p = profile_point_set(*pts, 500, 3);
+  EXPECT_EQ(p.size, 150u);
+  EXPECT_EQ(p.dim, 15u);
+  EXPECT_NEAR(p.mean_norm, 1.0, 1e-4);
+  EXPECT_GT(p.mean_pairwise_distance, 0.0);
+  EXPECT_LE(p.min_sampled_distance, p.mean_pairwise_distance);
+  EXPECT_GE(p.max_sampled_distance, p.mean_pairwise_distance);
+}
+
+TEST(ProfilePointSet, DeterministicGivenSeed) {
+  LdaVectorsConfig cfg;
+  cfg.documents = 80;
+  cfg.topics = 10;
+  const auto pts = make_lda_like_vectors(cfg);
+  const auto a = profile_point_set(*pts, 300, 9);
+  const auto b = profile_point_set(*pts, 300, 9);
+  EXPECT_DOUBLE_EQ(a.mean_pairwise_distance, b.mean_pairwise_distance);
+}
+
+TEST(ProfileToString, RendersKeyNumbers) {
+  const SetSystem sys({{0, 1}, {2}}, 4);
+  const auto text = to_string(profile_set_system(sys));
+  EXPECT_NE(text.find("2 sets"), std::string::npos);
+  EXPECT_NE(text.find("total 3"), std::string::npos);
+
+  const PointSet pts(2, 2, {1.0f, 0.0f, 0.0f, 1.0f});
+  const auto ptext = to_string(profile_point_set(pts, 10, 1));
+  EXPECT_NE(ptext.find("2 points x 2 dims"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bds::data

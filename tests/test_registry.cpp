@@ -1,0 +1,91 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "objectives/coverage.h"
+#include "test_support.h"
+
+namespace bds {
+namespace {
+
+using testing::iota_ids;
+using testing::random_set_system;
+
+TEST(Registry, NamesAreUniqueAndNonEmpty) {
+  const auto names = algorithm_names();
+  EXPECT_GE(names.size(), 14u);
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  for (const auto& n : names) EXPECT_FALSE(n.empty());
+}
+
+TEST(Registry, FindByName) {
+  EXPECT_NE(find_algorithm("bicriteria"), nullptr);
+  EXPECT_NE(find_algorithm("sieve"), nullptr);
+  EXPECT_EQ(find_algorithm("nonsense"), nullptr);
+  EXPECT_EQ(find_algorithm(""), nullptr);
+  EXPECT_STREQ(find_algorithm("hybrid")->name.c_str(), "hybrid");
+}
+
+TEST(Registry, DescriptionsAndFlagsPopulated) {
+  for (const auto& spec : algorithm_registry()) {
+    EXPECT_FALSE(spec.description.empty()) << spec.name;
+    EXPECT_TRUE(spec.run != nullptr) << spec.name;
+  }
+  EXPECT_TRUE(find_algorithm("randgreedi")->distributed);
+  EXPECT_FALSE(find_algorithm("central")->distributed);
+  EXPECT_FALSE(find_algorithm("random")->distributed);
+}
+
+class RegistryRunners : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RegistryRunners, EveryAlgorithmRunsAndReportsConsistently) {
+  const auto& spec = algorithm_registry()[GetParam()];
+  SCOPED_TRACE(spec.name);
+  const auto sys = random_set_system(100, 150, 0.05, 31);
+  const CoverageOracle proto(sys);
+  const auto ground = iota_ids(100);
+
+  AlgorithmParams params;
+  params.k = 4;
+  params.epsilon = 0.25;
+  params.machines = 5;
+  params.seed = 3;
+  const auto result = spec.run(proto, ground, params);
+
+  EXPECT_FALSE(result.solution.empty());
+  EXPECT_NEAR(result.value, evaluate_set(proto, result.solution), 1e-9);
+  for (const ElementId x : result.solution) EXPECT_LT(x, 100u);
+
+  // Determinism through the registry path too.
+  const auto again = spec.run(proto, ground, params);
+  EXPECT_EQ(again.solution, result.solution);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, RegistryRunners,
+                         ::testing::Range<std::size_t>(0, 15),
+                         [](const auto& info) {
+                           std::string name =
+                               algorithm_registry()[info.param].name;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Registry, RespectsOutputItemsForBicriteria) {
+  const auto sys = random_set_system(200, 400, 0.01, 33);
+  const CoverageOracle proto(sys);
+  AlgorithmParams params;
+  params.k = 5;
+  params.output_items = 15;
+  const auto result =
+      find_algorithm("bicriteria")->run(proto, iota_ids(200), params);
+  EXPECT_GT(result.solution.size(), 5u);
+  EXPECT_LE(result.solution.size(), 15u);
+}
+
+}  // namespace
+}  // namespace bds

@@ -1,0 +1,61 @@
+#include "dist/report.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bicriteria.h"
+#include "objectives/coverage.h"
+#include "test_support.h"
+
+namespace bds::dist {
+namespace {
+
+TEST(Report, EmptyStats) {
+  const std::string out = render_execution_report(ExecutionStats{});
+  EXPECT_NE(out.find("no distributed rounds"), std::string::npos);
+}
+
+TEST(Report, RendersHandBuiltRounds) {
+  ExecutionStats stats;
+  RoundStats r;
+  r.round_index = 0;
+  r.machines_used = 4;
+  r.elements_scattered = 100;
+  r.elements_gathered = 20;
+  r.worker_evals = 500;
+  r.max_machine_evals = 150;
+  r.central_evals = 40;
+  r.central_selected = 5;
+  stats.rounds.push_back(r);
+  r.round_index = 1;
+  r.central_selected = 3;
+  stats.rounds.push_back(r);
+
+  const std::string out = render_execution_report(stats);
+  EXPECT_NE(out.find("150"), std::string::npos);  // max machine
+  EXPECT_NE(out.find("2 round(s)"), std::string::npos);
+  // Communication: (100+20)*2 ids * 4 bytes = 960 B = 0.9 KiB.
+  EXPECT_NE(out.find("0.9 KiB"), std::string::npos);
+  // Critical path = 2 * (150 + 40) = 380.
+  EXPECT_NE(out.find("critical path 380"), std::string::npos);
+}
+
+TEST(Report, RendersRealExecution) {
+  const auto sys = bds::testing::random_set_system(100, 150, 0.05, 3);
+  const CoverageOracle proto(sys);
+  BicriteriaConfig cfg;
+  cfg.k = 4;
+  cfg.output_items = 8;
+  cfg.rounds = 2;
+  const auto result =
+      bicriteria_greedy(proto, bds::testing::iota_ids(100), cfg);
+  const std::string out = render_execution_report(result.stats);
+  EXPECT_NE(out.find("2 round(s)"), std::string::npos);
+  EXPECT_NE(out.find("round"), std::string::npos);
+  // One data row per round plus header/rule/totals.
+  int newlines = 0;
+  for (const char c : out) newlines += (c == '\n');
+  EXPECT_GE(newlines, 5);
+}
+
+}  // namespace
+}  // namespace bds::dist

@@ -1,0 +1,181 @@
+#include "objectives/saturated_coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/greedy.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace bds {
+namespace {
+
+std::shared_ptr<const SimilarityMatrix> random_similarity(std::size_t n,
+                                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> values(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i * n + i] = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = rng.next_double(0.0, 1.0);
+      values[i * n + j] = v;
+      values[j * n + i] = v;
+    }
+  }
+  return std::make_shared<const SimilarityMatrix>(n, std::move(values));
+}
+
+TEST(SimilarityMatrix, ValidatesInput) {
+  EXPECT_THROW(SimilarityMatrix(2, {1.0, 0.5, 0.4, 1.0}),
+               std::invalid_argument);  // asymmetric
+  EXPECT_THROW(SimilarityMatrix(2, {1.0, -0.5, -0.5, 1.0}),
+               std::invalid_argument);  // negative
+  EXPECT_THROW(SimilarityMatrix(2, {1.0}), std::invalid_argument);  // size
+}
+
+TEST(SimilarityMatrix, RowSums) {
+  const SimilarityMatrix sim(2, {1.0, 0.25, 0.25, 1.0});
+  EXPECT_DOUBLE_EQ(sim.row_sum(0), 1.25);
+  EXPECT_DOUBLE_EQ(sim.at(0, 1), 0.25);
+}
+
+TEST(SaturatedCoverage, ValidatesConfig) {
+  const auto sim = random_similarity(4, 1);
+  SaturatedCoverageConfig cfg;
+  cfg.gamma = 0.0;
+  EXPECT_THROW(SaturatedCoverageOracle(sim, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.gamma = 1.5;
+  EXPECT_THROW(SaturatedCoverageOracle(sim, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.lambda = -1.0;
+  EXPECT_THROW(SaturatedCoverageOracle(sim, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.cluster_of = {0, 1};  // wrong length
+  EXPECT_THROW(SaturatedCoverageOracle(sim, cfg), std::invalid_argument);
+}
+
+TEST(SaturatedCoverage, HandComputedNoSaturation) {
+  // gamma = 1 and a single pick never saturates: gain = column sum.
+  const SimilarityMatrix sim(2, {1.0, 0.5, 0.5, 1.0});
+  SaturatedCoverageConfig cfg;
+  cfg.gamma = 1.0;
+  SaturatedCoverageOracle oracle(
+      std::make_shared<const SimilarityMatrix>(sim), cfg);
+  EXPECT_DOUBLE_EQ(oracle.gain(0), 1.5);
+  EXPECT_DOUBLE_EQ(oracle.add(0), 1.5);
+}
+
+TEST(SaturatedCoverage, SaturationCapsContributions) {
+  // With gamma = 0.5 each sentence i contributes at most half its row sum.
+  const auto sim = std::make_shared<const SimilarityMatrix>(
+      2, std::vector<double>{1.0, 1.0, 1.0, 1.0});
+  SaturatedCoverageConfig cfg;
+  cfg.gamma = 0.5;
+  SaturatedCoverageOracle oracle(sim, cfg);
+  // Each row sum = 2, cap = 1; first pick covers both rows with 1 each.
+  EXPECT_DOUBLE_EQ(oracle.add(0), 2.0);
+  // Second pick adds nothing: both rows already at cap.
+  EXPECT_DOUBLE_EQ(oracle.gain(1), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.value(), oracle.max_value());
+}
+
+TEST(SaturatedCoverage, ReaddIsFree) {
+  const auto sim = random_similarity(5, 3);
+  SaturatedCoverageOracle oracle(sim, {});
+  oracle.add(2);
+  EXPECT_DOUBLE_EQ(oracle.gain(2), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.add(2), 0.0);
+}
+
+TEST(SaturatedCoverage, DiversityRewardFavorsNewClusters) {
+  // Three near-identical items; diversity puts 0,1 in cluster 0 and 2 in
+  // cluster 1. After picking 0, item 2 (new cluster) must beat item 1.
+  std::vector<double> values(9, 0.9);
+  for (int i = 0; i < 3; ++i) values[i * 3 + i] = 1.0;
+  const auto sim =
+      std::make_shared<const SimilarityMatrix>(3, std::move(values));
+  SaturatedCoverageConfig cfg;
+  cfg.gamma = 1.0;
+  cfg.cluster_of = {0, 0, 1};
+  cfg.lambda = 5.0;
+  SaturatedCoverageOracle oracle(sim, cfg);
+  oracle.add(0);
+  EXPECT_GT(oracle.gain(2), oracle.gain(1));
+}
+
+TEST(SaturatedCoverage, DiversityTermMatchesSqrtFormula) {
+  const auto sim = random_similarity(4, 5);
+  SaturatedCoverageConfig with_diversity;
+  with_diversity.gamma = 1.0;
+  with_diversity.cluster_of = {0, 0, 1, 1};
+  with_diversity.lambda = 2.0;
+  SaturatedCoverageOracle a(sim, with_diversity);
+
+  SaturatedCoverageConfig coverage_only;
+  coverage_only.gamma = 1.0;
+  SaturatedCoverageOracle b(sim, coverage_only);
+
+  // gain difference on an empty set = lambda * sqrt(r_x).
+  const double rx = sim->row_sum(1) / 4.0;
+  EXPECT_NEAR(a.gain(1) - b.gain(1), 2.0 * std::sqrt(rx), 1e-12);
+}
+
+TEST(SaturatedCoverage, ValueBoundedByMaxValue) {
+  const auto sim = random_similarity(10, 7);
+  SaturatedCoverageConfig cfg;
+  cfg.gamma = 0.3;
+  cfg.cluster_of = std::vector<std::uint32_t>{0, 1, 2, 0, 1, 2, 0, 1, 2, 0};
+  cfg.lambda = 1.0;
+  SaturatedCoverageOracle oracle(sim, cfg);
+  for (ElementId x = 0; x < 10; ++x) oracle.add(x);
+  // Selecting everything hits both caps exactly: C_i(V) >= gamma*C_i(V)
+  // saturates every coverage term, and every cluster reaches its full
+  // relevance mass.
+  EXPECT_NEAR(oracle.value(), oracle.max_value(), 1e-9);
+}
+
+class SaturatedCoverageProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SaturatedCoverageProperty, IsMonotoneSubmodular) {
+  const auto sim = random_similarity(14, GetParam());
+  SaturatedCoverageConfig cfg;
+  cfg.gamma = 0.4;
+  cfg.cluster_of = std::vector<std::uint32_t>(14);
+  util::Rng rng(GetParam());
+  for (auto& c : cfg.cluster_of) {
+    c = static_cast<std::uint32_t>(rng.next_below(3));
+  }
+  cfg.lambda = 0.7;
+  const SaturatedCoverageOracle proto(sim, cfg);
+  EXPECT_EQ(testing::count_submodularity_violations(proto, GetParam(), 40,
+                                                    1e-9),
+            0);
+  EXPECT_EQ(testing::count_monotonicity_violations(proto, GetParam(), 20,
+                                                   1e-9),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaturatedCoverageProperty,
+                         ::testing::Values(51, 52, 53, 54, 55, 56));
+
+TEST(SaturatedCoverage, GreedySummaryBeatsRandom) {
+  const auto sim = random_similarity(60, 9);
+  SaturatedCoverageConfig cfg;
+  cfg.gamma = 0.2;
+  const SaturatedCoverageOracle proto(sim, cfg);
+  auto g = proto.clone();
+  const double greedy_value =
+      lazy_greedy(*g, testing::iota_ids(60), 6, {true}).gained;
+  util::Rng rng(9);
+  auto r = proto.clone();
+  const double random_value =
+      random_subset(*r, testing::iota_ids(60), 6, rng).gained;
+  EXPECT_GT(greedy_value, random_value);
+}
+
+}  // namespace
+}  // namespace bds

@@ -1,0 +1,150 @@
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/brute_force.h"
+#include "core/greedy.h"
+#include "objectives/coverage.h"
+#include "test_support.h"
+
+namespace bds {
+namespace {
+
+using testing::iota_ids;
+using testing::random_set_system;
+
+TEST(SieveStreaming, ValidatesArguments) {
+  const auto sys = random_set_system(10, 20, 0.3, 1);
+  const CoverageOracle proto(sys);
+  SieveStreamingConfig cfg;
+  cfg.k = 0;
+  EXPECT_THROW(sieve_streaming(proto, iota_ids(10), cfg),
+               std::invalid_argument);
+  cfg.k = 3;
+  cfg.epsilon = 0.0;
+  EXPECT_THROW(sieve_streaming(proto, iota_ids(10), cfg),
+               std::invalid_argument);
+  cfg.epsilon = 1.0;
+  EXPECT_THROW(sieve_streaming(proto, iota_ids(10), cfg),
+               std::invalid_argument);
+}
+
+TEST(SieveStreaming, EmptyStreamGivesEmptySolution) {
+  const auto sys = random_set_system(10, 20, 0.3, 2);
+  const CoverageOracle proto(sys);
+  const auto result = sieve_streaming(proto, {}, {3, 0.1});
+  EXPECT_TRUE(result.solution.empty());
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+}
+
+TEST(SieveStreaming, AllEmptySetsGiveZero) {
+  const auto sys = std::make_shared<const SetSystem>(
+      std::vector<std::vector<std::uint32_t>>{{}, {}, {}}, 5);
+  const CoverageOracle proto(sys);
+  const auto result = sieve_streaming(proto, iota_ids(3), {2, 0.1});
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+}
+
+TEST(SieveStreaming, RespectsCardinality) {
+  const auto sys = random_set_system(60, 100, 0.1, 3);
+  const CoverageOracle proto(sys);
+  const auto result = sieve_streaming(proto, iota_ids(60), {5, 0.2});
+  EXPECT_LE(result.solution.size(), 5u);
+  std::set<ElementId> unique(result.solution.begin(), result.solution.end());
+  EXPECT_EQ(unique.size(), result.solution.size());
+}
+
+TEST(SieveStreaming, ValueMatchesIndependentEvaluation) {
+  const auto sys = random_set_system(80, 120, 0.08, 4);
+  const CoverageOracle proto(sys);
+  const auto result = sieve_streaming(proto, iota_ids(80), {6, 0.15});
+  EXPECT_NEAR(result.value, evaluate_set(proto, result.solution), 1e-9);
+}
+
+class SieveGuarantee : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SieveGuarantee, AchievesHalfMinusEpsilonOfOptimum) {
+  const auto sys = random_set_system(14, 30, 0.2, GetParam());
+  const CoverageOracle proto(sys);
+  const std::size_t k = 3;
+  const auto opt = brute_force_opt(proto, iota_ids(14), k);
+  const double eps = 0.1;
+  const auto result = sieve_streaming(proto, iota_ids(14), {k, eps});
+  EXPECT_GE(result.value, (0.5 - eps) * opt.value - 1e-9) << "seed "
+                                                          << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SieveGuarantee,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(SieveStreaming, OrderInsensitiveQuality) {
+  // Streaming order affects the solution but not the guarantee: check a
+  // reversed and a shuffled stream both stay within the bound.
+  const auto sys = random_set_system(40, 80, 0.12, 21);
+  const CoverageOracle proto(sys);
+  const std::size_t k = 5;
+
+  auto greedy_oracle = proto.clone();
+  const double greedy_value =
+      greedy(*greedy_oracle, iota_ids(40), k).gained;
+
+  auto forward = iota_ids(40);
+  auto backward = forward;
+  std::reverse(backward.begin(), backward.end());
+  auto shuffled = forward;
+  util::Rng rng(21);
+  rng.shuffle(std::span<ElementId>(shuffled));
+
+  for (const auto& stream : {forward, backward, shuffled}) {
+    const auto result = sieve_streaming(proto, stream, {k, 0.1});
+    EXPECT_GE(result.value, 0.4 * greedy_value);
+  }
+}
+
+TEST(SieveStreaming, SingleItemStream) {
+  const auto sys = random_set_system(5, 10, 0.4, 23);
+  const CoverageOracle proto(sys);
+  const std::vector<ElementId> stream{2};
+  const auto result = sieve_streaming(proto, stream, {3, 0.2});
+  ASSERT_EQ(result.solution.size(), 1u);
+  EXPECT_EQ(result.solution[0], 2u);
+}
+
+TEST(SieveStreaming, MemoryStaysBounded) {
+  // O(k log(k)/eps) items across sieves — far below n.
+  const auto sys = random_set_system(500, 400, 0.02, 25);
+  const CoverageOracle proto(sys);
+  const std::size_t k = 8;
+  const double eps = 0.2;
+  const auto result = sieve_streaming(proto, iota_ids(500), {k, eps});
+  const double sieve_count_bound =
+      std::log(2.0 * double(k)) / std::log(1.0 + eps) + 2.0;
+  EXPECT_LE(result.peak_memory_items,
+            std::uint64_t(double(k) * sieve_count_bound));
+  EXPECT_GT(result.sieves_alive, 0u);
+}
+
+TEST(SieveStreaming, EvalCountLinearInStreamTimesSieves) {
+  const auto sys = random_set_system(300, 200, 0.03, 27);
+  const CoverageOracle proto(sys);
+  const auto result = sieve_streaming(proto, iota_ids(300), {5, 0.25});
+  // Each arrival: 1 singleton probe + <= #sieves offers (+1 per accept).
+  const double sieves_upper =
+      std::log(2.0 * 5.0) / std::log(1.25) + 2.0;
+  EXPECT_LE(result.oracle_evals,
+            std::uint64_t(300.0 * (sieves_upper + 1.0) + 100.0));
+}
+
+TEST(SieveStreaming, WorksOnNonCoverageOracle) {
+  testing::SqrtModularOracle proto({1.0, 25.0, 16.0, 4.0, 9.0});
+  const auto result = sieve_streaming(proto, iota_ids(5), {2, 0.1});
+  // Optimum pair is {1, 2} with sqrt(41); sieve must land at >= (1/2 - eps).
+  EXPECT_GE(result.value, (0.5 - 0.1) * std::sqrt(41.0) - 1e-9);
+}
+
+}  // namespace
+}  // namespace bds

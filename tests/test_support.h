@@ -1,0 +1,122 @@
+// Shared fixtures/helpers for the test suite: small random instances,
+// submodularity property checkers, and a simple explicit-function oracle
+// for hand-verifiable cases.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "objectives/coverage.h"
+#include "objectives/submodular.h"
+#include "util/element.h"
+#include "util/rng.h"
+
+namespace bds::testing {
+
+// Random small coverage instance: `n_sets` sets over `universe` elements,
+// each set drawn with inclusion probability `density`.
+inline std::shared_ptr<const SetSystem> random_set_system(
+    std::uint32_t n_sets, std::uint32_t universe, double density,
+    std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<std::uint32_t>> sets(n_sets);
+  for (auto& s : sets) {
+    for (std::uint32_t e = 0; e < universe; ++e) {
+      if (rng.next_bool(density)) s.push_back(e);
+    }
+  }
+  return std::make_shared<const SetSystem>(std::move(sets), universe);
+}
+
+// All element ids [0, n).
+inline std::vector<ElementId> iota_ids(std::size_t n) {
+  std::vector<ElementId> ids(n);
+  std::iota(ids.begin(), ids.end(), ElementId{0});
+  return ids;
+}
+
+// Checks the diminishing-returns property on random chains: for random
+// A ⊆ B and x ∉ B, Δ(x, A) >= Δ(x, B) (up to tolerance). Returns the number
+// of violations found over `trials` random triples.
+inline int count_submodularity_violations(const SubmodularOracle& proto,
+                                          std::uint64_t seed, int trials,
+                                          double tol = 1e-9) {
+  util::Rng rng(seed);
+  const std::size_t n = proto.ground_size();
+  int violations = 0;
+  for (int t = 0; t < trials; ++t) {
+    // Random B of size <= n/2, random subset A of B, random x outside B.
+    const std::size_t b_size = 1 + rng.next_below(std::max<std::size_t>(1, n / 2));
+    auto b_ids = rng.sample_without_replacement(n, std::min(b_size, n));
+    std::vector<ElementId> b(b_ids.begin(), b_ids.end());
+    std::vector<ElementId> a;
+    for (const ElementId x : b) {
+      if (rng.next_bool(0.5)) a.push_back(x);
+    }
+    ElementId x = static_cast<ElementId>(rng.next_below(n));
+    while (std::find(b.begin(), b.end(), x) != b.end()) {
+      x = static_cast<ElementId>(rng.next_below(n));
+    }
+    const auto oracle_a = seeded_clone(proto, a);
+    const auto oracle_b = seeded_clone(proto, b);
+    if (oracle_a->gain(x) + tol < oracle_b->gain(x)) ++violations;
+  }
+  return violations;
+}
+
+// Checks monotonicity: realized add-gains are never negative.
+inline int count_monotonicity_violations(const SubmodularOracle& proto,
+                                         std::uint64_t seed, int trials,
+                                         double tol = 1e-9) {
+  util::Rng rng(seed);
+  const std::size_t n = proto.ground_size();
+  int violations = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto oracle = proto.clone();
+    const std::size_t len = 1 + rng.next_below(std::max<std::size_t>(1, n));
+    for (const auto id : rng.sample_without_replacement(n, std::min(len, n))) {
+      if (oracle->add(static_cast<ElementId>(id)) < -tol) ++violations;
+    }
+  }
+  return violations;
+}
+
+// A tiny explicit monotone submodular function for hand-checkable tests:
+// f(S) = sqrt(sum of weights of S). (Concave of modular => submodular.)
+class SqrtModularOracle final : public SubmodularOracle {
+ public:
+  explicit SqrtModularOracle(std::vector<double> weights)
+      : weights_(std::make_shared<const std::vector<double>>(
+            std::move(weights))) {}
+
+  std::size_t ground_size() const noexcept override {
+    return weights_->size();
+  }
+
+ protected:
+  double do_gain(ElementId x) const override {
+    if (in_set_.size() > x && in_set_[x]) return 0.0;
+    return std::sqrt(sum_ + (*weights_)[x]) - std::sqrt(sum_);
+  }
+  double do_add(ElementId x) override {
+    if (in_set_.empty()) in_set_.resize(weights_->size(), false);
+    if (in_set_[x]) return 0.0;
+    const double before = std::sqrt(sum_);
+    sum_ += (*weights_)[x];
+    in_set_[x] = true;
+    return std::sqrt(sum_) - before;
+  }
+  std::unique_ptr<SubmodularOracle> do_clone() const override {
+    return std::make_unique<SqrtModularOracle>(*this);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<double>> weights_;
+  std::vector<bool> in_set_;
+  double sum_ = 0.0;
+};
+
+}  // namespace bds::testing

@@ -1,0 +1,115 @@
+#include "util/csv.h"
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace bds::util {
+namespace {
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(-1.5, 0), "-2");  // round-half-even via printf
+  EXPECT_EQ(Table::fmt_pct(0.981, 1), "98.1%");
+  EXPECT_EQ(Table::fmt_pct(1.0, 0), "100%");
+  EXPECT_EQ(Table::fmt_int(0), "0");
+  EXPECT_EQ(Table::fmt_int(1234567), "1234567");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"a-very-long-name", "22.25"});
+  const std::string out = t.to_string();
+  // Header, rule, two rows.
+  int newlines = 0;
+  for (const char c : out) newlines += (c == '\n');
+  EXPECT_EQ(newlines, 4);
+  // Every line has the same length (alignment).
+  std::istringstream in(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(in, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_EQ(t.row(0).size(), 3u);
+  EXPECT_EQ(t.row(0)[1], "");
+}
+
+TEST(Table, NumericColumnsRightAligned) {
+  Table t({"label", "n"});
+  t.add_row({"x", "5"});
+  t.add_row({"y", "123"});
+  const std::string out = t.to_string();
+  // In the numeric column the shorter value is right-aligned: "  5".
+  EXPECT_NE(out.find("  5\n"), std::string::npos);
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/bds_csv_test.csv";
+
+  std::string read_back() const {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"k", "ratio"});
+    w.write_row({"10", "0.98"});
+    w.write_row({"20", "0.99"});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_back(), "k,ratio\n10,0.98\n20,0.99\n");
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters) {
+  {
+    CsvWriter w(path_, {"text"});
+    w.write_row({"a,b"});
+    w.write_row({"say \"hi\""});
+  }
+  EXPECT_EQ(read_back(), "text\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(CsvPath, RespectsEnvironment) {
+  unsetenv("BDS_CSV_DIR");
+  EXPECT_FALSE(csv_output_path("fig1a").has_value());
+  setenv("BDS_CSV_DIR", "/tmp/bds-out", 1);
+  const auto path = csv_output_path("fig1a");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, "/tmp/bds-out/fig1a.csv");
+  unsetenv("BDS_CSV_DIR");
+}
+
+}  // namespace
+}  // namespace bds::util

@@ -1,0 +1,116 @@
+#include "dist/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace bds::dist {
+namespace {
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ExplicitSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitVoidTask) {
+  ThreadPool pool(2);
+  std::atomic<int> flag{0};
+  pool.submit([&flag] { flag = 1; }).get();
+  EXPECT_EQ(flag.load(), 1);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(500);
+  pool.parallel_for(500, [&visits](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 3) {
+                                     throw std::invalid_argument("bad");
+                                   }
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelForRunsConcurrently) {
+  // With 2 threads, two 50ms sleeps should overlap (well under 100ms total).
+  ThreadPool pool(2);
+  const auto start = std::chrono::steady_clock::now();
+  pool.parallel_for(2, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  if (std::thread::hardware_concurrency() >= 2) {
+    EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 0.095);
+  } else {
+    SUCCEED() << "single-core host; overlap not observable";
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  for (int batch = 0; batch < 5; ++batch) {
+    std::atomic<int> counter{0};
+    pool.parallel_for(20, [&counter](std::size_t) { ++counter; });
+    EXPECT_EQ(counter.load(), 20);
+  }
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+    }
+  }  // destructor must wait for all 50
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace bds::dist

@@ -1,0 +1,71 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace bds::util {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfSampler zipf(1000, 1.1);
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < zipf.size(); ++i) sum += zipf.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfIsMonotoneNonIncreasing) {
+  const ZipfSampler zipf(500, 0.9);
+  for (std::uint64_t i = 1; i < zipf.size(); ++i) {
+    EXPECT_GE(zipf.pmf(i - 1) + 1e-15, zipf.pmf(i));
+  }
+}
+
+TEST(Zipf, PmfRatioMatchesPowerLaw) {
+  const double s = 1.3;
+  const ZipfSampler zipf(100, s);
+  // pmf(0)/pmf(9) should equal (10/1)^s.
+  EXPECT_NEAR(zipf.pmf(0) / zipf.pmf(9), std::pow(10.0, s), 1e-6);
+}
+
+TEST(Zipf, SamplesStayInRange) {
+  const ZipfSampler zipf(64, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(zipf.sample(rng), 64u);
+}
+
+TEST(Zipf, EmpiricalFrequenciesTrackPmf) {
+  const ZipfSampler zipf(50, 1.2);
+  Rng rng(5);
+  constexpr int kDraws = 200'000;
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const double expected = zipf.pmf(i) * kDraws;
+    EXPECT_NEAR(counts[i], expected, 5 * std::sqrt(expected) + 5);
+  }
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  const ZipfSampler zipf(20, 0.0);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(zipf.pmf(i), 0.05, 1e-12);
+  }
+}
+
+TEST(Zipf, SingletonAlwaysReturnsZero) {
+  const ZipfSampler zipf(1, 2.0);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+  EXPECT_NEAR(zipf.pmf(0), 1.0, 1e-12);
+}
+
+TEST(Zipf, DeterministicAcrossInstances) {
+  const ZipfSampler a(100, 1.05), b(100, 1.05);
+  Rng ra(9), rb(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.sample(ra), b.sample(rb));
+}
+
+}  // namespace
+}  // namespace bds::util
