@@ -1,20 +1,35 @@
 // Microbenchmarks (google-benchmark) for the performance-critical
-// primitives: oracle evaluations, the greedy selector family, and the
-// partitioners. These are throughput sanity checks, not paper artifacts.
+// primitives: oracle evaluations (scalar vs batched vs parallel-batched),
+// the greedy selector family, and the partitioners. These are throughput
+// sanity checks, not paper artifacts.
+//
+// Extra flag on top of the google-benchmark ones:
+//   --json[=path]   after the run, write ns/eval per objective for the
+//                   scalar / batch / parallel-batch gain paths (plus the
+//                   batch speedups) to `path` (default BENCH_micro.json).
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <numeric>
+#include <string>
+#include <string_view>
+#include <vector>
 
+#include "core/batch_eval.h"
 #include "core/greedy.h"
 #include "data/graph_gen.h"
+#include "data/prob_gen.h"
 #include "data/vectors_gen.h"
 #include "dist/partitioner.h"
+#include "dist/thread_pool.h"
 #include "objectives/coverage.h"
 #include "objectives/exemplar.h"
 #include "objectives/logdet.h"
 #include "objectives/prob_coverage.h"
-#include "data/prob_gen.h"
+#include "objectives/saturated_coverage.h"
 #include "util/rng.h"
 
 namespace {
@@ -37,10 +52,64 @@ std::shared_ptr<const PointSet> shared_points() {
   return points;
 }
 
+std::shared_ptr<const ProbSetSystem> shared_click_model() {
+  static const auto model = [] {
+    data::ClickModelConfig cfg;
+    cfg.ads = 5'000;
+    cfg.users = 20'000;
+    return data::make_click_model(cfg);
+  }();
+  return model;
+}
+
+std::shared_ptr<const SimilarityMatrix> shared_similarity() {
+  static const auto sim = [] {
+    const std::size_t n = 1'000;
+    util::Rng rng(41);
+    std::vector<double> values(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        const double v = rng.next_double();
+        values[i * n + j] = v;
+        values[j * n + i] = v;
+      }
+    }
+    return std::make_shared<const SimilarityMatrix>(n, std::move(values));
+  }();
+  return sim;
+}
+
 std::vector<ElementId> ids(std::size_t n) {
   std::vector<ElementId> out(n);
   std::iota(out.begin(), out.end(), ElementId{0});
   return out;
+}
+
+// Batch sizes per objective, sized so one iteration stays in the
+// millisecond range (exemplar/saturated evals are O(n) each).
+constexpr std::size_t kCoverageBatch = 4'096;
+constexpr std::size_t kProbBatch = 4'096;
+constexpr std::size_t kExemplarBatch = 128;
+constexpr std::size_t kSaturatedBatch = 256;
+
+// The same stride-walk over candidate ids the scalar benchmarks do,
+// materialized up front for the batched ones.
+std::vector<ElementId> stride_ids(std::size_t count, std::size_t stride,
+                                  std::size_t ground) {
+  std::vector<ElementId> xs(count);
+  std::size_t x = 0;
+  for (auto& id : xs) {
+    id = static_cast<ElementId>(x);
+    x = (x + stride) % ground;
+  }
+  return xs;
+}
+
+BatchEvalOptions parallel_options(dist::ThreadPool& pool) {
+  BatchEvalOptions options;
+  options.pool = &pool;
+  options.min_parallel = 0;
+  return options;
 }
 
 void BM_RngNextU64(benchmark::State& state) {
@@ -55,26 +124,64 @@ void BM_RngNextBelow(benchmark::State& state) {
 }
 BENCHMARK(BM_RngNextBelow);
 
-void BM_CoverageGain(benchmark::State& state) {
+// --- coverage: scalar / batch / parallel batch ------------------------------
+
+CoverageOracle partly_covered_oracle() {
   CoverageOracle oracle(shared_sets());
   util::Rng rng(2);
   // A partly-covered state makes gains representative of mid-greedy.
   for (int i = 0; i < 50; ++i) {
     oracle.add(static_cast<ElementId>(rng.next_below(oracle.ground_size())));
   }
+  return oracle;
+}
+
+void BM_CoverageGain(benchmark::State& state) {
+  auto oracle = partly_covered_oracle();
   ElementId x = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(oracle.gain(x));
     x = (x + 37) % oracle.ground_size();
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CoverageGain);
+
+void BM_CoverageGainBatch(benchmark::State& state) {
+  auto oracle = partly_covered_oracle();
+  const auto xs = stride_ids(kCoverageBatch, 37, oracle.ground_size());
+  std::vector<double> out(xs.size());
+  for (auto _ : state) {
+    oracle.gain_batch(xs, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_CoverageGainBatch);
+
+void BM_CoverageGainBatchParallel(benchmark::State& state) {
+  auto oracle = partly_covered_oracle();
+  const auto xs = stride_ids(kCoverageBatch, 37, oracle.ground_size());
+  std::vector<double> out(xs.size());
+  dist::ThreadPool pool;
+  const auto options = parallel_options(pool);
+  for (auto _ : state) {
+    evaluate_gains(oracle, xs, out, options);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_CoverageGainBatchParallel);
 
 void BM_CoverageClone(benchmark::State& state) {
   CoverageOracle oracle(shared_sets());
   for (auto _ : state) benchmark::DoNotOptimize(oracle.clone());
 }
 BENCHMARK(BM_CoverageClone);
+
+// --- exemplar clustering ----------------------------------------------------
 
 void BM_ExemplarExactGain(benchmark::State& state) {
   ExemplarOracle oracle(shared_points(), 2.0);
@@ -83,8 +190,38 @@ void BM_ExemplarExactGain(benchmark::State& state) {
     benchmark::DoNotOptimize(oracle.gain(x));
     x = (x + 101) % oracle.ground_size();
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ExemplarExactGain);
+
+void BM_ExemplarExactGainBatch(benchmark::State& state) {
+  ExemplarOracle oracle(shared_points(), 2.0);
+  const auto xs = stride_ids(kExemplarBatch, 101, oracle.ground_size());
+  std::vector<double> out(xs.size());
+  for (auto _ : state) {
+    oracle.gain_batch(xs, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_ExemplarExactGainBatch);
+
+void BM_ExemplarExactGainBatchParallel(benchmark::State& state) {
+  ExemplarOracle oracle(shared_points(), 2.0);
+  const auto xs = stride_ids(kExemplarBatch, 101, oracle.ground_size());
+  std::vector<double> out(xs.size());
+  dist::ThreadPool pool;
+  auto options = parallel_options(pool);
+  options.grain = 16;  // each index is an O(n·dim) kernel tile's worth
+  for (auto _ : state) {
+    evaluate_gains(oracle, xs, out, options);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_ExemplarExactGainBatchParallel);
 
 void BM_ExemplarSampledGain(benchmark::State& state) {
   util::Rng rng(3);
@@ -94,24 +231,105 @@ void BM_ExemplarSampledGain(benchmark::State& state) {
     benchmark::DoNotOptimize(oracle.gain(x));
     x = (x + 101) % oracle.ground_size();
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ExemplarSampledGain);
 
+// --- probabilistic coverage -------------------------------------------------
+
 void BM_ProbCoverageGain(benchmark::State& state) {
-  static const auto model = [] {
-    data::ClickModelConfig cfg;
-    cfg.ads = 5'000;
-    cfg.users = 20'000;
-    return data::make_click_model(cfg);
-  }();
-  ProbCoverageOracle oracle(model);
+  ProbCoverageOracle oracle(shared_click_model());
   ElementId x = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(oracle.gain(x));
     x = (x + 13) % oracle.ground_size();
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ProbCoverageGain);
+
+void BM_ProbCoverageGainBatch(benchmark::State& state) {
+  ProbCoverageOracle oracle(shared_click_model());
+  const auto xs = stride_ids(kProbBatch, 13, oracle.ground_size());
+  std::vector<double> out(xs.size());
+  for (auto _ : state) {
+    oracle.gain_batch(xs, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_ProbCoverageGainBatch);
+
+void BM_ProbCoverageGainBatchParallel(benchmark::State& state) {
+  ProbCoverageOracle oracle(shared_click_model());
+  const auto xs = stride_ids(kProbBatch, 13, oracle.ground_size());
+  std::vector<double> out(xs.size());
+  dist::ThreadPool pool;
+  const auto options = parallel_options(pool);
+  for (auto _ : state) {
+    evaluate_gains(oracle, xs, out, options);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_ProbCoverageGainBatchParallel);
+
+// --- saturated coverage -----------------------------------------------------
+
+SaturatedCoverageOracle saturated_oracle() {
+  SaturatedCoverageConfig cfg;
+  cfg.gamma = 0.25;
+  SaturatedCoverageOracle oracle(shared_similarity(), std::move(cfg));
+  util::Rng rng(43);
+  for (int i = 0; i < 10; ++i) {
+    oracle.add(static_cast<ElementId>(rng.next_below(oracle.ground_size())));
+  }
+  return oracle;
+}
+
+void BM_SaturatedGain(benchmark::State& state) {
+  auto oracle = saturated_oracle();
+  ElementId x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.gain(x));
+    x = (x + 17) % oracle.ground_size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SaturatedGain);
+
+void BM_SaturatedGainBatch(benchmark::State& state) {
+  auto oracle = saturated_oracle();
+  const auto xs = stride_ids(kSaturatedBatch, 17, oracle.ground_size());
+  std::vector<double> out(xs.size());
+  for (auto _ : state) {
+    oracle.gain_batch(xs, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_SaturatedGainBatch);
+
+void BM_SaturatedGainBatchParallel(benchmark::State& state) {
+  auto oracle = saturated_oracle();
+  const auto xs = stride_ids(kSaturatedBatch, 17, oracle.ground_size());
+  std::vector<double> out(xs.size());
+  dist::ThreadPool pool;
+  auto options = parallel_options(pool);
+  options.grain = 32;
+  for (auto _ : state) {
+    evaluate_gains(oracle, xs, out, options);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_SaturatedGainBatchParallel);
+
+// --- selectors and partitioners (unchanged shapes) --------------------------
 
 void BM_LogDetGainVsSetSize(benchmark::State& state) {
   LogDetOracle oracle(shared_points(), 1.0, 0.5);
@@ -179,6 +397,125 @@ void BM_PartitionMultiplicity(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionMultiplicity)->Arg(2)->Arg(8);
 
+// --- --json reporting -------------------------------------------------------
+
+struct GainBenchSpec {
+  const char* objective;
+  const char* mode;  // "scalar" | "batch" | "parallel_batch"
+  double evals_per_iter;
+};
+
+// The gain-path benchmarks the JSON report covers, keyed by benchmark name.
+const std::map<std::string, GainBenchSpec>& gain_bench_specs() {
+  static const std::map<std::string, GainBenchSpec> specs = {
+      {"BM_CoverageGain", {"coverage", "scalar", 1}},
+      {"BM_CoverageGainBatch",
+       {"coverage", "batch", double(kCoverageBatch)}},
+      {"BM_CoverageGainBatchParallel",
+       {"coverage", "parallel_batch", double(kCoverageBatch)}},
+      {"BM_ProbCoverageGain", {"prob_coverage", "scalar", 1}},
+      {"BM_ProbCoverageGainBatch",
+       {"prob_coverage", "batch", double(kProbBatch)}},
+      {"BM_ProbCoverageGainBatchParallel",
+       {"prob_coverage", "parallel_batch", double(kProbBatch)}},
+      {"BM_ExemplarExactGain", {"exemplar", "scalar", 1}},
+      {"BM_ExemplarExactGainBatch",
+       {"exemplar", "batch", double(kExemplarBatch)}},
+      {"BM_ExemplarExactGainBatchParallel",
+       {"exemplar", "parallel_batch", double(kExemplarBatch)}},
+      {"BM_SaturatedGain", {"saturated_coverage", "scalar", 1}},
+      {"BM_SaturatedGainBatch",
+       {"saturated_coverage", "batch", double(kSaturatedBatch)}},
+      {"BM_SaturatedGainBatchParallel",
+       {"saturated_coverage", "parallel_batch", double(kSaturatedBatch)}},
+  };
+  return specs;
+}
+
+// Console output as usual, plus a copy of every iteration run for the JSON
+// summary written after the run.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.run_type == Run::RT_Iteration && !run.error_occurred) {
+        collected_.push_back(run);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Run>& collected() const noexcept { return collected_; }
+
+ private:
+  std::vector<Run> collected_;
+};
+
+void write_gain_json(const std::string& path,
+                     const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
+  // objective -> mode -> wall-clock ns per oracle evaluation.
+  std::map<std::string, std::map<std::string, double>> ns_per_eval;
+  for (const auto& run : runs) {
+    const auto it = gain_bench_specs().find(run.benchmark_name());
+    if (it == gain_bench_specs().end()) continue;
+    const GainBenchSpec& spec = it->second;
+    // GetAdjustedRealTime is per-iteration real time in the run's time unit
+    // (ns by default); one iteration performs evals_per_iter evaluations.
+    ns_per_eval[spec.objective][spec.mode] =
+        run.GetAdjustedRealTime() / spec.evals_per_iter;
+  }
+
+  std::ofstream out(path);
+  out << "{\n  \"unit\": \"ns_per_eval\",\n  \"objectives\": {\n";
+  bool first_obj = true;
+  for (const auto& [objective, modes] : ns_per_eval) {
+    if (!first_obj) out << ",\n";
+    first_obj = false;
+    out << "    \"" << objective << "\": {";
+    bool first_mode = true;
+    for (const auto& [mode, ns] : modes) {
+      if (!first_mode) out << ", ";
+      first_mode = false;
+      out << "\"" << mode << "\": " << ns;
+    }
+    const auto scalar = modes.find("scalar");
+    if (scalar != modes.end()) {
+      for (const char* mode : {"batch", "parallel_batch"}) {
+        const auto m = modes.find(mode);
+        if (m != modes.end() && m->second > 0.0) {
+          out << ", \"" << mode << "_speedup\": " << scalar->second / m->second;
+        }
+      }
+    }
+    out << "}";
+  }
+  out << "\n  }\n}\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our --json[=path] flag before handing argv to google-benchmark.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json_path = "BENCH_micro.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) write_gain_json(json_path, reporter.collected());
+  return 0;
+}

@@ -68,8 +68,10 @@ DistributedResult one_round_merge(const SubmodularOracle& proto,
   for (const auto& report : reports) {
     pool.insert(pool.end(), report.summary.begin(), report.summary.end());
   }
-  const GreedyResult filtered = lazy_greedy(
-      *central, pool, config.k, GreedyOptions{config.stop_when_no_gain});
+  GreedyOptions central_options{config.stop_when_no_gain};
+  if (config.parallel_central) central_options.batch.pool = &cluster.pool();
+  const GreedyResult filtered =
+      lazy_greedy(*central, pool, config.k, central_options);
   cluster.record_central_stage(central->evals(), timer.elapsed_seconds(),
                                filtered.picks.size());
 
@@ -148,6 +150,9 @@ DistributedResult naive_distributed_greedy(
   dist::Cluster cluster(machines, config.threads);
   util::Rng rng(util::mix64(config.seed));
 
+  GreedyOptions central_options{config.stop_when_no_gain};
+  if (config.parallel_central) central_options.batch.pool = &cluster.pool();
+
   DistributedResult result;
   for (std::size_t round = 0; round < rounds; ++round) {
     const dist::Partition partition =
@@ -174,8 +179,8 @@ DistributedResult naive_distributed_greedy(
     for (const auto& report : reports) {
       pool.insert(pool.end(), report.summary.begin(), report.summary.end());
     }
-    const GreedyResult filtered = lazy_greedy(
-        *central, pool, config.k, GreedyOptions{config.stop_when_no_gain});
+    const GreedyResult filtered =
+        lazy_greedy(*central, pool, config.k, central_options);
     cluster.record_central_stage(central->evals() - evals_before,
                                  timer.elapsed_seconds(),
                                  filtered.picks.size());
@@ -270,10 +275,14 @@ DistributedResult parallel_alg(const SubmodularOracle& proto,
     result.rounds.push_back(trace);
   }
 
-  // Final filter: central greedy k over the pool.
+  // Final filter: central greedy k over the pool (this union is the
+  // largest candidate set any coordinator stage sees — O(m·k/ε) ids — so
+  // it benefits most from the parallel batch evaluator).
   util::Timer final_timer;
-  const GreedyResult filtered = lazy_greedy(
-      *central, pool, config.k, GreedyOptions{config.stop_when_no_gain});
+  GreedyOptions final_options{config.stop_when_no_gain};
+  if (config.parallel_central) final_options.batch.pool = &cluster.pool();
+  const GreedyResult filtered =
+      lazy_greedy(*central, pool, config.k, final_options);
   cluster.mutable_stats().rounds.back().central_evals = central->evals();
   cluster.mutable_stats().rounds.back().central_seconds +=
       final_timer.elapsed_seconds();

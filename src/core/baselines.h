@@ -39,6 +39,9 @@ struct OneRoundConfig {
   double stochastic_c = 3.0;
   bool stop_when_no_gain = true;
   MachineOracleFactory machine_oracle_factory;
+  // Opt-in parallel batch evaluation for the coordinator filter (bit-
+  // identical output; see core/batch_eval.h).
+  bool parallel_central = false;
   std::size_t threads = 0;
   std::uint64_t seed = 1;
 };
@@ -65,6 +68,7 @@ struct NaiveDistributedConfig {
   double stochastic_c = 3.0;
   bool stop_when_no_gain = true;
   MachineOracleFactory machine_oracle_factory;
+  bool parallel_central = false;  // see OneRoundConfig::parallel_central
   std::size_t threads = 0;
   std::uint64_t seed = 1;
 };
@@ -91,6 +95,7 @@ struct ParallelAlgConfig {
   double stochastic_c = 3.0;
   bool stop_when_no_gain = true;
   MachineOracleFactory machine_oracle_factory;
+  bool parallel_central = false;  // see OneRoundConfig::parallel_central
   std::size_t threads = 0;
   std::uint64_t seed = 1;
 };

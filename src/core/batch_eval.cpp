@@ -1,0 +1,28 @@
+#include "core/batch_eval.h"
+
+#include <algorithm>
+
+namespace bds {
+
+void evaluate_gains(SubmodularOracle& oracle, std::span<const ElementId> xs,
+                    std::span<double> gains, const BatchEvalOptions& options) {
+  if (options.pool == nullptr || options.pool->size() <= 1 ||
+      xs.size() < options.min_parallel) {
+    oracle.gain_batch(xs, gains);
+    return;
+  }
+  const std::size_t grain = std::max<std::size_t>(1, options.grain);
+  const std::size_t chunks = (xs.size() + grain - 1) / grain;
+  // One task per chunk; each runs the batched kernel on its disjoint slice.
+  options.pool->parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t count = std::min(grain, xs.size() - begin);
+    oracle.gain_batch_unaccounted(xs.subspan(begin, count),
+                                  gains.subspan(begin, count));
+  });
+  // Work accounting is aggregated after the join: B elements = B evals,
+  // exactly as the serial path charges.
+  oracle.charge_evals(xs.size());
+}
+
+}  // namespace bds

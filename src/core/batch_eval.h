@@ -1,0 +1,47 @@
+// Batched marginal-gain evaluation with optional parallelism — the single
+// entry point the hot paths (greedy's per-pass scan, lazy_greedy's heap
+// build, stochastic_greedy's sample scan, the coordinator filters) use to
+// turn candidate spans into gain arrays.
+//
+// Serial path: one SubmodularOracle::gain_batch call, which dispatches to
+// the objective's cache-friendly batched kernel (or the scalar fallback).
+//
+// Parallel path (opt-in via BatchEvalOptions::pool): the span is chunked
+// over a dist::ThreadPool. This is sound because do_gain/do_gain_batch are
+// const and data-race-free against each other (the oracle contract in
+// objectives/submodular.h); each chunk writes a disjoint slice of the
+// output, and every element's gain is computed independently, so the
+// results — and any selection driven by them — are bit-identical to the
+// serial path regardless of chunking. Evaluation accounting happens once
+// after the join: a batch of B elements charges exactly B evals to the
+// owning oracle, keeping ExecutionStats comparable across all paths.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dist/thread_pool.h"
+#include "objectives/submodular.h"
+#include "util/element.h"
+
+namespace bds {
+
+struct BatchEvalOptions {
+  // Pool to chunk large batches over; nullptr (the default) stays serial.
+  dist::ThreadPool* pool = nullptr;
+  // Elements per parallel chunk. Large enough that the per-chunk queue
+  // round-trip is noise next to the oracle work.
+  std::size_t grain = 512;
+  // Batches smaller than this run serially even when a pool is set — the
+  // fork/join overhead would exceed the oracle work.
+  std::size_t min_parallel = 2048;
+};
+
+// Evaluates gains[i] = Δ(xs[i], S) for the oracle's current S and charges
+// exactly xs.size() evaluations to `oracle`, on whichever path the options
+// select. Precondition: gains.size() >= xs.size().
+void evaluate_gains(SubmodularOracle& oracle, std::span<const ElementId> xs,
+                    std::span<double> gains,
+                    const BatchEvalOptions& options = {});
+
+}  // namespace bds

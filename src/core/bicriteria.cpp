@@ -120,7 +120,10 @@ DistributedResult bicriteria_greedy(const SubmodularOracle& proto,
   util::Rng scatter_rng(util::mix64(config.seed));
 
   DistributedResult result;
-  const GreedyOptions central_options{config.stop_when_no_gain};
+  GreedyOptions central_options{config.stop_when_no_gain};
+  if (config.parallel_central) {
+    central_options.batch.pool = &cluster.pool();
+  }
 
   for (std::size_t round = 0; round < plan.rounds; ++round) {
     std::size_t machine_budget = plan.machine_budget;

@@ -57,6 +57,11 @@ struct BicriteriaConfig {
   // Machines estimating on independent samples (see MachineOracleFactory).
   MachineOracleFactory machine_oracle_factory;
 
+  // Opt-in: evaluate the coordinator filter's large candidate unions in
+  // parallel on the cluster's host pool (core/batch_eval.h). Output is
+  // bit-identical to the serial path; eval accounting is unchanged.
+  bool parallel_central = false;
+
   std::size_t threads = 0;  // host threads for the simulator; 0 = auto
   std::uint64_t seed = 1;
 };

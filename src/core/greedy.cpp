@@ -26,20 +26,41 @@ GreedyResult greedy(SubmodularOracle& oracle,
   result.picks.reserve(rounds);
   result.gains.reserve(rounds);
 
+  // Per-pass scratch: the still-selectable candidates (in pool order) and
+  // their batched gains. One gain_batch per pass replaces one virtual call
+  // per candidate; eval accounting is unchanged (one per scanned
+  // candidate per pass).
+  std::vector<ElementId> remaining;
+  std::vector<std::size_t> remaining_idx;
+  std::vector<double> gains;
+  remaining.reserve(pool.size());
+  remaining_idx.reserve(pool.size());
+
   for (std::size_t iter = 0; iter < rounds; ++iter) {
-    double best_gain = 0.0;
-    std::size_t best_idx = pool.size();
+    remaining.clear();
+    remaining_idx.clear();
     for (std::size_t i = 0; i < pool.size(); ++i) {
       if (taken[i]) continue;
-      const double g = oracle.gain(pool[i]);
-      if (best_idx == pool.size() || g > best_gain) {
-        best_gain = g;
-        best_idx = i;
+      remaining.push_back(pool[i]);
+      remaining_idx.push_back(i);
+    }
+    gains.resize(remaining.size());
+    evaluate_gains(oracle, remaining, gains, options.batch);
+
+    // Argmax in pool order — ties break toward the earlier candidate,
+    // exactly as the scalar scan did.
+    double best_gain = 0.0;
+    std::size_t best = remaining.size();
+    for (std::size_t r = 0; r < remaining.size(); ++r) {
+      if (best == remaining.size() || gains[r] > best_gain) {
+        best_gain = gains[r];
+        best = r;
       }
     }
-    if (best_idx == pool.size()) break;  // nothing selectable
+    if (best == remaining.size()) break;  // nothing selectable
     if (options.stop_when_no_gain && best_gain <= 0.0) break;
 
+    const std::size_t best_idx = remaining_idx[best];
     taken[best_idx] = true;
     const double realized = oracle.add(pool[best_idx]);
     result.picks.push_back(pool[best_idx]);
@@ -70,9 +91,19 @@ GreedyResult lazy_greedy(SubmodularOracle& oracle,
   };
   std::priority_queue<Entry, std::vector<Entry>, Less> heap;
 
-  // First pass: evaluate everything once at stamp 0.
-  for (std::size_t i = 0; i < pool.size(); ++i) {
-    heap.push(Entry{oracle.gain(pool[i]), i, 0});
+  // First pass: evaluate everything once at stamp 0, in one batch. The
+  // comparator is a total order (indices are distinct), so heap-ifying the
+  // whole batch pops in exactly the order incremental pushes would.
+  {
+    std::vector<double> init_gains(pool.size());
+    evaluate_gains(oracle, pool, init_gains, options.batch);
+    std::vector<Entry> entries;
+    entries.reserve(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      entries.push_back(Entry{init_gains[i], i, 0});
+    }
+    heap = std::priority_queue<Entry, std::vector<Entry>, Less>(
+        Less{}, std::move(entries));
   }
 
   GreedyResult result;
@@ -124,6 +155,7 @@ GreedyResult stochastic_greedy(SubmodularOracle& oracle,
       std::ceil(options.c * static_cast<double>(pool.size()) /
                 static_cast<double>(rounds))));
 
+  std::vector<double> gains;
   for (std::size_t iter = 0; iter < rounds && live > 0; ++iter) {
     const std::size_t s = std::min(sample_size, live);
     // Partial Fisher-Yates brings a uniform sample into pool[0 .. s).
@@ -131,10 +163,13 @@ GreedyResult stochastic_greedy(SubmodularOracle& oracle,
       const std::size_t j = i + rng.next_below(live - i);
       std::swap(pool[i], pool[j]);
     }
+    gains.resize(s);
+    evaluate_gains(oracle, std::span<const ElementId>(pool.data(), s), gains,
+                   options.batch);
     double best_gain = 0.0;
     std::size_t best_idx = live;
     for (std::size_t i = 0; i < s; ++i) {
-      const double g = oracle.gain(pool[i]);
+      const double g = gains[i];
       if (best_idx == live || g > best_gain) {
         best_gain = g;
         best_idx = i;

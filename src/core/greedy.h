@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "core/batch_eval.h"
 #include "objectives/submodular.h"
 #include "util/element.h"
 #include "util/rng.h"
@@ -24,10 +25,17 @@
 namespace bds {
 
 struct GreedyOptions {
+  GreedyOptions() = default;
+  GreedyOptions(bool stop) : stop_when_no_gain(stop) {}  // NOLINT: legacy {flag} call sites
+
   // Stop before exhausting the budget once the best marginal gain is <= 0.
   // Algorithm 2 as written always runs k' iterations; the experiments (and
   // any sane deployment) stop early, so callers choose.
   bool stop_when_no_gain = false;
+  // How candidate scans evaluate gains (serial batched by default; set
+  // batch.pool for parallel evaluation of large scans). Selections are
+  // bit-identical across all settings.
+  BatchEvalOptions batch;
 };
 
 struct GreedyResult {
@@ -60,6 +68,8 @@ struct StochasticGreedyOptions {
   // still-unselected candidates (§4.2 fixes c = 3).
   double c = 3.0;
   bool stop_when_no_gain = false;
+  // Gain-evaluation path for the per-pick sample scan (see GreedyOptions).
+  BatchEvalOptions batch;
 };
 
 // Stochastic ("lazier than lazy") greedy.

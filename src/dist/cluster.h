@@ -112,6 +112,12 @@ class Cluster {
   const ExecutionStats& stats() const noexcept { return stats_; }
   ExecutionStats& mutable_stats() noexcept { return stats_; }
 
+  // The host thread pool backing the simulated machines. Between rounds it
+  // is idle, so the coordinator's filter stage may borrow it for parallel
+  // batch evaluation (core/batch_eval.h) — on a real cluster the central
+  // machine's cores are likewise free while no round is in flight.
+  ThreadPool& pool() noexcept { return pool_; }
+
  private:
   std::size_t machines_;
   ThreadPool pool_;

@@ -51,7 +51,18 @@ class ThreadPool {
   // Runs fn(i) for every i in [0, n) on the pool and blocks until all
   // complete. The first task exception (if any) is rethrown. fn must be
   // safe to invoke concurrently from multiple threads.
+  // Delegates to the chunked overload with grain 1 (one task per index).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Chunked variant: splits [0, n) into ⌈n/grain⌉ contiguous ranges and
+  // submits one task per range, so a large batch pays one queue mutex
+  // round-trip per ~grain indices instead of one per index. fn is still
+  // invoked once per index, in ascending order within each chunk.
+  // grain == 0 is treated as 1. Exception semantics match the per-index
+  // overload: the first chunk exception is rethrown after all chunks join
+  // (remaining indices of a throwing chunk are skipped).
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();

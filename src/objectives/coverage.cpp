@@ -39,6 +39,25 @@ double CoverageOracle::do_gain(ElementId x) const {
   return static_cast<double>(fresh);
 }
 
+void CoverageOracle::do_gain_batch(std::span<const ElementId> xs,
+                                   std::span<double> out) const {
+  // One pass over the CSR arrays with all bases hoisted into registers: no
+  // per-element virtual dispatch, no span re-materialization, and the
+  // covered bitmap stays hot across consecutive candidates.
+  const std::size_t* const offsets = sets_->offsets_data();
+  const std::uint32_t* const entries = sets_->entries_data();
+  const std::uint8_t* const covered = covered_.data();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t begin = offsets[xs[i]];
+    const std::size_t end = offsets[xs[i] + 1];
+    std::uint64_t fresh = 0;
+    for (std::size_t e = begin; e < end; ++e) {
+      fresh += (covered[entries[e]] == 0);
+    }
+    out[i] = static_cast<double>(fresh);
+  }
+}
+
 double CoverageOracle::do_add(ElementId x) {
   std::uint64_t fresh = 0;
   for (const std::uint32_t e : sets_->set_items(x)) {
@@ -80,6 +99,24 @@ double WeightedCoverageOracle::do_gain(ElementId x) const {
     if (covered_[e] == 0) fresh += w[e];
   }
   return fresh;
+}
+
+void WeightedCoverageOracle::do_gain_batch(std::span<const ElementId> xs,
+                                           std::span<double> out) const {
+  const std::size_t* const offsets = sets_->offsets_data();
+  const std::uint32_t* const entries = sets_->entries_data();
+  const std::uint8_t* const covered = covered_.data();
+  const double* const w = weights_->data();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t begin = offsets[xs[i]];
+    const std::size_t end = offsets[xs[i] + 1];
+    double fresh = 0.0;
+    for (std::size_t e = begin; e < end; ++e) {
+      const std::uint32_t el = entries[e];
+      if (covered[el] == 0) fresh += w[el];
+    }
+    out[i] = fresh;
+  }
 }
 
 double WeightedCoverageOracle::do_add(ElementId x) {

@@ -39,6 +39,12 @@ class SetSystem {
     return offsets_[set_id + 1] - offsets_[set_id];
   }
 
+  // Raw CSR arrays for batched kernels (offsets has num_sets()+1 entries).
+  const std::size_t* offsets_data() const noexcept { return offsets_.data(); }
+  const std::uint32_t* entries_data() const noexcept {
+    return entries_.data();
+  }
+
  private:
   std::vector<std::size_t> offsets_;        // num_sets + 1
   std::vector<std::uint32_t> entries_;      // concatenated set members
@@ -64,6 +70,8 @@ class CoverageOracle final : public SubmodularOracle {
  protected:
   double do_gain(ElementId x) const override;
   double do_add(ElementId x) override;
+  void do_gain_batch(std::span<const ElementId> xs,
+                     std::span<double> out) const override;
   std::unique_ptr<SubmodularOracle> do_clone() const override;
 
  private:
@@ -88,6 +96,8 @@ class WeightedCoverageOracle final : public SubmodularOracle {
  protected:
   double do_gain(ElementId x) const override;
   double do_add(ElementId x) override;
+  void do_gain_batch(std::span<const ElementId> xs,
+                     std::span<double> out) const override;
   std::unique_ptr<SubmodularOracle> do_clone() const override;
 
  private:

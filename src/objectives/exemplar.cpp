@@ -65,6 +65,48 @@ double ExemplarOracle::do_gain(ElementId x) const {
   return gain;
 }
 
+namespace {
+
+// Shared tiled kernel for both exemplar oracles: for a tile of candidates
+// (small enough that their point rows stay cache-resident), stream every
+// cost point v once, loading point(v) and its current min-distance a single
+// time instead of once per candidate. `cost_ids` maps the cost-term index
+// to a point id (identity for the exact oracle, the sample for the sampled
+// one). Per candidate, the accumulation still runs over cost terms in
+// ascending order, matching the scalar path's floating-point sum exactly.
+constexpr std::size_t kExemplarTile = 16;
+
+void exemplar_gain_batch(const PointSet& points,
+                         const std::uint32_t* cost_ids, std::size_t n_costs,
+                         const double* min_dist, double scale,
+                         std::span<const ElementId> xs,
+                         std::span<double> out) {
+  for (std::size_t tile = 0; tile < xs.size(); tile += kExemplarTile) {
+    const std::size_t tile_end = std::min(tile + kExemplarTile, xs.size());
+    double acc[kExemplarTile] = {};
+    for (std::size_t v = 0; v < n_costs; ++v) {
+      const auto pv =
+          points.point(cost_ids == nullptr ? v : cost_ids[v]);
+      const double md = min_dist[v];
+      for (std::size_t j = tile; j < tile_end; ++j) {
+        const double d = squared_l2(pv, points.point(xs[j]));
+        if (d < md) acc[j - tile] += md - d;
+      }
+    }
+    for (std::size_t j = tile; j < tile_end; ++j) {
+      out[j] = acc[j - tile] * scale;
+    }
+  }
+}
+
+}  // namespace
+
+void ExemplarOracle::do_gain_batch(std::span<const ElementId> xs,
+                                   std::span<double> out) const {
+  exemplar_gain_batch(*points_, nullptr, min_dist_.size(), min_dist_.data(),
+                      1.0, xs, out);
+}
+
 double ExemplarOracle::do_add(ElementId x) {
   const auto px = points_->point(x);
   double gain = 0.0;
@@ -117,6 +159,12 @@ double SampledExemplarOracle::do_gain(ElementId x) const {
     if (d < min_dist_[s]) gain += min_dist_[s] - d;
   }
   return gain * scale_;
+}
+
+void SampledExemplarOracle::do_gain_batch(std::span<const ElementId> xs,
+                                          std::span<double> out) const {
+  exemplar_gain_batch(*points_, sample_->data(), sample_->size(),
+                      min_dist_.data(), scale_, xs, out);
 }
 
 double SampledExemplarOracle::do_add(ElementId x) {

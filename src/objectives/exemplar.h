@@ -75,6 +75,8 @@ class ExemplarOracle final : public SubmodularOracle {
  protected:
   double do_gain(ElementId x) const override;
   double do_add(ElementId x) override;
+  void do_gain_batch(std::span<const ElementId> xs,
+                     std::span<double> out) const override;
   std::unique_ptr<SubmodularOracle> do_clone() const override;
 
  private:
@@ -108,6 +110,8 @@ class SampledExemplarOracle final : public SubmodularOracle {
  protected:
   double do_gain(ElementId x) const override;
   double do_add(ElementId x) override;
+  void do_gain_batch(std::span<const ElementId> xs,
+                     std::span<double> out) const override;
   std::unique_ptr<SubmodularOracle> do_clone() const override;
 
  private:

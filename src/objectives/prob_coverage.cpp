@@ -76,6 +76,35 @@ double ProbCoverageOracle::do_gain(ElementId x) const {
   return gain;
 }
 
+void ProbCoverageOracle::do_gain_batch(std::span<const ElementId> xs,
+                                       std::span<double> out) const {
+  const std::size_t* const offsets = sets_->offsets_data();
+  const ProbSetSystem::Entry* const entries = sets_->entries_data();
+  const double* const uncovered = uncovered_prob_.data();
+  const double* const w = weights_ ? weights_->data() : nullptr;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const ElementId x = xs[i];
+    if (in_set_[x]) {
+      out[i] = 0.0;
+      continue;
+    }
+    const std::size_t begin = offsets[x];
+    const std::size_t end = offsets[x + 1];
+    double gain = 0.0;
+    if (w == nullptr) {
+      for (std::size_t e = begin; e < end; ++e) {
+        gain += uncovered[entries[e].element] * double(entries[e].probability);
+      }
+    } else {
+      for (std::size_t e = begin; e < end; ++e) {
+        gain += w[entries[e].element] * uncovered[entries[e].element] *
+                double(entries[e].probability);
+      }
+    }
+    out[i] = gain;
+  }
+}
+
 double ProbCoverageOracle::do_add(ElementId x) {
   if (in_set_[x]) return 0.0;
   in_set_[x] = 1;

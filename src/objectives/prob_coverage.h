@@ -43,6 +43,10 @@ class ProbSetSystem {
                                   offsets_[set_id + 1] - offsets_[set_id]);
   }
 
+  // Raw CSR arrays for batched kernels (offsets has num_sets()+1 entries).
+  const std::size_t* offsets_data() const noexcept { return offsets_.data(); }
+  const Entry* entries_data() const noexcept { return entries_.data(); }
+
  private:
   std::vector<std::size_t> offsets_;
   std::vector<Entry> entries_;
@@ -66,6 +70,8 @@ class ProbCoverageOracle final : public SubmodularOracle {
  protected:
   double do_gain(ElementId x) const override;
   double do_add(ElementId x) override;
+  void do_gain_batch(std::span<const ElementId> xs,
+                     std::span<double> out) const override;
   std::unique_ptr<SubmodularOracle> do_clone() const override;
 
  private:

@@ -107,6 +107,31 @@ double SaturatedCoverageOracle::do_gain(ElementId x) const {
   return gain + diversity_delta(x);
 }
 
+void SaturatedCoverageOracle::do_gain_batch(std::span<const ElementId> xs,
+                                            std::span<double> out) const {
+  // Transposed kernel: the scalar path reads one similarity *column* per
+  // candidate (stride-n accesses). Here the outer loop walks rows, so each
+  // row of the matrix is streamed once — contiguous loads — and covered_/
+  // caps_ are read once per row instead of once per (row, candidate).
+  // Accumulation per candidate still runs over rows in ascending order,
+  // matching do_gain's floating-point sum exactly.
+  const std::size_t n = sim_->size();
+  for (std::size_t j = 0; j < xs.size(); ++j) out[j] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cov = covered_[i];
+    const double cap = caps_[i];
+    const double before = std::min(cov, cap);
+    const double* const row = sim_->row(i);
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      const double after = std::min(cov + row[xs[j]], cap);
+      out[j] += after - before;
+    }
+  }
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    out[j] = in_set_[xs[j]] ? 0.0 : out[j] + diversity_delta(xs[j]);
+  }
+}
+
 double SaturatedCoverageOracle::do_add(ElementId x) {
   if (in_set_[x]) return 0.0;
   in_set_[x] = 1;

@@ -33,6 +33,10 @@ class SimilarityMatrix {
   double at(std::size_t i, std::size_t j) const noexcept {
     return values_[i * n_ + j];
   }
+  // Row i as a contiguous span (row-major storage) for batched kernels.
+  const double* row(std::size_t i) const noexcept {
+    return values_.data() + i * n_;
+  }
   // Row sum Σ_j w_ij (used for the saturation caps and relevance scores).
   double row_sum(std::size_t i) const noexcept { return row_sums_[i]; }
 
@@ -63,6 +67,8 @@ class SaturatedCoverageOracle final : public SubmodularOracle {
  protected:
   double do_gain(ElementId x) const override;
   double do_add(ElementId x) override;
+  void do_gain_batch(std::span<const ElementId> xs,
+                     std::span<double> out) const override;
   std::unique_ptr<SubmodularOracle> do_clone() const override;
 
  private:

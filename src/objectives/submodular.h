@@ -36,6 +36,39 @@ class SubmodularOracle {
     return do_gain(x);
   }
 
+  // Batched marginal gains: out[i] = Δ(xs[i], S) for the current S.
+  // Counts exactly xs.size() oracle evaluations — identical accounting to
+  // xs.size() gain() calls — and produces exactly the same values (same
+  // floating-point accumulation order) as the scalar path, so selections
+  // driven by batched gains are bit-identical to scalar ones.
+  // Precondition: out.size() >= xs.size().
+  void gain_batch(std::span<const ElementId> xs, std::span<double> out) {
+    evals_ += xs.size();
+    do_gain_batch(xs, out);
+  }
+
+  // Allocating convenience overload.
+  std::vector<double> gain_batch(std::span<const ElementId> xs) {
+    std::vector<double> out(xs.size());
+    gain_batch(xs, std::span<double>(out));
+    return out;
+  }
+
+  // Read-only batch evaluation that leaves the evaluation counter alone —
+  // the building block of chunked/parallel evaluators (core/batch_eval.h),
+  // which charge the owning oracle once after the join via charge_evals().
+  // Thread-safety contract: do_gain / do_gain_batch are const and must be
+  // data-race-free against concurrent const evaluations on the same oracle
+  // (no mutable caches); every in-tree oracle satisfies this.
+  void gain_batch_unaccounted(std::span<const ElementId> xs,
+                              std::span<double> out) const {
+    do_gain_batch(xs, out);
+  }
+
+  // Adds n to the evaluation counter. Pairs with gain_batch_unaccounted()
+  // so a parallel evaluation of B elements still counts exactly B evals.
+  void charge_evals(std::uint64_t n) noexcept { evals_ += n; }
+
   // Commits x into S and returns its realized marginal gain.
   // Counts one oracle evaluation. Adding an element twice is permitted and
   // contributes zero gain.
@@ -80,6 +113,16 @@ class SubmodularOracle {
   virtual double do_gain(ElementId x) const = 0;
   virtual double do_add(ElementId x) = 0;
   virtual std::unique_ptr<SubmodularOracle> do_clone() const = 0;
+
+  // Kernel behind gain_batch(). The default is the scalar loop (one
+  // virtual do_gain per element); objectives with cache-friendly batched
+  // kernels override it. Overrides must return exactly the values do_gain
+  // would — same accumulation order, element by element — and must remain
+  // const-thread-safe (see gain_batch_unaccounted).
+  virtual void do_gain_batch(std::span<const ElementId> xs,
+                             std::span<double> out) const {
+    for (std::size_t i = 0; i < xs.size(); ++i) out[i] = do_gain(xs[i]);
+  }
 
  private:
   std::vector<ElementId> set_;

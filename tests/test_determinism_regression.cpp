@@ -57,6 +57,39 @@ TEST(DeterminismRegression, BicriteriaPipelineIsFrozen) {
             (std::vector<ElementId>{10, 143, 12, 60, 142, 132, 63, 24}));
 }
 
+// The parallel batch evaluator must not move a single golden value: same
+// frozen outputs with parallel_central on (see core/batch_eval.h for the
+// bit-identical guarantee this rests on).
+TEST(DeterminismRegression, BicriteriaParallelCentralMatchesGolden) {
+  const Fixture fx;
+  const CoverageOracle proto(fx.instance.sets);
+  BicriteriaConfig cfg;
+  cfg.k = 5;
+  cfg.output_items = 8;
+  cfg.rounds = 2;
+  cfg.seed = 7;
+  cfg.parallel_central = true;
+  cfg.threads = 4;
+  const auto result = bicriteria_greedy(proto, fx.ground, cfg);
+  EXPECT_DOUBLE_EQ(result.value, 362.0);
+  EXPECT_EQ(result.solution,
+            (std::vector<ElementId>{10, 143, 12, 60, 142, 132, 63, 24}));
+}
+
+TEST(DeterminismRegression, RandGreediParallelCentralMatchesGolden) {
+  const Fixture fx;
+  const CoverageOracle proto(fx.instance.sets);
+  OneRoundConfig cfg;
+  cfg.k = 4;
+  cfg.machines = 5;
+  cfg.seed = 3;
+  cfg.parallel_central = true;
+  cfg.threads = 4;
+  const auto result = rand_greedi(proto, fx.ground, cfg);
+  EXPECT_DOUBLE_EQ(result.value, 217.0);
+  EXPECT_EQ(result.solution, (std::vector<ElementId>{18, 200, 33, 26}));
+}
+
 TEST(DeterminismRegression, RandGreediPipelineIsFrozen) {
   const Fixture fx;
   const CoverageOracle proto(fx.instance.sets);

@@ -1,0 +1,365 @@
+// The batch-oracle contract (objectives/submodular.h + core/batch_eval.h):
+//
+//  * gain_batch produces exactly the values the scalar gain() path would —
+//    same floating-point accumulation order — for every oracle type, both
+//    the cache-friendly overrides (coverage family, exemplar) and the
+//    default scalar-loop kernel;
+//  * a batch of B elements charges exactly B evaluations to the owning
+//    oracle on every path, including the parallel evaluator;
+//  * selections made by greedy / lazy_greedy are unchanged by the batched
+//    rewiring, with and without the parallel evaluator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/batch_eval.h"
+#include "core/greedy.h"
+#include "data/prob_gen.h"
+#include "dist/thread_pool.h"
+#include "objectives/coverage.h"
+#include "objectives/exemplar.h"
+#include "objectives/prob_coverage.h"
+#include "objectives/saturated_coverage.h"
+#include "objectives/submodular.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace bds {
+namespace {
+
+struct OracleCase {
+  std::string name;
+  std::function<std::unique_ptr<SubmodularOracle>()> make;
+};
+
+std::unique_ptr<SubmodularOracle> make_coverage() {
+  return std::make_unique<CoverageOracle>(
+      testing::random_set_system(120, 300, 0.05, 11));
+}
+
+std::unique_ptr<SubmodularOracle> make_weighted_coverage() {
+  auto sets = testing::random_set_system(120, 300, 0.05, 12);
+  util::Rng rng(13);
+  std::vector<double> weights(sets->universe_size());
+  for (auto& w : weights) w = rng.next_double();
+  return std::make_unique<WeightedCoverageOracle>(std::move(sets),
+                                                  std::move(weights));
+}
+
+std::unique_ptr<SubmodularOracle> make_prob_coverage() {
+  data::ClickModelConfig cfg;
+  cfg.ads = 100;
+  cfg.users = 250;
+  cfg.mean_reach = 12.0;
+  cfg.seed = 14;
+  return std::make_unique<ProbCoverageOracle>(data::make_click_model(cfg));
+}
+
+std::unique_ptr<SubmodularOracle> make_weighted_prob_coverage() {
+  data::ClickModelConfig cfg;
+  cfg.ads = 100;
+  cfg.users = 250;
+  cfg.mean_reach = 12.0;
+  cfg.seed = 15;
+  auto model = data::make_click_model(cfg);
+  util::Rng rng(16);
+  std::vector<double> weights(model->universe_size());
+  for (auto& w : weights) w = 0.5 + rng.next_double();
+  return std::make_unique<ProbCoverageOracle>(std::move(model),
+                                              std::move(weights));
+}
+
+std::unique_ptr<SubmodularOracle> make_saturated() {
+  const std::size_t n = 60;
+  util::Rng rng(17);
+  std::vector<double> values(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = rng.next_double();
+      values[i * n + j] = v;
+      values[j * n + i] = v;
+    }
+  }
+  SaturatedCoverageConfig cfg;
+  cfg.gamma = 0.3;
+  cfg.lambda = 2.0;
+  cfg.cluster_of.resize(n);
+  for (auto& c : cfg.cluster_of) {
+    c = static_cast<std::uint32_t>(rng.next_below(5));
+  }
+  return std::make_unique<SaturatedCoverageOracle>(
+      std::make_shared<const SimilarityMatrix>(n, std::move(values)),
+      std::move(cfg));
+}
+
+std::shared_ptr<const PointSet> make_points(std::uint64_t seed) {
+  const std::size_t n = 150;
+  const std::size_t dim = 12;
+  util::Rng rng(seed);
+  std::vector<float> data(n * dim);
+  for (auto& v : data) v = static_cast<float>(rng.next_double());
+  auto points = std::make_shared<PointSet>(n, dim, std::move(data));
+  points->normalize_rows();
+  return points;
+}
+
+std::unique_ptr<SubmodularOracle> make_exemplar() {
+  return std::make_unique<ExemplarOracle>(make_points(18), 2.0);
+}
+
+std::unique_ptr<SubmodularOracle> make_sampled_exemplar() {
+  // The sample is drawn at construction from a pinned RNG, so the oracle
+  // (and hence batch == scalar) is deterministic across the test body.
+  util::Rng rng(19);
+  return std::make_unique<SampledExemplarOracle>(make_points(20), 2.0, 40,
+                                                 rng);
+}
+
+std::unique_ptr<SubmodularOracle> make_sqrt_modular() {
+  // Exercises the default do_gain_batch (scalar-loop) kernel.
+  util::Rng rng(21);
+  std::vector<double> weights(80);
+  for (auto& w : weights) w = rng.next_double() * 3.0;
+  return std::make_unique<bds::testing::SqrtModularOracle>(std::move(weights));
+}
+
+std::vector<OracleCase> all_cases() {
+  return {
+      {"Coverage", make_coverage},
+      {"WeightedCoverage", make_weighted_coverage},
+      {"ProbCoverage", make_prob_coverage},
+      {"WeightedProbCoverage", make_weighted_prob_coverage},
+      {"SaturatedCoverage", make_saturated},
+      {"Exemplar", make_exemplar},
+      {"SampledExemplar", make_sampled_exemplar},
+      {"SqrtModularDefaultKernel", make_sqrt_modular},
+  };
+}
+
+class GainBatchTest : public ::testing::TestWithParam<OracleCase> {};
+
+// A candidate list covering every id plus duplicates and reversed order —
+// batch kernels must not assume sorted or unique input.
+std::vector<ElementId> probe_ids(std::size_t n) {
+  std::vector<ElementId> xs;
+  xs.reserve(n + n / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(static_cast<ElementId>(n - 1 - i));
+  }
+  for (std::size_t i = 0; i < n; i += 2) {
+    xs.push_back(static_cast<ElementId>(i));
+  }
+  return xs;
+}
+
+TEST_P(GainBatchTest, BatchMatchesScalarExactly) {
+  const auto oracle = GetParam().make();
+  const std::size_t n = oracle->ground_size();
+  util::Rng rng(23);
+
+  // Check on the empty set and on three progressively grown states.
+  for (int stage = 0; stage < 4; ++stage) {
+    if (stage > 0) {
+      for (int a = 0; a < 3; ++a) {
+        oracle->add(static_cast<ElementId>(rng.next_below(n)));
+      }
+    }
+    const std::vector<ElementId> xs = probe_ids(n);
+    std::vector<double> batch(xs.size());
+    oracle->gain_batch(xs, batch);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_EQ(batch[i], oracle->gain(xs[i]))
+          << GetParam().name << " stage " << stage << " element " << xs[i];
+    }
+  }
+}
+
+TEST_P(GainBatchTest, AllocatingOverloadMatchesSpanOverload) {
+  const auto oracle = GetParam().make();
+  const std::vector<ElementId> xs = probe_ids(oracle->ground_size());
+  std::vector<double> via_span(xs.size());
+  oracle->gain_batch(xs, via_span);
+  const std::vector<double> via_vector = oracle->gain_batch(xs);
+  EXPECT_EQ(via_span, via_vector);
+}
+
+TEST_P(GainBatchTest, BatchCountsOneEvalPerElement) {
+  const auto oracle = GetParam().make();
+  const std::vector<ElementId> xs = probe_ids(oracle->ground_size());
+  std::vector<double> out(xs.size());
+
+  const std::uint64_t before = oracle->evals();
+  oracle->gain_batch(xs, out);
+  EXPECT_EQ(oracle->evals(), before + xs.size());
+
+  // Unaccounted evaluation leaves the counter alone; charge_evals pairs
+  // with it to restore exact accounting.
+  oracle->gain_batch_unaccounted(xs, out);
+  EXPECT_EQ(oracle->evals(), before + xs.size());
+  oracle->charge_evals(xs.size());
+  EXPECT_EQ(oracle->evals(), before + 2 * xs.size());
+}
+
+TEST_P(GainBatchTest, ParallelEvaluatorMatchesSerialAndCountsOnce) {
+  const auto serial_oracle = GetParam().make();
+  const auto parallel_oracle = GetParam().make();
+  // Same pinned growth on both copies.
+  for (ElementId x : {2u, 5u, 11u}) {
+    serial_oracle->add(x);
+    parallel_oracle->add(x);
+  }
+  const std::vector<ElementId> xs = probe_ids(serial_oracle->ground_size());
+
+  std::vector<double> serial(xs.size());
+  serial_oracle->gain_batch(xs, serial);
+
+  dist::ThreadPool pool(4);
+  BatchEvalOptions options;
+  options.pool = &pool;
+  options.min_parallel = 0;  // force the parallel path
+  options.grain = 7;         // deliberately awkward chunking
+  std::vector<double> parallel(xs.size());
+  const std::uint64_t before = parallel_oracle->evals();
+  evaluate_gains(*parallel_oracle, xs, parallel, options);
+
+  EXPECT_EQ(serial, parallel) << GetParam().name;
+  EXPECT_EQ(parallel_oracle->evals(), before + xs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOracles, GainBatchTest,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------------
+// Determinism regression: the batched rewiring of the selector family must
+// not change a single pick relative to the seed's scalar implementation,
+// reproduced here verbatim as the reference.
+
+GreedyResult reference_scalar_greedy(SubmodularOracle& oracle,
+                                     std::span<const ElementId> candidates,
+                                     std::size_t budget,
+                                     bool stop_when_no_gain) {
+  const std::vector<ElementId> pool = unique_candidates(candidates);
+  std::vector<bool> taken(pool.size(), false);
+  GreedyResult result;
+  const std::size_t rounds = std::min(budget, pool.size());
+  for (std::size_t iter = 0; iter < rounds; ++iter) {
+    double best_gain = 0.0;
+    std::size_t best_idx = pool.size();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (taken[i]) continue;
+      const double g = oracle.gain(pool[i]);
+      if (best_idx == pool.size() || g > best_gain) {
+        best_gain = g;
+        best_idx = i;
+      }
+    }
+    if (best_idx == pool.size()) break;
+    if (stop_when_no_gain && best_gain <= 0.0) break;
+    taken[best_idx] = true;
+    const double realized = oracle.add(pool[best_idx]);
+    result.picks.push_back(pool[best_idx]);
+    result.gains.push_back(realized);
+    result.gained += realized;
+  }
+  return result;
+}
+
+class SelectorRegressionTest : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(SelectorRegressionTest, GreedyPicksUnchangedByBatching) {
+  for (const bool stop : {false, true}) {
+    const auto reference_oracle = GetParam().make();
+    const auto batched_oracle = GetParam().make();
+    const auto ids = testing::iota_ids(reference_oracle->ground_size());
+    const GreedyResult reference =
+        reference_scalar_greedy(*reference_oracle, ids, 12, stop);
+    const GreedyResult batched =
+        greedy(*batched_oracle, ids, 12, GreedyOptions{stop});
+    EXPECT_EQ(reference.picks, batched.picks) << GetParam().name;
+    EXPECT_EQ(reference.gains, batched.gains) << GetParam().name;
+    // Work accounting must be untouched by batching: one eval per scanned
+    // candidate per pass, plus one per add.
+    EXPECT_EQ(reference_oracle->evals(), batched_oracle->evals())
+        << GetParam().name;
+  }
+}
+
+TEST_P(SelectorRegressionTest, LazyGreedyPicksUnchangedByBatching) {
+  const auto reference_oracle = GetParam().make();
+  const auto lazy_oracle = GetParam().make();
+  const auto ids = testing::iota_ids(reference_oracle->ground_size());
+  const GreedyResult reference =
+      reference_scalar_greedy(*reference_oracle, ids, 12, true);
+  const GreedyResult lazy =
+      lazy_greedy(*lazy_oracle, ids, 12, GreedyOptions{true});
+  EXPECT_EQ(reference.picks, lazy.picks) << GetParam().name;
+  EXPECT_EQ(reference.gains, lazy.gains) << GetParam().name;
+}
+
+TEST_P(SelectorRegressionTest, ParallelBatchKeepsSelectionsIdentical) {
+  dist::ThreadPool pool(4);
+  GreedyOptions parallel_options{true};
+  parallel_options.batch.pool = &pool;
+  parallel_options.batch.min_parallel = 0;
+  parallel_options.batch.grain = 5;
+
+  const auto serial_oracle = GetParam().make();
+  const auto parallel_oracle = GetParam().make();
+  const auto ids = testing::iota_ids(serial_oracle->ground_size());
+  const GreedyResult serial =
+      greedy(*serial_oracle, ids, 10, GreedyOptions{true});
+  const GreedyResult parallel =
+      greedy(*parallel_oracle, ids, 10, parallel_options);
+  EXPECT_EQ(serial.picks, parallel.picks) << GetParam().name;
+  EXPECT_EQ(serial_oracle->evals(), parallel_oracle->evals());
+
+  const auto serial_lazy = GetParam().make();
+  const auto parallel_lazy = GetParam().make();
+  const GreedyResult lazy_serial =
+      lazy_greedy(*serial_lazy, ids, 10, GreedyOptions{true});
+  const GreedyResult lazy_parallel =
+      lazy_greedy(*parallel_lazy, ids, 10, parallel_options);
+  EXPECT_EQ(lazy_serial.picks, lazy_parallel.picks) << GetParam().name;
+  EXPECT_EQ(serial_lazy->evals(), parallel_lazy->evals());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOracles, SelectorRegressionTest,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+// Stochastic greedy consumes the RNG identically on both paths (the batch
+// only replaces the gain scan), so picks must match the seed behavior too.
+TEST(StochasticGreedyBatch, SampleScanUnchangedByParallelBatch) {
+  const auto sets = testing::random_set_system(200, 400, 0.03, 31);
+  dist::ThreadPool pool(4);
+  StochasticGreedyOptions parallel_options;
+  parallel_options.stop_when_no_gain = true;
+  parallel_options.batch.pool = &pool;
+  parallel_options.batch.min_parallel = 0;
+  parallel_options.batch.grain = 9;
+  StochasticGreedyOptions serial_options;
+  serial_options.stop_when_no_gain = true;
+
+  CoverageOracle serial_oracle(sets);
+  CoverageOracle parallel_oracle(sets);
+  const auto ids = testing::iota_ids(sets->num_sets());
+  util::Rng serial_rng(77);
+  util::Rng parallel_rng(77);
+  const GreedyResult serial =
+      stochastic_greedy(serial_oracle, ids, 15, serial_rng, serial_options);
+  const GreedyResult parallel = stochastic_greedy(parallel_oracle, ids, 15,
+                                                  parallel_rng,
+                                                  parallel_options);
+  EXPECT_EQ(serial.picks, parallel.picks);
+  EXPECT_EQ(serial_oracle.evals(), parallel_oracle.evals());
+}
+
+}  // namespace
+}  // namespace bds

@@ -89,6 +89,44 @@ TEST(ThreadPool, ParallelForRunsConcurrently) {
   }
 }
 
+TEST(ThreadPool, ChunkedParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> visits(500);
+    pool.parallel_for(500, grain, [&visits](std::size_t i) { ++visits[i]; });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1) << "grain " << grain;
+  }
+}
+
+TEST(ThreadPool, ChunkedParallelForGrainZeroBehavesAsOne) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> visits(30);
+  pool.parallel_for(30, 0, [&visits](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ChunkedParallelForAscendingWithinChunk) {
+  // A chunk is one task, so indices inside it run in ascending order on one
+  // thread; with grain >= n the whole range is sequential.
+  ThreadPool pool(4);
+  std::vector<std::size_t> order;
+  pool.parallel_for(100, 100, [&order](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ChunkedParallelForRethrowsFirstError) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100, 8,
+                                 [](std::size_t i) {
+                                   if (i == 42) {
+                                     throw std::invalid_argument("bad");
+                                   }
+                                 }),
+               std::invalid_argument);
+}
+
 TEST(ThreadPool, ReusableAcrossBatches) {
   ThreadPool pool(2);
   for (int batch = 0; batch < 5; ++batch) {
