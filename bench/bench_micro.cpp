@@ -7,6 +7,10 @@
 //   --json[=path]   after the run, write ns/eval per objective for the
 //                   scalar / batch / parallel-batch gain paths (plus the
 //                   batch speedups) to `path` (default BENCH_micro.json).
+//                   The report also carries a `shard_view` section (clone vs
+//                   compacted-view build time, worker state bytes, gain
+//                   throughput) and an `incremental_gain` section (plain vs
+//                   inverted-index coordinator filter).
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
@@ -26,6 +30,7 @@
 #include "dist/partitioner.h"
 #include "dist/thread_pool.h"
 #include "objectives/coverage.h"
+#include "objectives/coverage_incremental.h"
 #include "objectives/exemplar.h"
 #include "objectives/logdet.h"
 #include "objectives/prob_coverage.h"
@@ -180,6 +185,103 @@ void BM_CoverageClone(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(oracle.clone());
 }
 BENCHMARK(BM_CoverageClone);
+
+// --- shard-compacted views --------------------------------------------------
+//
+// A worker's shard is a small slice of the ground set; the view's state
+// covers only the universe elements its shard can reach, while a clone drags
+// the full covered bitmap along. The build benchmark is the per-round cost a
+// machine pays instead of clone(); the gain benchmarks confirm the sliced
+// CSR answers queries within a small constant of clone speed (the view
+// resolves each query through the shard hash index; values bit-identical).
+
+constexpr std::size_t kShardSize = 2'048;
+
+void BM_CoverageShardViewBuild(benchmark::State& state) {
+  auto oracle = partly_covered_oracle();
+  const auto shard = stride_ids(kShardSize, 37, oracle.ground_size());
+  for (auto _ : state) benchmark::DoNotOptimize(oracle.shard_view(shard));
+}
+BENCHMARK(BM_CoverageShardViewBuild);
+
+void BM_CoverageCloneGainBatchOnShard(benchmark::State& state) {
+  auto oracle = partly_covered_oracle();
+  const auto shard = stride_ids(kShardSize, 37, oracle.ground_size());
+  const auto worker = oracle.clone();
+  std::vector<double> out(shard.size());
+  for (auto _ : state) {
+    worker->gain_batch(shard, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * shard.size());
+}
+BENCHMARK(BM_CoverageCloneGainBatchOnShard);
+
+void BM_CoverageShardViewGainBatch(benchmark::State& state) {
+  auto oracle = partly_covered_oracle();
+  const auto shard = stride_ids(kShardSize, 37, oracle.ground_size());
+  const auto worker = oracle.shard_view(shard);
+  std::vector<double> out(shard.size());
+  for (auto _ : state) {
+    worker->gain_batch(shard, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * shard.size());
+}
+BENCHMARK(BM_CoverageShardViewGainBatch);
+
+// --- incremental coverage gains ---------------------------------------------
+//
+// The coordinator's filter step re-scores every candidate after each add.
+// Plain coverage pays O(|set|) per score; the inverted-index oracle answers
+// from stored residuals in O(1) and pays for the scan once per *covered
+// element* instead of once per (round × candidate). One iteration = a full
+// k-round filter, including (for the incremental case) building the index.
+
+constexpr std::size_t kFilterRounds = 16;
+
+template <typename OracleT>
+void run_filter_rounds(OracleT& oracle, std::span<const ElementId> candidates,
+                       std::vector<double>& out) {
+  for (std::size_t r = 0; r < kFilterRounds; ++r) {
+    oracle.gain_batch(candidates, out);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      if (out[i] > out[best]) best = i;
+    }
+    oracle.add(candidates[best]);
+  }
+}
+
+void BM_CoverageCoordinatorFilter(benchmark::State& state) {
+  const auto sets = shared_sets();
+  const auto candidates = ids(sets->num_sets());
+  std::vector<double> out(candidates.size());
+  for (auto _ : state) {
+    CoverageOracle oracle(sets);
+    run_filter_rounds(oracle, candidates, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kFilterRounds *
+                          candidates.size());
+}
+BENCHMARK(BM_CoverageCoordinatorFilter);
+
+void BM_IncrementalCoordinatorFilter(benchmark::State& state) {
+  const auto sets = shared_sets();
+  const auto candidates = ids(sets->num_sets());
+  std::vector<double> out(candidates.size());
+  for (auto _ : state) {
+    IncrementalCoverageOracle oracle(sets);  // index build is part of the cost
+    run_filter_rounds(oracle, candidates, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kFilterRounds *
+                          candidates.size());
+}
+BENCHMARK(BM_IncrementalCoordinatorFilter);
 
 // --- exemplar clustering ----------------------------------------------------
 
@@ -455,7 +557,10 @@ void write_gain_json(const std::string& path,
                      const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
   // objective -> mode -> wall-clock ns per oracle evaluation.
   std::map<std::string, std::map<std::string, double>> ns_per_eval;
+  // Per-iteration real time of the shard-view / incremental benchmarks.
+  std::map<std::string, double> raw_ns;
   for (const auto& run : runs) {
+    raw_ns[run.benchmark_name()] = run.GetAdjustedRealTime();
     const auto it = gain_bench_specs().find(run.benchmark_name());
     if (it == gain_bench_specs().end()) continue;
     const GainBenchSpec& spec = it->second;
@@ -489,7 +594,70 @@ void write_gain_json(const std::string& path,
     }
     out << "}";
   }
-  out << "\n  }\n}\n";
+  out << "\n  },\n";
+
+  // Worker memory: measured at write time on the same dblp-like instance the
+  // benchmarks ran on — clone state vs compacted views of growing shards.
+  // View state scales with the universe slice the shard *touches*, so the
+  // table shows the crossover: small shards (many machines) are far below
+  // the clone's full covered bitmap; once a shard reaches most of the
+  // universe the view's richer per-element bookkeeping overtakes the 1-byte
+  // bitmap and clone is the better mode.
+  {
+    CoverageOracle oracle(shared_sets());
+    const std::size_t clone_bytes = oracle.clone()->state_bytes();
+    out << "  \"shard_view\": {\n"
+        << "    \"objective\": \"coverage\",\n"
+        << "    \"ground_size\": " << oracle.ground_size() << ",\n"
+        << "    \"bench_shard_size\": " << kShardSize << ",\n"
+        << "    \"clone_state_bytes\": " << clone_bytes << ",\n"
+        << "    \"view_state_bytes_by_shard\": {";
+    bool first_shard = true;
+    for (const std::size_t shard_size :
+         {std::size_t{64}, std::size_t{256}, std::size_t{1'024}, kShardSize}) {
+      const auto shard = stride_ids(shard_size, 37, oracle.ground_size());
+      if (!first_shard) out << ", ";
+      first_shard = false;
+      out << "\"" << shard_size
+          << "\": " << oracle.shard_view(shard)->state_bytes();
+    }
+    out << "}";
+    const auto clone_build = raw_ns.find("BM_CoverageClone");
+    const auto view_build = raw_ns.find("BM_CoverageShardViewBuild");
+    if (clone_build != raw_ns.end() && view_build != raw_ns.end()) {
+      out << ",\n    \"clone_build_ns\": " << clone_build->second
+          << ",\n    \"view_build_ns\": " << view_build->second;
+    }
+    const auto clone_gain = raw_ns.find("BM_CoverageCloneGainBatchOnShard");
+    const auto view_gain = raw_ns.find("BM_CoverageShardViewGainBatch");
+    if (clone_gain != raw_ns.end() && view_gain != raw_ns.end()) {
+      out << ",\n    \"clone_gain_ns_per_eval\": "
+          << clone_gain->second / double(kShardSize)
+          << ",\n    \"view_gain_ns_per_eval\": "
+          << view_gain->second / double(kShardSize);
+    }
+    out << "\n  },\n";
+  }
+
+  // Coordinator filter: plain O(|set|)-per-score coverage vs the
+  // inverted-index incremental oracle (index build included in its time).
+  {
+    out << "  \"incremental_gain\": {\n"
+        << "    \"objective\": \"coverage\",\n"
+        << "    \"filter_rounds\": " << kFilterRounds;
+    const auto plain = raw_ns.find("BM_CoverageCoordinatorFilter");
+    const auto incr = raw_ns.find("BM_IncrementalCoordinatorFilter");
+    if (plain != raw_ns.end() && incr != raw_ns.end()) {
+      const double evals = double(kFilterRounds) *
+                           double(shared_sets()->num_sets());
+      out << ",\n    \"plain_ns_per_eval\": " << plain->second / evals
+          << ",\n    \"incremental_ns_per_eval\": " << incr->second / evals;
+      if (incr->second > 0.0) {
+        out << ",\n    \"filter_speedup\": " << plain->second / incr->second;
+      }
+    }
+    out << "\n  }\n}\n";
+  }
 }
 
 }  // namespace

@@ -39,7 +39,7 @@ DistributedResult one_round_merge(const SubmodularOracle& proto,
   const auto machine_budget = static_cast<std::size_t>(std::ceil(
       std::max(1.0, config.budget_factor) * static_cast<double>(config.k)));
 
-  auto central = proto.clone();
+  auto central = detail::make_central_oracle(proto, config.incremental_gains);
   dist::Cluster cluster(machines, config.threads);
   util::Rng rng(util::mix64(config.seed));
 
@@ -58,6 +58,7 @@ DistributedResult one_round_merge(const SubmodularOracle& proto,
   worker_config.factory = config.machine_oracle_factory
                               ? &config.machine_oracle_factory
                               : nullptr;
+  worker_config.worker_oracle = config.worker_oracle;
 
   const auto reports =
       cluster.run_round(partition, detail::make_machine_worker(worker_config));
@@ -146,7 +147,7 @@ DistributedResult naive_distributed_greedy(
                                    ? config.machines
                                    : default_machines(ground.size(), config.k);
 
-  auto central = proto.clone();
+  auto central = detail::make_central_oracle(proto, config.incremental_gains);
   dist::Cluster cluster(machines, config.threads);
   util::Rng rng(util::mix64(config.seed));
 
@@ -169,6 +170,7 @@ DistributedResult naive_distributed_greedy(
     worker_config.factory = config.machine_oracle_factory
                                 ? &config.machine_oracle_factory
                                 : nullptr;
+    worker_config.worker_oracle = config.worker_oracle;
 
     const auto reports = cluster.run_round(
         partition, detail::make_machine_worker(worker_config));
@@ -217,7 +219,7 @@ DistributedResult parallel_alg(const SubmodularOracle& proto,
                                    ? config.machines
                                    : default_machines(ground.size(), config.k);
 
-  auto central = proto.clone();
+  auto central = detail::make_central_oracle(proto, config.incremental_gains);
   dist::Cluster cluster(machines, config.threads);
   util::Rng rng(util::mix64(config.seed));
 
@@ -247,6 +249,7 @@ DistributedResult parallel_alg(const SubmodularOracle& proto,
     worker_config.factory = config.machine_oracle_factory
                                 ? &config.machine_oracle_factory
                                 : nullptr;
+    worker_config.worker_oracle = config.worker_oracle;
 
     const auto reports = cluster.run_round(
         partition, detail::make_machine_worker(worker_config));
@@ -315,7 +318,7 @@ DistributedResult greedy_scaling(const SubmodularOracle& proto,
                                    ? config.machines
                                    : default_machines(ground.size(), config.k);
 
-  auto central = proto.clone();
+  auto central = detail::make_central_oracle(proto, config.incremental_gains);
   dist::Cluster cluster(machines, config.threads);
   util::Rng rng(util::mix64(config.seed));
 
@@ -351,11 +354,14 @@ DistributedResult greedy_scaling(const SubmodularOracle& proto,
     // S ∪ (local picks) clears τ, up to `remaining` of them.
     const double threshold = tau;
     const SubmodularOracle* central_ptr = central.get();
-    const auto worker = [threshold, remaining, central_ptr](
+    const bool use_view =
+        config.worker_oracle == WorkerOracleMode::kShardView;
+    const auto worker = [threshold, remaining, central_ptr, use_view](
                             std::size_t,
                             std::span<const ElementId> shard)
         -> dist::MachineReport {
-      auto oracle = central_ptr->clone();
+      auto oracle =
+          use_view ? central_ptr->shard_view(shard) : central_ptr->clone();
       dist::MachineReport report;
       for (const ElementId x : shard) {
         if (report.summary.size() >= remaining) break;
@@ -365,6 +371,7 @@ DistributedResult greedy_scaling(const SubmodularOracle& proto,
         }
       }
       report.oracle_evals = oracle->evals();
+      report.state_bytes = oracle->state_bytes();
       return report;
     };
     const auto reports = cluster.run_round(partition, worker);

@@ -42,6 +42,11 @@ struct OneRoundConfig {
   // Opt-in parallel batch evaluation for the coordinator filter (bit-
   // identical output; see core/batch_eval.h).
   bool parallel_central = false;
+  // Worker oracle construction / coordinator incremental-gain upgrade.
+  // Both bit-identical; see WorkerOracleMode and
+  // objectives/coverage_incremental.h.
+  WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
+  bool incremental_gains = false;
   std::size_t threads = 0;
   std::uint64_t seed = 1;
 };
@@ -69,6 +74,8 @@ struct NaiveDistributedConfig {
   bool stop_when_no_gain = true;
   MachineOracleFactory machine_oracle_factory;
   bool parallel_central = false;  // see OneRoundConfig::parallel_central
+  WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
+  bool incremental_gains = false;  // see OneRoundConfig::incremental_gains
   std::size_t threads = 0;
   std::uint64_t seed = 1;
 };
@@ -96,6 +103,8 @@ struct ParallelAlgConfig {
   bool stop_when_no_gain = true;
   MachineOracleFactory machine_oracle_factory;
   bool parallel_central = false;  // see OneRoundConfig::parallel_central
+  WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
+  bool incremental_gains = false;  // see OneRoundConfig::incremental_gains
   std::size_t threads = 0;
   std::uint64_t seed = 1;
 };
@@ -116,6 +125,8 @@ struct GreedyScalingConfig {
   double epsilon = 0.2;      // threshold decay and guarantee slack
   std::size_t machines = 0;  // 0 → ⌈√(n/k)⌉
   bool stop_when_no_gain = true;
+  WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
+  bool incremental_gains = false;  // see OneRoundConfig::incremental_gains
   std::size_t threads = 0;
   std::uint64_t seed = 1;
 };

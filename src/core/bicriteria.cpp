@@ -115,7 +115,7 @@ DistributedResult bicriteria_greedy(const SubmodularOracle& proto,
                                     const BicriteriaConfig& config) {
   const BicriteriaPlan plan = plan_bicriteria(config, ground.size());
 
-  auto central = proto.clone();
+  auto central = detail::make_central_oracle(proto, config.incremental_gains);
   dist::Cluster cluster(plan.machines, config.threads);
   util::Rng scatter_rng(util::mix64(config.seed));
 
@@ -152,6 +152,7 @@ DistributedResult bicriteria_greedy(const SubmodularOracle& proto,
     worker_config.factory = config.machine_oracle_factory
                                 ? &config.machine_oracle_factory
                                 : nullptr;
+    worker_config.worker_oracle = config.worker_oracle;
 
     const std::vector<dist::MachineReport> reports =
         cluster.run_round(partition, detail::make_machine_worker(worker_config));

@@ -57,6 +57,14 @@ struct BicriteriaConfig {
   // Machines estimating on independent samples (see MachineOracleFactory).
   MachineOracleFactory machine_oracle_factory;
 
+  // Worker oracle construction when no factory is set (see WorkerOracleMode;
+  // both choices are bit-identical over the shard).
+  WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
+
+  // Upgrade the coordinator's oracle to O(1) inverted-index gains when the
+  // objective supports it (unweighted coverage; bit-identical selections).
+  bool incremental_gains = false;
+
   // Opt-in: evaluate the coordinator filter's large candidate unions in
   // parallel on the cluster's host pool (core/batch_eval.h). Output is
   // bit-identical to the serial path; eval accounting is unchanged.

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "objectives/coverage_incremental.h"
+
 namespace bds::detail {
 
 GreedyResult run_selector(SubmodularOracle& oracle,
@@ -43,6 +45,8 @@ dist::Cluster::WorkerFn make_machine_worker(
       // so local gains are marginals on top of it (Algorithm 2's inputs).
       oracle = (*config.factory)(machine);
       for (const ElementId x : config.central->current_set()) oracle->add(x);
+    } else if (config.worker_oracle == WorkerOracleMode::kShardView) {
+      oracle = config.central->shard_view(shard);
     } else {
       oracle = config.central->clone();
     }
@@ -54,8 +58,17 @@ dist::Cluster::WorkerFn make_machine_worker(
     dist::MachineReport report;
     report.summary = selection.picks;
     report.oracle_evals = oracle->evals();
+    report.state_bytes = oracle->state_bytes();
     return report;
   };
+}
+
+std::unique_ptr<SubmodularOracle> make_central_oracle(
+    const SubmodularOracle& proto, bool incremental_gains) {
+  if (incremental_gains) {
+    if (auto upgraded = make_incremental_coverage(proto)) return upgraded;
+  }
+  return proto.clone();
 }
 
 }  // namespace bds::detail

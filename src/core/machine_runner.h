@@ -34,12 +34,23 @@ struct MachineWorkerConfig {
   // Optional factory for independent machine oracles; when set, the fresh
   // oracle is seeded with central->current_set() before selection.
   const MachineOracleFactory* factory = nullptr;
+  // Clone vs shard-compacted view (ignored when `factory` is set). Both are
+  // bit-identical over the shard; see WorkerOracleMode.
+  WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
 };
 
 // Builds the worker functor for one cluster round. The returned callable is
-// invoked concurrently; it only reads the coordinator oracle (clone) and the
-// config, both of which must outlive the round.
+// invoked concurrently; it only reads the coordinator oracle (clone or
+// shard view) and the config, both of which must outlive the round.
 dist::Cluster::WorkerFn make_machine_worker(const MachineWorkerConfig& config);
+
+// Coordinator oracle for a distributed run: a clone of `proto`, upgraded to
+// inverted-index incremental gains (objectives/coverage_incremental.h) when
+// requested and the objective supports it (unweighted coverage). The
+// upgrade is bit-identical — same gains, same evaluation accounting — so it
+// never changes selections, only the filter's cost per query.
+std::unique_ptr<SubmodularOracle> make_central_oracle(
+    const SubmodularOracle& proto, bool incremental_gains);
 
 // Deterministic per-(seed, round, machine) RNG stream.
 util::Rng machine_rng(std::uint64_t seed, std::size_t round,

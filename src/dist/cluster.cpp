@@ -24,6 +24,20 @@ std::uint64_t ExecutionStats::total_evals() const noexcept {
   return total_worker_evals() + total_central_evals();
 }
 
+std::uint64_t ExecutionStats::total_bytes_cloned() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rounds) total += r.bytes_cloned;
+  return total;
+}
+
+std::uint64_t ExecutionStats::peak_worker_state_bytes() const noexcept {
+  std::uint64_t peak = 0;
+  for (const auto& r : rounds) {
+    peak = std::max(peak, r.peak_worker_state_bytes);
+  }
+  return peak;
+}
+
 std::uint64_t ExecutionStats::bytes_communicated() const noexcept {
   std::uint64_t ids = 0;
   for (const auto& r : rounds) {
@@ -110,6 +124,9 @@ std::vector<MachineReport> Cluster::run_round(const Partition& partition,
     round.sum_machine_seconds += rep.seconds;
     round.max_machine_items = std::max<std::uint64_t>(round.max_machine_items,
                                                       shard.size());
+    round.bytes_cloned += rep.state_bytes;
+    round.peak_worker_state_bytes =
+        std::max(round.peak_worker_state_bytes, rep.state_bytes);
   }
   stats_.rounds.push_back(round);
   return reports;

@@ -34,6 +34,9 @@ namespace bds::dist {
 struct MachineReport {
   std::vector<ElementId> summary;  // elements sent back to the coordinator
   std::uint64_t oracle_evals = 0;  // function evaluations spent by the worker
+  // Heap bytes of the worker's oracle state (clone or compacted view) —
+  // what materializing this machine cost in memory.
+  std::uint64_t state_bytes = 0;
   double seconds = 0.0;            // filled in by the cluster, not the worker
 };
 
@@ -48,6 +51,12 @@ struct RoundStats {
   double max_machine_seconds = 0.0;     // slowest worker, wall clock
   double sum_machine_seconds = 0.0;
   std::uint64_t max_machine_items = 0;
+  // Worker oracle memory: bytes of oracle state materialized across the
+  // round's machines, and the single largest worker footprint. Under clone
+  // workers these scale with m·|ground-set state|; under shard views they
+  // scale with the scattered shards.
+  std::uint64_t bytes_cloned = 0;
+  std::uint64_t peak_worker_state_bytes = 0;
   // Coordinator filter stage (recorded via Cluster::record_central_stage).
   std::uint64_t central_evals = 0;
   double central_seconds = 0.0;
@@ -72,6 +81,9 @@ struct ExecutionStats {
   std::uint64_t total_evals() const noexcept;
   // Scatter + gather traffic in bytes (sizeof(ElementId) per shipped id).
   std::uint64_t bytes_communicated() const noexcept;
+  // Worker oracle state materialized across all rounds / its per-worker peak.
+  std::uint64_t total_bytes_cloned() const noexcept;
+  std::uint64_t peak_worker_state_bytes() const noexcept;
   // Simulated distributed makespan: slowest worker + coordinator, per round.
   double critical_path_seconds() const noexcept;
   std::uint64_t critical_path_evals() const noexcept;

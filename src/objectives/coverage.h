@@ -28,6 +28,9 @@ class SetSystem {
   std::uint32_t universe_size() const noexcept { return universe_size_; }
   // Sum of set sizes (the "total size" the paper quotes per dataset).
   std::size_t total_size() const noexcept { return entries_.size(); }
+  // Allocated capacity of the entry array. Regression surface: the
+  // constructor reserves post-dedup, so this must equal total_size().
+  std::size_t entries_capacity() const noexcept { return entries_.capacity(); }
 
   std::span<const std::uint32_t> set_items(ElementId set_id) const noexcept {
     return std::span<const std::uint32_t>(
@@ -66,6 +69,10 @@ class CoverageOracle final : public SubmodularOracle {
 
   std::uint64_t covered_count() const noexcept { return covered_count_; }
   const SetSystem& set_system() const noexcept { return *sets_; }
+  std::shared_ptr<const SetSystem> set_system_ptr() const noexcept {
+    return sets_;
+  }
+  bool supports_compacted_shard_view() const noexcept override { return true; }
 
  protected:
   double do_gain(ElementId x) const override;
@@ -73,6 +80,9 @@ class CoverageOracle final : public SubmodularOracle {
   void do_gain_batch(std::span<const ElementId> xs,
                      std::span<double> out) const override;
   std::unique_ptr<SubmodularOracle> do_clone() const override;
+  std::unique_ptr<SubmodularOracle> do_shard_view(
+      std::span<const ElementId> shard) const override;
+  std::size_t do_state_bytes() const noexcept override;
 
  private:
   std::shared_ptr<const SetSystem> sets_;
@@ -92,6 +102,7 @@ class WeightedCoverageOracle final : public SubmodularOracle {
     return sets_->num_sets();
   }
   double max_value() const noexcept override { return total_weight_; }
+  bool supports_compacted_shard_view() const noexcept override { return true; }
 
  protected:
   double do_gain(ElementId x) const override;
@@ -99,6 +110,9 @@ class WeightedCoverageOracle final : public SubmodularOracle {
   void do_gain_batch(std::span<const ElementId> xs,
                      std::span<double> out) const override;
   std::unique_ptr<SubmodularOracle> do_clone() const override;
+  std::unique_ptr<SubmodularOracle> do_shard_view(
+      std::span<const ElementId> shard) const override;
+  std::size_t do_state_bytes() const noexcept override;
 
  private:
   std::shared_ptr<const SetSystem> sets_;

@@ -78,6 +78,14 @@ class ExemplarOracle final : public SubmodularOracle {
   void do_gain_batch(std::span<const ElementId> xs,
                      std::span<double> out) const override;
   std::unique_ptr<SubmodularOracle> do_clone() const override;
+  // No compacted shard view: min_dist_ is irreducible — any shard point can
+  // tighten any point's cost term, and restricting rows to "reachable"
+  // points would itself cost O(n·s·dim) distance evaluations, the same as
+  // the scan it would save. Workers fall back to clone; the paper's own
+  // row-restriction is SampledExemplarOracle.
+  std::size_t do_state_bytes() const noexcept override {
+    return min_dist_.capacity() * sizeof(double);
+  }
 
  private:
   std::shared_ptr<const PointSet> points_;
@@ -113,6 +121,9 @@ class SampledExemplarOracle final : public SubmodularOracle {
   void do_gain_batch(std::span<const ElementId> xs,
                      std::span<double> out) const override;
   std::unique_ptr<SubmodularOracle> do_clone() const override;
+  std::size_t do_state_bytes() const noexcept override {
+    return min_dist_.capacity() * sizeof(double);
+  }
 
  private:
   std::shared_ptr<const PointSet> points_;

@@ -42,6 +42,9 @@ class LogDetOracle final : public SubmodularOracle {
   double do_gain(ElementId x) const override;
   double do_add(ElementId x) override;
   std::unique_ptr<SubmodularOracle> do_clone() const override;
+  std::size_t do_state_bytes() const noexcept override {
+    return selected_.capacity() * sizeof(ElementId) + chol_.bytes();
+  }
 
  private:
   // Column of σ⁻²·k(x, s) over the currently selected s (factor order).

@@ -3,7 +3,148 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "objectives/shard_view.h"
+
 namespace bds {
+
+namespace {
+
+// Compacted view of a ProbCoverageOracle: sliced (local element,
+// probability) CSR in original row order, the parent's per-element
+// uncovered probabilities and (when weighted) weights projected onto the
+// touched slice, and the parent's membership flags projected onto the shard
+// rows. Gains and adds over shard members multiply/accumulate exactly the
+// same doubles in the same order as the parent.
+class ProbCoverageShardView final : public SubmodularOracle {
+ public:
+  ProbCoverageShardView(const ProbSetSystem& sets,
+                        std::span<const double> uncovered,
+                        const std::vector<double>* weights,
+                        std::span<const std::uint8_t> in_set,
+                        double total_weight,
+                        std::span<const ElementId> shard)
+      : index_(shard),
+        ground_size_(sets.num_sets()),
+        total_weight_(total_weight),
+        weighted_(weights != nullptr) {
+    std::size_t total = 0;
+    for (const ElementId item : index_.items()) {
+      total += sets.set_entries(item).size();
+    }
+    offsets_.reserve(index_.size() + 1);
+    offsets_.push_back(0);
+    entries_.reserve(total);
+    in_set_.reserve(index_.size());
+    detail::U32LocalIdMap remap(total);
+    for (const ElementId item : index_.items()) {
+      in_set_.push_back(in_set[item]);
+      for (const ProbSetSystem::Entry& entry : sets.set_entries(item)) {
+        const auto next = static_cast<std::uint32_t>(uncovered_.size());
+        const std::uint32_t local = remap.find_or_insert(entry.element, next);
+        if (local == next) {
+          uncovered_.push_back(uncovered[entry.element]);
+          if (weighted_) weights_.push_back((*weights)[entry.element]);
+        }
+        entries_.push_back(ProbSetSystem::Entry{local, entry.probability});
+      }
+      offsets_.push_back(static_cast<std::uint32_t>(entries_.size()));
+    }
+  }
+
+  std::size_t ground_size() const noexcept override { return ground_size_; }
+  double max_value() const noexcept override { return total_weight_; }
+  bool supports_compacted_shard_view() const noexcept override {
+    return true;
+  }
+
+ protected:
+  double do_gain(ElementId x) const override {
+    const std::size_t row = index_.row_of(x);
+    if (row == detail::ShardItemIndex::npos) detail::throw_outside_shard(x);
+    if (in_set_[row]) return 0.0;
+    double gain = 0.0;
+    for (std::size_t e = offsets_[row]; e < offsets_[row + 1]; ++e) {
+      const auto& entry = entries_[e];
+      gain += weight_of(entry.element) * uncovered_[entry.element] *
+              double(entry.probability);
+    }
+    return gain;
+  }
+
+  void do_gain_batch(std::span<const ElementId> xs,
+                     std::span<double> out) const override {
+    const std::uint32_t* const offsets = offsets_.data();
+    const ProbSetSystem::Entry* const entries = entries_.data();
+    const double* const uncovered = uncovered_.data();
+    const double* const w = weighted_ ? weights_.data() : nullptr;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const std::size_t row = index_.row_of(xs[i]);
+      if (row == detail::ShardItemIndex::npos) {
+        detail::throw_outside_shard(xs[i]);
+      }
+      if (in_set_[row]) {
+        out[i] = 0.0;
+        continue;
+      }
+      double gain = 0.0;
+      if (w == nullptr) {
+        for (std::size_t e = offsets[row]; e < offsets[row + 1]; ++e) {
+          gain +=
+              uncovered[entries[e].element] * double(entries[e].probability);
+        }
+      } else {
+        for (std::size_t e = offsets[row]; e < offsets[row + 1]; ++e) {
+          gain += w[entries[e].element] * uncovered[entries[e].element] *
+                  double(entries[e].probability);
+        }
+      }
+      out[i] = gain;
+    }
+  }
+
+  double do_add(ElementId x) override {
+    const std::size_t row = index_.row_of(x);
+    if (row == detail::ShardItemIndex::npos) detail::throw_outside_shard(x);
+    if (in_set_[row]) return 0.0;
+    in_set_[row] = 1;
+    double gain = 0.0;
+    for (std::size_t e = offsets_[row]; e < offsets_[row + 1]; ++e) {
+      const auto& entry = entries_[e];
+      const double q = uncovered_[entry.element];
+      gain += weight_of(entry.element) * q * double(entry.probability);
+      uncovered_[entry.element] = q * (1.0 - double(entry.probability));
+    }
+    return gain;
+  }
+
+  std::unique_ptr<SubmodularOracle> do_clone() const override {
+    return std::make_unique<ProbCoverageShardView>(*this);
+  }
+
+  std::size_t do_state_bytes() const noexcept override {
+    return offsets_.capacity() * sizeof(std::uint32_t) +
+           entries_.capacity() * sizeof(ProbSetSystem::Entry) +
+           (uncovered_.capacity() + weights_.capacity()) * sizeof(double) +
+           in_set_.capacity() * sizeof(std::uint8_t) + index_.bytes();
+  }
+
+ private:
+  double weight_of(std::uint32_t local) const noexcept {
+    return weighted_ ? weights_[local] : 1.0;
+  }
+
+  detail::ShardItemIndex index_;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<ProbSetSystem::Entry> entries_;  // element = local id
+  std::vector<double> uncovered_;              // per touched element
+  std::vector<double> weights_;                // per touched element (opt.)
+  std::vector<std::uint8_t> in_set_;           // per shard row
+  std::size_t ground_size_;
+  double total_weight_;
+  bool weighted_;
+};
+
+}  // namespace
 
 ProbSetSystem::ProbSetSystem(std::vector<std::vector<Entry>> sets,
                              std::uint32_t universe_size)
@@ -119,6 +260,18 @@ double ProbCoverageOracle::do_add(ElementId x) {
 
 std::unique_ptr<SubmodularOracle> ProbCoverageOracle::do_clone() const {
   return std::make_unique<ProbCoverageOracle>(*this);
+}
+
+std::unique_ptr<SubmodularOracle> ProbCoverageOracle::do_shard_view(
+    std::span<const ElementId> shard) const {
+  return std::make_unique<ProbCoverageShardView>(
+      *sets_, uncovered_prob_, weights_ ? weights_.get() : nullptr, in_set_,
+      total_weight_, shard);
+}
+
+std::size_t ProbCoverageOracle::do_state_bytes() const noexcept {
+  return uncovered_prob_.capacity() * sizeof(double) +
+         in_set_.capacity() * sizeof(std::uint8_t);
 }
 
 }  // namespace bds

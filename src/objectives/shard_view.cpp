@@ -1,0 +1,87 @@
+#include "objectives/shard_view.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace bds::detail {
+
+namespace {
+
+std::size_t table_capacity_for(std::size_t expected_keys) {
+  // Keep the load factor under ~0.7; minimum 16 slots.
+  std::size_t cap = 16;
+  while (cap * 7 < expected_keys * 10) cap <<= 1;
+  return cap;
+}
+
+// Fibonacci hashing spreads consecutive universe ids across the table.
+std::size_t hash_u32(std::uint32_t key) noexcept {
+  return static_cast<std::size_t>(key * 2654435769u);
+}
+
+}  // namespace
+
+U32LocalIdMap::U32LocalIdMap(std::size_t expected_keys) {
+  const std::size_t cap = table_capacity_for(expected_keys);
+  keys_.assign(cap, kEmpty);
+  values_.assign(cap, 0);
+  mask_ = cap - 1;
+}
+
+void U32LocalIdMap::grow() {
+  std::vector<std::uint32_t> old_keys = std::move(keys_);
+  std::vector<std::uint32_t> old_values = std::move(values_);
+  const std::size_t cap = (mask_ + 1) * 2;
+  keys_.assign(cap, kEmpty);
+  values_.assign(cap, 0);
+  mask_ = cap - 1;
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == kEmpty) continue;
+    std::size_t slot = hash_u32(old_keys[i]) & mask_;
+    while (keys_[slot] != kEmpty) slot = (slot + 1) & mask_;
+    keys_[slot] = old_keys[i];
+    values_[slot] = old_values[i];
+  }
+}
+
+std::uint32_t U32LocalIdMap::find_or_insert(std::uint32_t key,
+                                            std::uint32_t next_value) {
+  std::size_t slot = hash_u32(key) & mask_;
+  while (keys_[slot] != kEmpty) {
+    if (keys_[slot] == key) return values_[slot];
+    slot = (slot + 1) & mask_;
+  }
+  keys_[slot] = key;
+  values_[slot] = next_value;
+  ++size_;
+  if (size_ * 10 > (mask_ + 1) * 7) grow();
+  return next_value;
+}
+
+std::uint32_t U32LocalIdMap::find(std::uint32_t key) const noexcept {
+  std::size_t slot = hash_u32(key) & mask_;
+  while (keys_[slot] != kEmpty) {
+    if (keys_[slot] == key) return values_[slot];
+    slot = (slot + 1) & mask_;
+  }
+  return kEmpty;
+}
+
+ShardItemIndex::ShardItemIndex(std::span<const ElementId> shard)
+    : items_(shard.begin(), shard.end()) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+  items_.shrink_to_fit();
+  rows_ = U32LocalIdMap(items_.size());
+  for (std::size_t row = 0; row < items_.size(); ++row) {
+    rows_.find_or_insert(items_[row], static_cast<std::uint32_t>(row));
+  }
+}
+
+void throw_outside_shard(ElementId x) {
+  throw std::out_of_range("shard view: element " + std::to_string(x) +
+                          " is outside the view's shard");
+}
+
+}  // namespace bds::detail

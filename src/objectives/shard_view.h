@@ -1,0 +1,106 @@
+// Building blocks for shard-compacted oracle views (the worker memory
+// model's fast path — see DESIGN.md §"Worker memory model").
+//
+// A distributed round hands each of the m machines a shard of element ids.
+// Cloning the coordinator oracle per machine costs O(U) (covered bitmap) or
+// O(n) (min-distance array) per worker, so a round pays O(m·U) allocation
+// and copy traffic even though a shard only ever touches a small slice of
+// the universe. A *shard view* instead materializes exactly that slice:
+//
+//   * a local↔global id remap over the universe elements reachable from the
+//     shard's CSR rows (built with the open-addressing map below, never
+//     with O(U) scratch — the build must also be shard-proportional);
+//   * a sliced CSR whose rows keep their original entry order, so gain and
+//     add accumulate floating-point contributions in exactly the order the
+//     global oracle does (the bit-identical contract of gain_batch);
+//   * the coordinator's accumulated state (covered flags, uncovered
+//     probabilities, …) projected onto the touched slice — seeding by state
+//     projection, not by replaying S, so building costs O(shard), plus
+//     O(Σ|row of s|) for seed rows that intersect the slice where a row
+//     walk is unavoidable.
+//
+// The concrete view classes live next to their objectives (coverage.cpp,
+// prob_coverage.cpp, …), wired in via SubmodularOracle::do_shard_view; this
+// header only provides the shared machinery.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/element.h"
+
+namespace bds::detail {
+
+// Minimal open-addressing hash map from std::uint32_t keys to
+// std::uint32_t values, used to assign local ids to touched universe
+// elements in O(#keys) space. Power-of-two capacity, linear probing; no
+// deletion (views are built once). Key 0xFFFFFFFF is reserved as "empty".
+class U32LocalIdMap {
+ public:
+  static constexpr std::uint32_t kEmpty =
+      std::numeric_limits<std::uint32_t>::max();
+
+  explicit U32LocalIdMap(std::size_t expected_keys = 0);
+
+  // Returns the value stored for `key`, inserting `next_value` (and
+  // returning it) if the key is new.
+  std::uint32_t find_or_insert(std::uint32_t key, std::uint32_t next_value);
+
+  // Returns the value for `key`, or kEmpty when absent.
+  std::uint32_t find(std::uint32_t key) const noexcept;
+
+  std::size_t size() const noexcept { return size_; }
+  // Heap footprint of the table itself (counts toward view state bytes).
+  std::size_t table_bytes() const noexcept {
+    return (keys_.capacity() + values_.capacity()) * sizeof(std::uint32_t);
+  }
+
+ private:
+  void grow();
+
+  std::vector<std::uint32_t> keys_;    // kEmpty = free slot
+  std::vector<std::uint32_t> values_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;               // capacity - 1 (capacity is 2^k)
+};
+
+// Sorted-unique shard members plus O(1) global-id → local-row lookup.
+// Matches unique_candidates()' canonical order, so view row r corresponds
+// to the r-th distinct shard element in ascending id order. row_of is on
+// the per-evaluation hot path (every view gain resolves its row first), so
+// it goes through the hash table above rather than a binary search — a
+// lower_bound over a few thousand shard ids costs several times the sliced
+// gain scan itself.
+class ShardItemIndex {
+ public:
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+  explicit ShardItemIndex(std::span<const ElementId> shard);
+
+  std::size_t size() const noexcept { return items_.size(); }
+  const std::vector<ElementId>& items() const noexcept { return items_; }
+  ElementId item(std::size_t row) const noexcept { return items_[row]; }
+
+  // Local row of `x`, or npos when x is not a shard member.
+  std::size_t row_of(ElementId x) const noexcept {
+    const std::uint32_t row = rows_.find(x);
+    return row == U32LocalIdMap::kEmpty ? npos
+                                        : static_cast<std::size_t>(row);
+  }
+
+  std::size_t bytes() const noexcept {
+    return items_.capacity() * sizeof(ElementId) + rows_.table_bytes();
+  }
+
+ private:
+  std::vector<ElementId> items_;
+  U32LocalIdMap rows_;
+};
+
+// Throws std::out_of_range naming the element — shared error path for
+// compacted views asked about an element outside their shard.
+[[noreturn]] void throw_outside_shard(ElementId x);
+
+}  // namespace bds::detail

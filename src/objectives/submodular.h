@@ -102,8 +102,45 @@ class SubmodularOracle {
     return copy;
   }
 
+  // Shard-compacted view: an oracle whose gains/adds over the elements of
+  // `shard` are bit-identical to this oracle's (same values, same FP
+  // accumulation order, same evaluation accounting — the gain_batch
+  // contract), but whose mutable state covers only the universe slice
+  // reachable from the shard, so a worker's memory footprint scales with
+  // the shard instead of the ground set. Querying an element outside the
+  // shard on a compacted view throws std::out_of_range. Objectives without
+  // a compacted representation fall back to clone() (every element valid).
+  // Like clone(), the view carries the committed set and value and starts
+  // with a zero evaluation counter.
+  std::unique_ptr<SubmodularOracle> shard_view(
+      std::span<const ElementId> shard) const {
+    auto view = do_shard_view(shard);
+    view->set_ = set_;
+    view->value_ = value_;
+    view->evals_ = 0;
+    return view;
+  }
+
+  // Whether shard_view() returns a genuinely compacted oracle (O(shard)
+  // state) rather than the clone fallback.
+  virtual bool supports_compacted_shard_view() const noexcept {
+    return false;
+  }
+
+  // Heap footprint in bytes of this oracle's per-instance mutable state —
+  // what clone() would copy — excluding structures shared immutably across
+  // clones (CSR arrays, point matrices, weights). Feeds the cluster
+  // simulator's bytes_cloned / peak_worker_state_bytes accounting.
+  std::size_t state_bytes() const noexcept {
+    return do_state_bytes() + set_.capacity() * sizeof(ElementId);
+  }
+
   // Evaluations (gain + add calls) performed since construction/clone.
   std::uint64_t evals() const noexcept { return evals_; }
+
+  // Zeroes the evaluation counter (e.g. after replaying a seed set into a
+  // freshly built oracle, so accounting matches a clone of the same state).
+  void reset_evals() noexcept { evals_ = 0; }
 
  protected:
   SubmodularOracle() = default;
@@ -113,6 +150,19 @@ class SubmodularOracle {
   virtual double do_gain(ElementId x) const = 0;
   virtual double do_add(ElementId x) = 0;
   virtual std::unique_ptr<SubmodularOracle> do_clone() const = 0;
+
+  // Compacted-view factory behind shard_view(). The default is the clone
+  // fallback; coverage-family objectives override it with sliced-CSR views
+  // (see objectives/shard_view.h for the shared building blocks).
+  virtual std::unique_ptr<SubmodularOracle> do_shard_view(
+      std::span<const ElementId> shard) const {
+    (void)shard;
+    return do_clone();
+  }
+
+  // Per-instance mutable state footprint, excluding the base-class set
+  // (added by state_bytes()). 0 means "unknown / negligible".
+  virtual std::size_t do_state_bytes() const noexcept { return 0; }
 
   // Kernel behind gain_batch(). The default is the scalar loop (one
   // virtual do_gain per element); objectives with cache-friendly batched

@@ -40,6 +40,11 @@ class IncrementalCholesky {
   // Σ 2·log(L[i][i]) = log det of the factored matrix.
   double log_det() const noexcept;
 
+  // Heap footprint of the packed factor (worker state-bytes metering).
+  std::size_t bytes() const noexcept {
+    return rows_.capacity() * sizeof(double);
+  }
+
  private:
   std::size_t n_ = 0;
   std::vector<double> rows_;  // packed lower triangle, row-major

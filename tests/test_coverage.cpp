@@ -38,6 +38,18 @@ TEST(SetSystem, DeduplicatesWithinSets) {
   EXPECT_EQ(sys.total_size(), 2u);
 }
 
+TEST(SetSystem, ReservesExactlyPostDedupCapacity) {
+  // Regression: the constructor used to reserve the pre-dedup entry total,
+  // stranding the duplicate slack in the immutable, widely shared entry
+  // array for its whole lifetime. The reserve must happen after dedup.
+  const SetSystem sys({{1, 1, 2, 2, 2}, {0, 0, 0, 1}, {2, 2}}, 3);
+  EXPECT_EQ(sys.total_size(), 5u);
+  EXPECT_EQ(sys.entries_capacity(), sys.total_size());
+
+  const SetSystem no_dupes({{0, 1}, {2}}, 3);
+  EXPECT_EQ(no_dupes.entries_capacity(), no_dupes.total_size());
+}
+
 TEST(SetSystem, RejectsOutOfUniverseElements) {
   EXPECT_THROW(SetSystem({{0, 7}}, 6), std::out_of_range);
 }

@@ -102,5 +102,58 @@ TEST(DeterminismRegression, RandGreediPipelineIsFrozen) {
   EXPECT_EQ(result.solution, (std::vector<ElementId>{18, 200, 33, 26}));
 }
 
+// Worker oracle mode (shard view, the default, vs the PR-1 clone path) must
+// not move a single golden value: views are bit-identical over their shard,
+// so the selections — and hence the frozen outputs — cannot shift.
+TEST(DeterminismRegression, BicriteriaCloneWorkersMatchGolden) {
+  const Fixture fx;
+  const CoverageOracle proto(fx.instance.sets);
+  BicriteriaConfig cfg;
+  cfg.k = 5;
+  cfg.output_items = 8;
+  cfg.rounds = 2;
+  cfg.seed = 7;
+  cfg.worker_oracle = WorkerOracleMode::kClone;
+  const auto result = bicriteria_greedy(proto, fx.ground, cfg);
+  EXPECT_DOUBLE_EQ(result.value, 362.0);
+  EXPECT_EQ(result.solution,
+            (std::vector<ElementId>{10, 143, 12, 60, 142, 132, 63, 24}));
+}
+
+// The incremental-gain coordinator upgrade is integer-exact, so it must
+// reproduce the golden values too — with or without shard-view workers.
+TEST(DeterminismRegression, BicriteriaIncrementalGainsMatchGolden) {
+  const Fixture fx;
+  const CoverageOracle proto(fx.instance.sets);
+  for (const WorkerOracleMode mode :
+       {WorkerOracleMode::kShardView, WorkerOracleMode::kClone}) {
+    BicriteriaConfig cfg;
+    cfg.k = 5;
+    cfg.output_items = 8;
+    cfg.rounds = 2;
+    cfg.seed = 7;
+    cfg.worker_oracle = mode;
+    cfg.incremental_gains = true;
+    const auto result = bicriteria_greedy(proto, fx.ground, cfg);
+    EXPECT_DOUBLE_EQ(result.value, 362.0);
+    EXPECT_EQ(result.solution,
+              (std::vector<ElementId>{10, 143, 12, 60, 142, 132, 63, 24}));
+  }
+}
+
+TEST(DeterminismRegression, RandGreediBothSwitchesMatchGolden) {
+  const Fixture fx;
+  const CoverageOracle proto(fx.instance.sets);
+  OneRoundConfig cfg;
+  cfg.k = 4;
+  cfg.machines = 5;
+  cfg.seed = 3;
+  cfg.worker_oracle = WorkerOracleMode::kClone;
+  cfg.incremental_gains = true;
+  const auto result = rand_greedi(proto, fx.ground, cfg);
+  EXPECT_DOUBLE_EQ(result.value, 217.0);
+  EXPECT_EQ(result.solution, (std::vector<ElementId>{18, 200, 33, 26}));
+}
+
 }  // namespace
 }  // namespace bds

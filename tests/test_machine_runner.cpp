@@ -102,6 +102,45 @@ TEST(MachineWorker, FactorySeedsWithCoordinatorSolution) {
   }
 }
 
+TEST(MachineWorker, ShardViewAndCloneWorkersReportIdenticalSelections) {
+  const auto sys = random_set_system(60, 1200, 0.01, 6);
+  CoverageOracle central(sys);
+  central.add(0);
+  central.add(9);
+
+  MachineWorkerConfig cfg;
+  cfg.budget = 4;
+  cfg.central = &central;
+  cfg.worker_oracle = WorkerOracleMode::kShardView;
+  const auto view_worker = make_machine_worker(cfg);
+  cfg.worker_oracle = WorkerOracleMode::kClone;
+  const auto clone_worker = make_machine_worker(cfg);
+
+  const std::vector<ElementId> shard{3, 9, 14, 21, 30, 44, 58};
+  const auto view_report = view_worker(2, shard);
+  const auto clone_report = clone_worker(2, shard);
+  EXPECT_EQ(view_report.summary, clone_report.summary);
+  EXPECT_EQ(view_report.oracle_evals, clone_report.oracle_evals);
+  // The whole point of the view: strictly less worker state than a clone
+  // for a shard much smaller than the ground set.
+  EXPECT_GT(clone_report.state_bytes, 0u);
+  EXPECT_LT(view_report.state_bytes, clone_report.state_bytes);
+}
+
+TEST(MachineWorker, ReportsStateBytesForBothModes) {
+  const auto sys = random_set_system(30, 500, 0.05, 7);
+  CoverageOracle central(sys);
+  MachineWorkerConfig cfg;
+  cfg.budget = 2;
+  cfg.central = &central;
+  const auto worker = make_machine_worker(cfg);
+  const auto report = worker(0, std::vector<ElementId>{1, 2});
+  // A 2-set view touches at most 2 rows of ~25 elements each — nowhere near
+  // the 500-byte covered bitmap a clone would carry.
+  EXPECT_GT(report.state_bytes, 0u);
+  EXPECT_LT(report.state_bytes, central.clone()->state_bytes());
+}
+
 TEST(MachineWorker, EmptyShardYieldsEmptySummary) {
   const auto sys = random_set_system(10, 20, 0.3, 4);
   CoverageOracle central(sys);

@@ -1,0 +1,324 @@
+// Shard-compacted view contract (objectives/shard_view.h): over the
+// elements of its shard, a view must be *bit-identical* to a clone of the
+// same oracle — same gains (exact double equality), same realized add
+// gains, same selections, same evaluation accounting — while compacted
+// families keep only O(shard)-sized mutable state and reject out-of-shard
+// queries. Parametrized over every oracle family in the tree, including
+// the clone-fallback ones (exemplar, logdet), for which the view is simply
+// a clone and every guarantee except compaction still holds.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/greedy.h"
+#include "objectives/coverage.h"
+#include "objectives/coverage_incremental.h"
+#include "objectives/exemplar.h"
+#include "objectives/logdet.h"
+#include "objectives/prob_coverage.h"
+#include "objectives/saturated_coverage.h"
+#include "objectives/submodular.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace bds {
+namespace {
+
+std::shared_ptr<const ProbSetSystem> random_prob_sets(std::uint32_t n_sets,
+                                                      std::uint32_t universe,
+                                                      double density,
+                                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<ProbSetSystem::Entry>> sets(n_sets);
+  for (auto& s : sets) {
+    for (std::uint32_t e = 0; e < universe; ++e) {
+      if (rng.next_bool(density)) {
+        s.push_back({e, static_cast<float>(0.05 + 0.9 * rng.next_double())});
+      }
+    }
+  }
+  return std::make_shared<const ProbSetSystem>(std::move(sets), universe);
+}
+
+std::vector<double> random_weights(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> w(n);
+  for (auto& v : w) v = 0.1 + rng.next_double();
+  return w;
+}
+
+// Block-sparse similarity matrix: elements interact mostly within their
+// block, so a shard drawn from few blocks leaves many all-zero rows for the
+// saturated view to drop.
+std::shared_ptr<const SimilarityMatrix> block_similarity(std::size_t n,
+                                                         std::size_t blocks,
+                                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> values(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const bool same_block = (i % blocks) == (j % blocks);
+      double v = 0.0;
+      if (i == j) {
+        v = 1.0;
+      } else if (same_block && rng.next_bool(0.7)) {
+        v = rng.next_double();
+      }
+      values[i * n + j] = v;
+      values[j * n + i] = v;
+    }
+  }
+  return std::make_shared<const SimilarityMatrix>(n, std::move(values));
+}
+
+std::shared_ptr<const PointSet> random_points(std::size_t n, std::size_t dim,
+                                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> data(n * dim);
+  for (auto& v : data) v = static_cast<float>(rng.next_double());
+  auto points = std::make_shared<PointSet>(n, dim, std::move(data));
+  points->normalize_rows();
+  return points;
+}
+
+struct FamilyParam {
+  std::string name;
+  std::unique_ptr<SubmodularOracle> (*build)();
+  bool compacted;  // expected supports_compacted_shard_view()
+};
+
+std::unique_ptr<SubmodularOracle> build_coverage() {
+  return std::make_unique<CoverageOracle>(
+      testing::random_set_system(60, 3000, 0.004, 11));
+}
+
+std::unique_ptr<SubmodularOracle> build_weighted_coverage() {
+  return std::make_unique<WeightedCoverageOracle>(
+      testing::random_set_system(60, 3000, 0.004, 12),
+      random_weights(3000, 13));
+}
+
+std::unique_ptr<SubmodularOracle> build_prob_coverage() {
+  return std::make_unique<ProbCoverageOracle>(
+      random_prob_sets(60, 3000, 0.004, 14));
+}
+
+std::unique_ptr<SubmodularOracle> build_weighted_prob_coverage() {
+  return std::make_unique<ProbCoverageOracle>(
+      random_prob_sets(60, 3000, 0.004, 15), random_weights(3000, 16));
+}
+
+std::unique_ptr<SubmodularOracle> build_incremental_coverage() {
+  return std::make_unique<IncrementalCoverageOracle>(
+      testing::random_set_system(60, 3000, 0.004, 11));
+}
+
+std::unique_ptr<SubmodularOracle> build_saturated() {
+  return std::make_unique<SaturatedCoverageOracle>(
+      block_similarity(48, 6, 17), SaturatedCoverageConfig{0.3, {}, 0.0});
+}
+
+std::unique_ptr<SubmodularOracle> build_saturated_diversity() {
+  const std::size_t n = 48;
+  SaturatedCoverageConfig config;
+  config.gamma = 0.3;
+  config.lambda = 0.5;
+  config.cluster_of.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    config.cluster_of[i] = static_cast<std::uint32_t>(i % 5);
+  }
+  return std::make_unique<SaturatedCoverageOracle>(block_similarity(n, 6, 18),
+                                                   std::move(config));
+}
+
+std::unique_ptr<SubmodularOracle> build_exemplar() {
+  return std::make_unique<ExemplarOracle>(random_points(80, 6, 19), 2.0);
+}
+
+std::unique_ptr<SubmodularOracle> build_logdet() {
+  return std::make_unique<LogDetOracle>(random_points(40, 6, 20), 1.0, 0.5);
+}
+
+class ShardViewFamily : public ::testing::TestWithParam<FamilyParam> {
+ protected:
+  // A deterministic shard: every third element, plus the tail element.
+  static std::vector<ElementId> make_shard(std::size_t ground) {
+    std::vector<ElementId> shard;
+    for (std::size_t x = 0; x < ground; x += 3) {
+      shard.push_back(static_cast<ElementId>(x));
+    }
+    shard.push_back(static_cast<ElementId>(ground - 1));
+    return shard;
+  }
+
+  // Seeds an accumulated coordinator set: a few ids, some inside the shard
+  // and some outside it.
+  static std::vector<ElementId> make_seed(std::size_t ground) {
+    return {ElementId{0}, ElementId{1}, ElementId{2},
+            static_cast<ElementId>(ground / 2),
+            static_cast<ElementId>(ground - 2)};
+  }
+};
+
+TEST_P(ShardViewFamily, ReportsExpectedCompaction) {
+  const auto proto = GetParam().build();
+  EXPECT_EQ(proto->supports_compacted_shard_view(), GetParam().compacted);
+}
+
+TEST_P(ShardViewFamily, GainsBitIdenticalToCloneWithSeededState) {
+  const auto proto = GetParam().build();
+  const std::size_t ground = proto->ground_size();
+  // Non-empty coordinator state: the view must project the accumulated S,
+  // not start from scratch.
+  for (const ElementId s : make_seed(ground)) proto->add(s);
+
+  const std::vector<ElementId> shard = make_shard(ground);
+  const auto view = proto->shard_view(shard);
+  const auto clone = proto->clone();
+
+  ASSERT_EQ(view->evals(), 0u);
+  for (const ElementId x : shard) {
+    const double expected = clone->gain(x);
+    const double actual = view->gain(x);
+    EXPECT_EQ(actual, expected) << "element " << x;
+  }
+  EXPECT_EQ(view->evals(), clone->evals());
+
+  // Batched path agrees too (same contract, one call).
+  const std::vector<double> batch_view = view->gain_batch(shard);
+  const std::vector<double> batch_clone = clone->gain_batch(shard);
+  for (std::size_t i = 0; i < shard.size(); ++i) {
+    EXPECT_EQ(batch_view[i], batch_clone[i]) << "element " << shard[i];
+  }
+}
+
+TEST_P(ShardViewFamily, AddsStayBitIdenticalToClone) {
+  const auto proto = GetParam().build();
+  const std::size_t ground = proto->ground_size();
+  for (const ElementId s : make_seed(ground)) proto->add(s);
+
+  const std::vector<ElementId> shard = make_shard(ground);
+  const auto view = proto->shard_view(shard);
+  const auto clone = proto->clone();
+
+  // Interleave adds (including a re-add and a seeded member) with full
+  // shard re-evaluations; every realized and queried gain must match.
+  const std::vector<ElementId> adds = {shard[1], shard[shard.size() / 2],
+                                       shard[1], shard[0],
+                                       shard[shard.size() - 1]};
+  for (const ElementId a : adds) {
+    EXPECT_EQ(view->add(a), clone->add(a)) << "add " << a;
+    for (const ElementId x : shard) {
+      EXPECT_EQ(view->gain(x), clone->gain(x))
+          << "element " << x << " after adding " << a;
+    }
+  }
+  EXPECT_EQ(view->value(), clone->value());
+  EXPECT_EQ(view->evals(), clone->evals());
+}
+
+TEST_P(ShardViewFamily, LazyGreedySelectionsIdentical) {
+  const auto proto = GetParam().build();
+  const std::size_t ground = proto->ground_size();
+  for (const ElementId s : make_seed(ground)) proto->add(s);
+
+  const std::vector<ElementId> shard = make_shard(ground);
+  const auto view = proto->shard_view(shard);
+  const auto clone = proto->clone();
+
+  const GreedyResult from_view = lazy_greedy(*view, shard, 8, {true});
+  const GreedyResult from_clone = lazy_greedy(*clone, shard, 8, {true});
+  EXPECT_EQ(from_view.picks, from_clone.picks);
+  EXPECT_EQ(view->value(), clone->value());
+  EXPECT_EQ(view->evals(), clone->evals());
+}
+
+TEST_P(ShardViewFamily, CompactedViewRejectsOutsideShardAndShrinksState) {
+  const auto proto = GetParam().build();
+  if (!proto->supports_compacted_shard_view()) GTEST_SKIP();
+  const std::size_t ground = proto->ground_size();
+
+  // A small shard: 4 elements out of the whole ground set.
+  const std::vector<ElementId> shard = {
+      ElementId{0}, ElementId{3}, static_cast<ElementId>(ground / 2),
+      static_cast<ElementId>(ground - 1)};
+  const auto view = proto->shard_view(shard);
+
+  const auto outside = static_cast<ElementId>(1);
+  EXPECT_THROW(view->gain(outside), std::out_of_range);
+  EXPECT_THROW(view->add(outside), std::out_of_range);
+
+  // Compaction: the 4-element view must be strictly smaller than a clone.
+  EXPECT_LT(view->state_bytes(), proto->clone()->state_bytes());
+}
+
+TEST_P(ShardViewFamily, DuplicateShardEntriesCollapse) {
+  const auto proto = GetParam().build();
+  const std::vector<ElementId> shard = {ElementId{5}, ElementId{2},
+                                        ElementId{5}, ElementId{2},
+                                        ElementId{9}};
+  const auto view = proto->shard_view(shard);
+  const auto clone = proto->clone();
+  for (const ElementId x : {ElementId{2}, ElementId{5}, ElementId{9}}) {
+    EXPECT_EQ(view->gain(x), clone->gain(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ShardViewFamily,
+    ::testing::Values(
+        FamilyParam{"Coverage", &build_coverage, true},
+        FamilyParam{"WeightedCoverage", &build_weighted_coverage, true},
+        FamilyParam{"ProbCoverage", &build_prob_coverage, true},
+        FamilyParam{"WeightedProbCoverage", &build_weighted_prob_coverage,
+                    true},
+        FamilyParam{"IncrementalCoverage", &build_incremental_coverage, true},
+        FamilyParam{"SaturatedCoverage", &build_saturated, true},
+        FamilyParam{"SaturatedCoverageDiversity", &build_saturated_diversity,
+                    true},
+        FamilyParam{"Exemplar", &build_exemplar, false},
+        FamilyParam{"LogDet", &build_logdet, false}),
+    [](const ::testing::TestParamInfo<FamilyParam>& info) {
+      return info.param.name;
+    });
+
+// The saturated view's whole point is dropping similarity rows no shard
+// member touches; with a block-sparse matrix and a single-block shard, the
+// surviving-row state must be far below the clone's O(n) footprint.
+TEST(ShardViewSaturated, DropsRowsOutsideTheShardsBlocks) {
+  const std::size_t n = 48;
+  SaturatedCoverageOracle oracle(block_similarity(n, 6, 21), {0.3, {}, 0.0});
+  // Shard = block 0 (every 6th element): other blocks' rows only intersect
+  // it on the diagonal, which is zero there, so they get dropped.
+  std::vector<ElementId> shard;
+  for (std::size_t i = 0; i < n; i += 6) {
+    shard.push_back(static_cast<ElementId>(i));
+  }
+  const auto view = oracle.shard_view(shard);
+  const auto clone = oracle.clone();
+  EXPECT_LT(view->state_bytes() * 2, clone->state_bytes());
+  for (const ElementId x : shard) {
+    EXPECT_EQ(view->gain(x), clone->gain(x));
+  }
+}
+
+// Views of views: a compacted view is itself an oracle, so cloning it (what
+// a nested round would do) must preserve state and stay consistent.
+TEST(ShardViewNesting, CloneOfViewMatchesView) {
+  CoverageOracle oracle(testing::random_set_system(40, 200, 0.05, 22));
+  oracle.add(ElementId{7});
+  const std::vector<ElementId> shard = {ElementId{1}, ElementId{7},
+                                        ElementId{13}, ElementId{21}};
+  const auto view = oracle.shard_view(shard);
+  view->add(ElementId{13});
+  const auto copy = view->clone();
+  for (const ElementId x : shard) {
+    EXPECT_EQ(copy->gain(x), view->gain(x));
+  }
+}
+
+}  // namespace
+}  // namespace bds

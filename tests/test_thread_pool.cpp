@@ -106,6 +106,23 @@ TEST(ThreadPool, ChunkedParallelForGrainZeroBehavesAsOne) {
   for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
 }
 
+TEST(ThreadPool, ChunkedParallelForZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, 16, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(0, 0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ChunkedParallelForGrainLargerThanRange) {
+  // n < grain must still visit every index exactly once (single chunk).
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(5);
+  pool.parallel_for(5, 1000, [&visits](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
 TEST(ThreadPool, ChunkedParallelForAscendingWithinChunk) {
   // A chunk is one task, so indices inside it run in ascending order on one
   // thread; with grain >= n the whole range is sequential.
