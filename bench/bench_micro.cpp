@@ -9,17 +9,29 @@
 //                   batch speedups) to `path` (default BENCH_micro.json).
 //                   The report also carries a `shard_view` section (clone vs
 //                   compacted-view build time, worker state bytes, gain
-//                   throughput) and an `incremental_gain` section (plain vs
-//                   inverted-index coordinator filter).
+//                   throughput), an `incremental_gain` section (plain vs
+//                   inverted-index coordinator filter), a `kernels` section
+//                   (exemplar gain_batch under BDS_KERNEL=legacy vs the lane
+//                   scalar kernels vs the dispatched SIMD path, across dims),
+//                   and a `parallel` section (exemplar batch vs the
+//                   cost-dimension-parallel batch, with the host thread
+//                   count).
+//
+// When the host has >= 8 hardware threads and the exemplar batch/parallel
+// benchmarks both ran, the binary exits nonzero unless the parallel path is
+// >= 2x the serial batch — the CI smoke check for the oracle-internal
+// cost-point split (a 1-core runner skips the assertion, it cannot scale).
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <numeric>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/batch_eval.h"
@@ -35,6 +47,7 @@
 #include "objectives/logdet.h"
 #include "objectives/prob_coverage.h"
 #include "objectives/saturated_coverage.h"
+#include "util/kernels.h"
 #include "util/rng.h"
 
 namespace {
@@ -336,6 +349,57 @@ void BM_ExemplarSampledGain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ExemplarSampledGain);
+
+// --- SIMD kernel layer ------------------------------------------------------
+//
+// Exemplar gain_batch across dims and kernel modes: the pre-kernel
+// sequential path (BDS_KERNEL=legacy), the lane-order scalar kernels
+// (=scalar), and the runtime-dispatched SIMD path (=auto). scalar-vs-legacy
+// isolates the cost of the deterministic lane contract; auto-vs-scalar is
+// the SIMD win; auto-vs-legacy is the net speedup the layer delivers.
+
+constexpr std::size_t kKernelPoints = 2'048;
+constexpr std::size_t kKernelBatch = 64;
+
+std::shared_ptr<const PointSet> kernel_points(std::size_t dim) {
+  static std::map<std::size_t, std::shared_ptr<const PointSet>> cache;
+  auto& entry = cache[dim];
+  if (!entry) {
+    util::Rng rng(17 + dim);
+    std::vector<float> data(kKernelPoints * dim);
+    for (auto& v : data) v = static_cast<float>(rng.next_double(-1.0, 1.0));
+    auto pts = std::make_shared<PointSet>(kKernelPoints, dim, std::move(data));
+    pts->normalize_rows();
+    entry = std::move(pts);
+  }
+  return entry;
+}
+
+kern::Mode kernel_mode_from_arg(std::int64_t mode) {
+  switch (mode) {
+    case 0: return kern::Mode::kLegacy;
+    case 1: return kern::Mode::kScalar;
+    default: return kern::Mode::kAuto;
+  }
+}
+
+void BM_KernelGainBatch(benchmark::State& state) {
+  kern::ForcedMode forced(kernel_mode_from_arg(state.range(1)));
+  ExemplarOracle oracle(kernel_points(state.range(0)), 2.0);
+  const auto xs = stride_ids(kKernelBatch, 67, oracle.ground_size());
+  std::vector<double> out(xs.size());
+  for (auto _ : state) {
+    oracle.gain_batch(xs, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_KernelGainBatch)
+    ->ArgNames({"dim", "mode"})
+    ->Args({16, 0})->Args({16, 1})->Args({16, 2})
+    ->Args({64, 0})->Args({64, 1})->Args({64, 2})
+    ->Args({128, 0})->Args({128, 1})->Args({128, 2});
 
 // --- probabilistic coverage -------------------------------------------------
 
@@ -656,8 +720,93 @@ void write_gain_json(const std::string& path,
         out << ",\n    \"filter_speedup\": " << plain->second / incr->second;
       }
     }
+    out << "\n  },\n";
+  }
+
+  // Kernel layer: exemplar gain_batch ns/eval per dim × mode (see the
+  // BM_KernelGainBatch comment for what each ratio isolates).
+  {
+    out << "  \"kernels\": {\n"
+        << "    \"active\": \"" << kern::active_name() << "\",\n"
+        << "    \"points\": " << kKernelPoints << ",\n"
+        << "    \"batch\": " << kKernelBatch << ",\n"
+        << "    \"dims\": {";
+    const char* mode_key[] = {"legacy", "lane_scalar", "dispatched"};
+    bool first_dim = true;
+    for (const int dim : {16, 64, 128}) {
+      double ns[3] = {0.0, 0.0, 0.0};
+      for (int mode = 0; mode < 3; ++mode) {
+        const auto it = raw_ns.find("BM_KernelGainBatch/dim:" +
+                                    std::to_string(dim) +
+                                    "/mode:" + std::to_string(mode));
+        if (it != raw_ns.end()) ns[mode] = it->second / double(kKernelBatch);
+      }
+      if (ns[0] <= 0.0 && ns[1] <= 0.0 && ns[2] <= 0.0) continue;
+      if (!first_dim) out << ", ";
+      first_dim = false;
+      out << "\"" << dim << "\": {";
+      bool first_mode = true;
+      for (int mode = 0; mode < 3; ++mode) {
+        if (ns[mode] <= 0.0) continue;
+        if (!first_mode) out << ", ";
+        first_mode = false;
+        out << "\"" << mode_key[mode] << "\": " << ns[mode];
+      }
+      if (ns[0] > 0.0 && ns[2] > 0.0) {
+        out << ", \"dispatched_vs_legacy\": " << ns[0] / ns[2];
+      }
+      if (ns[1] > 0.0 && ns[2] > 0.0) {
+        out << ", \"dispatched_vs_lane_scalar\": " << ns[1] / ns[2];
+      }
+      out << "}";
+    }
+    out << "}\n  },\n";
+  }
+
+  // Parallel scaling of the exemplar oracle-internal cost-point split.
+  {
+    out << "  \"parallel\": {\n"
+        << "    \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency();
+    const auto batch = raw_ns.find("BM_ExemplarExactGainBatch");
+    const auto par = raw_ns.find("BM_ExemplarExactGainBatchParallel");
+    if (batch != raw_ns.end() && par != raw_ns.end() && par->second > 0.0) {
+      out << ",\n    \"exemplar_batch_ns_per_eval\": "
+          << batch->second / double(kExemplarBatch)
+          << ",\n    \"exemplar_parallel_ns_per_eval\": "
+          << par->second / double(kExemplarBatch)
+          << ",\n    \"parallel_scaling\": " << batch->second / par->second;
+    }
     out << "\n  }\n}\n";
   }
+}
+
+// The bench-smoke scaling assertion: on a host with >= 8 hardware threads
+// the cost-dimension-parallel exemplar batch must beat the serial batch by
+// >= 2x. Returns nonzero on violation; skipped when either benchmark did
+// not run (filtered out) or the host is too narrow to scale.
+int check_parallel_scaling(
+    const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
+  const unsigned hc = std::thread::hardware_concurrency();
+  if (hc < 8) return 0;
+  double batch = 0.0, par = 0.0;
+  for (const auto& run : runs) {
+    if (run.benchmark_name() == "BM_ExemplarExactGainBatch") {
+      batch = run.GetAdjustedRealTime();
+    } else if (run.benchmark_name() == "BM_ExemplarExactGainBatchParallel") {
+      par = run.GetAdjustedRealTime();
+    }
+  }
+  if (batch <= 0.0 || par <= 0.0) return 0;
+  const double scaling = batch / par;
+  if (scaling < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: exemplar parallel batch scaling %.2fx < 2x on %u "
+                 "hardware threads\n",
+                 scaling, hc);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -685,5 +834,5 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   if (!json_path.empty()) write_gain_json(json_path, reporter.collected());
-  return 0;
+  return check_parallel_scaling(reporter.collected());
 }

@@ -6,6 +6,15 @@ namespace bds {
 
 void evaluate_gains(SubmodularOracle& oracle, std::span<const ElementId> xs,
                     std::span<double> gains, const BatchEvalOptions& options) {
+  // Oracles with a heavy per-evaluation scan split it internally (exemplar
+  // partitions its cost points, not the candidates) — consulted before the
+  // min_parallel gate because even a small candidate span can carry hours
+  // of scan work. The oracle declines when the batch is too light.
+  if (options.pool != nullptr && options.pool->size() > 1 &&
+      oracle.gain_batch_parallel_unaccounted(xs, gains, *options.pool)) {
+    oracle.charge_evals(xs.size());
+    return;
+  }
   if (options.pool == nullptr || options.pool->size() <= 1 ||
       xs.size() < options.min_parallel) {
     oracle.gain_batch(xs, gains);

@@ -6,15 +6,23 @@
 // Serial path: one SubmodularOracle::gain_batch call, which dispatches to
 // the objective's cache-friendly batched kernel (or the scalar fallback).
 //
-// Parallel path (opt-in via BatchEvalOptions::pool): the span is chunked
-// over a dist::ThreadPool. This is sound because do_gain/do_gain_batch are
-// const and data-race-free against each other (the oracle contract in
-// objectives/submodular.h); each chunk writes a disjoint slice of the
-// output, and every element's gain is computed independently, so the
-// results — and any selection driven by them — are bit-identical to the
-// serial path regardless of chunking. Evaluation accounting happens once
-// after the join: a batch of B elements charges exactly B evals to the
-// owning oracle, keeping ExecutionStats comparable across all paths.
+// Parallel path (opt-in via BatchEvalOptions::pool): the oracle is first
+// offered the whole batch via gain_batch_parallel_unaccounted — oracles
+// whose single evaluation is a big scan (exemplar clustering: O(n·dim))
+// split their *internal* cost dimension over the pool with a deterministic
+// chunk-ordered reduction, which scales where candidate chunking cannot
+// (per-candidate latency is untouched by chunking, and the batched kernel
+// already amortizes the point stream across candidates). If the oracle
+// declines — no internal split, or too little work — the span is chunked
+// over the dist::ThreadPool instead. Both forms are sound because
+// do_gain/do_gain_batch(_parallel) are const and data-race-free (the
+// oracle contract in objectives/submodular.h); chunks write disjoint
+// output slices (candidate chunking) or merge partials in fixed chunk
+// order (internal split), so the results — and any selection driven by
+// them — are bit-identical to the serial path regardless of chunking or
+// thread count. Evaluation accounting happens once after the join: a batch
+// of B elements charges exactly B evals to the owning oracle, keeping
+// ExecutionStats comparable across all paths.
 #pragma once
 
 #include <cstddef>

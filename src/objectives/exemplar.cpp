@@ -5,37 +5,253 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dist/thread_pool.h"
+#include "util/kernels.h"
+
 namespace bds {
 
 PointSet::PointSet(std::size_t n, std::size_t dim, std::vector<float> data)
-    : n_(n), dim_(dim), data_(std::move(data)) {
+    : n_(n), dim_(dim), stride_(kern::padded_dim(dim)) {
   if (dim == 0) throw std::invalid_argument("PointSet: dim must be positive");
-  if (data_.size() != n * dim) {
+  if (data.size() != n * dim) {
     throw std::invalid_argument("PointSet: data size != n * dim");
+  }
+  data_.assign(n_ * stride_, 0.0f);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::copy(data.begin() + i * dim_, data.begin() + (i + 1) * dim_,
+              data_.begin() + i * stride_);
+  }
+  recompute_norms();
+}
+
+void PointSet::recompute_norms() {
+  norms_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    norms_[i] = kern::squared_norm(row(i), dim_);
   }
 }
 
 void PointSet::normalize_rows() noexcept {
+  const bool legacy = kern::legacy();
   for (std::size_t i = 0; i < n_; ++i) {
-    float* row = data_.data() + i * dim_;
+    float* r = data_.data() + i * stride_;
     double norm2 = 0.0;
-    for (std::size_t d = 0; d < dim_; ++d) norm2 += double(row[d]) * row[d];
+    if (legacy) {
+      for (std::size_t d = 0; d < dim_; ++d) norm2 += double(r[d]) * r[d];
+    } else {
+      norm2 = kern::squared_norm(r, dim_);
+    }
     if (norm2 <= 0.0) continue;
     const auto inv = static_cast<float>(1.0 / std::sqrt(norm2));
-    for (std::size_t d = 0; d < dim_; ++d) row[d] *= inv;
+    for (std::size_t d = 0; d < dim_; ++d) r[d] *= inv;
   }
+  recompute_norms();
 }
 
 double squared_l2(std::span<const float> a,
                   std::span<const float> b) noexcept {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t d = 0; d < a.size(); ++d) {
-    const double diff = double(a[d]) - double(b[d]);
-    acc += diff * diff;
+  if (kern::legacy()) {
+    double acc = 0.0;
+    for (std::size_t d = 0; d < a.size(); ++d) {
+      const double diff = double(a[d]) - double(b[d]);
+      acc += diff * diff;
+    }
+    return acc;
   }
-  return acc;
+  return kern::squared_l2(a.data(), b.data(), a.size());
 }
+
+namespace {
+
+// The cost-term view both oracles evaluate against: `count` terms, term t
+// referring to point id (ids ? ids[t] : t), with its current min distance
+// in min_dist[t].
+struct CostView {
+  const PointSet* points;
+  const std::uint32_t* ids;  // nullptr = identity (exact oracle)
+  std::size_t count;
+  const double* min_dist;
+};
+
+// --- canonical kernel-layer evaluation --------------------------------------
+//
+// Gains accumulate per canonical kern::kCostChunk chunk of cost terms
+// (sequentially inside a chunk), and the chunk partials are summed in
+// ascending chunk order. Serial evaluation, the pool-parallel batch path,
+// add(), and single gain() all share this grouping, so every path yields
+// bit-identical doubles at any thread count.
+
+std::size_t chunk_count(std::size_t count) {
+  return (count + kern::kCostChunk - 1) / kern::kCostChunk;
+}
+
+// out[j] = Σ_chunks gain_tile(chunk)[j], scaled. `pool` may be null.
+void kernel_gain_batch(const CostView& view, double scale,
+                       std::span<const ElementId> xs, std::span<double> out,
+                       dist::ThreadPool* pool) {
+  const std::size_t batch = xs.size();
+  if (batch == 0) return;
+  const PointSet& pts = *view.points;
+  const std::size_t n_chunks = chunk_count(view.count);
+  const kern::KernelTable& kt = kern::active_table();
+
+  // partial[c * batch + j]: candidate j's gain over chunk c. Disjoint per
+  // chunk, so chunks can run on pool threads; the merge below is ordered.
+  std::vector<double> partial(n_chunks * batch);
+  const auto run_chunk = [&](std::size_t c) {
+    const std::size_t begin = c * kern::kCostChunk;
+    const std::size_t end =
+        std::min(begin + kern::kCostChunk, view.count);
+    double* prow = partial.data() + c * batch;
+    for (std::size_t j0 = 0; j0 < batch; j0 += kern::kGainTile) {
+      const std::size_t n_x = std::min(kern::kGainTile, batch - j0);
+      const float* tile_rows[kern::kGainTile];
+      double tile_norms[kern::kGainTile];
+      for (std::size_t j = 0; j < n_x; ++j) {
+        tile_rows[j] = pts.row(xs[j0 + j]);
+        tile_norms[j] = pts.norm2(xs[j0 + j]);
+      }
+      kt.gain_tile(pts.rows(), pts.stride(), pts.norms(), view.ids,
+                   view.min_dist, begin, end, tile_rows, tile_norms, n_x,
+                   prow + j0);
+    }
+  };
+
+  if (pool != nullptr && pool->size() > 1 && n_chunks > 1) {
+    pool->parallel_for(n_chunks, run_chunk);
+  } else {
+    for (std::size_t c = 0; c < n_chunks; ++c) run_chunk(c);
+  }
+
+  // Chunk-ordered merge — independent of which thread ran which chunk.
+  for (std::size_t j = 0; j < batch; ++j) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < n_chunks; ++c) acc += partial[c * batch + j];
+    out[j] = acc * scale;
+  }
+}
+
+double kernel_gain_one(const CostView& view, ElementId x) {
+  const PointSet& pts = *view.points;
+  const kern::KernelTable& kt = kern::active_table();
+  const float* xr = pts.row(x);
+  const double xn = pts.norm2(x);
+  double total = 0.0;
+  for (std::size_t begin = 0; begin < view.count;
+       begin += kern::kCostChunk) {
+    const std::size_t end =
+        std::min(begin + kern::kCostChunk, view.count);
+    double part = 0.0;
+    kt.gain_tile(pts.rows(), pts.stride(), pts.norms(), view.ids,
+                 view.min_dist, begin, end, &xr, &xn, 1, &part);
+    total += part;
+  }
+  return total;
+}
+
+// Commits x: tightens min_dist in place, returns the realized (unscaled)
+// gain with the same chunked accumulation gain uses, so gain(x) == the
+// gain add(x) realizes, bit for bit.
+double kernel_add(const CostView& view, std::vector<double>& min_dist,
+                  ElementId x) {
+  const PointSet& pts = *view.points;
+  const kern::KernelTable& kt = kern::active_table();
+  const float* xr = pts.row(x);
+  const double xn = pts.norm2(x);
+  double buf[kern::kCostChunk];
+  double total = 0.0;
+  for (std::size_t begin = 0; begin < view.count;
+       begin += kern::kCostChunk) {
+    const std::size_t end =
+        std::min(begin + kern::kCostChunk, view.count);
+    kt.distance_row(pts.rows(), pts.stride(), pts.norms(), view.ids, begin,
+                    end, xr, xn, buf);
+    double part = 0.0;
+    for (std::size_t t = begin; t < end; ++t) {
+      const double d = buf[t - begin];
+      if (d < min_dist[t]) {
+        part += min_dist[t] - d;
+        min_dist[t] = d;
+      }
+    }
+    total += part;
+  }
+  return total;
+}
+
+// The pool is only worth forking for when the scan is heavy enough; below
+// this many candidate×cost-term pairs the fork/join overhead dominates.
+constexpr std::size_t kMinParallelPairs = std::size_t{1} << 16;
+
+bool kernel_gain_batch_parallel(const CostView& view, double scale,
+                                std::span<const ElementId> xs,
+                                std::span<double> out,
+                                dist::ThreadPool& pool) {
+  if (kern::legacy()) return false;
+  if (chunk_count(view.count) < 2 ||
+      xs.size() * view.count < kMinParallelPairs) {
+    return false;
+  }
+  kernel_gain_batch(view, scale, xs, out, &pool);
+  return true;
+}
+
+// --- legacy path (BDS_KERNEL=legacy): the pre-kernel sequential scans -------
+
+double legacy_gain(const CostView& view, ElementId x) {
+  const auto px = view.points->point(x);
+  double gain = 0.0;
+  for (std::size_t t = 0; t < view.count; ++t) {
+    const std::size_t id = view.ids == nullptr ? t : view.ids[t];
+    const double d = squared_l2(view.points->point(id), px);
+    if (d < view.min_dist[t]) gain += view.min_dist[t] - d;
+  }
+  return gain;
+}
+
+double legacy_add(const CostView& view, std::vector<double>& min_dist,
+                  ElementId x) {
+  const auto px = view.points->point(x);
+  double gain = 0.0;
+  for (std::size_t t = 0; t < view.count; ++t) {
+    const std::size_t id = view.ids == nullptr ? t : view.ids[t];
+    const double d = squared_l2(view.points->point(id), px);
+    if (d < min_dist[t]) {
+      gain += min_dist[t] - d;
+      min_dist[t] = d;
+    }
+  }
+  return gain;
+}
+
+// Legacy tiled batch kernel: for a tile of candidates (small enough that
+// their point rows stay cache-resident), stream every cost point once.
+// Per candidate, the accumulation runs over cost terms in ascending order,
+// matching the legacy scalar path's floating-point sum exactly.
+constexpr std::size_t kLegacyTile = 16;
+
+void legacy_gain_batch(const CostView& view, double scale,
+                       std::span<const ElementId> xs, std::span<double> out) {
+  for (std::size_t tile = 0; tile < xs.size(); tile += kLegacyTile) {
+    const std::size_t tile_end = std::min(tile + kLegacyTile, xs.size());
+    double acc[kLegacyTile] = {};
+    for (std::size_t t = 0; t < view.count; ++t) {
+      const std::size_t id = view.ids == nullptr ? t : view.ids[t];
+      const auto pv = view.points->point(id);
+      const double md = view.min_dist[t];
+      for (std::size_t j = tile; j < tile_end; ++j) {
+        const double d = squared_l2(pv, view.points->point(xs[j]));
+        if (d < md) acc[j - tile] += md - d;
+      }
+    }
+    for (std::size_t j = tile; j < tile_end; ++j) {
+      out[j] = acc[j - tile] * scale;
+    }
+  }
+}
+
+}  // namespace
 
 ExemplarOracle::ExemplarOracle(std::shared_ptr<const PointSet> points,
                                double p0_dist)
@@ -56,68 +272,35 @@ double ExemplarOracle::clustering_cost() const noexcept {
 }
 
 double ExemplarOracle::do_gain(ElementId x) const {
-  const auto px = points_->point(x);
-  double gain = 0.0;
-  for (std::size_t v = 0; v < min_dist_.size(); ++v) {
-    const double d = squared_l2(points_->point(v), px);
-    if (d < min_dist_[v]) gain += min_dist_[v] - d;
-  }
-  return gain;
+  const CostView view{points_.get(), nullptr, min_dist_.size(),
+                      min_dist_.data()};
+  return kern::legacy() ? legacy_gain(view, x) : kernel_gain_one(view, x);
 }
-
-namespace {
-
-// Shared tiled kernel for both exemplar oracles: for a tile of candidates
-// (small enough that their point rows stay cache-resident), stream every
-// cost point v once, loading point(v) and its current min-distance a single
-// time instead of once per candidate. `cost_ids` maps the cost-term index
-// to a point id (identity for the exact oracle, the sample for the sampled
-// one). Per candidate, the accumulation still runs over cost terms in
-// ascending order, matching the scalar path's floating-point sum exactly.
-constexpr std::size_t kExemplarTile = 16;
-
-void exemplar_gain_batch(const PointSet& points,
-                         const std::uint32_t* cost_ids, std::size_t n_costs,
-                         const double* min_dist, double scale,
-                         std::span<const ElementId> xs,
-                         std::span<double> out) {
-  for (std::size_t tile = 0; tile < xs.size(); tile += kExemplarTile) {
-    const std::size_t tile_end = std::min(tile + kExemplarTile, xs.size());
-    double acc[kExemplarTile] = {};
-    for (std::size_t v = 0; v < n_costs; ++v) {
-      const auto pv =
-          points.point(cost_ids == nullptr ? v : cost_ids[v]);
-      const double md = min_dist[v];
-      for (std::size_t j = tile; j < tile_end; ++j) {
-        const double d = squared_l2(pv, points.point(xs[j]));
-        if (d < md) acc[j - tile] += md - d;
-      }
-    }
-    for (std::size_t j = tile; j < tile_end; ++j) {
-      out[j] = acc[j - tile] * scale;
-    }
-  }
-}
-
-}  // namespace
 
 void ExemplarOracle::do_gain_batch(std::span<const ElementId> xs,
                                    std::span<double> out) const {
-  exemplar_gain_batch(*points_, nullptr, min_dist_.size(), min_dist_.data(),
-                      1.0, xs, out);
+  const CostView view{points_.get(), nullptr, min_dist_.size(),
+                      min_dist_.data()};
+  if (kern::legacy()) {
+    legacy_gain_batch(view, 1.0, xs, out);
+  } else {
+    kernel_gain_batch(view, 1.0, xs, out, nullptr);
+  }
+}
+
+bool ExemplarOracle::do_gain_batch_parallel(std::span<const ElementId> xs,
+                                            std::span<double> out,
+                                            dist::ThreadPool& pool) const {
+  const CostView view{points_.get(), nullptr, min_dist_.size(),
+                      min_dist_.data()};
+  return kernel_gain_batch_parallel(view, 1.0, xs, out, pool);
 }
 
 double ExemplarOracle::do_add(ElementId x) {
-  const auto px = points_->point(x);
-  double gain = 0.0;
-  for (std::size_t v = 0; v < min_dist_.size(); ++v) {
-    const double d = squared_l2(points_->point(v), px);
-    if (d < min_dist_[v]) {
-      gain += min_dist_[v] - d;
-      min_dist_[v] = d;
-    }
-  }
-  return gain;
+  const CostView view{points_.get(), nullptr, min_dist_.size(),
+                      min_dist_.data()};
+  return kern::legacy() ? legacy_add(view, min_dist_, x)
+                        : kernel_add(view, min_dist_, x);
 }
 
 std::unique_ptr<SubmodularOracle> ExemplarOracle::do_clone() const {
@@ -151,33 +334,37 @@ SampledExemplarOracle::SampledExemplarOracle(
 }
 
 double SampledExemplarOracle::do_gain(ElementId x) const {
-  const auto px = points_->point(x);
-  const auto& sample = *sample_;
-  double gain = 0.0;
-  for (std::size_t s = 0; s < sample.size(); ++s) {
-    const double d = squared_l2(points_->point(sample[s]), px);
-    if (d < min_dist_[s]) gain += min_dist_[s] - d;
-  }
+  const CostView view{points_.get(), sample_->data(), sample_->size(),
+                      min_dist_.data()};
+  const double gain =
+      kern::legacy() ? legacy_gain(view, x) : kernel_gain_one(view, x);
   return gain * scale_;
 }
 
 void SampledExemplarOracle::do_gain_batch(std::span<const ElementId> xs,
                                           std::span<double> out) const {
-  exemplar_gain_batch(*points_, sample_->data(), sample_->size(),
-                      min_dist_.data(), scale_, xs, out);
+  const CostView view{points_.get(), sample_->data(), sample_->size(),
+                      min_dist_.data()};
+  if (kern::legacy()) {
+    legacy_gain_batch(view, scale_, xs, out);
+  } else {
+    kernel_gain_batch(view, scale_, xs, out, nullptr);
+  }
+}
+
+bool SampledExemplarOracle::do_gain_batch_parallel(
+    std::span<const ElementId> xs, std::span<double> out,
+    dist::ThreadPool& pool) const {
+  const CostView view{points_.get(), sample_->data(), sample_->size(),
+                      min_dist_.data()};
+  return kernel_gain_batch_parallel(view, scale_, xs, out, pool);
 }
 
 double SampledExemplarOracle::do_add(ElementId x) {
-  const auto px = points_->point(x);
-  const auto& sample = *sample_;
-  double gain = 0.0;
-  for (std::size_t s = 0; s < sample.size(); ++s) {
-    const double d = squared_l2(points_->point(sample[s]), px);
-    if (d < min_dist_[s]) {
-      gain += min_dist_[s] - d;
-      min_dist_[s] = d;
-    }
-  }
+  const CostView view{points_.get(), sample_->data(), sample_->size(),
+                      min_dist_.data()};
+  const double gain = kern::legacy() ? legacy_add(view, min_dist_, x)
+                                     : kernel_add(view, min_dist_, x);
   return gain * scale_;
 }
 

@@ -12,6 +12,14 @@
 //    scaled by n/|V'|. Distributed machines each receive an independent
 //    sample; exact values for reporting are always recomputed with the exact
 //    oracle.
+//
+// Both oracles evaluate through the SIMD kernel layer (util/kernels.h):
+// distances use the norms+dot identity over PointSet's padded rows and
+// cached squared norms, gains accumulate over the cost points in canonical
+// kern::kCostChunk chunks merged in chunk order — which is also how the
+// pool-parallel batch path splits the work, so serial and parallel results
+// are bit-identical at any thread count. BDS_KERNEL=legacy restores the
+// pre-kernel sequential scans for A/B comparison.
 #pragma once
 
 #include <cstdint>
@@ -20,35 +28,59 @@
 #include <vector>
 
 #include "objectives/submodular.h"
+#include "util/aligned.h"
 #include "util/element.h"
 #include "util/rng.h"
 
 namespace bds {
 
 // Immutable row-major point matrix (float storage; accumulation in double).
+// Rows are stored padded to kern::padded_dim(dim) floats (zero-filled) on a
+// 32-byte-aligned base so SIMD kernels can stream them, and each row's
+// squared L2 norm is cached for the norms+dot distance formulation.
 class PointSet {
  public:
-  // Preconditions: dim > 0, data.size() == n * dim.
+  // Preconditions: dim > 0, data.size() == n * dim (packed rows; the
+  // constructor re-lays them out padded).
   PointSet(std::size_t n, std::size_t dim, std::vector<float> data);
 
   std::size_t size() const noexcept { return n_; }
   std::size_t dim() const noexcept { return dim_; }
+  // Floats per stored row: dim rounded up to kern::kLanes.
+  std::size_t stride() const noexcept { return stride_; }
 
   std::span<const float> point(std::size_t i) const noexcept {
-    return std::span<const float>(data_.data() + i * dim_, dim_);
+    return std::span<const float>(data_.data() + i * stride_, dim_);
   }
+  // Padded row pointer (stride() floats, tail zero-filled).
+  const float* row(std::size_t i) const noexcept {
+    return data_.data() + i * stride_;
+  }
+  // Base of the padded matrix (row 0).
+  const float* rows() const noexcept { return data_.data(); }
+
+  // Cached squared L2 norms per row, computed with the lane kernels (so
+  // they are bit-identical across BDS_KERNEL ISA tiers).
+  const double* norms() const noexcept { return norms_.data(); }
+  double norm2(std::size_t i) const noexcept { return norms_[i]; }
 
   // Scales every point to unit L2 norm (zero vectors are left untouched),
-  // matching the paper's preprocessing.
+  // matching the paper's preprocessing. Refreshes the cached norms.
   void normalize_rows() noexcept;
 
  private:
+  void recompute_norms();
+
   std::size_t n_;
   std::size_t dim_;
-  std::vector<float> data_;
+  std::size_t stride_;
+  util::AlignedVector<float> data_;
+  std::vector<double> norms_;
 };
 
-// Squared Euclidean distance between two equal-length vectors.
+// Squared Euclidean distance between two equal-length vectors, computed
+// with the dispatched lane kernel (BDS_KERNEL=legacy: the pre-kernel
+// sequential sum).
 double squared_l2(std::span<const float> a, std::span<const float> b) noexcept;
 
 // Exact exemplar-clustering oracle over all points of `points`.
@@ -77,6 +109,12 @@ class ExemplarOracle final : public SubmodularOracle {
   double do_add(ElementId x) override;
   void do_gain_batch(std::span<const ElementId> xs,
                      std::span<double> out) const override;
+  // One exemplar evaluation is itself an O(n·dim) scan, so the parallel
+  // batch path splits the *cost-point* dimension (canonical chunks merged
+  // in chunk order — bit-identical to serial), not the candidate span.
+  bool do_gain_batch_parallel(std::span<const ElementId> xs,
+                              std::span<double> out,
+                              dist::ThreadPool& pool) const override;
   std::unique_ptr<SubmodularOracle> do_clone() const override;
   // No compacted shard view: min_dist_ is irreducible — any shard point can
   // tighten any point's cost term, and restricting rows to "reachable"
@@ -120,6 +158,9 @@ class SampledExemplarOracle final : public SubmodularOracle {
   double do_add(ElementId x) override;
   void do_gain_batch(std::span<const ElementId> xs,
                      std::span<double> out) const override;
+  bool do_gain_batch_parallel(std::span<const ElementId> xs,
+                              std::span<double> out,
+                              dist::ThreadPool& pool) const override;
   std::unique_ptr<SubmodularOracle> do_clone() const override;
   std::size_t do_state_bytes() const noexcept override {
     return min_dist_.capacity() * sizeof(double);

@@ -22,6 +22,10 @@
 
 #include "util/element.h"
 
+namespace bds::dist {
+class ThreadPool;
+}  // namespace bds::dist
+
 namespace bds {
 
 class SubmodularOracle {
@@ -63,6 +67,18 @@ class SubmodularOracle {
   void gain_batch_unaccounted(std::span<const ElementId> xs,
                               std::span<double> out) const {
     do_gain_batch(xs, out);
+  }
+
+  // Oracle-internal parallel batch evaluation (see do_gain_batch_parallel):
+  // returns true if the oracle ran the whole batch on `pool` itself —
+  // values bit-identical to gain_batch, evaluation counter untouched (the
+  // caller charges once, like gain_batch_unaccounted). Returns false when
+  // the oracle has no internal split or the batch is too small to fork
+  // for; the caller then falls back to chunking candidates.
+  bool gain_batch_parallel_unaccounted(std::span<const ElementId> xs,
+                                       std::span<double> out,
+                                       dist::ThreadPool& pool) const {
+    return do_gain_batch_parallel(xs, out, pool);
   }
 
   // Adds n to the evaluation counter. Pairs with gain_batch_unaccounted()
@@ -172,6 +188,22 @@ class SubmodularOracle {
   virtual void do_gain_batch(std::span<const ElementId> xs,
                              std::span<double> out) const {
     for (std::size_t i = 0; i < xs.size(); ++i) out[i] = do_gain(xs[i]);
+  }
+
+  // Hook behind gain_batch_parallel_unaccounted(). Oracles whose *single*
+  // evaluation is a large scan (exemplar clustering: O(n·dim) per
+  // candidate) override this to split their internal cost dimension over
+  // the pool with a deterministic chunk-ordered reduction and return true.
+  // The default declines, which makes core/batch_eval.h partition the
+  // candidate span instead. Implementations must be const-thread-safe and
+  // bit-identical to do_gain_batch.
+  virtual bool do_gain_batch_parallel(std::span<const ElementId> xs,
+                                      std::span<double> out,
+                                      dist::ThreadPool& pool) const {
+    (void)xs;
+    (void)out;
+    (void)pool;
+    return false;
   }
 
  private:

@@ -1,0 +1,55 @@
+// Minimal aligned allocator so SIMD kernels can rely on aligned loads.
+// PointSet stores its padded row matrix in an AlignedVector<float>; the
+// kernel layer's conversion scratch uses AlignedVector<double>.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace bds::util {
+
+// Base alignment every SIMD kernel in util/kernels.h may assume for padded
+// row storage (32 bytes = one AVX register).
+inline constexpr std::size_t kSimdAlign = 32;
+
+template <typename T, std::size_t Alignment = kSimdAlign>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, kSimdAlign>>;
+
+}  // namespace bds::util
