@@ -15,7 +15,13 @@
 //                   scalar kernels vs the dispatched SIMD path, across dims),
 //                   and a `parallel` section (exemplar batch vs the
 //                   cost-dimension-parallel batch, with the host thread
-//                   count).
+//                   count), and a `faults` section (fault-free vs
+//                   recoverable-fault bicriteria on a canonical workload:
+//                   retry overhead, wasted evals, and the degradation delta
+//                   when shards go unheard).
+//   --trace         run the canonical bicriteria workload under the
+//                   recoverable fault mix and print its structured round
+//                   trace as JSON.
 //
 // When the host has >= 8 hardware threads and the exemplar batch/parallel
 // benchmarks both ran, the binary exits nonzero unless the parallel path is
@@ -35,12 +41,16 @@
 #include <vector>
 
 #include "core/batch_eval.h"
+#include "core/bicriteria.h"
 #include "core/greedy.h"
 #include "data/graph_gen.h"
+#include "data/synthetic_coverage.h"
 #include "data/prob_gen.h"
 #include "data/vectors_gen.h"
+#include "dist/faults.h"
 #include "dist/partitioner.h"
 #include "dist/thread_pool.h"
+#include "dist/trace.h"
 #include "objectives/coverage.h"
 #include "objectives/coverage_incremental.h"
 #include "objectives/exemplar.h"
@@ -563,6 +573,71 @@ void BM_PartitionMultiplicity(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionMultiplicity)->Arg(2)->Arg(8);
 
+// --- fault-injecting executor -----------------------------------------------
+//
+// The canonical workload: 2-round bicriteria on a synthetic coverage
+// instance. Fault-free vs the recoverable mix (crashes, drops, stragglers
+// with unlimited retries) isolates the pure retry overhead — by the
+// determinism contract the selection is identical, only the wasted attempts
+// and metered backoff differ. The degraded variant (crash-heavy, a single
+// attempt) is the graceful-degradation case the JSON report quantifies.
+
+std::shared_ptr<const SetSystem> fault_bench_sets() {
+  static const auto sets = [] {
+    data::SyntheticCoverageConfig cfg;
+    cfg.universe_size = 2'000;
+    cfg.planted_sets = 50;
+    cfg.random_sets = 2'000;
+    cfg.seed = 19;
+    return data::make_synthetic_coverage(cfg).sets;
+  }();
+  return sets;
+}
+
+BicriteriaConfig fault_bench_config() {
+  BicriteriaConfig cfg;
+  cfg.k = 10;
+  cfg.output_items = 20;
+  cfg.rounds = 2;
+  cfg.runtime.seed = 7;
+  return cfg;
+}
+
+DistributedResult run_fault_workload(const BicriteriaConfig& cfg) {
+  const CoverageOracle proto(fault_bench_sets());
+  const auto ground = ids(proto.ground_size());
+  return bicriteria_greedy(proto, ground, cfg);
+}
+
+void BM_FaultPlanDraw(benchmark::State& state) {
+  const auto plan = dist::FaultPlan::recoverable(99);
+  std::size_t machine = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.fault_at(1, machine, 1));
+    machine = (machine + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultPlanDraw);
+
+void BM_BicriteriaFaultFree(benchmark::State& state) {
+  const auto cfg = fault_bench_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_fault_workload(cfg));
+  }
+}
+BENCHMARK(BM_BicriteriaFaultFree);
+
+void BM_BicriteriaRecoverableFaults(benchmark::State& state) {
+  auto cfg = fault_bench_config();
+  cfg.runtime.faults = dist::FaultPlan::recoverable(99);
+  cfg.runtime.retry.max_attempts = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_fault_workload(cfg));
+  }
+}
+BENCHMARK(BM_BicriteriaRecoverableFaults);
+
 // --- --json reporting -------------------------------------------------------
 
 struct GainBenchSpec {
@@ -763,6 +838,52 @@ void write_gain_json(const std::string& path,
     out << "}\n  },\n";
   }
 
+  // Fault-injecting executor: retry overhead on the canonical bicriteria
+  // workload (timings from the benchmarks above; ledgers and the degradation
+  // delta measured at write time — deterministic, so stable across runs).
+  {
+    const auto clean = run_fault_workload(fault_bench_config());
+
+    auto recoverable_cfg = fault_bench_config();
+    recoverable_cfg.runtime.faults = dist::FaultPlan::recoverable(99);
+    recoverable_cfg.runtime.retry.max_attempts = 0;
+    const auto recovered = run_fault_workload(recoverable_cfg);
+
+    auto degraded_cfg = fault_bench_config();
+    degraded_cfg.runtime.faults.seed = 99;
+    degraded_cfg.runtime.faults.crash_probability = 0.35;
+    degraded_cfg.runtime.retry.max_attempts = 1;
+    const auto degraded = run_fault_workload(degraded_cfg);
+
+    out << "  \"faults\": {\n"
+        << "    \"workload\": \"bicriteria k=10 rounds=2 on synthetic "
+           "coverage (2000 sets)\",\n"
+        << "    \"recoverable\": {"
+        << "\"selection_identical\": "
+        << (recovered.solution == clean.solution ? "true" : "false")
+        << ", \"retries\": " << recovered.stats.total_retries()
+        << ", \"faults_injected\": " << recovered.stats.total_faults_injected()
+        << ", \"wasted_evals\": " << recovered.stats.total_wasted_evals()
+        << ", \"delivered_evals\": " << recovered.stats.total_worker_evals()
+        << "},\n"
+        << "    \"degraded\": {"
+        << "\"machines_unheard\": " << degraded.stats.total_machines_unheard()
+        << ", \"value\": " << degraded.value
+        << ", \"fault_free_value\": " << clean.value
+        << ", \"value_retained\": "
+        << (clean.value > 0.0 ? degraded.value / clean.value : 1.0) << "}";
+    const auto clean_ns = raw_ns.find("BM_BicriteriaFaultFree");
+    const auto faulty_ns = raw_ns.find("BM_BicriteriaRecoverableFaults");
+    if (clean_ns != raw_ns.end() && faulty_ns != raw_ns.end() &&
+        clean_ns->second > 0.0) {
+      out << ",\n    \"fault_free_ms\": " << clean_ns->second / 1e6
+          << ",\n    \"recoverable_ms\": " << faulty_ns->second / 1e6
+          << ",\n    \"retry_overhead\": "
+          << faulty_ns->second / clean_ns->second;
+    }
+    out << "\n  },\n";
+  }
+
   // Parallel scaling of the exemplar oracle-internal cost-point split.
   {
     out << "  \"parallel\": {\n"
@@ -812,8 +933,10 @@ int check_parallel_scaling(
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip our --json[=path] flag before handing argv to google-benchmark.
+  // Strip our --json[=path] / --trace flags before handing argv to
+  // google-benchmark.
   std::string json_path;
+  bool print_trace = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -821,9 +944,19 @@ int main(int argc, char** argv) {
       json_path = "BENCH_micro.json";
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = std::string(arg.substr(7));
+    } else if (arg == "--trace") {
+      print_trace = true;
     } else {
       args.push_back(argv[i]);
     }
+  }
+  if (print_trace) {
+    auto cfg = fault_bench_config();
+    cfg.runtime.faults = dist::FaultPlan::recoverable(99);
+    cfg.runtime.retry.max_attempts = 0;
+    const auto result = run_fault_workload(cfg);
+    std::printf("%s\n", dist::trace_to_json(result.stats.trace).c_str());
+    if (argc == 2) return 0;  // --trace alone: skip the benchmark run
   }
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());

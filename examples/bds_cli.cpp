@@ -57,6 +57,10 @@ constexpr const char* kUsage = R"(usage: bds_cli [options]
   --eps E            epsilon                       (default 0.1)
   --machines M       machine count (0 = auto sqrt(n/k))
   --seed S           RNG seed                      (default 1)
+  --threads T        host threads (0 = hardware default)
+  --fault-seed S     nonzero: inject the recoverable fault mix with this
+                     seed (crashes, drops, stragglers; unlimited retries)
+  --trace            print the structured round trace as JSON
   --verbose          print the per-round execution report
   --certify          print curvature + upper-bound certificates
   --help             this text
@@ -134,29 +138,29 @@ std::shared_ptr<const SubmodularOracle> make_oracle(
   throw std::invalid_argument("unknown --dataset " + dataset);
 }
 
-DistributedResult run_algorithm(const util::Flags& flags,
-                                const SubmodularOracle& oracle,
-                                std::span<const ElementId> ground) {
-  const std::string algorithm = flags.get_string("algorithm", "bicriteria");
-  const AlgorithmSpec* spec = find_algorithm(algorithm);
-  if (spec == nullptr) {
-    std::string known;
-    for (const auto& name : algorithm_names()) {
-      if (!known.empty()) known += ", ";
-      known += name;
-    }
-    throw std::invalid_argument("unknown --algorithm " + algorithm +
-                                " (known: " + known + ")");
-  }
-
+RunResult run_algorithm(const util::Flags& flags,
+                        const SubmodularOracle& oracle,
+                        std::span<const ElementId> ground) {
   AlgorithmParams params;
   params.k = flags.get_uint("k", 10);
   params.rounds = flags.get_uint("rounds", 1);
   params.output_items = flags.get_uint("output", 0);
   params.epsilon = flags.get_double("eps", 0.1);
   params.machines = flags.get_uint("machines", 0);
-  params.seed = flags.get_uint("seed", 1);
-  return spec->run(oracle, ground, params);
+
+  RuntimeOptions runtime;
+  runtime.seed = flags.get_uint("seed", 1);
+  runtime.threads = flags.get_uint("threads", 0);
+  const std::uint64_t fault_seed = flags.get_uint("fault-seed", 0);
+  if (fault_seed != 0) {
+    // The recoverable mix with unlimited retries: every shard is eventually
+    // heard, so the selection matches the fault-free run while the stats
+    // pick up the retry/straggler overhead.
+    runtime.faults = dist::FaultPlan::recoverable(fault_seed);
+    runtime.retry.max_attempts = 0;
+  }
+  return run_distributed(flags.get_string("algorithm", "bicriteria"), oracle,
+                         ground, runtime, params);
 }
 
 }  // namespace
@@ -209,6 +213,10 @@ int main(int argc, char** argv) {
         !result.stats.rounds.empty()) {
       std::printf("\nexecution report:\n%s",
                   dist::render_execution_report(result.stats).c_str());
+    }
+    if (flags.get_bool("trace", false) && !result.stats.trace.empty()) {
+      std::printf("\ntrace: %s\n",
+                  dist::trace_to_json(result.stats.trace).c_str());
     }
     if (flags.get_bool("certify", false)) {
       // Instance-specific certificates: the top-k-marginal bound above plus

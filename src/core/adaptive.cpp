@@ -23,6 +23,7 @@ AdaptiveResult adaptive_bicriteria(const SubmodularOracle& proto,
   }
   const std::size_t per_round =
       config.items_per_round == 0 ? config.k : config.items_per_round;
+  const RuntimeOptions runtime = detail::resolve_runtime(config);
 
   AdaptiveResult adaptive;
   auto accumulated = proto.clone();  // carries S across rounds
@@ -40,8 +41,8 @@ AdaptiveResult adaptive_bicriteria(const SubmodularOracle& proto,
     round_config.selector = config.selector;
     round_config.stochastic_c = config.stochastic_c;
     round_config.machine_oracle_factory = config.machine_oracle_factory;
-    round_config.threads = config.threads;
-    round_config.seed = util::mix64(config.seed + round);
+    round_config.runtime = runtime;
+    round_config.runtime.seed = util::mix64(runtime.seed + round);
 
     const DistributedResult step =
         bicriteria_greedy(*accumulated, ground, round_config);
@@ -54,6 +55,10 @@ AdaptiveResult adaptive_bicriteria(const SubmodularOracle& proto,
     for (auto round_stats : step.stats.rounds) {
       round_stats.round_index = adaptive.result.stats.rounds.size();
       adaptive.result.stats.rounds.push_back(round_stats);
+    }
+    for (auto span : step.stats.trace.rounds) {
+      span.round_index = adaptive.result.stats.trace.rounds.size();
+      adaptive.result.stats.trace.rounds.push_back(std::move(span));
     }
     RoundTrace trace;
     trace.round = round;

@@ -17,6 +17,7 @@
 
 #include "core/bicriteria.h"
 #include "core/distributed.h"
+#include "core/runtime_options.h"
 #include "objectives/submodular.h"
 
 namespace bds {
@@ -30,6 +31,8 @@ struct AdaptiveConfig {
   MachineSelector selector = MachineSelector::kLazyGreedy;
   double stochastic_c = 3.0;
   MachineOracleFactory machine_oracle_factory;
+  RuntimeOptions runtime;  // see core/runtime_options.h
+  // Deprecated flat runtime fields; non-default values override `runtime`.
   std::size_t threads = 0;
   std::uint64_t seed = 1;
 };

@@ -38,10 +38,11 @@ DistributedResult one_round_merge(const SubmodularOracle& proto,
                                    : default_machines(ground.size(), config.k);
   const auto machine_budget = static_cast<std::size_t>(std::ceil(
       std::max(1.0, config.budget_factor) * static_cast<double>(config.k)));
+  const RuntimeOptions runtime = detail::resolve_runtime(config);
 
-  auto central = detail::make_central_oracle(proto, config.incremental_gains);
-  dist::Cluster cluster(machines, config.threads);
-  util::Rng rng(util::mix64(config.seed));
+  auto central = detail::make_central_oracle(proto, runtime.incremental_gains);
+  dist::Cluster cluster(machines, runtime.cluster_options());
+  util::Rng rng(util::mix64(runtime.seed));
 
   const dist::Partition partition =
       random_partition ? dist::partition_uniform(ground, machines, rng)
@@ -52,13 +53,13 @@ DistributedResult one_round_merge(const SubmodularOracle& proto,
   worker_config.stochastic_c = config.stochastic_c;
   worker_config.stop_when_no_gain = config.stop_when_no_gain;
   worker_config.budget = machine_budget;
-  worker_config.seed = config.seed;
+  worker_config.seed = runtime.seed;
   worker_config.round = 0;
   worker_config.central = central.get();
   worker_config.factory = config.machine_oracle_factory
                               ? &config.machine_oracle_factory
                               : nullptr;
-  worker_config.worker_oracle = config.worker_oracle;
+  worker_config.worker_oracle = runtime.worker_oracle;
 
   const auto reports =
       cluster.run_round(partition, detail::make_machine_worker(worker_config));
@@ -67,10 +68,10 @@ DistributedResult one_round_merge(const SubmodularOracle& proto,
   util::Timer timer;
   std::vector<ElementId> pool;
   for (const auto& report : reports) {
-    pool.insert(pool.end(), report.summary.begin(), report.summary.end());
+    pool.insert(pool.end(), report.summary().begin(), report.summary().end());
   }
   GreedyOptions central_options{config.stop_when_no_gain};
-  if (config.parallel_central) central_options.batch.pool = &cluster.pool();
+  if (runtime.parallel_central) central_options.batch.pool = &cluster.pool();
   const GreedyResult filtered =
       lazy_greedy(*central, pool, config.k, central_options);
   cluster.record_central_stage(central->evals(), timer.elapsed_seconds(),
@@ -82,7 +83,8 @@ DistributedResult one_round_merge(const SubmodularOracle& proto,
   std::span<const ElementId> best_machine;
   for (const auto& report : reports) {
     const std::span<const ElementId> prefix(
-        report.summary.data(), std::min(report.summary.size(), config.k));
+        report.summary().data(),
+        std::min(report.summary().size(), config.k));
     const double v = evaluate_set(proto, prefix);
     if (v > best_machine_value) {
       best_machine_value = v;
@@ -147,12 +149,13 @@ DistributedResult naive_distributed_greedy(
                                    ? config.machines
                                    : default_machines(ground.size(), config.k);
 
-  auto central = detail::make_central_oracle(proto, config.incremental_gains);
-  dist::Cluster cluster(machines, config.threads);
-  util::Rng rng(util::mix64(config.seed));
+  const RuntimeOptions runtime = detail::resolve_runtime(config);
+  auto central = detail::make_central_oracle(proto, runtime.incremental_gains);
+  dist::Cluster cluster(machines, runtime.cluster_options());
+  util::Rng rng(util::mix64(runtime.seed));
 
   GreedyOptions central_options{config.stop_when_no_gain};
-  if (config.parallel_central) central_options.batch.pool = &cluster.pool();
+  if (runtime.parallel_central) central_options.batch.pool = &cluster.pool();
 
   DistributedResult result;
   for (std::size_t round = 0; round < rounds; ++round) {
@@ -164,13 +167,13 @@ DistributedResult naive_distributed_greedy(
     worker_config.stochastic_c = config.stochastic_c;
     worker_config.stop_when_no_gain = config.stop_when_no_gain;
     worker_config.budget = config.k;
-    worker_config.seed = config.seed;
+    worker_config.seed = runtime.seed;
     worker_config.round = round;
     worker_config.central = central.get();
     worker_config.factory = config.machine_oracle_factory
                                 ? &config.machine_oracle_factory
                                 : nullptr;
-    worker_config.worker_oracle = config.worker_oracle;
+    worker_config.worker_oracle = runtime.worker_oracle;
 
     const auto reports = cluster.run_round(
         partition, detail::make_machine_worker(worker_config));
@@ -179,7 +182,8 @@ DistributedResult naive_distributed_greedy(
     const std::uint64_t evals_before = central->evals();
     std::vector<ElementId> pool;
     for (const auto& report : reports) {
-      pool.insert(pool.end(), report.summary.begin(), report.summary.end());
+      pool.insert(pool.end(), report.summary().begin(),
+                  report.summary().end());
     }
     const GreedyResult filtered =
         lazy_greedy(*central, pool, config.k, central_options);
@@ -219,9 +223,10 @@ DistributedResult parallel_alg(const SubmodularOracle& proto,
                                    ? config.machines
                                    : default_machines(ground.size(), config.k);
 
-  auto central = detail::make_central_oracle(proto, config.incremental_gains);
-  dist::Cluster cluster(machines, config.threads);
-  util::Rng rng(util::mix64(config.seed));
+  const RuntimeOptions runtime = detail::resolve_runtime(config);
+  auto central = detail::make_central_oracle(proto, runtime.incremental_gains);
+  dist::Cluster cluster(machines, runtime.cluster_options());
+  util::Rng rng(util::mix64(runtime.seed));
 
   DistributedResult result;
   std::vector<ElementId> pool;           // all candidates returned so far
@@ -243,13 +248,13 @@ DistributedResult parallel_alg(const SubmodularOracle& proto,
     worker_config.stochastic_c = config.stochastic_c;
     worker_config.stop_when_no_gain = config.stop_when_no_gain;
     worker_config.budget = config.k;
-    worker_config.seed = config.seed;
+    worker_config.seed = runtime.seed;
     worker_config.round = round;
     worker_config.central = central.get();
     worker_config.factory = config.machine_oracle_factory
                                 ? &config.machine_oracle_factory
                                 : nullptr;
-    worker_config.worker_oracle = config.worker_oracle;
+    worker_config.worker_oracle = runtime.worker_oracle;
 
     const auto reports = cluster.run_round(
         partition, detail::make_machine_worker(worker_config));
@@ -257,12 +262,13 @@ DistributedResult parallel_alg(const SubmodularOracle& proto,
     util::Timer timer;
     std::size_t gathered = 0;
     for (const auto& report : reports) {
-      pool.insert(pool.end(), report.summary.begin(), report.summary.end());
-      gathered += report.summary.size();
-      const double v = evaluate_set(proto, report.summary);
+      pool.insert(pool.end(), report.summary().begin(),
+                  report.summary().end());
+      gathered += report.summary().size();
+      const double v = evaluate_set(proto, report.summary());
       if (v > best_machine_value) {
         best_machine_value = v;
-        best_machine = report.summary;
+        best_machine = report.summary();
       }
     }
     pool = unique_candidates(pool);
@@ -283,7 +289,7 @@ DistributedResult parallel_alg(const SubmodularOracle& proto,
   // it benefits most from the parallel batch evaluator).
   util::Timer final_timer;
   GreedyOptions final_options{config.stop_when_no_gain};
-  if (config.parallel_central) final_options.batch.pool = &cluster.pool();
+  if (runtime.parallel_central) final_options.batch.pool = &cluster.pool();
   const GreedyResult filtered =
       lazy_greedy(*central, pool, config.k, final_options);
   cluster.mutable_stats().rounds.back().central_evals = central->evals();
@@ -318,9 +324,10 @@ DistributedResult greedy_scaling(const SubmodularOracle& proto,
                                    ? config.machines
                                    : default_machines(ground.size(), config.k);
 
-  auto central = detail::make_central_oracle(proto, config.incremental_gains);
-  dist::Cluster cluster(machines, config.threads);
-  util::Rng rng(util::mix64(config.seed));
+  const RuntimeOptions runtime = detail::resolve_runtime(config);
+  auto central = detail::make_central_oracle(proto, runtime.incremental_gains);
+  dist::Cluster cluster(machines, runtime.cluster_options());
+  util::Rng rng(util::mix64(runtime.seed));
 
   DistributedResult result;
   if (ground.empty()) {
@@ -355,24 +362,24 @@ DistributedResult greedy_scaling(const SubmodularOracle& proto,
     const double threshold = tau;
     const SubmodularOracle* central_ptr = central.get();
     const bool use_view =
-        config.worker_oracle == WorkerOracleMode::kShardView;
+        runtime.worker_oracle == WorkerOracleMode::kShardView;
     const auto worker = [threshold, remaining, central_ptr, use_view](
                             std::size_t,
                             std::span<const ElementId> shard)
-        -> dist::MachineReport {
+        -> dist::WorkerOutput {
       auto oracle =
           use_view ? central_ptr->shard_view(shard) : central_ptr->clone();
-      dist::MachineReport report;
+      dist::WorkerOutput output;
       for (const ElementId x : shard) {
-        if (report.summary.size() >= remaining) break;
+        if (output.summary.size() >= remaining) break;
         if (oracle->gain(x) >= threshold) {
           oracle->add(x);
-          report.summary.push_back(x);
+          output.summary.push_back(x);
         }
       }
-      report.oracle_evals = oracle->evals();
-      report.state_bytes = oracle->state_bytes();
-      return report;
+      output.oracle_evals = oracle->evals();
+      output.state_bytes = oracle->state_bytes();
+      return output;
     };
     const auto reports = cluster.run_round(partition, worker);
 
@@ -380,7 +387,7 @@ DistributedResult greedy_scaling(const SubmodularOracle& proto,
     const std::uint64_t evals_before = central->evals();
     std::size_t added = 0;
     for (const auto& report : reports) {
-      for (const ElementId x : report.summary) {
+      for (const ElementId x : report.summary()) {
         if (result.solution.size() >= config.k) break;
         if (central->gain(x) >= threshold) {
           central->add(x);

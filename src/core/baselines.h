@@ -26,6 +26,7 @@
 #include <span>
 
 #include "core/distributed.h"
+#include "core/runtime_options.h"
 #include "objectives/submodular.h"
 
 namespace bds {
@@ -39,12 +40,10 @@ struct OneRoundConfig {
   double stochastic_c = 3.0;
   bool stop_when_no_gain = true;
   MachineOracleFactory machine_oracle_factory;
-  // Opt-in parallel batch evaluation for the coordinator filter (bit-
-  // identical output; see core/batch_eval.h).
+  // Execution-environment knobs (core/runtime_options.h).
+  RuntimeOptions runtime;
+  // Deprecated flat runtime fields; non-default values override `runtime`.
   bool parallel_central = false;
-  // Worker oracle construction / coordinator incremental-gain upgrade.
-  // Both bit-identical; see WorkerOracleMode and
-  // objectives/coverage_incremental.h.
   WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
   bool incremental_gains = false;
   std::size_t threads = 0;
@@ -73,9 +72,11 @@ struct NaiveDistributedConfig {
   double stochastic_c = 3.0;
   bool stop_when_no_gain = true;
   MachineOracleFactory machine_oracle_factory;
-  bool parallel_central = false;  // see OneRoundConfig::parallel_central
+  RuntimeOptions runtime;  // see core/runtime_options.h
+  // Deprecated flat runtime fields; non-default values override `runtime`.
+  bool parallel_central = false;
   WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
-  bool incremental_gains = false;  // see OneRoundConfig::incremental_gains
+  bool incremental_gains = false;
   std::size_t threads = 0;
   std::uint64_t seed = 1;
 };
@@ -102,9 +103,11 @@ struct ParallelAlgConfig {
   double stochastic_c = 3.0;
   bool stop_when_no_gain = true;
   MachineOracleFactory machine_oracle_factory;
-  bool parallel_central = false;  // see OneRoundConfig::parallel_central
+  RuntimeOptions runtime;  // see core/runtime_options.h
+  // Deprecated flat runtime fields; non-default values override `runtime`.
+  bool parallel_central = false;
   WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
-  bool incremental_gains = false;  // see OneRoundConfig::incremental_gains
+  bool incremental_gains = false;
   std::size_t threads = 0;
   std::uint64_t seed = 1;
 };
@@ -125,8 +128,10 @@ struct GreedyScalingConfig {
   double epsilon = 0.2;      // threshold decay and guarantee slack
   std::size_t machines = 0;  // 0 → ⌈√(n/k)⌉
   bool stop_when_no_gain = true;
+  RuntimeOptions runtime;  // see core/runtime_options.h
+  // Deprecated flat runtime fields; non-default values override `runtime`.
   WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
-  bool incremental_gains = false;  // see OneRoundConfig::incremental_gains
+  bool incremental_gains = false;
   std::size_t threads = 0;
   std::uint64_t seed = 1;
 };

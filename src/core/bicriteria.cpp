@@ -114,14 +114,15 @@ DistributedResult bicriteria_greedy(const SubmodularOracle& proto,
                                     std::span<const ElementId> ground,
                                     const BicriteriaConfig& config) {
   const BicriteriaPlan plan = plan_bicriteria(config, ground.size());
+  const RuntimeOptions runtime = detail::resolve_runtime(config);
 
-  auto central = detail::make_central_oracle(proto, config.incremental_gains);
-  dist::Cluster cluster(plan.machines, config.threads);
-  util::Rng scatter_rng(util::mix64(config.seed));
+  auto central = detail::make_central_oracle(proto, runtime.incremental_gains);
+  dist::Cluster cluster(plan.machines, runtime.cluster_options());
+  util::Rng scatter_rng(util::mix64(runtime.seed));
 
   DistributedResult result;
   GreedyOptions central_options{config.stop_when_no_gain};
-  if (config.parallel_central) {
+  if (runtime.parallel_central) {
     central_options.batch.pool = &cluster.pool();
   }
 
@@ -146,13 +147,13 @@ DistributedResult bicriteria_greedy(const SubmodularOracle& proto,
     worker_config.stochastic_c = config.stochastic_c;
     worker_config.stop_when_no_gain = config.stop_when_no_gain;
     worker_config.budget = machine_budget;
-    worker_config.seed = config.seed;
+    worker_config.seed = runtime.seed;
     worker_config.round = round;
     worker_config.central = central.get();
     worker_config.factory = config.machine_oracle_factory
                                 ? &config.machine_oracle_factory
                                 : nullptr;
-    worker_config.worker_oracle = config.worker_oracle;
+    worker_config.worker_oracle = runtime.worker_oracle;
 
     const std::vector<dist::MachineReport> reports =
         cluster.run_round(partition, detail::make_machine_worker(worker_config));
@@ -165,7 +166,7 @@ DistributedResult bicriteria_greedy(const SubmodularOracle& proto,
     if (config.mode == BicriteriaMode::kHybrid) {
       // Adopt S1 wholesale (zero-gain members may be dropped from the
       // reported solution: for monotone f they can never gain later).
-      for (const ElementId x : reports.front().summary) {
+      for (const ElementId x : reports.front().summary()) {
         const double g = central->add(x);
         if (g > 0.0 || !config.stop_when_no_gain) {
           result.solution.push_back(x);
@@ -174,8 +175,8 @@ DistributedResult bicriteria_greedy(const SubmodularOracle& proto,
       }
       std::vector<ElementId> pool;
       for (std::size_t i = 1; i < reports.size(); ++i) {
-        pool.insert(pool.end(), reports[i].summary.begin(),
-                    reports[i].summary.end());
+        pool.insert(pool.end(), reports[i].summary().begin(),
+                    reports[i].summary().end());
       }
       const GreedyResult filtered =
           lazy_greedy(*central, pool, central_budget, central_options);
@@ -185,7 +186,8 @@ DistributedResult bicriteria_greedy(const SubmodularOracle& proto,
     } else {
       std::vector<ElementId> pool;
       for (const auto& report : reports) {
-        pool.insert(pool.end(), report.summary.begin(), report.summary.end());
+        pool.insert(pool.end(), report.summary().begin(),
+                    report.summary().end());
       }
       const GreedyResult filtered =
           lazy_greedy(*central, pool, central_budget, central_options);

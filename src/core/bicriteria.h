@@ -26,6 +26,7 @@
 #include <span>
 
 #include "core/distributed.h"
+#include "core/runtime_options.h"
 #include "objectives/submodular.h"
 
 namespace bds {
@@ -57,20 +58,18 @@ struct BicriteriaConfig {
   // Machines estimating on independent samples (see MachineOracleFactory).
   MachineOracleFactory machine_oracle_factory;
 
-  // Worker oracle construction when no factory is set (see WorkerOracleMode;
-  // both choices are bit-identical over the shard).
+  // Execution-environment knobs: threads, seed, worker oracle construction,
+  // incremental/parallel coordinator evaluation, fault injection, tracing.
+  RuntimeOptions runtime;
+
+  // --- deprecated flat runtime fields -------------------------------------
+  // Thin forwarders kept for one release; prefer `runtime`. A non-default
+  // value here overrides the matching `runtime` field (detail::
+  // resolve_runtime in core/runtime_options.h).
   WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
-
-  // Upgrade the coordinator's oracle to O(1) inverted-index gains when the
-  // objective supports it (unweighted coverage; bit-identical selections).
   bool incremental_gains = false;
-
-  // Opt-in: evaluate the coordinator filter's large candidate unions in
-  // parallel on the cluster's host pool (core/batch_eval.h). Output is
-  // bit-identical to the serial path; eval accounting is unchanged.
   bool parallel_central = false;
-
-  std::size_t threads = 0;  // host threads for the simulator; 0 = auto
+  std::size_t threads = 0;
   std::uint64_t seed = 1;
 };
 

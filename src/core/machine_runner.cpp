@@ -38,7 +38,7 @@ dist::Cluster::WorkerFn make_machine_worker(
     const MachineWorkerConfig& config) {
   assert(config.central != nullptr);
   return [config](std::size_t machine,
-                  std::span<const ElementId> shard) -> dist::MachineReport {
+                  std::span<const ElementId> shard) -> dist::WorkerOutput {
     std::unique_ptr<SubmodularOracle> oracle;
     if (config.factory != nullptr && *config.factory) {
       // Independent machine oracle; replay the coordinator's accumulated S
@@ -55,11 +55,11 @@ dist::Cluster::WorkerFn make_machine_worker(
         run_selector(*oracle, shard, config.budget, config.selector,
                      config.stochastic_c, config.stop_when_no_gain, rng);
 
-    dist::MachineReport report;
-    report.summary = selection.picks;
-    report.oracle_evals = oracle->evals();
-    report.state_bytes = oracle->state_bytes();
-    return report;
+    dist::WorkerOutput output;
+    output.summary = selection.picks;
+    output.oracle_evals = oracle->evals();
+    output.state_bytes = oracle->state_bytes();
+    return output;
   };
 }
 

@@ -40,8 +40,11 @@ struct MachineWorkerConfig {
 };
 
 // Builds the worker functor for one cluster round. The returned callable is
-// invoked concurrently; it only reads the coordinator oracle (clone or
-// shard view) and the config, both of which must outlive the round.
+// invoked concurrently — possibly more than once per machine when the
+// cluster retries a faulted attempt, which is safe because it is a pure
+// function of (machine, shard) — and it only reads the coordinator oracle
+// (clone or shard view) and the config, both of which must outlive the
+// round.
 dist::Cluster::WorkerFn make_machine_worker(const MachineWorkerConfig& config);
 
 // Coordinator oracle for a distributed run: a clone of `proto`, upgraded to

@@ -185,29 +185,30 @@ DistributedResult rand_greedi_matroid(
                double(rank)))));
   }
 
+  const RuntimeOptions runtime = detail::resolve_runtime(config);
   auto central = proto.clone();
-  dist::Cluster cluster(machines, config.threads);
-  util::Rng rng(util::mix64(config.seed));
+  dist::Cluster cluster(machines, runtime.cluster_options());
+  util::Rng rng(util::mix64(runtime.seed));
   const dist::Partition partition =
       dist::partition_uniform(ground, machines, rng);
 
   const auto worker = [&proto, &constraint](
                           std::size_t, std::span<const ElementId> shard)
-      -> dist::MachineReport {
+      -> dist::WorkerOutput {
     auto oracle = proto.clone();
     auto local = constraint.clone();
     const auto selection = lazy_greedy_matroid(*oracle, shard, *local);
-    dist::MachineReport report;
-    report.summary = selection.picks;
-    report.oracle_evals = oracle->evals();
-    return report;
+    dist::WorkerOutput output;
+    output.summary = selection.picks;
+    output.oracle_evals = oracle->evals();
+    return output;
   };
   const auto reports = cluster.run_round(partition, worker);
 
   util::Timer timer;
   std::vector<ElementId> pool;
   for (const auto& report : reports) {
-    pool.insert(pool.end(), report.summary.begin(), report.summary.end());
+    pool.insert(pool.end(), report.summary().begin(), report.summary().end());
   }
   auto central_constraint = constraint.clone();
   const auto filtered =
@@ -219,10 +220,10 @@ DistributedResult rand_greedi_matroid(
   double best_machine_value = -1.0;
   std::span<const ElementId> best_machine;
   for (const auto& report : reports) {
-    const double v = evaluate_set(proto, report.summary);
+    const double v = evaluate_set(proto, report.summary());
     if (v > best_machine_value) {
       best_machine_value = v;
-      best_machine = report.summary;
+      best_machine = report.summary();
     }
   }
 

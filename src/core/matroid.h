@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/distributed.h"
+#include "core/runtime_options.h"
 #include "objectives/submodular.h"
 #include "util/element.h"
 
@@ -140,6 +141,8 @@ ConstrainedGreedyResult lazy_greedy_matroid(
 // the better of the coordinator's solution and the best machine's.
 struct MatroidDistributedConfig {
   std::size_t machines = 0;  // 0 → ⌈√(n/rank)⌉
+  RuntimeOptions runtime;    // see core/runtime_options.h
+  // Deprecated flat runtime fields; non-default values override `runtime`.
   std::size_t threads = 0;
   std::uint64_t seed = 1;
 };

@@ -1,6 +1,8 @@
 #include "core/registry.h"
 
 #include <algorithm>
+#include <sstream>
+#include <stdexcept>
 
 #include "core/adaptive.h"
 #include "core/baselines.h"
@@ -13,10 +15,20 @@ namespace bds {
 
 namespace {
 
+// Merges the deprecated AlgorithmParams::seed into the runtime: a caller
+// that moved it off its default predates RuntimeOptions and wins.
+RuntimeOptions effective_runtime(const AlgorithmParams& params,
+                                 const RuntimeOptions& runtime) {
+  RuntimeOptions rt = runtime;
+  if (params.seed != 1) rt.seed = params.seed;
+  return rt;
+}
+
 DistributedResult run_bicriteria_mode(BicriteriaMode mode,
                                       const SubmodularOracle& proto,
                                       std::span<const ElementId> ground,
-                                      const AlgorithmParams& params) {
+                                      const AlgorithmParams& params,
+                                      const RuntimeOptions& runtime) {
   BicriteriaConfig cfg;
   cfg.mode = mode;
   cfg.k = params.k;
@@ -24,7 +36,7 @@ DistributedResult run_bicriteria_mode(BicriteriaMode mode,
   cfg.rounds = std::max<std::size_t>(1, params.rounds);
   cfg.epsilon = params.epsilon;
   cfg.machines = params.machines;
-  cfg.seed = params.seed;
+  cfg.runtime = effective_runtime(params, runtime);
   return bicriteria_greedy(proto, ground, cfg);
 }
 
@@ -33,11 +45,11 @@ DistributedResult run_one_round(
                             std::span<const ElementId>,
                             const OneRoundConfig&),
     const SubmodularOracle& proto, std::span<const ElementId> ground,
-    const AlgorithmParams& params) {
+    const AlgorithmParams& params, const RuntimeOptions& runtime) {
   OneRoundConfig cfg;
   cfg.k = params.k;
   cfg.machines = params.machines;
-  cfg.seed = params.seed;
+  cfg.runtime = effective_runtime(params, runtime);
   return fn(proto, ground, cfg);
 }
 
@@ -46,81 +58,82 @@ std::vector<AlgorithmSpec> build_registry() {
 
   specs.push_back(
       {"bicriteria", "practical BicriteriaGreedy (§4 setup)", true,
-       [](const auto& p, auto g, const auto& a) {
-         return run_bicriteria_mode(BicriteriaMode::kPractical, p, g, a);
+       [](const auto& p, auto g, const auto& a, const auto& rt) {
+         return run_bicriteria_mode(BicriteriaMode::kPractical, p, g, a, rt);
        }});
   specs.push_back(
       {"theory", "BicriteriaGreedy, Algorithm 1 budgets (Thm 2.2)", true,
-       [](const auto& p, auto g, const auto& a) {
-         return run_bicriteria_mode(BicriteriaMode::kTheory, p, g, a);
+       [](const auto& p, auto g, const auto& a, const auto& rt) {
+         return run_bicriteria_mode(BicriteriaMode::kTheory, p, g, a, rt);
        }});
   specs.push_back(
       {"multiplicity", "BicriteriaGreedy with multiplicity C (Thm 2.3)",
-       true, [](const auto& p, auto g, const auto& a) {
-         return run_bicriteria_mode(BicriteriaMode::kMultiplicity, p, g, a);
+       true, [](const auto& p, auto g, const auto& a, const auto& rt) {
+         return run_bicriteria_mode(BicriteriaMode::kMultiplicity, p, g, a,
+                                    rt);
        }});
   specs.push_back(
       {"hybrid", "HybridAlg (Thm 2.4)", true,
-       [](const auto& p, auto g, const auto& a) {
-         return run_bicriteria_mode(BicriteriaMode::kHybrid, p, g, a);
+       [](const auto& p, auto g, const auto& a, const auto& rt) {
+         return run_bicriteria_mode(BicriteriaMode::kHybrid, p, g, a, rt);
        }});
   specs.push_back({"greedi", "GreeDi [23], deterministic partition", true,
-                   [](const auto& p, auto g, const auto& a) {
-                     return run_one_round(&greedi, p, g, a);
+                   [](const auto& p, auto g, const auto& a, const auto& rt) {
+                     return run_one_round(&greedi, p, g, a, rt);
                    }});
   specs.push_back({"randgreedi", "RandGreeDi [5], random partition", true,
-                   [](const auto& p, auto g, const auto& a) {
-                     return run_one_round(&rand_greedi, p, g, a);
+                   [](const auto& p, auto g, const auto& a, const auto& rt) {
+                     return run_one_round(&rand_greedi, p, g, a, rt);
                    }});
   specs.push_back({"pseudo", "PseudoGreedy [21], 4k core-sets", true,
-                   [](const auto& p, auto g, const auto& a) {
+                   [](const auto& p, auto g, const auto& a, const auto& rt) {
                      OneRoundConfig cfg;
                      cfg.k = a.k;
                      cfg.machines = a.machines;
-                     cfg.seed = a.seed;
+                     cfg.runtime = effective_runtime(a, rt);
                      return pseudo_greedy(p, g, cfg);
                    }});
   specs.push_back({"parallel", "ParallelAlg [6], 1/eps rounds", true,
-                   [](const auto& p, auto g, const auto& a) {
+                   [](const auto& p, auto g, const auto& a, const auto& rt) {
                      ParallelAlgConfig cfg;
                      cfg.k = a.k;
                      cfg.epsilon = a.epsilon;
                      cfg.machines = a.machines;
-                     cfg.seed = a.seed;
+                     cfg.runtime = effective_runtime(a, rt);
                      return parallel_alg(p, g, cfg);
                    }});
   specs.push_back({"naive", "NaiveDistributedGreedy, ln(1/eps) rounds", true,
-                   [](const auto& p, auto g, const auto& a) {
+                   [](const auto& p, auto g, const auto& a, const auto& rt) {
                      NaiveDistributedConfig cfg;
                      cfg.k = a.k;
                      cfg.epsilon = a.epsilon;
                      cfg.machines = a.machines;
-                     cfg.seed = a.seed;
+                     cfg.runtime = effective_runtime(a, rt);
                      return naive_distributed_greedy(p, g, cfg);
                    }});
   specs.push_back({"scaling", "GreedyScaling [18], threshold rounds", true,
-                   [](const auto& p, auto g, const auto& a) {
+                   [](const auto& p, auto g, const auto& a, const auto& rt) {
                      GreedyScalingConfig cfg;
                      cfg.k = a.k;
                      cfg.epsilon = std::clamp(a.epsilon, 0.05, 0.9);
                      cfg.machines = a.machines;
-                     cfg.seed = a.seed;
+                     cfg.runtime = effective_runtime(a, rt);
                      return greedy_scaling(p, g, cfg);
                    }});
   specs.push_back(
       {"adaptive", "adaptive rounds with UB stopping certificate", true,
-       [](const auto& p, auto g, const auto& a) {
+       [](const auto& p, auto g, const auto& a, const auto& rt) {
          AdaptiveConfig cfg;
          cfg.k = a.k;
          cfg.target_ratio = std::clamp(1.0 - a.epsilon, 0.01, 0.99);
          cfg.max_rounds = std::max<std::size_t>(1, a.rounds > 1 ? a.rounds : 8);
          cfg.machines = a.machines;
-         cfg.seed = a.seed;
+         cfg.runtime = effective_runtime(a, rt);
          return adaptive_bicriteria(p, g, cfg).result;
        }});
   specs.push_back(
       {"sieve", "SieveStreaming [4], one pass", false,
-       [](const auto& p, auto g, const auto& a) {
+       [](const auto& p, auto g, const auto& a, const auto&) {
          SieveStreamingConfig cfg;
          cfg.k = a.k;
          cfg.epsilon = std::clamp(a.epsilon, 0.01, 0.9);
@@ -131,20 +144,20 @@ std::vector<AlgorithmSpec> build_registry() {
          return result;
        }});
   specs.push_back({"central", "centralized lazy greedy, k items", false,
-                   [](const auto& p, auto g, const auto& a) {
+                   [](const auto& p, auto g, const auto& a, const auto&) {
                      return centralized_greedy(p, g, a.k);
                    }});
   specs.push_back(
       {"central-bicriteria", "centralized greedy, k*ln(1/eps) items", false,
-       [](const auto& p, auto g, const auto& a) {
+       [](const auto& p, auto g, const auto& a, const auto&) {
          return centralized_bicriteria(p, g, a.k,
                                        std::clamp(a.epsilon, 0.001, 0.99));
        }});
   specs.push_back(
       {"random", "uniform random k-subset baseline", false,
-       [](const auto& p, auto g, const auto& a) {
+       [](const auto& p, auto g, const auto& a, const auto& rt) {
          auto oracle = p.clone();
-         util::Rng rng(a.seed);
+         util::Rng rng(effective_runtime(a, rt).seed);
          const auto picks = random_subset(*oracle, g, a.k, rng);
          DistributedResult result;
          result.solution = picks.picks;
@@ -173,6 +186,29 @@ std::vector<std::string> algorithm_names() {
   names.reserve(algorithm_registry().size());
   for (const auto& spec : algorithm_registry()) names.push_back(spec.name);
   return names;
+}
+
+RunResult run_distributed(std::string_view algorithm,
+                          const SubmodularOracle& oracle,
+                          std::span<const ElementId> ground,
+                          const RuntimeOptions& runtime,
+                          const AlgorithmParams& params) {
+  const AlgorithmSpec* spec = find_algorithm(algorithm);
+  if (spec == nullptr) {
+    std::ostringstream message;
+    message << "unknown algorithm '" << algorithm << "'; known:";
+    for (const auto& name : algorithm_names()) message << " " << name;
+    throw std::invalid_argument(message.str());
+  }
+
+  DistributedResult inner = spec->run(oracle, ground, params, runtime);
+  RunResult result;
+  result.algorithm = spec->name;
+  result.solution = std::move(inner.solution);
+  result.value = inner.value;
+  result.stats = std::move(inner.stats);
+  result.rounds = std::move(inner.rounds);
+  return result;
 }
 
 }  // namespace bds

@@ -13,17 +13,22 @@
 #include <vector>
 
 #include "core/distributed.h"
+#include "core/runtime_options.h"
 #include "objectives/submodular.h"
 
 namespace bds {
 
-// The common parameter block every registered runner understands.
+// The common algorithm-parameter block every registered runner understands.
+// Execution-environment knobs (threads, seed, faults, tracing) live in
+// RuntimeOptions and are passed alongside.
 struct AlgorithmParams {
   std::size_t k = 10;
   std::size_t rounds = 1;         // where meaningful
   std::size_t output_items = 0;   // bicriteria modes; 0 → k
   double epsilon = 0.1;           // where meaningful
   std::size_t machines = 0;       // 0 → algorithm default
+  // Deprecated thin forwarder: prefer RuntimeOptions::seed. A non-default
+  // value here overrides the runtime's seed for one release.
   std::uint64_t seed = 1;
 };
 
@@ -33,7 +38,8 @@ struct AlgorithmSpec {
   bool distributed = true;  // false for centralized/streaming references
   std::function<DistributedResult(const SubmodularOracle&,
                                   std::span<const ElementId>,
-                                  const AlgorithmParams&)>
+                                  const AlgorithmParams&,
+                                  const RuntimeOptions&)>
       run;
 };
 
@@ -46,5 +52,29 @@ const AlgorithmSpec* find_algorithm(std::string_view name);
 
 // All registered names, for diagnostics ("unknown algorithm X, try: ...").
 std::vector<std::string> algorithm_names();
+
+// The uniform front door: what one invocation returned, regardless of
+// which algorithm ran. `stats.trace` carries the structured round spans
+// (dist/trace.h); centralized references leave most of it empty.
+struct RunResult {
+  std::string algorithm;            // registry name that ran
+  std::vector<ElementId> solution;  // selection order, across rounds
+  double value = 0.0;
+  dist::ExecutionStats stats;
+  std::vector<RoundTrace> rounds;
+
+  std::size_t size() const noexcept { return solution.size(); }
+};
+
+// Looks up `algorithm` and runs it with the given runtime and parameters.
+// Throws std::invalid_argument listing the known names when the algorithm
+// is unknown. This is the intended entry point for tools: one call, one
+// result shape, runtime knobs (threads / seed / faults / tracing) in one
+// place.
+RunResult run_distributed(std::string_view algorithm,
+                          const SubmodularOracle& oracle,
+                          std::span<const ElementId> ground,
+                          const RuntimeOptions& runtime,
+                          const AlgorithmParams& params = {});
 
 }  // namespace bds

@@ -1,0 +1,75 @@
+// bds::RuntimeOptions — the one place for execution-environment knobs.
+//
+// Every distributed algorithm config used to carry its own copy of the
+// runtime flags (threads, seed, worker_oracle, ...). They are now grouped
+// here and embedded as a `runtime` member in each config; the old flat
+// fields remain as deprecated thin forwarders for one release (a non-default
+// flat value overrides the corresponding runtime field, so existing call
+// sites keep working unchanged).
+//
+// RuntimeOptions also carries the simulator's fault-injection and tracing
+// controls (dist/faults.h, dist/trace.h): a FaultPlan + RetryPolicy pair
+// and an optional per-round TraceSink, forwarded into dist::ClusterOptions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/distributed.h"
+
+namespace bds {
+
+struct RuntimeOptions {
+  // --- host execution ---
+  std::size_t threads = 0;   // simulator host threads; 0 = hardware default
+  std::uint64_t seed = 1;    // partitioning / stochastic-selector seed
+
+  // --- algorithm-independent executor knobs (all bit-identical choices) ---
+  WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
+  bool incremental_gains = false;  // coordinator O(1) coverage gains
+  bool parallel_central = false;   // parallel coordinator batch evaluation
+
+  // --- fault injection / retry / tracing (dist/faults.h, dist/trace.h) ---
+  dist::FaultPlan faults;    // all-healthy default == fault-free executor
+  dist::RetryPolicy retry;
+  dist::TraceSink trace_sink;
+
+  // The subset the cluster simulator consumes.
+  dist::ClusterOptions cluster_options() const {
+    return dist::ClusterOptions{threads, faults, retry, trace_sink};
+  }
+};
+
+namespace detail {
+
+// Merges a config's deprecated flat runtime fields into its `runtime`
+// member. A flat field that was moved off its default wins over the
+// corresponding RuntimeOptions field (callers predating `runtime` keep
+// their behaviour); flat defaults defer to `runtime`. Constrained with
+// `requires` per field so configs carrying different flat subsets (e.g.
+// GreedyScalingConfig has no parallel_central) share this one helper.
+template <typename Config>
+RuntimeOptions resolve_runtime(const Config& config) {
+  RuntimeOptions rt = config.runtime;
+  if constexpr (requires { config.threads; }) {
+    if (config.threads != 0) rt.threads = config.threads;
+  }
+  if constexpr (requires { config.seed; }) {
+    if (config.seed != 1) rt.seed = config.seed;
+  }
+  if constexpr (requires { config.worker_oracle; }) {
+    if (config.worker_oracle != WorkerOracleMode::kShardView) {
+      rt.worker_oracle = config.worker_oracle;
+    }
+  }
+  if constexpr (requires { config.incremental_gains; }) {
+    if (config.incremental_gains) rt.incremental_gains = true;
+  }
+  if constexpr (requires { config.parallel_central; }) {
+    if (config.parallel_central) rt.parallel_central = true;
+  }
+  return rt;
+}
+
+}  // namespace detail
+}  // namespace bds

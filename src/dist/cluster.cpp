@@ -8,6 +8,19 @@
 
 namespace bds::dist {
 
+namespace {
+
+std::size_t pool_threads(std::size_t machines, std::size_t threads) {
+  // Never spin up more host threads than logical machines.
+  return threads == 0
+             ? std::min<std::size_t>(
+                   machines, std::max<std::size_t>(
+                                 1, std::thread::hardware_concurrency()))
+             : std::min(threads, machines);
+}
+
+}  // namespace
+
 std::uint64_t ExecutionStats::total_worker_evals() const noexcept {
   std::uint64_t total = 0;
   for (const auto& r : rounds) total += r.worker_evals;
@@ -36,6 +49,30 @@ std::uint64_t ExecutionStats::peak_worker_state_bytes() const noexcept {
     peak = std::max(peak, r.peak_worker_state_bytes);
   }
   return peak;
+}
+
+std::uint64_t ExecutionStats::total_wasted_evals() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rounds) total += r.wasted_evals;
+  return total;
+}
+
+std::uint64_t ExecutionStats::total_retries() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rounds) total += r.retries;
+  return total;
+}
+
+std::uint64_t ExecutionStats::total_faults_injected() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rounds) total += r.faults_injected;
+  return total;
+}
+
+std::size_t ExecutionStats::total_machines_unheard() const noexcept {
+  std::size_t total = 0;
+  for (const auto& r : rounds) total += r.machines_unheard;
+  return total;
 }
 
 std::uint64_t ExecutionStats::bytes_communicated() const noexcept {
@@ -84,51 +121,173 @@ double ExecutionStats::modeled_cluster_seconds(
   return total;
 }
 
-Cluster::Cluster(std::size_t machines, std::size_t threads)
+Cluster::Cluster(std::size_t machines, const ClusterOptions& options)
     : machines_(machines),
-      // Never spin up more host threads than logical machines.
-      pool_(threads == 0
-                ? std::min<std::size_t>(
-                      machines, std::max<std::size_t>(
-                                    1, std::thread::hardware_concurrency()))
-                : std::min(threads, machines)) {
+      faults_(options.faults),
+      retry_(options.retry),
+      trace_sink_(options.trace_sink),
+      pool_(pool_threads(machines, options.threads)) {
   if (machines == 0) {
     throw std::invalid_argument("Cluster: need at least one machine");
   }
+  apply_env_fault_override(faults_, retry_);
+}
+
+Cluster::Cluster(std::size_t machines, std::size_t threads)
+    : Cluster(machines, ClusterOptions{threads, {}, {}, {}}) {}
+
+MachineReport Cluster::run_machine(std::size_t round, std::size_t machine,
+                                   std::span<const ElementId> shard,
+                                   const WorkerFn& worker,
+                                   MachineSpan& span) const {
+  span.machine = machine;
+
+  MachineReport report;
+  report.attempts = 0;
+
+  const std::size_t cap = retry_.attempt_cap();
+  for (std::size_t attempt = 1; attempt <= cap; ++attempt) {
+    util::Timer timer;
+    WorkerOutput output = worker(machine, shard);
+    double seconds = timer.elapsed_seconds();
+
+    const FaultKind fault = faults_.fault_at(round, machine, attempt);
+    report.attempts = attempt;
+    report.last_fault = fault;
+
+    AttemptSpan attempt_span;
+    attempt_span.attempt = attempt;
+    attempt_span.fault = fault;
+    attempt_span.evals = output.oracle_evals;
+
+    bool failed = false;
+    switch (fault) {
+      case FaultKind::kNone:
+      case FaultKind::kTruncation:
+        break;
+      case FaultKind::kCrash:
+      case FaultKind::kSummaryDrop:
+        // The work was done (crash: partially, modeled as fully; drop:
+        // fully) but nothing usable reached the coordinator.
+        failed = true;
+        break;
+      case FaultKind::kStraggler: {
+        seconds *= faults_.straggler_slowdown;
+        // Timeout in the eval cost model: the slowdown-adjusted cost blew
+        // the budget while the healthy cost would not have (the guard that
+        // makes unlimited retries terminate).
+        const double modeled =
+            static_cast<double>(output.oracle_evals) *
+            faults_.straggler_slowdown;
+        failed = retry_.timeout_evals > 0 &&
+                 modeled > static_cast<double>(retry_.timeout_evals) &&
+                 output.oracle_evals <= retry_.timeout_evals;
+        break;
+      }
+    }
+
+    attempt_span.seconds = seconds;
+    report.seconds += seconds;
+
+    if (!failed) {
+      attempt_span.delivered = true;
+      if (fault == FaultKind::kTruncation && !output.summary.empty()) {
+        const auto keep = static_cast<std::size_t>(
+            static_cast<double>(output.summary.size()) *
+            std::clamp(faults_.truncation_keep_fraction, 0.0, 1.0));
+        if (keep < output.summary.size()) {
+          output.summary.resize(keep);
+          report.status = DeliveryStatus::kDegraded;
+          span.degraded = true;
+        }
+      }
+      report.worker = std::move(output);
+      span.attempts.push_back(attempt_span);
+      span.summary_size = report.worker.summary.size();
+      return report;
+    }
+
+    // Failed attempt: charge deterministic backoff before the retry.
+    if (attempt < cap) {
+      attempt_span.backoff_seconds = retry_.backoff_for_attempt(attempt);
+      report.seconds += attempt_span.backoff_seconds;
+    }
+    span.attempts.push_back(attempt_span);
+  }
+
+  // Retry budget exhausted: the coordinator proceeds without this shard.
+  report.status = DeliveryStatus::kUnheard;
+  report.worker = WorkerOutput{};
+  span.heard = false;
+  span.summary_size = 0;
+  return report;
 }
 
 std::vector<MachineReport> Cluster::run_round(const Partition& partition,
                                               const WorkerFn& worker) {
   assert(partition.size() == machines_);
 
-  std::vector<MachineReport> reports(machines_);
-  pool_.parallel_for(machines_, [&](std::size_t i) {
-    util::Timer timer;
-    reports[i] = worker(i, std::span<const ElementId>(partition[i]));
-    reports[i].seconds = timer.elapsed_seconds();
-  });
+  RoundSpan span;
+  span.round_index = stats_.rounds.size();
+  span.machines.resize(machines_);
 
+  util::Timer scatter_timer;
   RoundStats round;
   round.round_index = stats_.rounds.size();
-  for (std::size_t i = 0; i < machines_; ++i) {
-    const auto& shard = partition[i];
-    const auto& rep = reports[i];
+  for (const auto& shard : partition) {
     if (!shard.empty()) ++round.machines_used;
     round.elements_scattered += shard.size();
-    round.elements_gathered += rep.summary.size();
-    round.worker_evals += rep.oracle_evals;
-    round.max_machine_evals = std::max(round.max_machine_evals,
-                                       rep.oracle_evals);
+    round.max_machine_items = std::max<std::uint64_t>(round.max_machine_items,
+                                                      shard.size());
+  }
+  span.scatter_seconds = scatter_timer.elapsed_seconds();
+
+  util::Timer map_timer;
+  std::vector<MachineReport> reports(machines_);
+  pool_.parallel_for(machines_, [&](std::size_t i) {
+    reports[i] = run_machine(round.round_index, i,
+                             std::span<const ElementId>(partition[i]), worker,
+                             span.machines[i]);
+  });
+  span.map_seconds = map_timer.elapsed_seconds();
+
+  util::Timer gather_timer;
+  for (std::size_t i = 0; i < machines_; ++i) {
+    const MachineReport& rep = reports[i];
     round.max_machine_seconds = std::max(round.max_machine_seconds,
                                          rep.seconds);
     round.sum_machine_seconds += rep.seconds;
-    round.max_machine_items = std::max<std::uint64_t>(round.max_machine_items,
-                                                      shard.size());
-    round.bytes_cloned += rep.state_bytes;
+    round.bytes_cloned += rep.worker.state_bytes;
     round.peak_worker_state_bytes =
-        std::max(round.peak_worker_state_bytes, rep.state_bytes);
+        std::max(round.peak_worker_state_bytes, rep.worker.state_bytes);
+
+    const MachineSpan& machine_span = span.machines[i];
+    round.retries +=
+        machine_span.attempts.empty() ? 0 : machine_span.attempts.size() - 1;
+    for (const AttemptSpan& attempt : machine_span.attempts) {
+      if (attempt.fault != FaultKind::kNone) ++round.faults_injected;
+      if (attempt.delivered) {
+        round.worker_evals += attempt.evals;
+        round.max_machine_evals =
+            std::max(round.max_machine_evals, attempt.evals);
+      } else {
+        round.wasted_evals += attempt.evals;
+      }
+      round.backoff_seconds += attempt.backoff_seconds;
+    }
+    if (!rep.heard()) {
+      ++round.machines_unheard;
+      span.unheard.push_back(i);
+    } else {
+      round.elements_gathered += rep.summary().size();
+    }
   }
+  span.retries = round.retries;
+  span.faults_injected = round.faults_injected;
+  span.gather_seconds = gather_timer.elapsed_seconds();
+
   stats_.rounds.push_back(round);
+  stats_.trace.rounds.push_back(std::move(span));
   return reports;
 }
 
@@ -141,6 +300,10 @@ void Cluster::record_central_stage(std::uint64_t evals, double seconds,
   round.central_evals = evals;
   round.central_seconds = seconds;
   round.central_selected = selected;
+
+  auto& span = stats_.trace.rounds.back();
+  span.filter_seconds = seconds;
+  if (trace_sink_) trace_sink_(span);
 }
 
 }  // namespace bds::dist

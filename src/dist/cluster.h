@@ -17,6 +17,16 @@
 //                        run simultaneously, so this is the simulated
 //                        distributed makespan; it backs the §4.2 speed-up
 //                        experiment.
+//   * faults           — a seeded FaultPlan (dist/faults.h) injects worker
+//                        crashes, lost/truncated summaries and straggler
+//                        slowdowns per (round, machine, attempt); a
+//                        RetryPolicy re-executes failed machines and, past
+//                        the budget, the round continues on the surviving
+//                        summaries with the unheard shards recorded.
+//
+// Determinism contract: a fixed FaultPlan + seed produces bit-identical
+// summaries, selections and eval accounting at any host thread count, and
+// an all-healthy plan is bit-identical to the fault-free executor.
 #pragma once
 
 #include <cstdint>
@@ -24,20 +34,47 @@
 #include <span>
 #include <vector>
 
+#include "dist/faults.h"
 #include "dist/partitioner.h"
 #include "dist/thread_pool.h"
+#include "dist/trace.h"
 #include "util/element.h"
 
 namespace bds::dist {
 
-// What one worker returns from one round.
-struct MachineReport {
+// What one worker observes and returns from one execution attempt. This is
+// strictly the worker's own view — the cluster stamps timing, retry and
+// delivery metadata on top of it (see MachineReport).
+struct WorkerOutput {
   std::vector<ElementId> summary;  // elements sent back to the coordinator
   std::uint64_t oracle_evals = 0;  // function evaluations spent by the worker
   // Heap bytes of the worker's oracle state (clone or compacted view) —
   // what materializing this machine cost in memory.
   std::uint64_t state_bytes = 0;
-  double seconds = 0.0;            // filled in by the cluster, not the worker
+};
+
+// Delivery outcome for one machine after faults and retries resolve.
+enum class DeliveryStatus : std::uint8_t {
+  kDelivered,  // final attempt's summary reached the coordinator intact
+  kDegraded,   // delivered, but the summary was truncated by a fault
+  kUnheard,    // retry budget exhausted; the shard contributed nothing
+};
+
+// What the coordinator sees for one machine in one round: the worker's
+// (possibly degraded) output plus the cluster-stamped execution record.
+struct MachineReport {
+  WorkerOutput worker;             // worker-observed fields (empty if unheard)
+  // Cluster-stamped: total wall-clock seconds across attempts, including
+  // straggler inflation and retry backoff.
+  double seconds = 0.0;
+  std::size_t attempts = 1;        // executions of the worker body
+  FaultKind last_fault = FaultKind::kNone;  // injected-fault tag (final attempt)
+  DeliveryStatus status = DeliveryStatus::kDelivered;
+
+  bool heard() const noexcept { return status != DeliveryStatus::kUnheard; }
+  const std::vector<ElementId>& summary() const noexcept {
+    return worker.summary;
+  }
 };
 
 // Accounting for one scatter -> map -> gather -> filter round.
@@ -45,10 +82,12 @@ struct RoundStats {
   std::size_t round_index = 0;
   std::size_t machines_used = 0;        // machines that received >= 1 item
   std::uint64_t elements_scattered = 0; // total slots incl. multiplicity
-  std::uint64_t elements_gathered = 0;  // summed summary sizes
-  std::uint64_t worker_evals = 0;       // summed over machines
-  std::uint64_t max_machine_evals = 0;  // slowest worker, eval terms
-  double max_machine_seconds = 0.0;     // slowest worker, wall clock
+  std::uint64_t elements_gathered = 0;  // summed delivered summary sizes
+  // Delivered-work accounting (bit-identical to the fault-free executor for
+  // any plan whose retries eventually deliver every machine):
+  std::uint64_t worker_evals = 0;       // delivered attempts, summed
+  std::uint64_t max_machine_evals = 0;  // slowest delivered attempt
+  double max_machine_seconds = 0.0;     // slowest machine incl. retries
   double sum_machine_seconds = 0.0;
   std::uint64_t max_machine_items = 0;
   // Worker oracle memory: bytes of oracle state materialized across the
@@ -57,6 +96,14 @@ struct RoundStats {
   // scale with the scattered shards.
   std::uint64_t bytes_cloned = 0;
   std::uint64_t peak_worker_state_bytes = 0;
+  // Fault/retry ledger: work burnt by failed attempts, re-executions,
+  // injected fault events, shards that went unheard, and the deterministic
+  // backoff charged between attempts.
+  std::uint64_t wasted_evals = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t faults_injected = 0;
+  std::size_t machines_unheard = 0;
+  double backoff_seconds = 0.0;
   // Coordinator filter stage (recorded via Cluster::record_central_stage).
   std::uint64_t central_evals = 0;
   double central_seconds = 0.0;
@@ -74,6 +121,9 @@ struct NetworkModel {
 // Whole-execution accounting across rounds.
 struct ExecutionStats {
   std::vector<RoundStats> rounds;
+  // Structured per-round spans (phases, attempts, fault tags); see
+  // dist/trace.h. Travels with the stats into every DistributedResult.
+  ExecutionTrace trace;
 
   std::size_t num_rounds() const noexcept { return rounds.size(); }
   std::uint64_t total_worker_evals() const noexcept;
@@ -84,6 +134,11 @@ struct ExecutionStats {
   // Worker oracle state materialized across all rounds / its per-worker peak.
   std::uint64_t total_bytes_cloned() const noexcept;
   std::uint64_t peak_worker_state_bytes() const noexcept;
+  // Fault/retry totals across rounds.
+  std::uint64_t total_wasted_evals() const noexcept;
+  std::uint64_t total_retries() const noexcept;
+  std::uint64_t total_faults_injected() const noexcept;
+  std::size_t total_machines_unheard() const noexcept;
   // Simulated distributed makespan: slowest worker + coordinator, per round.
   double critical_path_seconds() const noexcept;
   std::uint64_t critical_path_evals() const noexcept;
@@ -94,29 +149,48 @@ struct ExecutionStats {
   double modeled_cluster_seconds(const NetworkModel& network) const noexcept;
 };
 
+// Runtime knobs of the simulator itself (host threading, fault injection,
+// retry semantics, tracing). bds::RuntimeOptions (core/runtime_options.h)
+// carries these plus the algorithm-facing knobs.
+struct ClusterOptions {
+  // Host threads running workers concurrently; 0 = hardware default.
+  std::size_t threads = 0;
+  FaultPlan faults;     // all-healthy default == legacy executor
+  RetryPolicy retry;
+  TraceSink trace_sink; // optional per-round span callback
+};
+
 // The simulator. One Cluster instance is reused across the r rounds of an
 // algorithm execution; stats accumulate per round.
 class Cluster {
  public:
   // machines: logical worker count (the paper's m).
-  // threads: host threads running workers concurrently; 0 = hardware default.
+  explicit Cluster(std::size_t machines, const ClusterOptions& options);
+
+  // Legacy shape: fault-free executor with `threads` host threads.
   explicit Cluster(std::size_t machines, std::size_t threads = 0);
 
   std::size_t machines() const noexcept { return machines_; }
+  const FaultPlan& fault_plan() const noexcept { return faults_; }
+  const RetryPolicy& retry_policy() const noexcept { return retry_; }
 
-  // Worker body: given (machine index, shard) produce a MachineReport.
-  // Invoked concurrently — must not share mutable state across machines.
+  // Worker body: given (machine index, shard) produce a WorkerOutput.
+  // Invoked concurrently — must not share mutable state across machines —
+  // and possibly more than once per round (retries re-execute it), so it
+  // must be deterministic in (machine, shard) for retry convergence.
   using WorkerFn =
-      std::function<MachineReport(std::size_t, std::span<const ElementId>)>;
+      std::function<WorkerOutput(std::size_t, std::span<const ElementId>)>;
 
-  // Runs one scatter -> map -> gather round over a prepared partition and
+  // Runs one scatter -> map -> gather round over a prepared partition,
+  // injecting the configured faults and retrying failed machines, and
   // returns the per-machine reports (indexed by machine). Starts a new
-  // RoundStats entry; the caller completes it with record_central_stage().
-  // Precondition: partition.size() == machines().
+  // RoundStats entry + RoundSpan; the caller completes them with
+  // record_central_stage(). Precondition: partition.size() == machines().
   std::vector<MachineReport> run_round(const Partition& partition,
                                        const WorkerFn& worker);
 
-  // Records the coordinator's filtering stage for the most recent round.
+  // Records the coordinator's filtering stage for the most recent round,
+  // completes the round's trace span and fires the trace sink.
   // Precondition: run_round() has been called at least once.
   void record_central_stage(std::uint64_t evals, double seconds,
                             std::uint64_t selected);
@@ -131,7 +205,16 @@ class Cluster {
   ThreadPool& pool() noexcept { return pool_; }
 
  private:
+  // Executes one machine's attempt loop (faults, retries, backoff) and
+  // returns its report + span. Deterministic per (round, machine, shard).
+  MachineReport run_machine(std::size_t round, std::size_t machine,
+                            std::span<const ElementId> shard,
+                            const WorkerFn& worker, MachineSpan& span) const;
+
   std::size_t machines_;
+  FaultPlan faults_;
+  RetryPolicy retry_;
+  TraceSink trace_sink_;
   ThreadPool pool_;
   ExecutionStats stats_;
 };

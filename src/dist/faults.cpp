@@ -1,0 +1,100 @@
+#include "dist/faults.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/rng.h"
+
+namespace bds::dist {
+
+namespace {
+
+// Unlimited-retry safety cap. A plan with total failure probability p < 1
+// has chance p^64 of exhausting this (astronomically small for any sane
+// plan); the cap only exists so a pathological all-failing plan cannot hang
+// the simulator.
+constexpr std::size_t kUnlimitedAttemptCap = 64;
+
+// One uniform draw in [0, 1) per (seed, round, machine, attempt), via two
+// SplitMix64 mixing stages (the same construction as detail::machine_rng).
+double unit_draw(std::uint64_t seed, std::size_t round, std::size_t machine,
+                 std::size_t attempt) noexcept {
+  std::uint64_t h = util::mix64(seed ^ 0x6a09e667f3bcc909ULL);
+  h = util::mix64(h + 0x9e3779b97f4a7c15ULL * (round + 1));
+  h = util::mix64(h + 0xbf58476d1ce4e5b9ULL * (machine + 1));
+  h = util::mix64(h + 0x94d049bb133111ebULL * attempt);
+  // 53-bit mantissa conversion, matching util::Rng::next_double.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kSummaryDrop: return "summary_drop";
+    case FaultKind::kTruncation: return "truncation";
+    case FaultKind::kStraggler: return "straggler";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::all_healthy() const noexcept {
+  return crash_probability <= 0.0 && drop_probability <= 0.0 &&
+         truncation_probability <= 0.0 && straggler_probability <= 0.0;
+}
+
+FaultKind FaultPlan::fault_at(std::size_t round, std::size_t machine,
+                              std::size_t attempt) const noexcept {
+  if (all_healthy()) return FaultKind::kNone;
+  const double u = unit_draw(seed, round, machine, attempt);
+  double band = crash_probability;
+  if (u < band) return FaultKind::kCrash;
+  band += drop_probability;
+  if (u < band) return FaultKind::kSummaryDrop;
+  band += truncation_probability;
+  if (u < band) return FaultKind::kTruncation;
+  band += straggler_probability;
+  if (u < band) return FaultKind::kStraggler;
+  return FaultKind::kNone;
+}
+
+FaultPlan FaultPlan::recoverable(std::uint64_t seed) noexcept {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.crash_probability = 0.10;
+  plan.drop_probability = 0.06;
+  plan.truncation_probability = 0.0;  // would change delivered summaries
+  plan.straggler_probability = 0.12;
+  plan.straggler_slowdown = 4.0;
+  return plan;
+}
+
+std::size_t RetryPolicy::attempt_cap() const noexcept {
+  return max_attempts == 0 ? kUnlimitedAttemptCap
+                           : std::min(max_attempts, kUnlimitedAttemptCap);
+}
+
+double RetryPolicy::backoff_for_attempt(std::size_t attempt) const noexcept {
+  if (backoff_base_seconds <= 0.0) return 0.0;
+  double backoff = backoff_base_seconds;
+  for (std::size_t i = 1; i < attempt; ++i) backoff *= backoff_multiplier;
+  return backoff;
+}
+
+bool apply_env_fault_override(FaultPlan& plan, RetryPolicy& retry) {
+  if (!plan.all_healthy()) return false;  // explicit plans win over the env
+  const char* env = std::getenv("BDS_FAULT_SEED");
+  if (env == nullptr) return false;
+  const std::uint64_t seed = std::strtoull(env, nullptr, 10);
+  if (seed == 0) return false;
+  plan = FaultPlan::recoverable(seed);
+  retry = RetryPolicy{};
+  retry.max_attempts = 0;  // unlimited: outputs must stay golden
+  retry.timeout_evals = 0;
+  retry.backoff_base_seconds = 0.0;
+  return true;
+}
+
+}  // namespace bds::dist

@@ -1,0 +1,103 @@
+// Deterministic fault injection for the cluster simulator.
+//
+// The paper's algorithms target a MapReduce-style cluster precisely because
+// real clusters fail: workers crash mid-pass, summaries are lost or arrive
+// truncated, and stragglers stretch the round barrier. A FaultPlan makes
+// those failure modes representable in the simulator while keeping the
+// repository's determinism contract: every fault decision is a pure hash of
+// (plan seed, round, machine, attempt), so identical plans produce
+// bit-identical executions at any host thread count, and an all-healthy
+// plan leaves the executor bit-identical to the fault-free code path.
+//
+// A RetryPolicy says what the coordinator does about failures: re-execute
+// the machine (deterministic workers reproduce their exact summary), back
+// off between attempts (metered into RoundStats, not slept), and — once the
+// retry budget is exhausted — continue the round on whatever summaries
+// arrived, recording the unheard shards (graceful degradation).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bds::dist {
+
+// What the plan injects into one (round, machine, attempt) execution.
+// At most one fault fires per attempt (single uniform draw, disjoint
+// probability bands), which keeps plans easy to reason about.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,        // healthy attempt
+  kCrash,           // worker dies: work is paid for, nothing returns
+  kSummaryDrop,     // worker finishes but its summary is lost in transit
+  kTruncation,      // summary arrives but loses its tail (degraded data)
+  kStraggler,       // attempt completes slowed by `straggler_slowdown`
+};
+
+const char* fault_kind_name(FaultKind kind) noexcept;
+
+// Seeded, deterministic per-(round, machine, attempt) fault schedule.
+// Probabilities are per attempt and mutually exclusive (their sum is
+// effectively clamped to 1 by band order: crash, drop, truncation,
+// straggler). seed == 0 with all probabilities 0 is the all-healthy plan.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double crash_probability = 0.0;
+  double drop_probability = 0.0;
+  double truncation_probability = 0.0;
+  double straggler_probability = 0.0;
+
+  // Multiplier applied to a straggling attempt's wall-clock seconds and to
+  // its modeled eval cost when checking RetryPolicy::timeout_evals.
+  double straggler_slowdown = 8.0;
+
+  // Fraction of a truncated summary that survives (prefix, floor).
+  double truncation_keep_fraction = 0.5;
+
+  // True when no fault can ever fire — the executor takes the legacy
+  // single-attempt path and is bit-identical to the pre-fault simulator.
+  bool all_healthy() const noexcept;
+
+  // The injected fault for one attempt (1-based). Pure function of
+  // (seed, round, machine, attempt): thread-count and call-order invariant.
+  FaultKind fault_at(std::size_t round, std::size_t machine,
+                     std::size_t attempt) const noexcept;
+
+  // A canonical *recoverable* plan (crash + drop + straggler, no
+  // truncation): under unlimited retries every machine eventually delivers
+  // its exact healthy summary, so selections and delivered-eval accounting
+  // stay golden. Used by the CI fault-injection leg.
+  static FaultPlan recoverable(std::uint64_t seed) noexcept;
+};
+
+// What the coordinator does about failed attempts.
+struct RetryPolicy {
+  // Total attempts allowed per (round, machine); 0 means unlimited
+  // (bounded by an internal safety cap far beyond any realistic plan).
+  std::size_t max_attempts = 3;
+
+  // Straggler timeout in the simulator's eval cost model: an attempt whose
+  // slowdown-adjusted eval cost exceeds this — while its healthy cost does
+  // not — counts as timed out and is retried. 0 disables timeouts.
+  // (The healthy-cost guard guarantees a fault-free attempt always lands,
+  // so unlimited retries always terminate.)
+  std::uint64_t timeout_evals = 0;
+
+  // Deterministic exponential backoff charged after each failed attempt:
+  // backoff_base_seconds * backoff_multiplier^(attempt-1). Metered into
+  // MachineReport::seconds and RoundStats::backoff_seconds, never slept.
+  double backoff_base_seconds = 0.0;
+  double backoff_multiplier = 2.0;
+
+  // max_attempts with the unlimited sentinel resolved to the safety cap.
+  std::size_t attempt_cap() const noexcept;
+
+  double backoff_for_attempt(std::size_t attempt) const noexcept;
+};
+
+// CI hook: when `plan` is all-healthy and the environment variable
+// BDS_FAULT_SEED is set to a nonzero integer, replaces it with
+// FaultPlan::recoverable(that seed) and `retry` with unlimited, zero-backoff
+// retries. Lets the whole test suite run under injected faults with golden
+// outputs. Returns true when the override was applied.
+bool apply_env_fault_override(FaultPlan& plan, RetryPolicy& retry);
+
+}  // namespace bds::dist

@@ -27,6 +27,12 @@ std::string render_execution_report(const ExecutionStats& stats) {
                    util::Table::fmt_int(r.central_selected)});
   }
   out << table.to_string();
+  if (stats.total_faults_injected() > 0 || stats.total_machines_unheard() > 0) {
+    out << "faults: " << stats.total_faults_injected() << " injected, "
+        << stats.total_retries() << " retries ("
+        << stats.total_wasted_evals() << " wasted evals), "
+        << stats.total_machines_unheard() << " shard(s) unheard\n";
+  }
   out << "totals: " << stats.num_rounds() << " round(s), "
       << util::Table::fmt(double(stats.bytes_communicated()) / 1024.0, 1)
       << " KiB communicated, " << stats.total_evals()

@@ -11,8 +11,9 @@ namespace bds::dist {
 
 // Multi-line table: one row per round (machines, elements scattered and
 // gathered, worker evaluations total and max-machine, coordinator
-// evaluations and selections) followed by a totals/derived block
-// (communication bytes, critical-path evaluations and seconds, total work).
+// evaluations and selections) followed by a fault/retry line (when any
+// faults were injected) and a totals/derived block (communication bytes,
+// critical-path evaluations and seconds, total work).
 std::string render_execution_report(const ExecutionStats& stats);
 
 }  // namespace bds::dist

@@ -5,6 +5,7 @@
 #include <atomic>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
 #include "core/brute_force.h"
@@ -352,7 +353,12 @@ TEST(Bicriteria, MachineOracleFactoryIsUsed) {
     return std::make_unique<CoverageOracle>(sys);
   };
   const auto result = bicriteria_greedy(proto, iota_ids(100), cfg);
-  EXPECT_EQ(factory_calls.load(), 5);
+  if (std::getenv("BDS_FAULT_SEED") == nullptr) {
+    EXPECT_EQ(factory_calls.load(), 5);
+  } else {
+    // Injected faults re-run workers, so the factory fires once per attempt.
+    EXPECT_GE(factory_calls.load(), 5);
+  }
   EXPECT_GT(result.value, 0.0);
 }
 

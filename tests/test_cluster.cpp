@@ -13,12 +13,12 @@ namespace {
 
 // A worker that "selects" the first half of its shard and reports one eval
 // per item received.
-MachineReport half_selector(std::size_t /*machine*/,
-                            std::span<const ElementId> shard) {
-  MachineReport report;
-  report.summary.assign(shard.begin(), shard.begin() + shard.size() / 2);
-  report.oracle_evals = shard.size();
-  return report;
+WorkerOutput half_selector(std::size_t /*machine*/,
+                           std::span<const ElementId> shard) {
+  WorkerOutput output;
+  output.summary.assign(shard.begin(), shard.begin() + shard.size() / 2);
+  output.oracle_evals = shard.size();
+  return output;
 }
 
 TEST(Cluster, RejectsZeroMachines) {
@@ -30,9 +30,12 @@ TEST(Cluster, RunRoundReturnsPerMachineReports) {
   Partition partition{{0, 1, 2, 3}, {4, 5}, {}};
   const auto reports = cluster.run_round(partition, half_selector);
   ASSERT_EQ(reports.size(), 3u);
-  EXPECT_EQ(reports[0].summary, (std::vector<ElementId>{0, 1}));
-  EXPECT_EQ(reports[1].summary, (std::vector<ElementId>{4}));
-  EXPECT_TRUE(reports[2].summary.empty());
+  EXPECT_EQ(reports[0].summary(), (std::vector<ElementId>{0, 1}));
+  EXPECT_EQ(reports[1].summary(), (std::vector<ElementId>{4}));
+  EXPECT_TRUE(reports[2].summary().empty());
+  EXPECT_EQ(reports[0].status, DeliveryStatus::kDelivered);
+  EXPECT_EQ(reports[0].attempts, 1u);
+  EXPECT_EQ(reports[0].last_fault, FaultKind::kNone);
 }
 
 TEST(Cluster, RoundStatsAccounting) {
@@ -94,10 +97,10 @@ TEST(Cluster, CriticalPathUsesSlowestWorkerPlusCentral) {
     if (machine == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(30));
     }
-    MachineReport report;
-    report.summary.assign(shard.begin(), shard.end());
-    report.oracle_evals = machine == 0 ? 100 : 1;
-    return report;
+    WorkerOutput output;
+    output.summary.assign(shard.begin(), shard.end());
+    output.oracle_evals = machine == 0 ? 100 : 1;
+    return output;
   };
   cluster.run_round(partition, slow_then_fast);
   cluster.record_central_stage(5, 0.010, 1);
@@ -121,7 +124,7 @@ TEST(Cluster, WorkerExceptionPropagates) {
   EXPECT_THROW(
       cluster.run_round(partition,
                         [](std::size_t m, std::span<const ElementId>)
-                            -> MachineReport {
+                            -> WorkerOutput {
                           if (m == 1) throw std::runtime_error("worker died");
                           return {};
                         }),
@@ -140,18 +143,18 @@ TEST(Cluster, ConcurrentWorkersMatchSequentialExecution) {
 
   const auto worker = [&sys](std::size_t,
                              std::span<const ElementId> shard)
-      -> MachineReport {
+      -> WorkerOutput {
     // A real oracle workload: greedy-ish scan accumulating coverage.
     bds::CoverageOracle oracle(sys);
-    MachineReport report;
+    WorkerOutput output;
     for (const ElementId x : shard) {
       if (oracle.gain(x) > 2.0) {
         oracle.add(x);
-        report.summary.push_back(x);
+        output.summary.push_back(x);
       }
     }
-    report.oracle_evals = oracle.evals();
-    return report;
+    output.oracle_evals = oracle.evals();
+    return output;
   };
 
   Cluster sequential(8, 1);
@@ -160,8 +163,8 @@ TEST(Cluster, ConcurrentWorkersMatchSequentialExecution) {
   const auto b = concurrent.run_round(p4, worker);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].summary, b[i].summary) << "machine " << i;
-    EXPECT_EQ(a[i].oracle_evals, b[i].oracle_evals);
+    EXPECT_EQ(a[i].summary(), b[i].summary()) << "machine " << i;
+    EXPECT_EQ(a[i].worker.oracle_evals, b[i].worker.oracle_evals);
   }
   EXPECT_EQ(sequential.stats().rounds[0].elements_gathered,
             concurrent.stats().rounds[0].elements_gathered);

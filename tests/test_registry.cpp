@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 #include "objectives/coverage.h"
 #include "test_support.h"
@@ -52,16 +53,24 @@ TEST_P(RegistryRunners, EveryAlgorithmRunsAndReportsConsistently) {
   params.k = 4;
   params.epsilon = 0.25;
   params.machines = 5;
-  params.seed = 3;
-  const auto result = spec.run(proto, ground, params);
+  RuntimeOptions runtime;
+  runtime.seed = 3;
+  const auto result = spec.run(proto, ground, params, runtime);
 
   EXPECT_FALSE(result.solution.empty());
   EXPECT_NEAR(result.value, evaluate_set(proto, result.solution), 1e-9);
   for (const ElementId x : result.solution) EXPECT_LT(x, 100u);
 
   // Determinism through the registry path too.
-  const auto again = spec.run(proto, ground, params);
+  const auto again = spec.run(proto, ground, params, runtime);
   EXPECT_EQ(again.solution, result.solution);
+
+  // The deprecated flat AlgorithmParams::seed must behave identically when
+  // it carries the seed instead of the runtime.
+  AlgorithmParams flat = params;
+  flat.seed = 3;
+  const auto via_flat = spec.run(proto, ground, flat, RuntimeOptions{});
+  EXPECT_EQ(via_flat.solution, result.solution);
 }
 
 INSTANTIATE_TEST_SUITE_P(All, RegistryRunners,
@@ -81,10 +90,44 @@ TEST(Registry, RespectsOutputItemsForBicriteria) {
   AlgorithmParams params;
   params.k = 5;
   params.output_items = 15;
-  const auto result =
-      find_algorithm("bicriteria")->run(proto, iota_ids(200), params);
+  const auto result = find_algorithm("bicriteria")
+                          ->run(proto, iota_ids(200), params, RuntimeOptions{});
   EXPECT_GT(result.solution.size(), 5u);
   EXPECT_LE(result.solution.size(), 15u);
+}
+
+TEST(RunDistributed, FrontDoorMatchesSpecRun) {
+  const auto sys = random_set_system(120, 200, 0.04, 35);
+  const CoverageOracle proto(sys);
+  const auto ground = iota_ids(120);
+
+  AlgorithmParams params;
+  params.k = 5;
+  RuntimeOptions runtime;
+  runtime.seed = 9;
+
+  const RunResult front = run_distributed("bicriteria", proto, ground,
+                                          runtime, params);
+  const DistributedResult direct =
+      find_algorithm("bicriteria")->run(proto, ground, params, runtime);
+  EXPECT_EQ(front.algorithm, "bicriteria");
+  EXPECT_EQ(front.solution, direct.solution);
+  EXPECT_DOUBLE_EQ(front.value, direct.value);
+  EXPECT_EQ(front.stats.num_rounds(), direct.stats.num_rounds());
+  EXPECT_EQ(front.stats.trace.rounds.size(), front.stats.num_rounds());
+}
+
+TEST(RunDistributed, UnknownAlgorithmThrowsWithNames) {
+  const auto sys = random_set_system(20, 30, 0.2, 36);
+  const CoverageOracle proto(sys);
+  try {
+    run_distributed("no-such-algo", proto, iota_ids(20), RuntimeOptions{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-algo"), std::string::npos);
+    EXPECT_NE(what.find("bicriteria"), std::string::npos);
+  }
 }
 
 }  // namespace
