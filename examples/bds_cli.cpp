@@ -23,6 +23,7 @@
 #include "core/greedy.h"
 #include "core/registry.h"
 #include "core/upper_bound.h"
+#include "dist/engine.h"
 #include "data/bigram_gen.h"
 #include "dist/report.h"
 #include "data/graph_gen.h"
@@ -60,6 +61,14 @@ constexpr const char* kUsage = R"(usage: bds_cli [options]
   --threads T        host threads (0 = hardware default)
   --fault-seed S     nonzero: inject the recoverable fault mix with this
                      seed (crashes, drops, stragglers; unlimited retries)
+  --checkpoint-dir D write DIR/checkpoint.bds after every completed round
+                     (engine-backed algorithms; see dist/engine.h)
+  --resume FILE      continue a killed run from its checkpoint file; the
+                     algorithm, parameters and --seed must match the
+                     original invocation
+  --halt-after-round N
+                     stop after N completed rounds (with --checkpoint-dir:
+                     simulate a mid-run kill for later --resume)
   --trace            print the structured round trace as JSON
   --verbose          print the per-round execution report
   --certify          print curvature + upper-bound certificates
@@ -159,6 +168,18 @@ RunResult run_algorithm(const util::Flags& flags,
     runtime.faults = dist::FaultPlan::recoverable(fault_seed);
     runtime.retry.max_attempts = 0;
   }
+  if (flags.has("checkpoint-dir")) {
+    const std::string path =
+        flags.get_string("checkpoint-dir", ".") + "/checkpoint.bds";
+    runtime.checkpoint_sink = [path](const Checkpoint& checkpoint) {
+      save_checkpoint_file(checkpoint, path);
+    };
+  }
+  if (flags.has("resume")) {
+    runtime.resume_from = std::make_shared<const Checkpoint>(
+        load_checkpoint_file(flags.get_string("resume", "")));
+  }
+  runtime.halt_after_round = flags.get_uint("halt-after-round", 0);
   return run_distributed(flags.get_string("algorithm", "bicriteria"), oracle,
                          ground, runtime, params);
 }

@@ -43,6 +43,12 @@ AdaptiveResult adaptive_bicriteria(const SubmodularOracle& proto,
     round_config.machine_oracle_factory = config.machine_oracle_factory;
     round_config.runtime = runtime;
     round_config.runtime.seed = util::mix64(runtime.seed + round);
+    // Checkpointing belongs to the outer adaptive loop, not the one-round
+    // engine runs it composes (their snapshots would carry the wrong
+    // program identity and a partial view of the accumulated state).
+    round_config.runtime.checkpoint_sink = nullptr;
+    round_config.runtime.resume_from = nullptr;
+    round_config.runtime.halt_after_round = 0;
 
     const DistributedResult step =
         bicriteria_greedy(*accumulated, ground, round_config);

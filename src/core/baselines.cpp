@@ -2,115 +2,63 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "core/greedy.h"
-#include "core/machine_runner.h"
+#include "core/round_spec.h"
+#include "dist/engine.h"
 #include "dist/cluster.h"
-#include "dist/partitioner.h"
-#include "util/rng.h"
-#include "util/timer.h"
 
 namespace bds {
 
 namespace {
 
-std::size_t default_machines(std::size_t ground_size, std::size_t k) {
-  if (ground_size == 0) return 1;
-  const double ratio = static_cast<double>(ground_size) /
-                       static_cast<double>(std::max<std::size_t>(1, k));
-  return std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::ceil(std::sqrt(ratio))));
-}
-
-// Shared skeleton for the one-round greedy-of-greedies algorithms. The
+// Shared spec-builder for the one-round greedy-of-greedies algorithms. The
 // "best-of" merge (coordinator solution vs best single machine summary) is
 // the GreeDi-family output rule.
 DistributedResult one_round_merge(const SubmodularOracle& proto,
                                   std::span<const ElementId> ground,
                                   const OneRoundConfig& config,
-                                  bool random_partition) {
+                                  bool random_partition, const char* id) {
   if (config.k == 0) {
     throw std::invalid_argument("one-round baseline: k must be positive");
   }
-  const std::size_t machines = config.machines != 0
-                                   ? config.machines
-                                   : default_machines(ground.size(), config.k);
+  const std::size_t machines =
+      config.machines != 0 ? config.machines
+                           : default_machine_count(ground.size(), config.k);
   const auto machine_budget = static_cast<std::size_t>(std::ceil(
       std::max(1.0, config.budget_factor) * static_cast<double>(config.k)));
-  const RuntimeOptions runtime = detail::resolve_runtime(config);
 
-  auto central = detail::make_central_oracle(proto, runtime.incremental_gains);
-  dist::Cluster cluster(machines, runtime.cluster_options());
-  util::Rng rng(util::mix64(runtime.seed));
-
-  const dist::Partition partition =
-      random_partition ? dist::partition_uniform(ground, machines, rng)
-                       : dist::partition_round_robin(ground, machines);
-
-  detail::MachineWorkerConfig worker_config;
-  worker_config.selector = config.selector;
-  worker_config.stochastic_c = config.stochastic_c;
-  worker_config.stop_when_no_gain = config.stop_when_no_gain;
-  worker_config.budget = machine_budget;
-  worker_config.seed = runtime.seed;
-  worker_config.round = 0;
-  worker_config.central = central.get();
-  worker_config.factory = config.machine_oracle_factory
-                              ? &config.machine_oracle_factory
-                              : nullptr;
-  worker_config.worker_oracle = runtime.worker_oracle;
-
-  const auto reports =
-      cluster.run_round(partition, detail::make_machine_worker(worker_config));
-
-  // Coordinator: greedy k over the union of summaries.
-  util::Timer timer;
-  std::vector<ElementId> pool;
-  for (const auto& report : reports) {
-    pool.insert(pool.end(), report.summary().begin(), report.summary().end());
-  }
-  GreedyOptions central_options{config.stop_when_no_gain};
-  if (runtime.parallel_central) central_options.batch.pool = &cluster.pool();
-  const GreedyResult filtered =
-      lazy_greedy(*central, pool, config.k, central_options);
-  cluster.record_central_stage(central->evals(), timer.elapsed_seconds(),
-                               filtered.picks.size());
-
-  // Best-of merge: the best machine's own k-prefix may beat the filtered
-  // coordinator set (GreeDi outputs the max of the two).
-  double best_machine_value = -1.0;
-  std::span<const ElementId> best_machine;
-  for (const auto& report : reports) {
-    const std::span<const ElementId> prefix(
-        report.summary().data(),
-        std::min(report.summary().size(), config.k));
-    const double v = evaluate_set(proto, prefix);
-    if (v > best_machine_value) {
-      best_machine_value = v;
-      best_machine = prefix;
-    }
-  }
-
-  DistributedResult result;
-  if (best_machine_value > central->value()) {
-    result.solution.assign(best_machine.begin(), best_machine.end());
-    result.value = best_machine_value;
-  } else {
-    result.solution = filtered.picks;
-    result.value = central->value();
-  }
-
-  RoundTrace trace;
-  trace.round = 0;
-  trace.machines = machines;
-  trace.machine_budget = machine_budget;
-  trace.central_budget = config.k;
-  trace.items_added = result.solution.size();
-  trace.value_after = result.value;
-  result.rounds.push_back(trace);
-  result.stats = cluster.stats();
-  return result;
+  RoundProgram program;
+  program.id = id;
+  program.machines = machines;
+  program.stop_when_no_gain = config.stop_when_no_gain;
+  // Each machine's own k-prefix may beat the filtered coordinator set
+  // (GreeDi outputs the max of the two).
+  program.merge.rule = MergeRule::kBestOfMachines;
+  program.merge.probe_prefix = config.k;
+  program.oracle_factory = config.machine_oracle_factory
+                               ? &config.machine_oracle_factory
+                               : nullptr;
+  program.next_round =
+      [&config, random_partition, machine_budget](
+          const EngineProgress& progress) -> std::optional<RoundSpec> {
+    if (progress.round >= 1) return std::nullopt;
+    RoundSpec spec;
+    spec.partition = random_partition ? PartitionStrategy::kUniform
+                                      : PartitionStrategy::kRoundRobin;
+    spec.worker =
+        SelectorWorkerSpec{config.selector, config.stochastic_c,
+                           config.stop_when_no_gain, machine_budget};
+    spec.filter = GreedyFilterSpec{config.k};
+    spec.machine_budget = machine_budget;
+    spec.central_budget = config.k;
+    return spec;
+  };
+  return run_round_program(proto, ground, program,
+                           detail::resolve_runtime(config));
 }
 
 }  // namespace
@@ -118,20 +66,23 @@ DistributedResult one_round_merge(const SubmodularOracle& proto,
 DistributedResult greedi(const SubmodularOracle& proto,
                          std::span<const ElementId> ground,
                          const OneRoundConfig& config) {
-  return one_round_merge(proto, ground, config, /*random_partition=*/false);
+  return one_round_merge(proto, ground, config, /*random_partition=*/false,
+                         "greedi");
 }
 
 DistributedResult rand_greedi(const SubmodularOracle& proto,
                               std::span<const ElementId> ground,
                               const OneRoundConfig& config) {
-  return one_round_merge(proto, ground, config, /*random_partition=*/true);
+  return one_round_merge(proto, ground, config, /*random_partition=*/true,
+                         "rand-greedi");
 }
 
 DistributedResult pseudo_greedy(const SubmodularOracle& proto,
                                 std::span<const ElementId> ground,
                                 OneRoundConfig config) {
   if (config.budget_factor <= 1.0) config.budget_factor = 4.0;
-  return one_round_merge(proto, ground, config, /*random_partition=*/true);
+  return one_round_merge(proto, ground, config, /*random_partition=*/true,
+                         "pseudo-greedy");
 }
 
 DistributedResult naive_distributed_greedy(
@@ -145,67 +96,32 @@ DistributedResult naive_distributed_greedy(
   }
   const auto rounds = static_cast<std::size_t>(
       std::max(1.0, std::ceil(std::log(1.0 / config.epsilon))));
-  const std::size_t machines = config.machines != 0
-                                   ? config.machines
-                                   : default_machines(ground.size(), config.k);
+  const std::size_t machines =
+      config.machines != 0 ? config.machines
+                           : default_machine_count(ground.size(), config.k);
 
-  const RuntimeOptions runtime = detail::resolve_runtime(config);
-  auto central = detail::make_central_oracle(proto, runtime.incremental_gains);
-  dist::Cluster cluster(machines, runtime.cluster_options());
-  util::Rng rng(util::mix64(runtime.seed));
-
-  GreedyOptions central_options{config.stop_when_no_gain};
-  if (runtime.parallel_central) central_options.batch.pool = &cluster.pool();
-
-  DistributedResult result;
-  for (std::size_t round = 0; round < rounds; ++round) {
-    const dist::Partition partition =
-        dist::partition_uniform(ground, machines, rng);
-
-    detail::MachineWorkerConfig worker_config;
-    worker_config.selector = config.selector;
-    worker_config.stochastic_c = config.stochastic_c;
-    worker_config.stop_when_no_gain = config.stop_when_no_gain;
-    worker_config.budget = config.k;
-    worker_config.seed = runtime.seed;
-    worker_config.round = round;
-    worker_config.central = central.get();
-    worker_config.factory = config.machine_oracle_factory
-                                ? &config.machine_oracle_factory
-                                : nullptr;
-    worker_config.worker_oracle = runtime.worker_oracle;
-
-    const auto reports = cluster.run_round(
-        partition, detail::make_machine_worker(worker_config));
-
-    util::Timer timer;
-    const std::uint64_t evals_before = central->evals();
-    std::vector<ElementId> pool;
-    for (const auto& report : reports) {
-      pool.insert(pool.end(), report.summary().begin(),
-                  report.summary().end());
-    }
-    const GreedyResult filtered =
-        lazy_greedy(*central, pool, config.k, central_options);
-    cluster.record_central_stage(central->evals() - evals_before,
-                                 timer.elapsed_seconds(),
-                                 filtered.picks.size());
-    result.solution.insert(result.solution.end(), filtered.picks.begin(),
-                           filtered.picks.end());
-
-    RoundTrace trace;
-    trace.round = round;
-    trace.machines = machines;
-    trace.machine_budget = config.k;
-    trace.central_budget = config.k;
-    trace.items_added = filtered.picks.size();
-    trace.value_after = central->value();
-    result.rounds.push_back(trace);
-  }
-
-  result.value = central->value();
-  result.stats = cluster.stats();
-  return result;
+  RoundProgram program;
+  program.id = "naive-distributed";
+  program.machines = machines;
+  program.stop_when_no_gain = config.stop_when_no_gain;
+  program.oracle_factory = config.machine_oracle_factory
+                               ? &config.machine_oracle_factory
+                               : nullptr;
+  program.next_round =
+      [&config, rounds](const EngineProgress& progress)
+      -> std::optional<RoundSpec> {
+    if (progress.round >= rounds) return std::nullopt;
+    RoundSpec spec;
+    spec.partition = PartitionStrategy::kUniform;
+    spec.worker = SelectorWorkerSpec{config.selector, config.stochastic_c,
+                                     config.stop_when_no_gain, config.k};
+    spec.filter = GreedyFilterSpec{config.k};
+    spec.machine_budget = config.k;
+    spec.central_budget = config.k;
+    return spec;
+  };
+  return run_round_program(proto, ground, program,
+                           detail::resolve_runtime(config));
 }
 
 DistributedResult parallel_alg(const SubmodularOracle& proto,
@@ -219,96 +135,44 @@ DistributedResult parallel_alg(const SubmodularOracle& proto,
   }
   const auto rounds = static_cast<std::size_t>(
       std::max(1.0, std::ceil(1.0 / config.epsilon)));
-  const std::size_t machines = config.machines != 0
-                                   ? config.machines
-                                   : default_machines(ground.size(), config.k);
+  const std::size_t machines =
+      config.machines != 0 ? config.machines
+                           : default_machine_count(ground.size(), config.k);
 
-  const RuntimeOptions runtime = detail::resolve_runtime(config);
-  auto central = detail::make_central_oracle(proto, runtime.incremental_gains);
-  dist::Cluster cluster(machines, runtime.cluster_options());
-  util::Rng rng(util::mix64(runtime.seed));
-
-  DistributedResult result;
-  std::vector<ElementId> pool;           // all candidates returned so far
-  std::vector<ElementId> best_machine;   // best single-machine solution
-  double best_machine_value = -1.0;
-
-  for (std::size_t round = 0; round < rounds; ++round) {
-    // Scatter the ground set, then broadcast the accumulated pool to every
-    // machine (appending it to each shard makes the cluster meter the
-    // broadcast as scattered elements, matching [6]'s communication model).
-    dist::Partition partition =
-        dist::partition_uniform(ground, machines, rng);
-    for (auto& shard : partition) {
-      shard.insert(shard.end(), pool.begin(), pool.end());
-    }
-
-    detail::MachineWorkerConfig worker_config;
-    worker_config.selector = config.selector;
-    worker_config.stochastic_c = config.stochastic_c;
-    worker_config.stop_when_no_gain = config.stop_when_no_gain;
-    worker_config.budget = config.k;
-    worker_config.seed = runtime.seed;
-    worker_config.round = round;
-    worker_config.central = central.get();
-    worker_config.factory = config.machine_oracle_factory
-                                ? &config.machine_oracle_factory
-                                : nullptr;
-    worker_config.worker_oracle = runtime.worker_oracle;
-
-    const auto reports = cluster.run_round(
-        partition, detail::make_machine_worker(worker_config));
-
-    util::Timer timer;
-    std::size_t gathered = 0;
-    for (const auto& report : reports) {
-      pool.insert(pool.end(), report.summary().begin(),
-                  report.summary().end());
-      gathered += report.summary().size();
-      const double v = evaluate_set(proto, report.summary());
-      if (v > best_machine_value) {
-        best_machine_value = v;
-        best_machine = report.summary();
-      }
-    }
-    pool = unique_candidates(pool);
-    cluster.record_central_stage(0, timer.elapsed_seconds(), 0);
-
-    RoundTrace trace;
-    trace.round = round;
-    trace.machines = machines;
-    trace.machine_budget = config.k;
-    trace.central_budget = 0;       // filtering happens once, after round r
-    trace.items_added = gathered;   // candidates added to the pool
-    trace.value_after = best_machine_value;  // running best machine solution
-    result.rounds.push_back(trace);
-  }
-
-  // Final filter: central greedy k over the pool (this union is the
-  // largest candidate set any coordinator stage sees — O(m·k/ε) ids — so
-  // it benefits most from the parallel batch evaluator).
-  util::Timer final_timer;
-  GreedyOptions final_options{config.stop_when_no_gain};
-  if (runtime.parallel_central) final_options.batch.pool = &cluster.pool();
-  const GreedyResult filtered =
-      lazy_greedy(*central, pool, config.k, final_options);
-  cluster.mutable_stats().rounds.back().central_evals = central->evals();
-  cluster.mutable_stats().rounds.back().central_seconds +=
-      final_timer.elapsed_seconds();
-  cluster.mutable_stats().rounds.back().central_selected =
-      filtered.picks.size();
-
-  if (best_machine_value > central->value()) {
-    result.solution = best_machine;
-    result.value = best_machine_value;
-  } else {
-    result.solution = filtered.picks;
-    result.value = central->value();
-  }
-  result.rounds.back().central_budget = config.k;
-  result.rounds.back().value_after = result.value;
-  result.stats = cluster.stats();
-  return result;
+  RoundProgram program;
+  program.id = "parallel-alg";
+  program.machines = machines;
+  program.stop_when_no_gain = config.stop_when_no_gain;
+  // No per-round selection: summaries accumulate into the candidate pool;
+  // after round r a single lazy greedy k filters the pool (this union is
+  // the largest candidate set any coordinator stage sees — O(m·k/ε) ids —
+  // so it benefits most from the parallel batch evaluator), competing
+  // against the best single machine summary.
+  program.merge.rule = MergeRule::kBestOfMachines;
+  program.merge.probe_prefix = std::numeric_limits<std::size_t>::max();
+  program.merge.final_filter_budget = config.k;
+  program.oracle_factory = config.machine_oracle_factory
+                               ? &config.machine_oracle_factory
+                               : nullptr;
+  program.next_round =
+      [&config, rounds](const EngineProgress& progress)
+      -> std::optional<RoundSpec> {
+    if (progress.round >= rounds) return std::nullopt;
+    RoundSpec spec;
+    spec.partition = PartitionStrategy::kUniform;
+    // Broadcasting the accumulated pool to every machine makes the cluster
+    // meter the broadcast as scattered elements, matching [6]'s
+    // communication model.
+    spec.broadcast_pool = true;
+    spec.worker = SelectorWorkerSpec{config.selector, config.stochastic_c,
+                                     config.stop_when_no_gain, config.k};
+    spec.filter = PoolFilterSpec{};
+    spec.machine_budget = config.k;
+    spec.central_budget = 0;  // filtering happens once, after round r
+    return spec;
+  };
+  return run_round_program(proto, ground, program,
+                           detail::resolve_runtime(config));
 }
 
 DistributedResult greedy_scaling(const SubmodularOracle& proto,
@@ -320,100 +184,48 @@ DistributedResult greedy_scaling(const SubmodularOracle& proto,
   if (!(config.epsilon > 0.0 && config.epsilon < 1.0)) {
     throw std::invalid_argument("greedy scaling: epsilon in (0,1)");
   }
-  const std::size_t machines = config.machines != 0
-                                   ? config.machines
-                                   : default_machines(ground.size(), config.k);
-
-  const RuntimeOptions runtime = detail::resolve_runtime(config);
-  auto central = detail::make_central_oracle(proto, runtime.incremental_gains);
-  dist::Cluster cluster(machines, runtime.cluster_options());
-  util::Rng rng(util::mix64(runtime.seed));
-
-  DistributedResult result;
-  if (ground.empty()) {
-    result.stats = cluster.stats();
-    return result;
-  }
+  const std::size_t machines =
+      config.machines != 0 ? config.machines
+                           : default_machine_count(ground.size(), config.k);
 
   // Δ = max singleton value (one oracle pass; in MapReduce this is a cheap
   // max-reduce, so we do not charge it as a round).
   double delta = 0.0;
-  {
+  if (!ground.empty()) {
     auto probe = proto.clone();
     for (const ElementId x : ground) delta = std::max(delta, probe->gain(x));
   }
-  if (delta <= 0.0) {
-    result.stats = cluster.stats();
-    return result;
-  }
-
   const double floor_tau =
       config.epsilon * delta / static_cast<double>(config.k);
-  double tau = delta;
-  std::size_t round = 0;
 
-  while (result.solution.size() < config.k && tau >= floor_tau) {
-    const std::size_t remaining = config.k - result.solution.size();
-    const dist::Partition partition =
-        dist::partition_uniform(ground, machines, rng);
-
-    // Threshold worker: greedily keep shard items whose marginal on top of
-    // S ∪ (local picks) clears τ, up to `remaining` of them.
-    const double threshold = tau;
-    const SubmodularOracle* central_ptr = central.get();
-    const bool use_view =
-        runtime.worker_oracle == WorkerOracleMode::kShardView;
-    const auto worker = [threshold, remaining, central_ptr, use_view](
-                            std::size_t,
-                            std::span<const ElementId> shard)
-        -> dist::WorkerOutput {
-      auto oracle =
-          use_view ? central_ptr->shard_view(shard) : central_ptr->clone();
-      dist::WorkerOutput output;
-      for (const ElementId x : shard) {
-        if (output.summary.size() >= remaining) break;
-        if (oracle->gain(x) >= threshold) {
-          oracle->add(x);
-          output.summary.push_back(x);
-        }
-      }
-      output.oracle_evals = oracle->evals();
-      output.state_bytes = oracle->state_bytes();
-      return output;
-    };
-    const auto reports = cluster.run_round(partition, worker);
-
-    util::Timer timer;
-    const std::uint64_t evals_before = central->evals();
-    std::size_t added = 0;
-    for (const auto& report : reports) {
-      for (const ElementId x : report.summary()) {
-        if (result.solution.size() >= config.k) break;
-        if (central->gain(x) >= threshold) {
-          central->add(x);
-          result.solution.push_back(x);
-          ++added;
-        }
-      }
+  RoundProgram program;
+  program.id = "greedy-scaling";
+  program.machines = machines;
+  program.stop_when_no_gain = config.stop_when_no_gain;
+  program.next_round =
+      [&config, delta, floor_tau](const EngineProgress& progress)
+      -> std::optional<RoundSpec> {
+    if (delta <= 0.0) return std::nullopt;  // empty ground / zero objective
+    if (progress.solution_size >= config.k) return std::nullopt;
+    // τ_r = Δ·(1-ε)^r, recomputed by repeated multiplication so round r's
+    // threshold is bit-identical whether reached live or after a resume.
+    double tau = delta;
+    for (std::size_t i = 0; i < progress.round; ++i) {
+      tau *= (1.0 - config.epsilon);
     }
-    cluster.record_central_stage(central->evals() - evals_before,
-                                 timer.elapsed_seconds(), added);
+    if (tau < floor_tau) return std::nullopt;
 
-    RoundTrace trace;
-    trace.round = round++;
-    trace.machines = machines;
-    trace.machine_budget = remaining;
-    trace.central_budget = remaining;
-    trace.items_added = added;
-    trace.value_after = central->value();
-    result.rounds.push_back(trace);
-
-    tau *= (1.0 - config.epsilon);
-  }
-
-  result.value = central->value();
-  result.stats = cluster.stats();
-  return result;
+    const std::size_t remaining = config.k - progress.solution_size;
+    RoundSpec spec;
+    spec.partition = PartitionStrategy::kUniform;
+    spec.worker = ThresholdWorkerSpec{tau, remaining};
+    spec.filter = ThresholdFilterSpec{tau, config.k};
+    spec.machine_budget = remaining;
+    spec.central_budget = remaining;
+    return spec;
+  };
+  return run_round_program(proto, ground, program,
+                           detail::resolve_runtime(config));
 }
 
 DistributedResult centralized_greedy(const SubmodularOracle& proto,

@@ -2,14 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
-#include "core/greedy.h"
-#include "core/machine_runner.h"
-#include "dist/cluster.h"
-#include "dist/partitioner.h"
-#include "util/rng.h"
-#include "util/timer.h"
+#include "core/round_spec.h"
+#include "dist/engine.h"
 
 namespace bds {
 
@@ -19,15 +16,14 @@ std::size_t ceil_to_size(double v) {
   return static_cast<std::size_t>(std::ceil(std::max(0.0, v)));
 }
 
-// The paper's default machine count (footnote 3): balance the per-machine
-// shard (n/m items) against the coordinator's gather (m·k' items).
-std::size_t default_machines(std::size_t ground_size,
-                             std::size_t machine_budget) {
-  if (ground_size == 0) return 1;
-  const double ratio = static_cast<double>(ground_size) /
-                       static_cast<double>(std::max<std::size_t>(1,
-                                                                 machine_budget));
-  return std::max<std::size_t>(1, ceil_to_size(std::sqrt(ratio)));
+const char* mode_id(BicriteriaMode mode) {
+  switch (mode) {
+    case BicriteriaMode::kTheory: return "bicriteria/theory";
+    case BicriteriaMode::kMultiplicity: return "bicriteria/multiplicity";
+    case BicriteriaMode::kHybrid: return "bicriteria/hybrid";
+    case BicriteriaMode::kPractical: return "bicriteria/practical";
+  }
+  return "bicriteria";
 }
 
 }  // namespace
@@ -56,9 +52,10 @@ BicriteriaPlan plan_bicriteria(const BicriteriaConfig& config,
     plan.machine_budget = out / config.rounds;  // last round adds out % r
     plan.central_budget = plan.machine_budget;
     plan.output_bound = out;
-    plan.machines = config.machines != 0
-                        ? config.machines
-                        : default_machines(ground_size, plan.machine_budget);
+    plan.machines =
+        config.machines != 0
+            ? config.machines
+            : default_machine_count(ground_size, plan.machine_budget);
     return plan;
   }
 
@@ -103,34 +100,31 @@ BicriteriaPlan plan_bicriteria(const BicriteriaConfig& config,
     // load balance of footnote 3.
     plan.machines = std::max<std::size_t>(
         ceil_to_size(alpha * ln_a),
-        default_machines(ground_size, plan.machine_budget));
+        default_machine_count(ground_size, plan.machine_budget));
   }
   // Multiplicity beyond the machine count is meaningless.
   plan.multiplicity = std::min(plan.multiplicity, plan.machines);
   return plan;
 }
 
-DistributedResult bicriteria_greedy(const SubmodularOracle& proto,
-                                    std::span<const ElementId> ground,
-                                    const BicriteriaConfig& config) {
-  const BicriteriaPlan plan = plan_bicriteria(config, ground.size());
-  const RuntimeOptions runtime = detail::resolve_runtime(config);
+RoundProgram make_bicriteria_program(const BicriteriaConfig& config,
+                                     const BicriteriaPlan& plan) {
+  RoundProgram program;
+  program.id = mode_id(config.mode);
+  program.machines = plan.machines;
+  program.stop_when_no_gain = config.stop_when_no_gain;
+  program.oracle_factory = config.machine_oracle_factory
+                               ? &config.machine_oracle_factory
+                               : nullptr;
+  program.next_round =
+      [&config, plan](const EngineProgress& progress)
+      -> std::optional<RoundSpec> {
+    if (progress.round >= plan.rounds) return std::nullopt;
 
-  auto central = detail::make_central_oracle(proto, runtime.incremental_gains);
-  dist::Cluster cluster(plan.machines, runtime.cluster_options());
-  util::Rng scatter_rng(util::mix64(runtime.seed));
-
-  DistributedResult result;
-  GreedyOptions central_options{config.stop_when_no_gain};
-  if (runtime.parallel_central) {
-    central_options.batch.pool = &cluster.pool();
-  }
-
-  for (std::size_t round = 0; round < plan.rounds; ++round) {
     std::size_t machine_budget = plan.machine_budget;
     std::size_t central_budget = plan.central_budget;
     if (config.mode == BicriteriaMode::kPractical &&
-        round + 1 == plan.rounds) {
+        progress.round + 1 == plan.rounds) {
       // Last round absorbs the remainder so the total is exactly `out`.
       const std::size_t out =
           config.output_items == 0 ? config.k : config.output_items;
@@ -139,80 +133,32 @@ DistributedResult bicriteria_greedy(const SubmodularOracle& proto,
       central_budget += rem;
     }
 
-    const dist::Partition partition = dist::partition_multiplicity(
-        ground, plan.machines, plan.multiplicity, scatter_rng);
-
-    detail::MachineWorkerConfig worker_config;
-    worker_config.selector = config.selector;
-    worker_config.stochastic_c = config.stochastic_c;
-    worker_config.stop_when_no_gain = config.stop_when_no_gain;
-    worker_config.budget = machine_budget;
-    worker_config.seed = runtime.seed;
-    worker_config.round = round;
-    worker_config.central = central.get();
-    worker_config.factory = config.machine_oracle_factory
-                                ? &config.machine_oracle_factory
-                                : nullptr;
-    worker_config.worker_oracle = runtime.worker_oracle;
-
-    const std::vector<dist::MachineReport> reports =
-        cluster.run_round(partition, detail::make_machine_worker(worker_config));
-
-    // Coordinator filter stage.
-    util::Timer central_timer;
-    const std::uint64_t evals_before = central->evals();
-    std::size_t added = 0;
-
+    RoundSpec spec;
+    spec.partition = PartitionStrategy::kMultiplicity;
+    spec.multiplicity = plan.multiplicity;
+    spec.worker =
+        SelectorWorkerSpec{config.selector, config.stochastic_c,
+                           config.stop_when_no_gain, machine_budget};
     if (config.mode == BicriteriaMode::kHybrid) {
-      // Adopt S1 wholesale (zero-gain members may be dropped from the
-      // reported solution: for monotone f they can never gain later).
-      for (const ElementId x : reports.front().summary()) {
-        const double g = central->add(x);
-        if (g > 0.0 || !config.stop_when_no_gain) {
-          result.solution.push_back(x);
-          ++added;
-        }
-      }
-      std::vector<ElementId> pool;
-      for (std::size_t i = 1; i < reports.size(); ++i) {
-        pool.insert(pool.end(), reports[i].summary().begin(),
-                    reports[i].summary().end());
-      }
-      const GreedyResult filtered =
-          lazy_greedy(*central, pool, central_budget, central_options);
-      result.solution.insert(result.solution.end(), filtered.picks.begin(),
-                             filtered.picks.end());
-      added += filtered.picks.size();
+      spec.filter = AdoptThenGreedyFilterSpec{central_budget};
     } else {
-      std::vector<ElementId> pool;
-      for (const auto& report : reports) {
-        pool.insert(pool.end(), report.summary().begin(),
-                    report.summary().end());
-      }
-      const GreedyResult filtered =
-          lazy_greedy(*central, pool, central_budget, central_options);
-      result.solution.insert(result.solution.end(), filtered.picks.begin(),
-                             filtered.picks.end());
-      added += filtered.picks.size();
+      spec.filter = GreedyFilterSpec{central_budget};
     }
+    spec.alpha = plan.alpha;
+    spec.machine_budget = machine_budget;
+    spec.central_budget = central_budget;
+    return spec;
+  };
+  return program;
+}
 
-    cluster.record_central_stage(central->evals() - evals_before,
-                                 central_timer.elapsed_seconds(), added);
-
-    RoundTrace trace;
-    trace.round = round;
-    trace.alpha = plan.alpha;
-    trace.machines = plan.machines;
-    trace.machine_budget = machine_budget;
-    trace.central_budget = central_budget;
-    trace.items_added = added;
-    trace.value_after = central->value();
-    result.rounds.push_back(trace);
-  }
-
-  result.value = central->value();
-  result.stats = cluster.stats();
-  return result;
+DistributedResult bicriteria_greedy(const SubmodularOracle& proto,
+                                    std::span<const ElementId> ground,
+                                    const BicriteriaConfig& config) {
+  const BicriteriaPlan plan = plan_bicriteria(config, ground.size());
+  const RoundProgram program = make_bicriteria_program(config, plan);
+  return run_round_program(proto, ground, program,
+                           detail::resolve_runtime(config));
 }
 
 }  // namespace bds

@@ -91,6 +91,15 @@ struct BicriteriaPlan {
 BicriteriaPlan plan_bicriteria(const BicriteriaConfig& config,
                                std::size_t ground_size);
 
+// The declarative round program behind bicriteria_greedy (dist/engine.h):
+// one RoundSpec per round — multiplicity partition, selector worker with the
+// plan's machine budget, greedy (or hybrid adopt-then-greedy) filter with
+// the plan's central budget, practical-mode remainder folded into the last
+// round. `config` must outlive the returned program (the generator captures
+// it by reference).
+RoundProgram make_bicriteria_program(const BicriteriaConfig& config,
+                                     const BicriteriaPlan& plan);
+
 // Runs the configured variant. `proto` must be a fresh (empty-set) oracle;
 // `ground` lists the selectable element ids (normally the whole ground set).
 DistributedResult bicriteria_greedy(const SubmodularOracle& proto,

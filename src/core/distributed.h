@@ -54,6 +54,12 @@ struct DistributedResult {
   double value = 0.0;               // coordinator oracle's final value
   dist::ExecutionStats stats;       // rounds / communication / critical path
   std::vector<RoundTrace> rounds;
+  // Evaluations charged to the coordinator oracle over this run (engine
+  // runs only; centralized references leave it 0). For a fresh run this
+  // equals Σ stats.rounds[i].central_evals — the per-round deltas account
+  // for every coordinator evaluation exactly once; a resumed run reports
+  // only the resumed tail (earlier rounds' evals live in the checkpoint).
+  std::uint64_t coordinator_evals = 0;
 
   std::size_t size() const noexcept { return solution.size(); }
 };

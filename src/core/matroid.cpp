@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 
 #include "core/greedy.h"
+#include "core/round_spec.h"
 #include "dist/cluster.h"
-#include "dist/partitioner.h"
-#include "util/rng.h"
-#include "util/timer.h"
+#include "dist/engine.h"
 
 namespace bds {
 
@@ -177,75 +177,50 @@ DistributedResult rand_greedi_matroid(
     const MatroidConstraint& constraint,
     const MatroidDistributedConfig& config) {
   const std::size_t rank = std::max<std::size_t>(1, constraint.rank());
-  std::size_t machines = config.machines;
-  if (machines == 0) {
-    machines = std::max<std::size_t>(
-        1, static_cast<std::size_t>(std::ceil(std::sqrt(
-               double(std::max<std::size_t>(1, ground.size())) /
-               double(rank)))));
-  }
+  const std::size_t machines = config.machines != 0
+                                   ? config.machines
+                                   : default_machine_count(ground.size(), rank);
 
-  const RuntimeOptions runtime = detail::resolve_runtime(config);
-  auto central = proto.clone();
-  dist::Cluster cluster(machines, runtime.cluster_options());
-  util::Rng rng(util::mix64(runtime.seed));
-  const dist::Partition partition =
-      dist::partition_uniform(ground, machines, rng);
-
-  const auto worker = [&proto, &constraint](
-                          std::size_t, std::span<const ElementId> shard)
-      -> dist::WorkerOutput {
-    auto oracle = proto.clone();
-    auto local = constraint.clone();
-    const auto selection = lazy_greedy_matroid(*oracle, shard, *local);
-    dist::WorkerOutput output;
-    output.summary = selection.picks;
-    output.oracle_evals = oracle->evals();
-    return output;
+  // The matroid variant sits outside the two canonical worker/filter shapes
+  // (machines run constrained greedy on a *fresh* oracle, the coordinator
+  // runs constrained lazy greedy), so it uses the engine's custom hooks.
+  RoundProgram program;
+  program.id = "rand-greedi-matroid";
+  program.machines = machines;
+  program.merge.rule = MergeRule::kBestOfMachines;
+  program.central_factory = [](const SubmodularOracle& p, bool) {
+    return p.clone();  // no incremental-gains upgrade under a matroid
   };
-  const auto reports = cluster.run_round(partition, worker);
-
-  util::Timer timer;
-  std::vector<ElementId> pool;
-  for (const auto& report : reports) {
-    pool.insert(pool.end(), report.summary().begin(), report.summary().end());
-  }
-  auto central_constraint = constraint.clone();
-  const auto filtered =
-      lazy_greedy_matroid(*central, pool, *central_constraint);
-  cluster.record_central_stage(central->evals(), timer.elapsed_seconds(),
-                               filtered.picks.size());
-
-  // Best-of merge, as in the cardinality variant.
-  double best_machine_value = -1.0;
-  std::span<const ElementId> best_machine;
-  for (const auto& report : reports) {
-    const double v = evaluate_set(proto, report.summary());
-    if (v > best_machine_value) {
-      best_machine_value = v;
-      best_machine = report.summary();
-    }
-  }
-
-  DistributedResult result;
-  if (best_machine_value > central->value()) {
-    result.solution.assign(best_machine.begin(), best_machine.end());
-    result.value = best_machine_value;
-  } else {
-    result.solution = filtered.picks;
-    result.value = central->value();
-  }
-
-  RoundTrace trace;
-  trace.round = 0;
-  trace.machines = machines;
-  trace.machine_budget = rank;
-  trace.central_budget = rank;
-  trace.items_added = result.solution.size();
-  trace.value_after = result.value;
-  result.rounds.push_back(trace);
-  result.stats = cluster.stats();
-  return result;
+  program.next_round =
+      [&proto, &constraint, rank](const EngineProgress& progress)
+      -> std::optional<RoundSpec> {
+    if (progress.round >= 1) return std::nullopt;
+    RoundSpec spec;
+    spec.partition = PartitionStrategy::kUniform;
+    spec.worker = CustomWorkerFn(
+        [&proto, &constraint](std::size_t, std::span<const ElementId> shard)
+            -> dist::WorkerOutput {
+          auto oracle = proto.clone();
+          auto local = constraint.clone();
+          const auto selection = lazy_greedy_matroid(*oracle, shard, *local);
+          dist::WorkerOutput output;
+          output.summary = selection.picks;
+          output.oracle_evals = oracle->evals();
+          return output;
+        });
+    spec.filter = CustomFilterSpec{
+        [&constraint](SubmodularOracle& central,
+                      std::span<const ElementId> pool) {
+          auto central_constraint = constraint.clone();
+          return lazy_greedy_matroid(central, pool, *central_constraint)
+              .picks;
+        }};
+    spec.machine_budget = rank;
+    spec.central_budget = rank;
+    return spec;
+  };
+  return run_round_program(proto, ground, program,
+                           detail::resolve_runtime(config));
 }
 
 }  // namespace bds

@@ -14,8 +14,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "core/distributed.h"
+#include "core/round_spec.h"
 
 namespace bds {
 
@@ -33,6 +35,21 @@ struct RuntimeOptions {
   dist::FaultPlan faults;    // all-healthy default == fault-free executor
   dist::RetryPolicy retry;
   dist::TraceSink trace_sink;
+
+  // --- checkpoint / resume (core/round_spec.h, dist/engine.h) ---
+  // Invoked by the round engine after every completed round with a
+  // serializable snapshot of coordinator state.
+  CheckpointSink checkpoint_sink;
+  // Continue a prior run from this snapshot instead of starting fresh. The
+  // engine validates the program id and seed, restores coordinator state
+  // and stats, and re-derives the remaining rounds — producing exactly the
+  // uninterrupted run's output. Drivers that compose engine runs (adaptive)
+  // clear this for their inner rounds.
+  std::shared_ptr<const Checkpoint> resume_from;
+  // Testing/ops hook: stop after this many rounds have completed (1-based;
+  // 0 = run to completion). The run returns its partial result — final
+  // merge stages are skipped — after the round's checkpoint is emitted.
+  std::size_t halt_after_round = 0;
 
   // The subset the cluster simulator consumes.
   dist::ClusterOptions cluster_options() const {

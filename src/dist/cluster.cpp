@@ -33,6 +33,12 @@ std::uint64_t ExecutionStats::total_central_evals() const noexcept {
   return total;
 }
 
+std::uint64_t ExecutionStats::total_merge_evals() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rounds) total += r.merge_evals;
+  return total;
+}
+
 std::uint64_t ExecutionStats::total_evals() const noexcept {
   return total_worker_evals() + total_central_evals();
 }

@@ -108,6 +108,11 @@ struct RoundStats {
   std::uint64_t central_evals = 0;
   double central_seconds = 0.0;
   std::uint64_t central_selected = 0;
+  // Best-of-machines merge probes: evaluations spent re-scoring candidate
+  // machine summaries from scratch against the prototype oracle (the
+  // GreeDi-family output rule). Metered separately from central_evals —
+  // these probes run on throwaway clones, not the coordinator oracle.
+  std::uint64_t merge_evals = 0;
 };
 
 // A simple network-cost model for translating the simulator's communication
@@ -128,6 +133,10 @@ struct ExecutionStats {
   std::size_t num_rounds() const noexcept { return rounds.size(); }
   std::uint64_t total_worker_evals() const noexcept;
   std::uint64_t total_central_evals() const noexcept;
+  // Best-of-machines merge probe evaluations across rounds (see
+  // RoundStats::merge_evals); not part of total_evals(), which keeps its
+  // historical worker + central definition.
+  std::uint64_t total_merge_evals() const noexcept;
   std::uint64_t total_evals() const noexcept;
   // Scatter + gather traffic in bytes (sizeof(ElementId) per shipped id).
   std::uint64_t bytes_communicated() const noexcept;

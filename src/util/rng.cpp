@@ -23,6 +23,13 @@ std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
 
 std::uint64_t mix64(std::uint64_t x) noexcept { return splitmix64_next(x); }
 
+Rng Rng::from_state(const std::array<std::uint64_t, 4>& state) noexcept {
+  Rng rng(0);
+  rng.state_ = state;
+  if ((state[0] | state[1] | state[2] | state[3]) == 0) rng.state_[0] = 1;
+  return rng;
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   // Expand the seed; xoshiro requires a not-all-zero state, which SplitMix64
   // guarantees with overwhelming probability (and we guard regardless).

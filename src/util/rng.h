@@ -76,8 +76,13 @@ class Rng {
   std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
                                                         std::uint64_t k);
 
-  // Exposes raw state for tests of stream independence.
+  // Exposes raw state for tests of stream independence and for
+  // checkpointing (dist/engine.h serializes the partition RNG's position).
   std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+
+  // Rebuilds a generator at an exact stream position captured via state().
+  // Precondition: `state` came from a valid Rng (never all-zero).
+  static Rng from_state(const std::array<std::uint64_t, 4>& state) noexcept;
 
  private:
   std::array<std::uint64_t, 4> state_;

@@ -1,0 +1,54 @@
+// Frozen copies of the pre-engine distributed algorithm loops, kept verbatim
+// (modulo namespacing) as the golden reference for tests/test_engine.cpp:
+// the round-program engine must reproduce these bit-for-bit — solutions,
+// values and every deterministic ExecutionStats field.
+//
+// Do not "fix" or modernize this file. It is intentionally the code that
+// shipped before dist/engine.h existed; divergence from src/core/* is the
+// point. The only permitted edits are those required to keep it compiling
+// against current headers.
+#pragma once
+
+#include <span>
+
+#include "core/adaptive.h"
+#include "core/baselines.h"
+#include "core/bicriteria.h"
+#include "core/matroid.h"
+
+namespace bds::legacy {
+
+DistributedResult bicriteria_greedy(const SubmodularOracle& proto,
+                                    std::span<const ElementId> ground,
+                                    const BicriteriaConfig& config);
+
+DistributedResult greedi(const SubmodularOracle& proto,
+                         std::span<const ElementId> ground,
+                         const OneRoundConfig& config);
+
+DistributedResult rand_greedi(const SubmodularOracle& proto,
+                              std::span<const ElementId> ground,
+                              const OneRoundConfig& config);
+
+DistributedResult pseudo_greedy(const SubmodularOracle& proto,
+                                std::span<const ElementId> ground,
+                                OneRoundConfig config);
+
+DistributedResult naive_distributed_greedy(
+    const SubmodularOracle& proto, std::span<const ElementId> ground,
+    const NaiveDistributedConfig& config);
+
+DistributedResult parallel_alg(const SubmodularOracle& proto,
+                               std::span<const ElementId> ground,
+                               const ParallelAlgConfig& config);
+
+DistributedResult greedy_scaling(const SubmodularOracle& proto,
+                                 std::span<const ElementId> ground,
+                                 const GreedyScalingConfig& config);
+
+DistributedResult rand_greedi_matroid(const SubmodularOracle& proto,
+                                      std::span<const ElementId> ground,
+                                      const MatroidConstraint& constraint,
+                                      const MatroidDistributedConfig& config);
+
+}  // namespace bds::legacy
