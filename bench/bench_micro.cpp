@@ -15,10 +15,13 @@
 //                   scalar kernels vs the dispatched SIMD path, across dims),
 //                   and a `parallel` section (exemplar batch vs the
 //                   cost-dimension-parallel batch, with the host thread
-//                   count), and a `faults` section (fault-free vs
+//                   count), a `faults` section (fault-free vs
 //                   recoverable-fault bicriteria on a canonical workload:
 //                   retry overhead, wasted evals, and the degradation delta
-//                   when shards go unheard).
+//                   when shards go unheard), and an `mmap` section (heap vs
+//                   zero-copy mapped load of a ~10M-set on-disk corpus:
+//                   load time, cold-page-cache first-round latency, and
+//                   O(shard) worker state vs the O(corpus) clone).
 //   --trace         run the canonical bicriteria workload under the
 //                   recoverable fault mix and print its structured round
 //                   trace as JSON.
@@ -27,10 +30,16 @@
 // benchmarks both ran, the binary exits nonzero unless the parallel path is
 // >= 2x the serial batch — the CI smoke check for the oracle-internal
 // cost-point split (a 1-core runner skips the assertion, it cannot scale).
+// When the prob_coverage scalar and batch gain benchmarks both ran, the
+// binary also exits nonzero unless the batch path beats scalar gains
+// (batch_speedup > 1.0) — the regression gate for the candidate-interleaved
+// batch kernel.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -44,6 +53,7 @@
 #include "core/bicriteria.h"
 #include "core/greedy.h"
 #include "data/graph_gen.h"
+#include "data/io.h"
 #include "data/synthetic_coverage.h"
 #include "data/prob_gen.h"
 #include "data/vectors_gen.h"
@@ -58,7 +68,9 @@
 #include "objectives/prob_coverage.h"
 #include "objectives/saturated_coverage.h"
 #include "util/kernels.h"
+#include "util/mmap.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -638,6 +650,60 @@ void BM_BicriteriaRecoverableFaults(benchmark::State& state) {
 }
 BENCHMARK(BM_BicriteriaRecoverableFaults);
 
+// --- out-of-core corpus (mmap vs heap load) ---------------------------------
+//
+// A ~10M-set, ~10M-element CSR corpus written once to the temp dir in the
+// v2 container. Big enough that the O(corpus) vs O(shard) distinction is
+// unambiguous (~240 MB file, 10 MB covered bitmap per worker clone), small
+// enough to generate in seconds. The flat arrays go through SetSystem's
+// borrowing constructor so generation never materializes 10M little
+// vectors.
+
+constexpr std::size_t kBigSets = 10'000'000;
+constexpr std::uint32_t kBigUniverse = 10'000'000;
+constexpr std::size_t kBigEntriesPerSet = 4;
+constexpr std::size_t kBigShard = 2'048;
+
+struct BigCsr {
+  std::vector<std::uint64_t> offsets;
+  std::vector<std::uint32_t> entries;
+};
+
+std::string mmap_corpus_path() {
+  return (std::filesystem::temp_directory_path() / "bds_mmap_corpus_v2.bds")
+      .string();
+}
+
+void ensure_mmap_corpus(const std::string& path) {
+  try {
+    if (data::map_set_system(path)->num_sets() == kBigSets) return;
+  } catch (const std::exception&) {
+    // absent or stale — regenerate below
+  }
+  std::fprintf(stderr, "[mmap] generating %zu-set corpus at %s ...\n",
+               kBigSets, path.c_str());
+  auto csr = std::make_shared<BigCsr>();
+  csr->offsets.reserve(kBigSets + 1);
+  csr->offsets.push_back(0);
+  csr->entries.reserve(kBigSets * kBigEntriesPerSet);
+  util::Rng rng(123);
+  std::uint32_t draw[kBigEntriesPerSet];
+  for (std::size_t s = 0; s < kBigSets; ++s) {
+    for (auto& d : draw) {
+      d = static_cast<std::uint32_t>(rng.next_below(kBigUniverse));
+    }
+    std::sort(std::begin(draw), std::end(draw));
+    const auto* const end = std::unique(std::begin(draw), std::end(draw));
+    for (const auto* it = std::begin(draw); it != end; ++it) {
+      csr->entries.push_back(*it);
+    }
+    csr->offsets.push_back(csr->entries.size());
+  }
+  const SetSystem view(csr->offsets.data(), kBigSets, csr->entries.data(),
+                       csr->entries.size(), kBigUniverse, csr);
+  data::save_set_system(view, path);
+}
+
 // --- --json reporting -------------------------------------------------------
 
 struct GainBenchSpec {
@@ -838,6 +904,75 @@ void write_gain_json(const std::string& path,
     out << "}\n  },\n";
   }
 
+  // Out-of-core: heap vs zero-copy mapped load of the big corpus, measured
+  // at write time. Both loads start from a cold page cache (fadvise
+  // DONTNEED), so "load + first shard round" is the honest first-round
+  // latency: the heap path must read and copy all ~240 MB up front, the
+  // mapped path faults in only the pages its shard touches. Worker state is
+  // the other axis: a clone drags the full covered bitmap (O(corpus)), a
+  // shard view carries only its slice (O(shard)).
+  {
+    const std::string corpus = mmap_corpus_path();
+    ensure_mmap_corpus(corpus);
+    const auto file_bytes = std::filesystem::file_size(corpus);
+    const auto shard = stride_ids(kBigShard, 9'973, kBigSets);
+    std::vector<double> heap_gains(shard.size());
+    std::vector<double> mapped_gains(shard.size());
+
+    double heap_load_s = 0.0;
+    double heap_round_s = 0.0;
+    std::size_t clone_bytes = 0;
+    {
+      util::evict_file_cache(corpus);
+      util::Timer load_timer;
+      const auto sets = data::load_set_system(corpus);
+      heap_load_s = load_timer.elapsed_seconds();
+      const CoverageOracle oracle(sets);
+      util::Timer round_timer;
+      const auto worker = oracle.shard_view(shard);
+      worker->gain_batch(shard, heap_gains);
+      heap_round_s = round_timer.elapsed_seconds();
+      clone_bytes = oracle.clone()->state_bytes();
+    }
+
+    double map_load_s = 0.0;
+    double map_round_s = 0.0;
+    std::size_t view_bytes = 0;
+    {
+      util::evict_file_cache(corpus);
+      util::Timer load_timer;
+      const auto sets = data::map_set_system(corpus);
+      map_load_s = load_timer.elapsed_seconds();
+      const CoverageOracle oracle(sets);
+      util::Timer round_timer;
+      const auto worker = oracle.shard_view(shard);
+      view_bytes = worker->state_bytes();
+      worker->gain_batch(shard, mapped_gains);
+      map_round_s = round_timer.elapsed_seconds();
+    }
+
+    out << "  \"mmap\": {\n"
+        << "    \"corpus_sets\": " << kBigSets << ",\n"
+        << "    \"corpus_universe\": " << kBigUniverse << ",\n"
+        << "    \"corpus_file_bytes\": " << file_bytes << ",\n"
+        << "    \"bench_shard_size\": " << kBigShard << ",\n"
+        << "    \"heap_load_s\": " << heap_load_s << ",\n"
+        << "    \"mmap_load_s\": " << map_load_s << ",\n"
+        << "    \"load_speedup\": "
+        << (map_load_s > 0.0 ? heap_load_s / map_load_s : 0.0) << ",\n"
+        << "    \"first_round_cold_heap_s\": " << heap_load_s + heap_round_s
+        << ",\n"
+        << "    \"first_round_cold_mmap_s\": " << map_load_s + map_round_s
+        << ",\n"
+        << "    \"clone_state_bytes\": " << clone_bytes << ",\n"
+        << "    \"peak_worker_state_bytes\": " << view_bytes << ",\n"
+        << "    \"corpus_over_shard_state_ratio\": "
+        << (view_bytes > 0 ? double(clone_bytes) / double(view_bytes) : 0.0)
+        << ",\n"
+        << "    \"gains_identical\": "
+        << (heap_gains == mapped_gains ? "true" : "false") << "\n  },\n";
+  }
+
   // Fault-injecting executor: retry overhead on the canonical bicriteria
   // workload (timings from the benchmarks above; ledgers and the degradation
   // delta measured at write time — deterministic, so stable across runs).
@@ -930,6 +1065,33 @@ int check_parallel_scaling(
   return 0;
 }
 
+// The prob_coverage batch regression gate: whenever the scalar and batch
+// gain benchmarks both ran, batching kProbBatch candidates must be faster
+// per evaluation than scalar gain() calls. Guards the candidate-interleaved
+// tile in prob_coverage.cpp against re-introducing the serial-add-chain
+// layout that made the batch path *slower* than scalar (0.95x in PR4).
+int check_prob_batch_speedup(
+    const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
+  double scalar = 0.0, batch = 0.0;
+  for (const auto& run : runs) {
+    if (run.benchmark_name() == "BM_ProbCoverageGain") {
+      scalar = run.GetAdjustedRealTime();
+    } else if (run.benchmark_name() == "BM_ProbCoverageGainBatch") {
+      batch = run.GetAdjustedRealTime() / double(kProbBatch);
+    }
+  }
+  if (scalar <= 0.0 || batch <= 0.0) return 0;
+  const double speedup = scalar / batch;
+  if (speedup <= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: prob_coverage batch gain %.3fx vs scalar — the batch "
+                 "path must win (> 1.0x)\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -967,5 +1129,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   if (!json_path.empty()) write_gain_json(json_path, reporter.collected());
-  return check_parallel_scaling(reporter.collected());
+  return check_parallel_scaling(reporter.collected()) |
+         check_prob_batch_speedup(reporter.collected());
 }

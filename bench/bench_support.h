@@ -4,10 +4,13 @@
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
 
+#include "core/runtime_options.h"
+#include "data/io.h"
 #include "util/csv.h"
 #include "util/element.h"
 #include "util/table.h"
@@ -44,6 +47,16 @@ inline std::vector<ElementId> iota_ids(std::size_t n) {
   std::vector<ElementId> ids(n);
   std::iota(ids.begin(), ids.end(), ElementId{0});
   return ids;
+}
+
+// Loads a saved coverage dataset honoring RuntimeOptions::mmap_datasets:
+// zero-copy mapped when set (v2 files only), heap-loaded otherwise. Both
+// backings hold identical bytes, so the harness numbers differ only in
+// load time and resident memory, never in selections or values.
+inline std::shared_ptr<const SetSystem> load_or_map_set_system(
+    const std::string& path, const RuntimeOptions& runtime) {
+  return runtime.mmap_datasets ? data::map_set_system(path)
+                               : data::load_set_system(path);
 }
 
 }  // namespace bds::bench

@@ -44,6 +44,9 @@ using namespace bds;
 constexpr const char* kUsage = R"(usage: bds_cli [options]
   --dataset NAME     synthetic | dblp | livejournal | gutenberg | wiki | images
   --load FILE        load a coverage dataset saved with --save
+  --mmap             with --load: mmap the file zero-copy instead of heap
+                     loading it (v2 files from --save or bds_convert;
+                     selections are bit-identical either way)
   --save FILE        save the generated coverage dataset
   --nodes N          graph dataset size            (default 20000)
   --docs N           vector dataset size           (default 5000)
@@ -81,9 +84,13 @@ std::shared_ptr<const SubmodularOracle> make_oracle(
   const std::uint64_t seed = flags.get_uint("seed", 1);
 
   if (flags.has("load")) {
-    const auto sets = data::load_set_system(flags.get_string("load", ""));
-    *description = "loaded coverage dataset (" +
-                   std::to_string(sets->num_sets()) + " sets)";
+    const std::string path = flags.get_string("load", "");
+    const bool mmap = flags.get_bool("mmap", false);
+    const auto sets =
+        mmap ? data::map_set_system(path) : data::load_set_system(path);
+    *description = std::string(mmap ? "mapped" : "loaded") +
+                   " coverage dataset (" + std::to_string(sets->num_sets()) +
+                   " sets)";
     return std::make_shared<CoverageOracle>(sets);
   }
 
@@ -160,6 +167,7 @@ RunResult run_algorithm(const util::Flags& flags,
   RuntimeOptions runtime;
   runtime.seed = flags.get_uint("seed", 1);
   runtime.threads = flags.get_uint("threads", 0);
+  runtime.mmap_datasets = flags.get_bool("mmap", false);
   const std::uint64_t fault_seed = flags.get_uint("fault-seed", 0);
   if (fault_seed != 0) {
     // The recoverable mix with unlimited retries: every shard is eventually

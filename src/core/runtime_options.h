@@ -30,6 +30,12 @@ struct RuntimeOptions {
   WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
   bool incremental_gains = false;  // coordinator O(1) coverage gains
   bool parallel_central = false;   // parallel coordinator batch evaluation
+  // Harness preference: when the dataset comes from a file, mmap it
+  // zero-copy (data/io.h map_*) instead of heap loading it. Selections are
+  // bit-identical either way; this only changes where the CSR bytes live.
+  // Consumed by the drivers that own dataset loading (bds_cli,
+  // bench_support.h) — the executor itself never touches dataset files.
+  bool mmap_datasets = false;
 
   // --- fault injection / retry / tracing (dist/faults.h, dist/trace.h) ---
   dist::FaultPlan faults;    // all-healthy default == fault-free executor

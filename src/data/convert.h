@@ -1,0 +1,43 @@
+// Dataset ingestion for the `bds_convert` tool: turns text edge lists (the
+// distribution format of the DBLP / Friendster-style snapshots the paper
+// evaluates on, §4.1) and legacy v1 binary files into the v2 mmap-ready
+// container of data/format.h.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/graph_gen.h"
+#include "objectives/coverage.h"
+
+namespace bds::data {
+
+// Parses a whitespace-separated text edge list: one "u v" pair per line,
+// `#` or `%` lines are comments, self-loops and duplicate edges are
+// dropped. Node ids need not be contiguous — they are compacted to
+// [0, num_nodes) in order of first appearance (the SNAP convention).
+// Throws std::runtime_error naming `path` on IO failure or a malformed
+// line.
+Graph load_edge_list(const std::string& path);
+
+// What convert_dataset_file detected/made of its input.
+struct ConvertResult {
+  std::string kind;          // "edge-list", "set-system", "point-set", ...
+  std::size_t ground_size;   // sets / points written
+  std::size_t total_entries; // CSR entries / floats written
+};
+
+// Converts `input` into a v2 container at `output`:
+//  * text edge list  -> neighborhood-set coverage instance (one set per
+//    node holding its neighbors, universe = nodes — the paper's coverage
+//    encoding; include_self matches graph_gen::neighborhood_sets(false))
+//  * v1/v2 binary set system, point set, or prob set system -> re-encoded
+//    v2 (v2 input is a format-preserving rewrite, useful for integrity
+//    checks)
+// The input kind is detected from the leading magic bytes; anything
+// non-binary falls back to the edge-list parser. Throws std::runtime_error
+// naming the offending path.
+ConvertResult convert_dataset_file(const std::string& input,
+                                   const std::string& output);
+
+}  // namespace bds::data

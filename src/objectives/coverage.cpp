@@ -227,8 +227,8 @@ class WeightedCoverageShardView final : public SubmodularOracle {
 SetSystem::SetSystem(std::vector<std::vector<std::uint32_t>> sets,
                      std::uint32_t universe_size)
     : universe_size_(universe_size) {
-  offsets_.reserve(sets.size() + 1);
-  offsets_.push_back(0);
+  owned_offsets_.reserve(sets.size() + 1);
+  owned_offsets_.push_back(0);
   // Deduplicate within each set so gain() and add() always agree on the
   // contribution of a set containing a repeated element. Dedup happens
   // before the reserve: the pre-dedup total would over-reserve and strand
@@ -239,15 +239,36 @@ SetSystem::SetSystem(std::vector<std::vector<std::uint32_t>> sets,
     s.erase(std::unique(s.begin(), s.end()), s.end());
     total += s.size();
   }
-  entries_.reserve(total);
+  owned_entries_.reserve(total);
   for (const auto& s : sets) {
     for (const std::uint32_t e : s) {
       if (e >= universe_size) {
         throw std::out_of_range("SetSystem: element beyond universe");
       }
-      entries_.push_back(e);
+      owned_entries_.push_back(e);
     }
-    offsets_.push_back(entries_.size());
+    owned_offsets_.push_back(owned_entries_.size());
+  }
+  num_sets_ = sets.size();
+  num_entries_ = owned_entries_.size();
+}
+
+SetSystem::SetSystem(const std::uint64_t* offsets, std::size_t num_sets,
+                     const std::uint32_t* entries, std::size_t num_entries,
+                     std::uint32_t universe_size,
+                     std::shared_ptr<const void> storage)
+    : storage_(std::move(storage)),
+      ext_offsets_(offsets),
+      ext_entries_(entries),
+      num_sets_(num_sets),
+      num_entries_(num_entries),
+      universe_size_(universe_size) {
+  if (storage_ == nullptr || offsets == nullptr ||
+      (entries == nullptr && num_entries != 0)) {
+    throw std::invalid_argument("SetSystem: null external CSR storage");
+  }
+  if (offsets[0] != 0 || offsets[num_sets] != num_entries) {
+    throw std::invalid_argument("SetSystem: external CSR offsets corrupt");
   }
 }
 
@@ -267,7 +288,7 @@ void CoverageOracle::do_gain_batch(std::span<const ElementId> xs,
   // One pass over the CSR arrays with all bases hoisted into registers: no
   // per-element virtual dispatch, no span re-materialization, and the
   // covered bitmap stays hot across consecutive candidates.
-  const std::size_t* const offsets = sets_->offsets_data();
+  const std::uint64_t* const offsets = sets_->offsets_data();
   const std::uint32_t* const entries = sets_->entries_data();
   const std::uint8_t* const covered = covered_.data();
   for (std::size_t i = 0; i < xs.size(); ++i) {
@@ -335,7 +356,7 @@ double WeightedCoverageOracle::do_gain(ElementId x) const {
 
 void WeightedCoverageOracle::do_gain_batch(std::span<const ElementId> xs,
                                            std::span<double> out) const {
-  const std::size_t* const offsets = sets_->offsets_data();
+  const std::uint64_t* const offsets = sets_->offsets_data();
   const std::uint32_t* const entries = sets_->entries_data();
   const std::uint8_t* const covered = covered_.data();
   const double* const w = weights_->data();

@@ -24,6 +24,29 @@ PointSet::PointSet(std::size_t n, std::size_t dim, std::vector<float> data)
   recompute_norms();
 }
 
+PointSet::PointSet(std::size_t n, std::size_t dim, std::size_t stride,
+                   const float* rows, const double* norms,
+                   std::shared_ptr<const void> storage)
+    : n_(n),
+      dim_(dim),
+      stride_(stride),
+      storage_(std::move(storage)),
+      ext_rows_(rows),
+      ext_norms_(norms) {
+  if (dim == 0) throw std::invalid_argument("PointSet: dim must be positive");
+  if (storage_ == nullptr || (n > 0 && (rows == nullptr || norms == nullptr))) {
+    throw std::invalid_argument("PointSet: null external storage");
+  }
+  if (stride != kern::padded_dim(dim)) {
+    throw std::invalid_argument(
+        "PointSet: external stride != kern::padded_dim(dim)");
+  }
+  if (reinterpret_cast<std::uintptr_t>(rows) % util::kSimdAlign != 0) {
+    throw std::invalid_argument(
+        "PointSet: external row matrix is not SIMD-aligned");
+  }
+}
+
 void PointSet::recompute_norms() {
   norms_.resize(n_);
   for (std::size_t i = 0; i < n_; ++i) {
@@ -31,7 +54,17 @@ void PointSet::recompute_norms() {
   }
 }
 
-void PointSet::normalize_rows() noexcept {
+void PointSet::materialize_owned() {
+  if (!storage_) return;
+  data_.assign(ext_rows_, ext_rows_ + n_ * stride_);
+  norms_.assign(ext_norms_, ext_norms_ + n_);
+  storage_.reset();
+  ext_rows_ = nullptr;
+  ext_norms_ = nullptr;
+}
+
+void PointSet::normalize_rows() {
+  materialize_owned();  // the mapping is read-only; scale an owned copy
   const bool legacy = kern::legacy();
   for (std::size_t i = 0; i < n_; ++i) {
     float* r = data_.data() + i * stride_;

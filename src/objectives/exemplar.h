@@ -38,44 +38,73 @@ namespace bds {
 // Rows are stored padded to kern::padded_dim(dim) floats (zero-filled) on a
 // 32-byte-aligned base so SIMD kernels can stream them, and each row's
 // squared L2 norm is cached for the norms+dot distance formulation.
+//
+// The padded matrix and the norm cache can either be owned (heap vectors,
+// the generator path) or borrowed from externally owned storage — the
+// sections of an mmap'd dataset file (data/io.h `map_point_set`), kept
+// alive by the `storage` handle. Stored norms were computed with the lane
+// kernels, which are bit-identical across ISA tiers, so a mapped PointSet
+// evaluates exactly like the heap-built one it was written from.
 class PointSet {
  public:
   // Preconditions: dim > 0, data.size() == n * dim (packed rows; the
   // constructor re-lays them out padded).
   PointSet(std::size_t n, std::size_t dim, std::vector<float> data);
 
+  // Zero-copy view over an external padded matrix + norm cache (the mmap
+  // path). `rows` must hold n × stride floats on a util::kSimdAlign'ed
+  // base with stride == kern::padded_dim(dim) and zero-filled tails;
+  // `norms` holds n doubles. Throws std::invalid_argument on a stride or
+  // alignment violation.
+  PointSet(std::size_t n, std::size_t dim, std::size_t stride,
+           const float* rows, const double* norms,
+           std::shared_ptr<const void> storage);
+
   std::size_t size() const noexcept { return n_; }
   std::size_t dim() const noexcept { return dim_; }
   // Floats per stored row: dim rounded up to kern::kLanes.
   std::size_t stride() const noexcept { return stride_; }
+  // True when the matrix aliases external storage (an mmap'd file section).
+  bool borrows_storage() const noexcept { return storage_ != nullptr; }
 
   std::span<const float> point(std::size_t i) const noexcept {
-    return std::span<const float>(data_.data() + i * stride_, dim_);
+    return std::span<const float>(rows() + i * stride_, dim_);
   }
   // Padded row pointer (stride() floats, tail zero-filled).
   const float* row(std::size_t i) const noexcept {
-    return data_.data() + i * stride_;
+    return rows() + i * stride_;
   }
   // Base of the padded matrix (row 0).
-  const float* rows() const noexcept { return data_.data(); }
+  const float* rows() const noexcept {
+    return storage_ ? ext_rows_ : data_.data();
+  }
 
   // Cached squared L2 norms per row, computed with the lane kernels (so
   // they are bit-identical across BDS_KERNEL ISA tiers).
-  const double* norms() const noexcept { return norms_.data(); }
-  double norm2(std::size_t i) const noexcept { return norms_[i]; }
+  const double* norms() const noexcept {
+    return storage_ ? ext_norms_ : norms_.data();
+  }
+  double norm2(std::size_t i) const noexcept { return norms()[i]; }
 
   // Scales every point to unit L2 norm (zero vectors are left untouched),
-  // matching the paper's preprocessing. Refreshes the cached norms.
-  void normalize_rows() noexcept;
+  // matching the paper's preprocessing. Refreshes the cached norms. On a
+  // storage-borrowing PointSet this first materializes an owned copy of
+  // the matrix (the mapping is read-only), so it may allocate/throw;
+  // converters normalize before writing so mapped sets never need this.
+  void normalize_rows();
 
  private:
   void recompute_norms();
+  void materialize_owned();
 
   std::size_t n_;
   std::size_t dim_;
   std::size_t stride_;
   util::AlignedVector<float> data_;
   std::vector<double> norms_;
+  std::shared_ptr<const void> storage_;  // borrow mode: keep-alive
+  const float* ext_rows_ = nullptr;
+  const double* ext_norms_ = nullptr;
 };
 
 // Squared Euclidean distance between two equal-length vectors, computed

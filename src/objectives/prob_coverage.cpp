@@ -9,6 +9,96 @@ namespace bds {
 
 namespace {
 
+// Batched probabilistic-coverage gain over a CSR row: sums
+// w_u · q_u · p in original entry order for kProbTile candidates at once.
+// Each candidate keeps its own accumulator (so every per-candidate sum is
+// bit-identical to the scalar gain() loop), but interleaving kProbTile
+// independent FP add chains hides the loop-carried add latency that made
+// the naive one-candidate-at-a-time batch slower than scalar gain calls.
+inline constexpr std::size_t kProbTile = 4;
+
+// Rows() maps a candidate index to its CSR row (validating shard
+// membership); Skip(row) tells whether that row is already selected (gain
+// 0). Offset is u32 (shard views) or u64 (full oracles).
+template <typename Offset, typename Rows, typename Skip>
+void prob_gain_batch_csr(std::span<const ElementId> xs, std::span<double> out,
+                         const Offset* offsets,
+                         const ProbSetSystem::Entry* entries,
+                         const double* uncovered, const double* w, Rows rows,
+                         Skip skip) {
+  std::size_t i = 0;
+  for (; i + kProbTile <= xs.size(); i += kProbTile) {
+    std::size_t cursor[kProbTile];
+    std::size_t end[kProbTile];
+    double acc[kProbTile];
+    std::size_t shortest = ~std::size_t{0};
+    for (std::size_t t = 0; t < kProbTile; ++t) {
+      acc[t] = 0.0;
+      const std::size_t row = rows(i + t);
+      if (skip(row)) {
+        cursor[t] = 0;
+        end[t] = 0;
+      } else {
+        cursor[t] = static_cast<std::size_t>(offsets[row]);
+        end[t] = static_cast<std::size_t>(offsets[row + 1]);
+      }
+      shortest = std::min(shortest, end[t] - cursor[t]);
+    }
+    // Lockstep over the shared prefix: four independent add chains.
+    if (w == nullptr) {
+      for (std::size_t step = 0; step < shortest; ++step) {
+        for (std::size_t t = 0; t < kProbTile; ++t) {
+          const ProbSetSystem::Entry e = entries[cursor[t] + step];
+          acc[t] += uncovered[e.element] * double(e.probability);
+        }
+      }
+      for (std::size_t t = 0; t < kProbTile; ++t) {
+        for (std::size_t e = cursor[t] + shortest; e < end[t]; ++e) {
+          acc[t] += uncovered[entries[e].element] *
+                    double(entries[e].probability);
+        }
+      }
+    } else {
+      for (std::size_t step = 0; step < shortest; ++step) {
+        for (std::size_t t = 0; t < kProbTile; ++t) {
+          const ProbSetSystem::Entry e = entries[cursor[t] + step];
+          acc[t] += w[e.element] * uncovered[e.element] *
+                    double(e.probability);
+        }
+      }
+      for (std::size_t t = 0; t < kProbTile; ++t) {
+        for (std::size_t e = cursor[t] + shortest; e < end[t]; ++e) {
+          acc[t] += w[entries[e].element] * uncovered[entries[e].element] *
+                    double(entries[e].probability);
+        }
+      }
+    }
+    for (std::size_t t = 0; t < kProbTile; ++t) out[i + t] = acc[t];
+  }
+  // Remainder: plain per-candidate scan (identical accumulation order).
+  for (; i < xs.size(); ++i) {
+    const std::size_t row = rows(i);
+    if (skip(row)) {
+      out[i] = 0.0;
+      continue;
+    }
+    double gain = 0.0;
+    if (w == nullptr) {
+      for (auto e = static_cast<std::size_t>(offsets[row]);
+           e < static_cast<std::size_t>(offsets[row + 1]); ++e) {
+        gain += uncovered[entries[e].element] * double(entries[e].probability);
+      }
+    } else {
+      for (auto e = static_cast<std::size_t>(offsets[row]);
+           e < static_cast<std::size_t>(offsets[row + 1]); ++e) {
+        gain += w[entries[e].element] * uncovered[entries[e].element] *
+                double(entries[e].probability);
+      }
+    }
+    out[i] = gain;
+  }
+}
+
 // Compacted view of a ProbCoverageOracle: sliced (local element,
 // probability) CSR in original row order, the parent's per-element
 // uncovered probabilities and (when weighted) weights projected onto the
@@ -73,33 +163,17 @@ class ProbCoverageShardView final : public SubmodularOracle {
 
   void do_gain_batch(std::span<const ElementId> xs,
                      std::span<double> out) const override {
-    const std::uint32_t* const offsets = offsets_.data();
-    const ProbSetSystem::Entry* const entries = entries_.data();
-    const double* const uncovered = uncovered_.data();
-    const double* const w = weighted_ ? weights_.data() : nullptr;
-    for (std::size_t i = 0; i < xs.size(); ++i) {
-      const std::size_t row = index_.row_of(xs[i]);
-      if (row == detail::ShardItemIndex::npos) {
-        detail::throw_outside_shard(xs[i]);
-      }
-      if (in_set_[row]) {
-        out[i] = 0.0;
-        continue;
-      }
-      double gain = 0.0;
-      if (w == nullptr) {
-        for (std::size_t e = offsets[row]; e < offsets[row + 1]; ++e) {
-          gain +=
-              uncovered[entries[e].element] * double(entries[e].probability);
-        }
-      } else {
-        for (std::size_t e = offsets[row]; e < offsets[row + 1]; ++e) {
-          gain += w[entries[e].element] * uncovered[entries[e].element] *
-                  double(entries[e].probability);
-        }
-      }
-      out[i] = gain;
-    }
+    prob_gain_batch_csr(
+        xs, out, offsets_.data(), entries_.data(), uncovered_.data(),
+        weighted_ ? weights_.data() : nullptr,
+        [&](std::size_t i) {
+          const std::size_t row = index_.row_of(xs[i]);
+          if (row == detail::ShardItemIndex::npos) {
+            detail::throw_outside_shard(xs[i]);
+          }
+          return row;
+        },
+        [&](std::size_t row) { return in_set_[row] != 0; });
   }
 
   double do_add(ElementId x) override {
@@ -149,11 +223,11 @@ class ProbCoverageShardView final : public SubmodularOracle {
 ProbSetSystem::ProbSetSystem(std::vector<std::vector<Entry>> sets,
                              std::uint32_t universe_size)
     : universe_size_(universe_size) {
-  offsets_.reserve(sets.size() + 1);
-  offsets_.push_back(0);
+  owned_offsets_.reserve(sets.size() + 1);
+  owned_offsets_.push_back(0);
   std::size_t total = 0;
   for (const auto& s : sets) total += s.size();
-  entries_.reserve(total);
+  owned_entries_.reserve(total);
   std::vector<std::uint32_t> scratch;
   for (const auto& s : sets) {
     for (const Entry& e : s) {
@@ -164,7 +238,7 @@ ProbSetSystem::ProbSetSystem(std::vector<std::vector<Entry>> sets,
         throw std::invalid_argument(
             "ProbSetSystem: probability outside [0, 1]");
       }
-      entries_.push_back(e);
+      owned_entries_.push_back(e);
     }
     // Reject duplicate elements within one set: the incremental gain()
     // formula assumes each element appears at most once per item.
@@ -175,7 +249,29 @@ ProbSetSystem::ProbSetSystem(std::vector<std::vector<Entry>> sets,
       throw std::invalid_argument(
           "ProbSetSystem: duplicate element within a set");
     }
-    offsets_.push_back(entries_.size());
+    owned_offsets_.push_back(owned_entries_.size());
+  }
+  num_sets_ = sets.size();
+  num_entries_ = owned_entries_.size();
+}
+
+ProbSetSystem::ProbSetSystem(const std::uint64_t* offsets,
+                             std::size_t num_sets, const Entry* entries,
+                             std::size_t num_entries,
+                             std::uint32_t universe_size,
+                             std::shared_ptr<const void> storage)
+    : storage_(std::move(storage)),
+      ext_offsets_(offsets),
+      ext_entries_(entries),
+      num_sets_(num_sets),
+      num_entries_(num_entries),
+      universe_size_(universe_size) {
+  if (storage_ == nullptr || offsets == nullptr ||
+      (entries == nullptr && num_entries != 0)) {
+    throw std::invalid_argument("ProbSetSystem: null external CSR storage");
+  }
+  if (offsets[0] != 0 || offsets[num_sets] != num_entries) {
+    throw std::invalid_argument("ProbSetSystem: external CSR offsets corrupt");
   }
 }
 
@@ -219,31 +315,11 @@ double ProbCoverageOracle::do_gain(ElementId x) const {
 
 void ProbCoverageOracle::do_gain_batch(std::span<const ElementId> xs,
                                        std::span<double> out) const {
-  const std::size_t* const offsets = sets_->offsets_data();
-  const ProbSetSystem::Entry* const entries = sets_->entries_data();
-  const double* const uncovered = uncovered_prob_.data();
-  const double* const w = weights_ ? weights_->data() : nullptr;
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    const ElementId x = xs[i];
-    if (in_set_[x]) {
-      out[i] = 0.0;
-      continue;
-    }
-    const std::size_t begin = offsets[x];
-    const std::size_t end = offsets[x + 1];
-    double gain = 0.0;
-    if (w == nullptr) {
-      for (std::size_t e = begin; e < end; ++e) {
-        gain += uncovered[entries[e].element] * double(entries[e].probability);
-      }
-    } else {
-      for (std::size_t e = begin; e < end; ++e) {
-        gain += w[entries[e].element] * uncovered[entries[e].element] *
-                double(entries[e].probability);
-      }
-    }
-    out[i] = gain;
-  }
+  prob_gain_batch_csr(
+      xs, out, sets_->offsets_data(), sets_->entries_data(),
+      uncovered_prob_.data(), weights_ ? weights_->data() : nullptr,
+      [&](std::size_t i) { return static_cast<std::size_t>(xs[i]); },
+      [&](std::size_t row) { return in_set_[row] != 0; });
 }
 
 double ProbCoverageOracle::do_add(ElementId x) {

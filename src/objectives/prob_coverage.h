@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "objectives/submodular.h"
@@ -22,34 +23,67 @@
 namespace bds {
 
 // CSR-packed bipartite item -> (element, probability) lists.
+//
+// Like SetSystem, either owns its CSR arrays (the validating constructor)
+// or borrows them from externally owned storage — the sections of an
+// mmap'd dataset file (data/io.h `map_prob_set_system`) — held alive by
+// the `storage` handle. Entry's {u32, f32} layout is the on-disk layout.
 class ProbSetSystem {
  public:
   struct Entry {
     std::uint32_t element;
     float probability;  // in [0, 1]
   };
+  static_assert(sizeof(Entry) == 8 && alignof(Entry) == 4,
+                "Entry is the on-disk section-B record");
+  static_assert(std::is_trivially_copyable_v<Entry>,
+                "Entry must be mappable from raw bytes");
 
   // Throws std::out_of_range for elements >= universe_size and
   // std::invalid_argument for probabilities outside [0, 1].
   ProbSetSystem(std::vector<std::vector<Entry>> sets,
                 std::uint32_t universe_size);
 
-  std::size_t num_sets() const noexcept { return offsets_.size() - 1; }
+  // Zero-copy view over an already-validated CSR (what save_prob_set_system
+  // writes: offsets ascending from 0 to num_entries, probabilities in
+  // [0, 1], no duplicate element within a set). `offsets` has num_sets + 1
+  // entries; `storage` owns the backing bytes and is retained for the
+  // ProbSetSystem's lifetime. Throws std::invalid_argument on a null array
+  // or an offsets/num_entries mismatch.
+  ProbSetSystem(const std::uint64_t* offsets, std::size_t num_sets,
+                const Entry* entries, std::size_t num_entries,
+                std::uint32_t universe_size,
+                std::shared_ptr<const void> storage);
+
+  std::size_t num_sets() const noexcept { return num_sets_; }
   std::uint32_t universe_size() const noexcept { return universe_size_; }
-  std::size_t total_entries() const noexcept { return entries_.size(); }
+  std::size_t total_entries() const noexcept { return num_entries_; }
+  // True when the CSR aliases external storage (an mmap'd file section).
+  bool borrows_storage() const noexcept { return storage_ != nullptr; }
 
   std::span<const Entry> set_entries(ElementId set_id) const noexcept {
-    return std::span<const Entry>(entries_.data() + offsets_[set_id],
-                                  offsets_[set_id + 1] - offsets_[set_id]);
+    const std::uint64_t* const offsets = offsets_data();
+    return std::span<const Entry>(
+        entries_data() + offsets[set_id],
+        static_cast<std::size_t>(offsets[set_id + 1] - offsets[set_id]));
   }
 
   // Raw CSR arrays for batched kernels (offsets has num_sets()+1 entries).
-  const std::size_t* offsets_data() const noexcept { return offsets_.data(); }
-  const Entry* entries_data() const noexcept { return entries_.data(); }
+  const std::uint64_t* offsets_data() const noexcept {
+    return storage_ ? ext_offsets_ : owned_offsets_.data();
+  }
+  const Entry* entries_data() const noexcept {
+    return storage_ ? ext_entries_ : owned_entries_.data();
+  }
 
  private:
-  std::vector<std::size_t> offsets_;
-  std::vector<Entry> entries_;
+  std::vector<std::uint64_t> owned_offsets_;
+  std::vector<Entry> owned_entries_;
+  std::shared_ptr<const void> storage_;  // borrow mode: keep-alive
+  const std::uint64_t* ext_offsets_ = nullptr;
+  const Entry* ext_entries_ = nullptr;
+  std::size_t num_sets_ = 0;
+  std::size_t num_entries_ = 0;
   std::uint32_t universe_size_;
 };
 

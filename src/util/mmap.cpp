@@ -1,0 +1,119 @@
+#include "util/mmap.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(_WIN32)
+#include <cstdio>
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace bds::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("mmap: " + what + ": " + path + " (" +
+                           std::strerror(errno) + ")");
+}
+
+#if !defined(_WIN32)
+int advice_flag(MapAdvice advice) noexcept {
+  switch (advice) {
+    case MapAdvice::kRandom: return MADV_RANDOM;
+    case MapAdvice::kSequential: return MADV_SEQUENTIAL;
+    case MapAdvice::kWillNeed: return MADV_WILLNEED;
+    case MapAdvice::kNormal: break;
+  }
+  return MADV_NORMAL;
+}
+#endif
+
+}  // namespace
+
+#if defined(_WIN32)
+
+// Portability fallback: no mmap — read the file into a heap buffer. The
+// interface (and the dataset code above it) is unchanged; only the
+// O(1)-load / O(touched)-resident properties are lost.
+std::shared_ptr<const MappedFile> MappedFile::open(const std::string& path,
+                                                   MapAdvice /*advice*/) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) fail("cannot open", path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  char* buffer = size > 0 ? new char[static_cast<std::size_t>(size)] : nullptr;
+  if (size > 0 &&
+      std::fread(buffer, 1, static_cast<std::size_t>(size), f) !=
+          static_cast<std::size_t>(size)) {
+    delete[] buffer;
+    std::fclose(f);
+    fail("short read", path);
+  }
+  std::fclose(f);
+  return std::shared_ptr<const MappedFile>(new MappedFile(
+      buffer, static_cast<std::size_t>(size), /*owned_heap=*/true, path));
+}
+
+MappedFile::~MappedFile() { delete[] static_cast<char*>(base_); }
+void MappedFile::advise(MapAdvice) const noexcept {}
+void MappedFile::drop_resident_pages() const noexcept {}
+void evict_file_cache(const std::string&) noexcept {}
+
+#else
+
+std::shared_ptr<const MappedFile> MappedFile::open(const std::string& path,
+                                                   MapAdvice advice) {
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(*-vararg)
+  if (fd < 0) fail("cannot open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail("cannot stat", path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* base = nullptr;
+  if (size > 0) {
+    base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base == MAP_FAILED) {
+      ::close(fd);
+      fail("cannot map", path);
+    }
+    ::madvise(base, size, advice_flag(advice));
+  }
+  // The mapping survives the close; no fd is held for the file's lifetime.
+  ::close(fd);
+  return std::shared_ptr<const MappedFile>(
+      new MappedFile(base, size, /*owned_heap=*/false, path));
+}
+
+MappedFile::~MappedFile() {
+  if (base_ != nullptr && !owned_heap_) ::munmap(base_, size_);
+}
+
+void MappedFile::advise(MapAdvice advice) const noexcept {
+  if (base_ != nullptr) ::madvise(base_, size_, advice_flag(advice));
+}
+
+void MappedFile::drop_resident_pages() const noexcept {
+  if (base_ != nullptr) ::madvise(base_, size_, MADV_DONTNEED);
+}
+
+void evict_file_cache(const std::string& path) noexcept {
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(*-vararg)
+  if (fd < 0) return;
+#if defined(POSIX_FADV_DONTNEED)
+  ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+#endif
+  ::close(fd);
+}
+
+#endif
+
+}  // namespace bds::util

@@ -1,0 +1,65 @@
+// Read-only memory-mapped files for the out-of-core dataset path. A
+// MappedFile wraps mmap(2) + madvise(2) behind RAII: open() maps the whole
+// file read-only and the destructor unmaps it, so dataset objects can hold
+// the mapping alive through a shared_ptr while their CSR pointers alias the
+// mapped bytes directly (zero parse, zero copy — load is page-table work;
+// the kernel pages data in on first touch and evicts it under pressure,
+// which is what keeps a worker's resident set proportional to the shard it
+// actually reads instead of the corpus).
+//
+// On hosts without mmap the open() falls back to reading the file into an
+// anonymous buffer — same interface, heap-resident semantics.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace bds::util {
+
+// Access-pattern hint forwarded to madvise (best effort, never fails the
+// open). Datasets default to kRandom: oracle gains jump between CSR rows.
+enum class MapAdvice { kNormal, kRandom, kSequential, kWillNeed };
+
+class MappedFile {
+ public:
+  // Maps `path` read-only. Throws std::runtime_error naming the path when
+  // the file cannot be opened, stat'ed, or mapped. An empty file maps to
+  // data() == nullptr, size() == 0.
+  static std::shared_ptr<const MappedFile> open(
+      const std::string& path, MapAdvice advice = MapAdvice::kRandom);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::byte* data() const noexcept {
+    return static_cast<const std::byte*>(base_);
+  }
+  std::size_t size() const noexcept { return size_; }
+  const std::string& path() const noexcept { return path_; }
+
+  // Re-advises the whole mapping (e.g. kSequential before a full scan).
+  void advise(MapAdvice advice) const noexcept;
+
+  // Drops the resident pages of this mapping (MADV_DONTNEED), so the next
+  // access faults them back in — the cold-cache lever the load benchmarks
+  // use. Best effort; a no-op on the fallback path.
+  void drop_resident_pages() const noexcept;
+
+ private:
+  MappedFile(void* base, std::size_t size, bool owned_heap, std::string path)
+      : base_(base), size_(size), owned_heap_(owned_heap),
+        path_(std::move(path)) {}
+
+  void* base_;
+  std::size_t size_;
+  bool owned_heap_;  // fallback path: base_ is new[]'d, not mapped
+  std::string path_;
+};
+
+// Best-effort eviction of `path`'s pages from the OS page cache
+// (posix_fadvise DONTNEED), so a subsequent load measures cold-cache I/O.
+void evict_file_cache(const std::string& path) noexcept;
+
+}  // namespace bds::util

@@ -1,0 +1,24 @@
+# tiny.el — checked-in edge list for test_convert and the CI smoke leg.
+% Both '#' and '%' comment styles, a self-loop, and a duplicate edge are
+% present on purpose: the parser must drop them.
+0 1
+1 2
+2 0
+2 3
+3 4
+4 5
+5 6
+6 3
+1 7
+7 8
+8 9
+9 1
+4 4
+0 1
+10 11
+11 12
+12 10
+5 13
+13 14
+14 15
+15 5

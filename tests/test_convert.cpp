@@ -1,0 +1,145 @@
+// bds_convert pipeline: text edge list -> v2 container -> mmap load ->
+// distributed run, checked against the same instance built in-process via
+// graph_gen::neighborhood_sets. The checked-in tests/data/tiny.el is the
+// corpus (path injected as BDS_TEST_DATA_DIR by tests/CMakeLists.txt).
+#include "data/convert.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/registry.h"
+#include "data/io.h"
+#include "objectives/coverage.h"
+
+namespace bds::data {
+namespace {
+
+std::string tiny_edge_list() {
+  return std::string(BDS_TEST_DATA_DIR) + "/tiny.el";
+}
+
+// tiny.el's edges, minus the self-loop and the duplicate the parser must
+// drop. Node ids appear in increasing order, so the first-appearance
+// compaction is the identity.
+Graph tiny_graph() {
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{
+      {0, 1},  {1, 2},   {2, 0},   {2, 3},   {3, 4},  {4, 5},
+      {5, 6},  {6, 3},   {1, 7},   {7, 8},   {8, 9},  {9, 1},
+      {10, 11}, {11, 12}, {12, 10}, {5, 13}, {13, 14}, {14, 15},
+      {15, 5}};
+  Graph graph;
+  graph.adjacency.resize(16);
+  for (const auto& [u, v] : edges) {
+    graph.adjacency[u].push_back(v);
+    graph.adjacency[v].push_back(u);
+  }
+  return graph;
+}
+
+class ConvertTest : public ::testing::Test {
+ protected:
+  std::string out_ = ::testing::TempDir() + "/bds_convert_test.bds";
+  void TearDown() override { std::remove(out_.c_str()); }
+};
+
+TEST_F(ConvertTest, ParsesEdgeListDroppingLoopsAndDuplicates) {
+  const Graph graph = load_edge_list(tiny_edge_list());
+  const Graph expected = tiny_graph();
+  ASSERT_EQ(graph.num_nodes(), expected.num_nodes());
+  EXPECT_EQ(graph.num_edges(), expected.num_edges());
+  const auto sets = neighborhood_sets(graph);
+  const auto expected_sets = neighborhood_sets(expected);
+  for (ElementId id = 0; id < sets->num_sets(); ++id) {
+    const auto a = sets->set_items(id);
+    const auto b = expected_sets->set_items(id);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "node " << id;
+  }
+}
+
+TEST_F(ConvertTest, MalformedLineNamesPathAndLine) {
+  const std::string bad = ::testing::TempDir() + "/bds_convert_bad.el";
+  {
+    std::ofstream out(bad);
+    out << "0 1\nnot an edge\n";
+  }
+  try {
+    load_edge_list(bad);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(bad), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+  std::remove(bad.c_str());
+}
+
+// The satellite end-to-end check: tiny.el -> convert -> mmap load ->
+// bicriteria run must match the generator-built instance exactly.
+TEST_F(ConvertTest, ConvertedFileRunsIdenticallyToGeneratorBuilt) {
+  const auto result = convert_dataset_file(tiny_edge_list(), out_);
+  EXPECT_EQ(result.kind, "edge-list");
+  EXPECT_EQ(result.ground_size, 16u);
+
+  const auto mapped = map_set_system(out_);
+  EXPECT_TRUE(mapped->borrows_storage());
+  const auto reference = neighborhood_sets(tiny_graph());
+  ASSERT_EQ(mapped->num_sets(), reference->num_sets());
+  EXPECT_EQ(mapped->total_size(), reference->total_size());
+
+  const CoverageOracle mapped_oracle(mapped);
+  const CoverageOracle reference_oracle(reference);
+  std::vector<ElementId> ground(reference->num_sets());
+  for (std::size_t i = 0; i < ground.size(); ++i) {
+    ground[i] = static_cast<ElementId>(i);
+  }
+  AlgorithmParams params;
+  params.k = 3;
+  params.rounds = 2;
+  RuntimeOptions runtime;
+  runtime.seed = 5;
+  const auto a =
+      run_distributed("bicriteria", mapped_oracle, ground, runtime, params);
+  const auto b =
+      run_distributed("bicriteria", reference_oracle, ground, runtime, params);
+  EXPECT_EQ(a.solution, b.solution);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.stats.num_rounds(), b.stats.num_rounds());
+}
+
+TEST_F(ConvertTest, ReencodesLegacyAndV2Binary) {
+  // v2 -> v2 rewrite preserves the instance.
+  const auto graph = load_edge_list(tiny_edge_list());
+  const auto sets = neighborhood_sets(graph);
+  const std::string first = ::testing::TempDir() + "/bds_convert_first.bds";
+  save_set_system(*sets, first);
+  const auto result = convert_dataset_file(first, out_);
+  EXPECT_EQ(result.kind, "set-system");
+  const auto reloaded = map_set_system(out_);
+  ASSERT_EQ(reloaded->num_sets(), sets->num_sets());
+  EXPECT_EQ(reloaded->total_size(), sets->total_size());
+  for (ElementId id = 0; id < sets->num_sets(); ++id) {
+    const auto a = sets->set_items(id);
+    const auto b = reloaded->set_items(id);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+  std::remove(first.c_str());
+}
+
+TEST_F(ConvertTest, MissingInputNamesPath) {
+  try {
+    convert_dataset_file("/nonexistent/input.el", out_);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/input.el"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace bds::data
