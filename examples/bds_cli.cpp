@@ -10,9 +10,8 @@
 //
 // Datasets: synthetic | dblp | livejournal | gutenberg | wiki | images,
 // or --load <file> written by a previous --save (coverage datasets only).
-// Algorithms: bicriteria (practical) | theory | multiplicity | hybrid |
-// greedi | randgreedi | pseudo | parallel | naive | scaling | sieve | adaptive | central |
-// central-bicriteria | random.
+// Algorithms: whatever core/registry.h registers — --help enumerates them
+// live, so the listing can never drift from the library.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -50,11 +49,7 @@ constexpr const char* kUsage = R"(usage: bds_cli [options]
   --save FILE        save the generated coverage dataset
   --nodes N          graph dataset size            (default 20000)
   --docs N           vector dataset size           (default 5000)
-  --algorithm NAME   any registered algorithm; run with a bogus name to
-                     list them (bicriteria | theory | multiplicity | hybrid |
-                     greedi | randgreedi | pseudo | parallel | naive |
-                     scaling | adaptive | sieve | central |
-                     central-bicriteria | random)
+  --algorithm NAME   any registered algorithm (--help lists them all)
   --k K              target cardinality            (default 10)
   --output T         bicriteria output size        (default k)
   --rounds R         rounds                        (default 1)
@@ -199,6 +194,19 @@ int main(int argc, char** argv) {
     const util::Flags flags(argc, argv);
     if (flags.has("help")) {
       std::printf("%s", kUsage);
+      // Enumerated live from the registry, so the listing is always the
+      // set of names run_distributed actually accepts.
+      std::printf("\nalgorithms:\n");
+      for (const auto& spec : algorithm_registry()) {
+        std::printf("  %-20s %s%s\n", spec.name.c_str(),
+                    spec.description.c_str(),
+                    spec.distributed ? "" : " [centralized]");
+      }
+      std::printf("\nobjectives:\n");
+      for (const auto& spec : objective_registry()) {
+        std::printf("  %-20s %s\n", spec.name.c_str(),
+                    spec.description.c_str());
+      }
       return 0;
     }
 

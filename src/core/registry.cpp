@@ -167,6 +167,15 @@ std::vector<AlgorithmSpec> build_registry() {
   return specs;
 }
 
+template <typename Spec>
+[[noreturn]] void throw_unknown(const char* kind, std::string_view name,
+                                const std::vector<Spec>& registry) {
+  std::ostringstream message;
+  message << "unknown " << kind << " '" << name << "'; known:";
+  for (const auto& spec : registry) message << " " << spec.name;
+  throw std::invalid_argument(message.str());
+}
+
 }  // namespace
 
 const std::vector<AlgorithmSpec>& algorithm_registry() {
@@ -181,10 +190,50 @@ const AlgorithmSpec* find_algorithm(std::string_view name) {
   return nullptr;
 }
 
+const AlgorithmSpec& require_algorithm(std::string_view name) {
+  if (const AlgorithmSpec* spec = find_algorithm(name)) return *spec;
+  throw_unknown("algorithm", name, algorithm_registry());
+}
+
 std::vector<std::string> algorithm_names() {
   std::vector<std::string> names;
   names.reserve(algorithm_registry().size());
   for (const auto& spec : algorithm_registry()) names.push_back(spec.name);
+  return names;
+}
+
+const std::vector<ObjectiveSpec>& objective_registry() {
+  static const std::vector<ObjectiveSpec> registry = {
+      {"coverage", "set coverage over a CSR set system (§4.1)", true},
+      {"prob-coverage", "probabilistic coverage, 1-∏(1-p) saturation", true},
+      {"exemplar", "exact exemplar clustering over a point set (§4.2)",
+       true},
+      {"sampled-exemplar",
+       "exemplar clustering estimated on a fixed uniform sample (§4.2)",
+       true},
+      {"logdet", "log-determinant diversity (DPP MAP objective)", true},
+      {"saturated-coverage", "per-element saturated (truncated) coverage",
+       true},
+  };
+  return registry;
+}
+
+const ObjectiveSpec* find_objective(std::string_view name) {
+  for (const auto& spec : objective_registry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+const ObjectiveSpec& require_objective(std::string_view name) {
+  if (const ObjectiveSpec* spec = find_objective(name)) return *spec;
+  throw_unknown("objective", name, objective_registry());
+}
+
+std::vector<std::string> objective_names() {
+  std::vector<std::string> names;
+  names.reserve(objective_registry().size());
+  for (const auto& spec : objective_registry()) names.push_back(spec.name);
   return names;
 }
 
@@ -193,17 +242,10 @@ RunResult run_distributed(std::string_view algorithm,
                           std::span<const ElementId> ground,
                           const RuntimeOptions& runtime,
                           const AlgorithmParams& params) {
-  const AlgorithmSpec* spec = find_algorithm(algorithm);
-  if (spec == nullptr) {
-    std::ostringstream message;
-    message << "unknown algorithm '" << algorithm << "'; known:";
-    for (const auto& name : algorithm_names()) message << " " << name;
-    throw std::invalid_argument(message.str());
-  }
-
-  DistributedResult inner = spec->run(oracle, ground, params, runtime);
+  const AlgorithmSpec& spec = require_algorithm(algorithm);
+  DistributedResult inner = spec.run(oracle, ground, params, runtime);
   RunResult result;
-  result.algorithm = spec->name;
+  result.algorithm = spec.name;
   result.solution = std::move(inner.solution);
   result.value = inner.value;
   result.stats = std::move(inner.stats);

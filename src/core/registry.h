@@ -50,8 +50,34 @@ const std::vector<AlgorithmSpec>& algorithm_registry();
 // Lookup by name; nullptr when unknown.
 const AlgorithmSpec* find_algorithm(std::string_view name);
 
+// Throwing lookup: returns the spec or throws std::invalid_argument whose
+// message lists every registered name, so callers (CLI, serving layer) get
+// the discoverable error for free.
+const AlgorithmSpec& require_algorithm(std::string_view name);
+
 // All registered names, for diagnostics ("unknown algorithm X, try: ...").
 std::vector<std::string> algorithm_names();
+
+// The objective side of the registry: one entry per objective family the
+// library ships, so tools can enumerate them and the serving layer can
+// check cachability without hard-coding a list.
+struct ObjectiveSpec {
+  std::string name;         // stable CLI-facing identifier
+  std::string description;  // one line, shown in --help style listings
+  // True when evaluations are a pure deterministic function of the
+  // committed set — clones replay to bitwise-equal values — which is what
+  // the summary cache (serve/cache.h) needs to certify prefix answers.
+  // Every in-tree objective qualifies (sampled oracles freeze their sample
+  // at construction); see docs/EXTENDING.md before flipping this on a new
+  // objective.
+  bool cache_safe = true;
+};
+
+const std::vector<ObjectiveSpec>& objective_registry();
+const ObjectiveSpec* find_objective(std::string_view name);
+// Throwing lookup listing the known objective names.
+const ObjectiveSpec& require_objective(std::string_view name);
+std::vector<std::string> objective_names();
 
 // The uniform front door: what one invocation returned, regardless of
 // which algorithm ran. `stats.trace` carries the structured round spans

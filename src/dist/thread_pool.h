@@ -29,6 +29,14 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  // Tasks currently queued and not yet picked up by a worker. A snapshot —
+  // stale the moment it returns — used by admission layers (serve/service.h)
+  // as a backlog signal for load shedding, never for correctness.
+  std::size_t pending() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
   // Enqueues a task and returns a future for its result. Exceptions thrown
   // by the task surface through the future.
   template <typename F>
@@ -69,7 +77,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
 };

@@ -73,4 +73,21 @@ std::string trace_to_json(const ExecutionTrace& trace) {
   return out.str();
 }
 
+std::string query_spans_to_json(const std::vector<QuerySpan>& spans) {
+  std::ostringstream out;
+  out << "{\"queries\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const QuerySpan& q = spans[i];
+    if (i != 0) out << ",";
+    out << "\n{\"query\":" << q.query_id << ",\"tenant\":\"" << q.tenant
+        << "\",\"outcome\":\"" << q.outcome << "\",\"k\":" << q.budget_k
+        << ",\"items\":" << q.items
+        << ",\"queue_seconds\":" << q.queue_seconds
+        << ",\"run_seconds\":" << q.run_seconds
+        << ",\"total_seconds\":" << q.total_seconds << "}";
+  }
+  out << "\n]}";
+  return out.str();
+}
+
 }  // namespace bds::dist

@@ -71,4 +71,23 @@ using TraceSink = std::function<void(const RoundSpan&)>;
 // keep healthy traces compact; faulted machines carry full attempt spans.
 std::string trace_to_json(const ExecutionTrace& trace);
 
+// One served query's life in the summary service (serve/service.h): how it
+// was admitted and answered, with queueing/compute/total latency split out.
+// `outcome` is the service's ServeOutcome name ("hit", "coalesced",
+// "computed", "degraded", "rejected"); seconds fields are wall clock and,
+// like RoundSpan timings, not part of the determinism contract.
+struct QuerySpan {
+  std::uint64_t query_id = 0;
+  std::string tenant;
+  std::string outcome;
+  std::size_t budget_k = 0;
+  std::size_t items = 0;       // items actually served
+  double queue_seconds = 0.0;  // admission until compute start (0 for hits)
+  double run_seconds = 0.0;    // cache-miss computation (0 for hits)
+  double total_seconds = 0.0;  // submit to answer
+};
+
+// JSON serialization: {"queries": [...]} with one object per QuerySpan.
+std::string query_spans_to_json(const std::vector<QuerySpan>& spans);
+
 }  // namespace bds::dist

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "dist/thread_pool.h"
+#include "objectives/gain_fusion.h"
 #include "util/kernels.h"
 
 namespace bds {
@@ -304,7 +305,22 @@ double ExemplarOracle::clustering_cost() const noexcept {
   return cost;
 }
 
+void ExemplarOracle::attach_fusion(std::shared_ptr<GainFusionGroup> group) {
+  if (group && group->points().get() != points_.get()) {
+    throw std::invalid_argument(
+        "ExemplarOracle::attach_fusion: group built over a different "
+        "PointSet");
+  }
+  fusion_ = std::move(group);
+}
+
 double ExemplarOracle::do_gain(ElementId x) const {
+  if (fusion_ && !kern::legacy()) {
+    double out = 0.0;
+    fusion_->evaluate(std::span<const ElementId>(&x, 1), min_dist_.data(),
+                      1.0, std::span<double>(&out, 1));
+    return out;
+  }
   const CostView view{points_.get(), nullptr, min_dist_.size(),
                       min_dist_.data()};
   return kern::legacy() ? legacy_gain(view, x) : kernel_gain_one(view, x);
@@ -312,6 +328,10 @@ double ExemplarOracle::do_gain(ElementId x) const {
 
 void ExemplarOracle::do_gain_batch(std::span<const ElementId> xs,
                                    std::span<double> out) const {
+  if (fusion_ && !kern::legacy()) {
+    fusion_->evaluate(xs, min_dist_.data(), 1.0, out);
+    return;
+  }
   const CostView view{points_.get(), nullptr, min_dist_.size(),
                       min_dist_.data()};
   if (kern::legacy()) {

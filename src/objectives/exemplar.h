@@ -34,6 +34,8 @@
 
 namespace bds {
 
+class GainFusionGroup;
+
 // Immutable row-major point matrix (float storage; accumulation in double).
 // Rows are stored padded to kern::padded_dim(dim) floats (zero-filled) on a
 // 32-byte-aligned base so SIMD kernels can stream them, and each row's
@@ -132,6 +134,20 @@ class ExemplarOracle final : public SubmodularOracle {
   // Current clustering cost c(S ∪ {p0}) = Σ_v min_dist[v].
   double clustering_cost() const noexcept;
   double p0_dist() const noexcept { return p0_dist_; }
+  const std::shared_ptr<const PointSet>& points() const noexcept {
+    return points_;
+  }
+
+  // Routes this oracle's gain evaluations through a cross-query fusion
+  // group (objectives/gain_fusion.h) so concurrent evaluations against the
+  // same PointSet share streaming passes. The group must have been built
+  // over this oracle's point set. Clones inherit the attachment, so engine
+  // workers participate too. Fused answers are bit-identical to unfused
+  // ones; legacy mode bypasses the group. Pass nullptr to detach.
+  void attach_fusion(std::shared_ptr<GainFusionGroup> group);
+  const std::shared_ptr<GainFusionGroup>& fusion() const noexcept {
+    return fusion_;
+  }
 
  protected:
   double do_gain(ElementId x) const override;
@@ -158,6 +174,7 @@ class ExemplarOracle final : public SubmodularOracle {
   std::shared_ptr<const PointSet> points_;
   double p0_dist_;
   std::vector<double> min_dist_;  // min over S ∪ {p0}; starts at p0_dist
+  std::shared_ptr<GainFusionGroup> fusion_;  // optional; shared by clones
 };
 
 // Sampled estimate: identical semantics, but cost terms are summed over a

@@ -1,0 +1,118 @@
+#include "objectives/gain_fusion.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "objectives/exemplar.h"
+#include "util/kernels.h"
+
+namespace bds {
+
+GainFusionGroup::GainFusionGroup(std::shared_ptr<const PointSet> points)
+    : points_(std::move(points)) {
+  if (!points_ || points_->size() == 0) {
+    throw std::invalid_argument("GainFusionGroup: empty point set");
+  }
+}
+
+void GainFusionGroup::evaluate(std::span<const ElementId> xs,
+                               const double* min_dist, double scale,
+                               std::span<double> out) {
+  if (xs.empty()) return;
+  Request req{xs, min_dist, scale, out};
+
+  std::unique_lock<std::mutex> lk(mu_);
+  pending_.push_back(&req);
+  ++stats_.requests;
+  if (combiner_active_) {
+    // A combiner is draining; it will pick this request up in its next
+    // round (fusing it with whatever else arrived meanwhile).
+    cv_.wait(lk, [&] { return req.done; });
+    return;
+  }
+
+  combiner_active_ = true;
+  std::vector<Request*> round;
+  while (!pending_.empty()) {
+    round.clear();
+    round.swap(pending_);
+    ++stats_.rounds;
+    std::uint64_t n_cands = 0;
+    for (const Request* r : round) n_cands += r->xs.size();
+    stats_.candidates += n_cands;
+    if (round.size() > 1) {
+      ++stats_.fused_rounds;
+      stats_.fused_candidates += n_cands;
+    }
+    stats_.mq_tiles +=
+        ((n_cands + kern::kGainTile - 1) / kern::kGainTile) *
+        ((points_->size() + kern::kCostChunk - 1) / kern::kCostChunk);
+
+    lk.unlock();
+    run_round(round);
+    lk.lock();
+    for (Request* r : round) r->done = true;
+    cv_.notify_all();
+  }
+  combiner_active_ = false;
+}
+
+void GainFusionGroup::run_round(const std::vector<Request*>& round) {
+  const PointSet& pts = *points_;
+  const std::size_t count = pts.size();
+  const kern::KernelTable& kt = kern::active_table();
+
+  // Flatten every (request, candidate) pair into one slot list; slots from
+  // different requests share tiles.
+  struct Slot {
+    const float* row;
+    double norm;
+    const double* min_dist;
+  };
+  std::vector<Slot> slots;
+  std::size_t total = 0;
+  for (const Request* r : round) total += r->xs.size();
+  slots.reserve(total);
+  for (const Request* r : round) {
+    for (const ElementId x : r->xs) {
+      slots.push_back({pts.row(x), pts.norm2(x), r->min_dist});
+    }
+  }
+
+  // Per-slot accumulation over canonical cost chunks in ascending order —
+  // the same grouping the solo kernel paths use, so each slot's result is
+  // bit-identical to an unfused evaluation.
+  std::vector<double> acc(slots.size(), 0.0);
+  for (std::size_t begin = 0; begin < count; begin += kern::kCostChunk) {
+    const std::size_t end = std::min(begin + kern::kCostChunk, count);
+    for (std::size_t s0 = 0; s0 < slots.size(); s0 += kern::kGainTile) {
+      const std::size_t n_x = std::min(kern::kGainTile, slots.size() - s0);
+      const float* tile_rows[kern::kGainTile];
+      double tile_norms[kern::kGainTile];
+      const double* tile_mds[kern::kGainTile];
+      for (std::size_t j = 0; j < n_x; ++j) {
+        tile_rows[j] = slots[s0 + j].row;
+        tile_norms[j] = slots[s0 + j].norm;
+        tile_mds[j] = slots[s0 + j].min_dist;
+      }
+      double part[kern::kGainTile];
+      kt.gain_tile_mq(pts.rows(), pts.stride(), pts.norms(), nullptr,
+                      tile_mds, begin, end, tile_rows, tile_norms, n_x, part);
+      for (std::size_t j = 0; j < n_x; ++j) acc[s0 + j] += part[j];
+    }
+  }
+
+  std::size_t s = 0;
+  for (const Request* r : round) {
+    for (std::size_t j = 0; j < r->xs.size(); ++j, ++s) {
+      r->out[j] = acc[s] * r->scale;
+    }
+  }
+}
+
+FusionStats GainFusionGroup::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace bds

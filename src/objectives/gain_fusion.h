@@ -1,0 +1,109 @@
+// Cross-query gain fusion for exact exemplar oracles sharing one PointSet.
+//
+// In the serving path (serve/service.h), several concurrent queries run
+// distributed algorithms over the *same* corpus at once. Each of their
+// oracle evaluations is an O(n·dim) streaming scan over the point matrix —
+// memory-bound work that the kernel layer already tiles kern::kGainTile
+// candidates wide (gain_tile). But a lazy-greedy step evaluates only one
+// or two candidates at a time, leaving most of the tile empty: every
+// concurrent query streams the whole matrix for a sliver of arithmetic.
+//
+// A GainFusionGroup turns those concurrent slivers into full tiles. It is
+// a flat-combining aggregation point shared by every oracle over one
+// PointSet: callers enqueue their (candidates, min-dist state) request
+// under a mutex; the first caller becomes the combiner, drains everything
+// pending, and executes all requests together as kern::gain_tile_mq tiles
+// — one streaming pass over the rows serves up to kGainTile candidates
+// from *different* queries. Non-combiners sleep on a condition variable
+// until their results are filled in. Requests that find the group idle
+// execute immediately (a solo round), so the single-query case pays one
+// uncontended mutex acquisition and nothing else; fusion happens exactly
+// when scans genuinely overlap in time, with no timers or batching delays.
+//
+// ## Bit-identity
+//
+// gain_tile_mq guarantees per-candidate arithmetic independent of tile
+// composition (util/kernels.h, tested in test_kernels), and the combiner
+// accumulates each candidate's chunk partials in ascending kern::kCostChunk
+// order — exactly the canonical grouping the solo paths use. Fused answers
+// are therefore bit-identical to unfused ones: attaching a fusion group
+// never perturbs any query's selections.
+//
+// ## Scope
+//
+// Only the exact ExemplarOracle participates (identity cost-term mapping,
+// shared cost count = the point count). Sampled oracles have per-instance
+// id indirections and counts, so they evaluate solo. Legacy mode
+// (BDS_KERNEL=legacy) bypasses fusion entirely — callers keep the
+// sequential scans. Gains only; add() (a mutation) is never fused.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/element.h"
+
+namespace bds {
+
+class PointSet;
+
+// Counters describing how much fusion actually happened (for serve stats
+// and the bench_serve report). A "round" is one combiner drain; a round
+// fusing requests from >1 evaluate() call is a "fused round".
+struct FusionStats {
+  std::uint64_t requests = 0;          // evaluate() calls
+  std::uint64_t rounds = 0;            // combiner drain rounds
+  std::uint64_t fused_rounds = 0;      // rounds combining > 1 request
+  std::uint64_t candidates = 0;        // candidate gains evaluated
+  std::uint64_t fused_candidates = 0;  // of those, in fused rounds
+  std::uint64_t mq_tiles = 0;          // gain_tile_mq invocations
+};
+
+class GainFusionGroup {
+ public:
+  // The group serves oracles evaluating against exactly this point set.
+  explicit GainFusionGroup(std::shared_ptr<const PointSet> points);
+
+  GainFusionGroup(const GainFusionGroup&) = delete;
+  GainFusionGroup& operator=(const GainFusionGroup&) = delete;
+
+  const std::shared_ptr<const PointSet>& points() const noexcept {
+    return points_;
+  }
+
+  // Evaluates out[j] = scale · Σ_t max(0, min_dist[t] − d(t, xs[j])) over
+  // all cost terms t (the caller's full min-dist array, one entry per
+  // point), possibly fused with other in-flight calls. Blocks until the
+  // caller's results are written. min_dist and out must stay valid for the
+  // duration of the call (they do: callers block). Thread-safe.
+  void evaluate(std::span<const ElementId> xs, const double* min_dist,
+                double scale, std::span<double> out);
+
+  FusionStats stats() const;
+
+ private:
+  struct Request {
+    std::span<const ElementId> xs;
+    const double* min_dist;
+    double scale;
+    std::span<double> out;
+    bool done = false;
+  };
+
+  // Executes one drained round outside the lock.
+  void run_round(const std::vector<Request*>& round);
+
+  std::shared_ptr<const PointSet> points_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Request*> pending_;
+  bool combiner_active_ = false;
+  FusionStats stats_;
+};
+
+}  // namespace bds

@@ -33,10 +33,11 @@ Mode parse_env_mode() {
   if (v == "scalar") return Mode::kScalar;
   if (v == "sse2") return Mode::kSse2;
   if (v == "avx2") return Mode::kAvx2;
+  if (v == "avx512") return Mode::kAvx512;
   if (v == "legacy") return Mode::kLegacy;
   std::fprintf(stderr,
                "bds: unknown BDS_KERNEL value '%s' "
-               "(expected auto|scalar|sse2|avx2|legacy); using auto\n",
+               "(expected auto|scalar|sse2|avx2|avx512|legacy); using auto\n",
                raw);
   return Mode::kAuto;
 }
@@ -57,11 +58,21 @@ bool host_has(Isa isa) noexcept {
 #else
       return false;
 #endif
+    case Isa::kAvx512:
+#if BDS_KERNELS_X86
+      // The 512-bit kernels only use foundation instructions, but they
+      // reduce through the AVX2 stage, so both must be present.
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
   }
   return false;
 }
 
 Isa best_supported() noexcept {
+  if (host_has(Isa::kAvx512)) return Isa::kAvx512;
   if (host_has(Isa::kAvx2)) return Isa::kAvx2;
   if (host_has(Isa::kSse2)) return Isa::kSse2;
   return Isa::kScalar;
@@ -141,11 +152,31 @@ void gain_tile_scalar(const float* rows, std::size_t stride,
   }
 }
 
+void gain_tile_mq_scalar(const float* rows, std::size_t stride,
+                         const double* norms, const std::uint32_t* ids,
+                         const double* const* min_dists, std::size_t begin,
+                         std::size_t end, const float* const* xs,
+                         const double* x_norms, std::size_t n_x, double* out) {
+  for (std::size_t j = 0; j < n_x; ++j) out[j] = 0.0;
+  for (std::size_t t = begin; t < end; ++t) {
+    const std::size_t id = ids == nullptr ? t : ids[t];
+    const float* row = rows + id * stride;
+    const double v_norm = norms[id];
+    for (std::size_t j = 0; j < n_x; ++j) {
+      const double d = distance_from_dot(v_norm, x_norms[j],
+                                         dot_scalar(row, xs[j], stride));
+      const double md = min_dists[j][t];
+      if (d < md) out[j] += md - d;
+    }
+  }
+}
+
 constexpr KernelTable kScalarTable = {
     &squared_l2_scalar,
     &dot_scalar,
     &distance_row_scalar,
     &gain_tile_scalar,
+    &gain_tile_mq_scalar,
 };
 
 #if BDS_KERNELS_X86
@@ -286,11 +317,31 @@ void gain_tile_sse2(const float* rows, std::size_t stride, const double* norms,
   }
 }
 
+void gain_tile_mq_sse2(const float* rows, std::size_t stride,
+                       const double* norms, const std::uint32_t* ids,
+                       const double* const* min_dists, std::size_t begin,
+                       std::size_t end, const float* const* xs,
+                       const double* x_norms, std::size_t n_x, double* out) {
+  for (std::size_t j = 0; j < n_x; ++j) out[j] = 0.0;
+  for (std::size_t t = begin; t < end; ++t) {
+    const std::size_t id = ids == nullptr ? t : ids[t];
+    const float* row = rows + id * stride;
+    const double v_norm = norms[id];
+    for (std::size_t j = 0; j < n_x; ++j) {
+      const double d = distance_from_dot(v_norm, x_norms[j],
+                                         dot_padded_sse2(row, xs[j], stride));
+      const double md = min_dists[j][t];
+      if (d < md) out[j] += md - d;
+    }
+  }
+}
+
 constexpr KernelTable kSse2Table = {
     &squared_l2_sse2,
     &dot_sse2,
     &distance_row_sse2,
     &gain_tile_sse2,
+    &gain_tile_mq_sse2,
 };
 
 // ---------------------------------------------------------------------------
@@ -484,11 +535,255 @@ __attribute__((target("avx2,fma"))) void gain_tile_avx2(
   for (std::size_t j = 0; j < n_x; ++j) out[j] = sums[j];
 }
 
+// Multi-query tile: identical blocked small-GEMM, but candidate j compares
+// against its own min-dist array. The per-candidate accumulators and
+// reductions are untouched, so each lane's arithmetic is bit-identical to
+// gain_tile_avx2 with min_dist = min_dists[j].
+__attribute__((target("avx2,fma"))) void gain_tile_mq_avx2(
+    const float* rows, std::size_t stride, const double* norms,
+    const std::uint32_t* ids, const double* const* min_dists,
+    std::size_t begin, std::size_t end, const float* const* xs,
+    const double* x_norms, std::size_t n_x, double* out) {
+  for (std::size_t j = 0; j < n_x; ++j) out[j] = 0.0;
+  if (n_x == 0) return;
+
+  if (n_x == 1) {
+    const float* x = xs[0];
+    const double x_norm = x_norms[0];
+    const double* md0 = min_dists[0];
+    double sum = 0.0;
+    for (std::size_t t = begin; t < end; ++t) {
+      const std::size_t id = ids == nullptr ? t : ids[t];
+      const double d = distance_from_dot(
+          norms[id], x_norm, dot_padded_avx2(rows + id * stride, x, stride));
+      const double md = md0[t];
+      if (d < md) sum += md - d;
+    }
+    out[0] = sum;
+    return;
+  }
+
+  thread_local util::AlignedVector<double> scratch;
+  scratch.resize(kGainTile * stride);
+  for (std::size_t s = 0; s < kGainTile; ++s) {
+    const float* src = xs[s < n_x ? s : n_x - 1];
+    double* dst = scratch.data() + s * stride;
+    for (std::size_t d = 0; d < stride; d += 4) {
+      _mm256_store_pd(dst + d, _mm256_cvtps_pd(_mm_loadu_ps(src + d)));
+    }
+  }
+  const double* x0 = scratch.data();
+  const double* x1 = scratch.data() + stride;
+  const double* x2 = scratch.data() + 2 * stride;
+  const double* x3 = scratch.data() + 3 * stride;
+
+  double sums[kGainTile] = {};
+  for (std::size_t t = begin; t < end; ++t) {
+    const std::size_t id = ids == nullptr ? t : ids[t];
+    const float* row = rows + id * stride;
+    __m256d a0l = _mm256_setzero_pd(), a0h = _mm256_setzero_pd();
+    __m256d a1l = _mm256_setzero_pd(), a1h = _mm256_setzero_pd();
+    __m256d a2l = _mm256_setzero_pd(), a2h = _mm256_setzero_pd();
+    __m256d a3l = _mm256_setzero_pd(), a3h = _mm256_setzero_pd();
+    for (std::size_t d = 0; d < stride; d += kLanes) {
+      const __m256 v = _mm256_loadu_ps(row + d);
+      const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+      const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+      a0l = _mm256_fmadd_pd(lo, _mm256_load_pd(x0 + d), a0l);
+      a0h = _mm256_fmadd_pd(hi, _mm256_load_pd(x0 + d + 4), a0h);
+      a1l = _mm256_fmadd_pd(lo, _mm256_load_pd(x1 + d), a1l);
+      a1h = _mm256_fmadd_pd(hi, _mm256_load_pd(x1 + d + 4), a1h);
+      a2l = _mm256_fmadd_pd(lo, _mm256_load_pd(x2 + d), a2l);
+      a2h = _mm256_fmadd_pd(hi, _mm256_load_pd(x2 + d + 4), a2h);
+      a3l = _mm256_fmadd_pd(lo, _mm256_load_pd(x3 + d), a3l);
+      a3h = _mm256_fmadd_pd(hi, _mm256_load_pd(x3 + d + 4), a3h);
+    }
+    const double v_norm = norms[id];
+    const double dots[kGainTile] = {
+        reduce_avx2(a0l, a0h), reduce_avx2(a1l, a1h), reduce_avx2(a2l, a2h),
+        reduce_avx2(a3l, a3h)};
+    for (std::size_t j = 0; j < n_x; ++j) {
+      const double d = distance_from_dot(v_norm, x_norms[j], dots[j]);
+      const double md = min_dists[j][t];
+      if (d < md) sums[j] += md - d;
+    }
+  }
+  for (std::size_t j = 0; j < n_x; ++j) out[j] = sums[j];
+}
+
 constexpr KernelTable kAvx2Table = {
     &squared_l2_avx2,
     &dot_avx2,
     &distance_row_avx2,
     &gain_tile_avx2,
+    &gain_tile_mq_avx2,
+};
+
+// ---------------------------------------------------------------------------
+// AVX-512F kernels — all 8 lanes in one __m512d accumulator
+// ---------------------------------------------------------------------------
+//
+// The zmm register holds the whole virtual lane array, so lane l of the
+// contract is literally element l of the accumulator. The reduction splits
+// the zmm into its two ymm halves (lanes 0-3 and 4-7) and feeds them to the
+// AVX2 reduction, which already implements reduce_lanes() exactly — so the
+// 512-bit tier is bit-identical to every other tier by construction.
+
+__attribute__((target("avx512f,avx2,fma"))) inline double reduce_avx512(
+    __m512d acc) noexcept {
+  return reduce_avx2(_mm512_castpd512_pd256(acc),
+                     _mm512_extractf64x4_pd(acc, 1));
+}
+
+// Loads one 8-float block and widens it to the full double lane array.
+__attribute__((target("avx512f,avx2,fma"))) inline __m512d widen_avx512(
+    const float* p) noexcept {
+  return _mm512_cvtps_pd(_mm256_loadu_ps(p));
+}
+
+__attribute__((target("avx512f,avx2,fma"))) double squared_l2_avx512(
+    const float* a, const float* b, std::size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m512d d = _mm512_sub_pd(widen_avx512(a + i), widen_avx512(b + i));
+    // No FMA on the squared difference (see header): mul-then-add, like
+    // every other path.
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(d, d));
+  }
+  if (i < n) {
+    alignas(32) float ta[kLanes] = {}, tb[kLanes] = {};
+    for (std::size_t l = 0; i + l < n; ++l) {
+      ta[l] = a[i + l];
+      tb[l] = b[i + l];
+    }
+    const __m512d d = _mm512_sub_pd(widen_avx512(ta), widen_avx512(tb));
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(d, d));
+  }
+  return reduce_avx512(acc);
+}
+
+__attribute__((target("avx512f,avx2,fma"))) double dot_avx512(const float* a,
+                                                              const float* b,
+                                                              std::size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    acc = _mm512_fmadd_pd(widen_avx512(a + i), widen_avx512(b + i), acc);
+  }
+  if (i < n) {
+    alignas(32) float ta[kLanes] = {}, tb[kLanes] = {};
+    for (std::size_t l = 0; i + l < n; ++l) {
+      ta[l] = a[i + l];
+      tb[l] = b[i + l];
+    }
+    acc = _mm512_fmadd_pd(widen_avx512(ta), widen_avx512(tb), acc);
+  }
+  return reduce_avx512(acc);
+}
+
+__attribute__((target("avx512f,avx2,fma"))) inline double dot_padded_avx512(
+    const float* a, const float* b, std::size_t stride) noexcept {
+  __m512d acc = _mm512_setzero_pd();
+  for (std::size_t d = 0; d < stride; d += kLanes) {
+    acc = _mm512_fmadd_pd(widen_avx512(a + d), widen_avx512(b + d), acc);
+  }
+  return reduce_avx512(acc);
+}
+
+__attribute__((target("avx512f,avx2,fma"))) void distance_row_avx512(
+    const float* rows, std::size_t stride, const double* norms,
+    const std::uint32_t* ids, std::size_t begin, std::size_t end,
+    const float* x, double x_norm, double* out) {
+  for (std::size_t t = begin; t < end; ++t) {
+    const std::size_t id = ids == nullptr ? t : ids[t];
+    out[t - begin] = distance_from_dot(
+        norms[id], x_norm, dot_padded_avx512(rows + id * stride, x, stride));
+  }
+}
+
+// The multi-query tile is the core 512-bit GEMM kernel; the single-min-dist
+// gain_tile is a thin wrapper that points every candidate at the same
+// min-dist array (identical arithmetic, so identical bits).
+__attribute__((target("avx512f,avx2,fma"))) void gain_tile_mq_avx512(
+    const float* rows, std::size_t stride, const double* norms,
+    const std::uint32_t* ids, const double* const* min_dists,
+    std::size_t begin, std::size_t end, const float* const* xs,
+    const double* x_norms, std::size_t n_x, double* out) {
+  for (std::size_t j = 0; j < n_x; ++j) out[j] = 0.0;
+  if (n_x == 0) return;
+
+  if (n_x == 1) {
+    const float* x = xs[0];
+    const double x_norm = x_norms[0];
+    const double* md0 = min_dists[0];
+    double sum = 0.0;
+    for (std::size_t t = begin; t < end; ++t) {
+      const std::size_t id = ids == nullptr ? t : ids[t];
+      const double d = distance_from_dot(
+          norms[id], x_norm, dot_padded_avx512(rows + id * stride, x, stride));
+      const double md = md0[t];
+      if (d < md) sum += md - d;
+    }
+    out[0] = sum;
+    return;
+  }
+
+  thread_local util::AlignedVector<double> scratch;
+  scratch.resize(kGainTile * stride);
+  for (std::size_t s = 0; s < kGainTile; ++s) {
+    const float* src = xs[s < n_x ? s : n_x - 1];
+    double* dst = scratch.data() + s * stride;
+    for (std::size_t d = 0; d < stride; d += kLanes) {
+      _mm512_storeu_pd(dst + d, widen_avx512(src + d));
+    }
+  }
+  const double* x0 = scratch.data();
+  const double* x1 = scratch.data() + stride;
+  const double* x2 = scratch.data() + 2 * stride;
+  const double* x3 = scratch.data() + 3 * stride;
+
+  double sums[kGainTile] = {};
+  for (std::size_t t = begin; t < end; ++t) {
+    const std::size_t id = ids == nullptr ? t : ids[t];
+    const float* row = rows + id * stride;
+    __m512d a0 = _mm512_setzero_pd(), a1 = _mm512_setzero_pd();
+    __m512d a2 = _mm512_setzero_pd(), a3 = _mm512_setzero_pd();
+    for (std::size_t d = 0; d < stride; d += kLanes) {
+      const __m512d v = widen_avx512(row + d);
+      a0 = _mm512_fmadd_pd(v, _mm512_loadu_pd(x0 + d), a0);
+      a1 = _mm512_fmadd_pd(v, _mm512_loadu_pd(x1 + d), a1);
+      a2 = _mm512_fmadd_pd(v, _mm512_loadu_pd(x2 + d), a2);
+      a3 = _mm512_fmadd_pd(v, _mm512_loadu_pd(x3 + d), a3);
+    }
+    const double v_norm = norms[id];
+    const double dots[kGainTile] = {reduce_avx512(a0), reduce_avx512(a1),
+                                    reduce_avx512(a2), reduce_avx512(a3)};
+    for (std::size_t j = 0; j < n_x; ++j) {
+      const double d = distance_from_dot(v_norm, x_norms[j], dots[j]);
+      const double md = min_dists[j][t];
+      if (d < md) sums[j] += md - d;
+    }
+  }
+  for (std::size_t j = 0; j < n_x; ++j) out[j] = sums[j];
+}
+
+__attribute__((target("avx512f,avx2,fma"))) void gain_tile_avx512(
+    const float* rows, std::size_t stride, const double* norms,
+    const std::uint32_t* ids, const double* min_dist, std::size_t begin,
+    std::size_t end, const float* const* xs, const double* x_norms,
+    std::size_t n_x, double* out) {
+  const double* mds[kGainTile] = {min_dist, min_dist, min_dist, min_dist};
+  gain_tile_mq_avx512(rows, stride, norms, ids, mds, begin, end, xs, x_norms,
+                      n_x, out);
+}
+
+constexpr KernelTable kAvx512Table = {
+    &squared_l2_avx512,
+    &dot_avx512,
+    &distance_row_avx512,
+    &gain_tile_avx512,
+    &gain_tile_mq_avx512,
 };
 
 #endif  // BDS_KERNELS_X86
@@ -513,6 +808,8 @@ Isa active_isa() noexcept {
       return host_has(Isa::kSse2) ? Isa::kSse2 : Isa::kScalar;
     case Mode::kAvx2:
       return host_has(Isa::kAvx2) ? Isa::kAvx2 : best_supported();
+    case Mode::kAvx512:
+      return host_has(Isa::kAvx512) ? Isa::kAvx512 : best_supported();
   }
   return Isa::kScalar;
 }
@@ -529,6 +826,8 @@ const char* isa_name(Isa isa) noexcept {
       return "sse2";
     case Isa::kAvx2:
       return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
   }
   return "scalar";
 }
@@ -554,6 +853,8 @@ const KernelTable& table_for(Isa isa) noexcept {
       return kSse2Table;
     case Isa::kAvx2:
       return kAvx2Table;
+    case Isa::kAvx512:
+      return kAvx512Table;
   }
 #else
   (void)isa;

@@ -123,7 +123,27 @@ TEST(Kernels, IsaNamesAndSupport) {
   EXPECT_STREQ(kern::isa_name(kern::Isa::kScalar), "scalar");
   EXPECT_STREQ(kern::isa_name(kern::Isa::kSse2), "sse2");
   EXPECT_STREQ(kern::isa_name(kern::Isa::kAvx2), "avx2");
+  EXPECT_STREQ(kern::isa_name(kern::Isa::kAvx512), "avx512");
   EXPECT_TRUE(kern::isa_supported(kern::Isa::kScalar));
+}
+
+// The scalar-fallback leg for the AVX-512 tier: forcing a mode the host
+// cannot run must clamp to the best supported tier instead of dispatching
+// illegal instructions.
+TEST(Kernels, ForcedAvx512DegradesToBestSupported) {
+  kern::Isa best;
+  {
+    kern::ForcedMode auto_mode(kern::Mode::kAuto);
+    best = kern::active_isa();
+  }
+  kern::ForcedMode forced(kern::Mode::kAvx512);
+  EXPECT_FALSE(kern::legacy());
+  if (kern::isa_supported(kern::Isa::kAvx512)) {
+    EXPECT_EQ(kern::active_isa(), kern::Isa::kAvx512);
+    EXPECT_STREQ(kern::active_name(), "avx512");
+  } else {
+    EXPECT_EQ(kern::active_isa(), best);
+  }
 }
 
 TEST(Kernels, ForcedModeOverridesAndRestores) {
@@ -248,10 +268,76 @@ TEST_P(KernelIsaEquivalence, GainTileIsCompositionIndependent) {
   }
 }
 
+// The multi-query tile against its two defining identities: candidate j of
+// a fused tile equals a solo gain_tile run with that candidate's own
+// min-dist array (so fusing unrelated queries never perturbs any of them),
+// and a tile where every candidate shares one min-dist array degenerates to
+// gain_tile exactly.
+TEST_P(KernelIsaEquivalence, MultiQueryTileMatchesSoloGainTileBitwise) {
+  const kern::Isa isa = GetParam();
+  if (!kern::isa_supported(isa)) GTEST_SKIP() << "ISA not supported here";
+  const kern::KernelTable& kt = kern::table_for(isa);
+  const kern::KernelTable& ref = kern::table_for(kern::Isa::kScalar);
+  util::Rng rng(24);
+  const std::size_t n = 96, dim = 19;
+  auto points = std::make_shared<const PointSet>(
+      n, dim, random_floats(n * dim, rng, -1.5, 1.5));
+
+  // One min-dist array per candidate, as if each came from a different
+  // query at a different coverage state.
+  std::vector<std::vector<double>> mds(kern::kGainTile,
+                                       std::vector<double>(n));
+  for (auto& v : mds) {
+    for (auto& d : v) d = rng.next_double(0.0, 3.0);
+  }
+
+  for (std::size_t n_x = 1; n_x <= kern::kGainTile; ++n_x) {
+    const float* xs[kern::kGainTile];
+    double xnorms[kern::kGainTile];
+    const double* md_ptrs[kern::kGainTile];
+    for (std::size_t j = 0; j < n_x; ++j) {
+      xs[j] = points->row(11 * j + 3);
+      xnorms[j] = points->norm2(11 * j + 3);
+      md_ptrs[j] = mds[j].data();
+    }
+    double fused[kern::kGainTile], fused_ref[kern::kGainTile];
+    kt.gain_tile_mq(points->rows(), points->stride(), points->norms(), nullptr,
+                    md_ptrs, 0, n, xs, xnorms, n_x, fused);
+    ref.gain_tile_mq(points->rows(), points->stride(), points->norms(),
+                     nullptr, md_ptrs, 0, n, xs, xnorms, n_x, fused_ref);
+    for (std::size_t j = 0; j < n_x; ++j) {
+      expect_bits_eq(fused[j], fused_ref[j]);
+      double solo = 0.0;
+      kt.gain_tile(points->rows(), points->stride(), points->norms(), nullptr,
+                   mds[j].data(), 0, n, &xs[j], &xnorms[j], 1, &solo);
+      expect_bits_eq(fused[j], solo);
+    }
+  }
+
+  // Identical min-dist arrays: mq degenerates to gain_tile bitwise.
+  const float* xs[kern::kGainTile];
+  double xnorms[kern::kGainTile];
+  const double* same_md[kern::kGainTile];
+  for (std::size_t j = 0; j < kern::kGainTile; ++j) {
+    xs[j] = points->row(5 * j + 2);
+    xnorms[j] = points->norm2(5 * j + 2);
+    same_md[j] = mds[0].data();
+  }
+  double fused[kern::kGainTile], plain[kern::kGainTile];
+  kt.gain_tile_mq(points->rows(), points->stride(), points->norms(), nullptr,
+                  same_md, 0, n, xs, xnorms, kern::kGainTile, fused);
+  kt.gain_tile(points->rows(), points->stride(), points->norms(), nullptr,
+               mds[0].data(), 0, n, xs, xnorms, kern::kGainTile, plain);
+  for (std::size_t j = 0; j < kern::kGainTile; ++j) {
+    expect_bits_eq(fused[j], plain[j]);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllIsas, KernelIsaEquivalence,
                          ::testing::Values(kern::Isa::kScalar,
                                            kern::Isa::kSse2,
-                                           kern::Isa::kAvx2),
+                                           kern::Isa::kAvx2,
+                                           kern::Isa::kAvx512),
                          [](const auto& info) {
                            return kern::isa_name(info.param);
                          });
@@ -352,8 +438,8 @@ TEST(KernelOracle, DispatchedModesMatchScalarBitwise) {
     return oracle.gain_batch(xs);
   };
   const auto scalar = run(kern::Mode::kScalar);
-  for (const kern::Mode mode :
-       {kern::Mode::kAuto, kern::Mode::kSse2, kern::Mode::kAvx2}) {
+  for (const kern::Mode mode : {kern::Mode::kAuto, kern::Mode::kSse2,
+                                kern::Mode::kAvx2, kern::Mode::kAvx512}) {
     const auto got = run(mode);
     for (std::size_t i = 0; i < xs.size(); ++i) {
       expect_bits_eq(got[i], scalar[i]);
