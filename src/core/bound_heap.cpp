@@ -1,0 +1,109 @@
+#include "core/bound_heap.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bds::detail {
+
+namespace {
+
+// -1 = no override; 0 / 1 = forced off / on (ForcedLazy).
+std::atomic<int> g_forced_lazy{-1};
+
+bool parse_env_lazy() {
+  const char* env = std::getenv("BDS_LAZY");
+  if (env == nullptr || *env == '\0') return true;
+  if (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0) return true;
+  if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+      std::strcmp(env, "false") == 0) {
+    return false;
+  }
+  std::fprintf(stderr, "bds: unknown BDS_LAZY value '%s', using 'on'\n", env);
+  return true;
+}
+
+}  // namespace
+
+bool lazy_enabled() noexcept {
+  const int forced = g_forced_lazy.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env = parse_env_lazy();
+  return from_env;
+}
+
+ForcedLazy::ForcedLazy(bool enabled) noexcept
+    : saved_(g_forced_lazy.exchange(enabled ? 1 : 0,
+                                    std::memory_order_relaxed)) {}
+
+ForcedLazy::~ForcedLazy() {
+  g_forced_lazy.store(saved_, std::memory_order_relaxed);
+}
+
+void SingletonBoundCache::record(ElementId x, double gain) {
+  const auto i = static_cast<std::size_t>(x);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (i >= valid_.size()) {
+    valid_.resize(i + 1, 0);
+    gains_.resize(i + 1, 0.0);
+  }
+  if (valid_[i]) return;  // first write wins (all writers agree bitwise)
+  valid_[i] = 1;
+  gains_[i] = gain;
+  ++count_;
+}
+
+bool SingletonBoundCache::lookup(ElementId x, double* gain) const {
+  const auto i = static_cast<std::size_t>(x);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (i >= valid_.size() || !valid_[i]) return false;
+  *gain = gains_[i];
+  return true;
+}
+
+std::size_t SingletonBoundCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return count_;
+}
+
+void BoundStore::reset(std::size_t ground_size) {
+  entries_.assign(ground_size, BoundEntry{});
+  valid_.assign(ground_size, 0);
+  count_ = 0;
+}
+
+void BoundStore::record(ElementId x, double bound, std::size_t prefix) {
+  const auto i = static_cast<std::size_t>(x);
+  if (i >= valid_.size()) return;  // out-of-ground id: nothing to certify
+  if (valid_[i] && entries_[i].prefix > prefix) return;  // keep tighter
+  if (!valid_[i]) {
+    valid_[i] = 1;
+    ++count_;
+  }
+  entries_[i] = BoundEntry{bound, prefix};
+  if (prefix == 0 && singletons_ != nullptr) singletons_->record(x, bound);
+}
+
+bool BoundStore::lookup(ElementId x, BoundEntry* out) const {
+  const auto i = static_cast<std::size_t>(x);
+  if (i < valid_.size() && valid_[i]) {
+    *out = entries_[i];
+    return true;
+  }
+  if (singletons_ != nullptr) {
+    double gain = 0.0;
+    if (singletons_->lookup(x, &gain)) {
+      *out = BoundEntry{gain, 0};
+      return true;
+    }
+  }
+  return false;
+}
+
+void BoundStore::clear() {
+  valid_.assign(valid_.size(), 0);
+  count_ = 0;
+}
+
+}  // namespace bds::detail

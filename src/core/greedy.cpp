@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <queue>
 
 namespace bds {
 
@@ -73,37 +72,64 @@ GreedyResult greedy(SubmodularOracle& oracle,
 GreedyResult lazy_greedy(SubmodularOracle& oracle,
                          std::span<const ElementId> candidates,
                          std::size_t budget, const GreedyOptions& options) {
+  return lazy_greedy_bounded(oracle, candidates, budget, options,
+                             /*bounds=*/nullptr, /*stats=*/nullptr);
+}
+
+GreedyResult lazy_greedy_bounded(SubmodularOracle& oracle,
+                                 std::span<const ElementId> candidates,
+                                 std::size_t budget,
+                                 const GreedyOptions& options,
+                                 const detail::BoundStore* bounds,
+                                 LazyGreedyStats* stats) {
   const std::vector<ElementId> pool = unique_candidates(candidates);
+  // Staleness clock: an entry is current iff its prefix equals the
+  // committed-prefix length base_prefix + |picks so far|. With no store
+  // this reduces to the classic per-run iteration stamp.
+  const std::size_t base_prefix = oracle.current_set().size();
 
-  // Max-heap entries: cached gain, pool index (ascending for ties — matches
-  // greedy()'s earlier-candidate-wins rule), and the iteration the gain was
-  // computed at.
-  struct Entry {
-    double gain;
-    std::size_t idx;
-    std::size_t stamp;
-  };
-  struct Less {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.gain != b.gain) return a.gain < b.gain;
-      return a.idx > b.idx;
-    }
-  };
-  std::priority_queue<Entry, std::vector<Entry>, Less> heap;
+  std::uint64_t performed = 0;       // gain evaluations (not add() commits)
+  std::uint64_t counterfactual = 0;  // what eager greedy() would scan
 
-  // First pass: evaluate everything once at stamp 0, in one batch. The
-  // comparator is a total order (indices are distinct), so heap-ifying the
-  // whole batch pops in exactly the order incremental pushes would.
+  const auto record_eval = [&](ElementId x, double gain, std::size_t prefix) {
+    if (stats == nullptr) return;
+    stats->eval_ids.push_back(x);
+    stats->eval_gains.push_back(gain);
+    stats->eval_prefixes.push_back(prefix);
+  };
+
+  detail::BoundHeap heap;
   {
-    std::vector<double> init_gains(pool.size());
-    evaluate_gains(oracle, pool, init_gains, options.batch);
-    std::vector<Entry> entries;
-    entries.reserve(pool.size());
+    // Split the pool into certified candidates (seed the heap at their
+    // stale-but-valid bound for free) and uncertified ones, which pay the
+    // classic initial scan at base_prefix, in one batch in pool order —
+    // with no store every candidate lands here and this is byte-for-byte
+    // the pre-substrate lazy_greedy first pass.
+    std::vector<detail::BoundHeap::Item> items;
+    items.reserve(pool.size());
+    std::vector<ElementId> missing;
+    std::vector<std::size_t> missing_idx;
+    missing.reserve(pool.size());
+    missing_idx.reserve(pool.size());
     for (std::size_t i = 0; i < pool.size(); ++i) {
-      entries.push_back(Entry{init_gains[i], i, 0});
+      detail::BoundEntry entry;
+      if (bounds != nullptr && bounds->lookup(pool[i], &entry) &&
+          entry.prefix <= base_prefix) {
+        items.push_back(detail::BoundHeap::Item{entry.bound, i, entry.prefix});
+      } else {
+        missing.push_back(pool[i]);
+        missing_idx.push_back(i);
+      }
     }
-    heap = std::priority_queue<Entry, std::vector<Entry>, Less>(
-        Less{}, std::move(entries));
+    std::vector<double> init_gains(missing.size());
+    evaluate_gains(oracle, missing, init_gains, options.batch);
+    performed += missing.size();
+    for (std::size_t m = 0; m < missing.size(); ++m) {
+      items.push_back(detail::BoundHeap::Item{init_gains[m], missing_idx[m],
+                                      base_prefix});
+      record_eval(missing[m], init_gains[m], base_prefix);
+    }
+    heap.bulk_load(std::move(items));
   }
 
   GreedyResult result;
@@ -112,26 +138,35 @@ GreedyResult lazy_greedy(SubmodularOracle& oracle,
   result.gains.reserve(rounds);
 
   for (std::size_t iter = 0; iter < rounds && !heap.empty(); ++iter) {
-    // Refresh until the top entry's gain is current for this iteration.
-    // Submodularity guarantees a stale cached gain only over-estimates, so
-    // a current top entry is the true argmax.
-    // Stamp invariant: an entry is current iff it was computed after the
-    // iter-th add, i.e. stamp == iter.
-    while (heap.top().stamp != iter) {
-      Entry e = heap.top();
-      heap.pop();
-      e.gain = oracle.gain(pool[e.idx]);
-      e.stamp = iter;
+    // Eager greedy() entering this iteration would re-scan every
+    // still-selectable candidate.
+    counterfactual += pool.size() - iter;
+    const std::size_t cur_prefix = base_prefix + iter;
+    // Refresh until the top entry's bound is current for this prefix.
+    // Submodularity guarantees a stale bound only over-estimates, so a
+    // current top entry is the true argmax; on equal keys the smaller pool
+    // index pops first, reproducing greedy()'s earlier-candidate tie rule.
+    while (heap.top().prefix != cur_prefix) {
+      detail::BoundHeap::Item e = heap.pop();
+      e.bound = oracle.gain(pool[e.idx]);
+      e.prefix = cur_prefix;
+      ++performed;
+      record_eval(pool[e.idx], e.bound, cur_prefix);
       heap.push(e);
     }
-    const Entry best = heap.top();
-    heap.pop();
-    if (options.stop_when_no_gain && best.gain <= 0.0) break;
+    const detail::BoundHeap::Item best = heap.pop();
+    if (options.stop_when_no_gain && best.bound <= 0.0) break;
 
     const double realized = oracle.add(pool[best.idx]);
     result.picks.push_back(pool[best.idx]);
     result.gains.push_back(realized);
     result.gained += realized;
+  }
+
+  if (stats != nullptr) {
+    stats->evals = performed;
+    stats->evals_avoided =
+        counterfactual > performed ? counterfactual - performed : 0;
   }
   return result;
 }

@@ -37,6 +37,14 @@ struct MachineWorkerConfig {
   // Clone vs shard-compacted view (ignored when `factory` is set). Both are
   // bit-identical over the shard; see WorkerOracleMode.
   WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
+  // Cross-round lazy-bound store (core/bound_heap.h). When set and the
+  // selector is kLazyGreedy (and no factory), the worker seeds its heap
+  // from these certificates and exports the exact gains it computed at the
+  // round's shared committed prefix via WorkerOutput::bound_ids/gains.
+  // Workers only *read* the store — it must stay unmodified for the whole
+  // round so retried attempts remain pure in (machine, shard). Selections
+  // are bit-identical with or without it.
+  const BoundStore* bounds = nullptr;
 };
 
 // Builds the worker functor for one cluster round. The returned callable is

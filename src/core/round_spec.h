@@ -200,7 +200,7 @@ struct RoundProgram {
 struct Checkpoint {
   // Format version; bumped on any serialized-field change. Loaders reject
   // versions they do not understand (no silent forward compatibility).
-  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kVersion = 2;
 
   std::string program_id;   // RoundProgram::id of the producing run
   std::uint64_t seed = 0;   // RuntimeOptions::seed of the producing run

@@ -51,6 +51,16 @@ struct WorkerOutput {
   // Heap bytes of the worker's oracle state (clone or compacted view) —
   // what materializing this machine cost in memory.
   std::uint64_t state_bytes = 0;
+  // Lazy-bound certificates (core/bound_heap.h): exact gains this worker
+  // computed at the round's shared committed prefix (parallel id/gain
+  // arrays), exportable as upper bounds for later rounds, plus the
+  // evaluations lazy pruning saved vs. an eager re-scan. Empty/zero when
+  // the bound substrate is off. Certificate traffic is not counted into
+  // gather bytes — oracle evaluations are the paper's cost model, and the
+  // bounds ride the summary message a real deployment already sends.
+  std::vector<ElementId> bound_ids;
+  std::vector<double> bound_gains;
+  std::uint64_t evals_avoided = 0;
 };
 
 // Delivery outcome for one machine after faults and retries resolve.
@@ -108,6 +118,10 @@ struct RoundStats {
   std::uint64_t central_evals = 0;
   double central_seconds = 0.0;
   std::uint64_t central_selected = 0;
+  // Oracle evaluations the lazy-bound substrate saved this round (workers +
+  // coordinator filter), measured against a full eager re-scan of the same
+  // selections. 0 when BDS_LAZY=off.
+  std::uint64_t evals_avoided = 0;
   // Best-of-machines merge probes: evaluations spent re-scoring candidate
   // machine summaries from scratch against the prototype oracle (the
   // GreeDi-family output rule). Metered separately from central_evals —
@@ -138,6 +152,9 @@ struct ExecutionStats {
   // historical worker + central definition.
   std::uint64_t total_merge_evals() const noexcept;
   std::uint64_t total_evals() const noexcept;
+  // Evaluations the lazy-bound substrate saved across rounds (see
+  // RoundStats::evals_avoided); informational, never part of total_evals().
+  std::uint64_t total_evals_avoided() const noexcept;
   // Scatter + gather traffic in bytes (sizeof(ElementId) per shipped id).
   std::uint64_t bytes_communicated() const noexcept;
   // Worker oracle state materialized across all rounds / its per-worker peak.
@@ -200,9 +217,13 @@ class Cluster {
 
   // Records the coordinator's filtering stage for the most recent round,
   // completes the round's trace span and fires the trace sink.
-  // Precondition: run_round() has been called at least once.
+  // `evals_avoided` is the round's whole lazy-bound saving (workers +
+  // filter); it must be passed here — not patched in afterwards — because
+  // this call publishes the span to the sink. Precondition: run_round()
+  // has been called at least once.
   void record_central_stage(std::uint64_t evals, double seconds,
-                            std::uint64_t selected);
+                            std::uint64_t selected,
+                            std::uint64_t evals_avoided = 0);
 
   const ExecutionStats& stats() const noexcept { return stats_; }
   ExecutionStats& mutable_stats() noexcept { return stats_; }

@@ -79,6 +79,9 @@ void SummaryService::add_corpus(std::string name, std::string objective,
   entry.cacheable = spec.cache_safe;
   entry.proto = std::move(proto);
   entry.ground = std::move(ground);
+  if (spec.cache_safe) {
+    entry.bounds = std::make_shared<detail::SingletonBoundCache>();
+  }
   if (!corpora_.emplace(std::move(name), std::move(entry)).second) {
     throw std::invalid_argument("add_corpus: corpus already registered");
   }
@@ -133,6 +136,7 @@ void SummaryService::record_span(const Query& q, const ServeResult& result) {
   span.outcome = serve_outcome_name(result.outcome);
   span.budget_k = q.k;
   span.items = result.solution.size();
+  span.evals_avoided = result.evals_avoided;
   span.queue_seconds = result.queue_seconds;
   span.run_seconds = result.run_seconds;
   span.total_seconds = result.total_seconds;
@@ -262,6 +266,7 @@ ServeResult SummaryService::query(const Query& q) {
   result.queue_seconds = flight->queue_seconds;
   result.run_seconds = flight->run_seconds;
   result.total_seconds = seconds_since(t0);
+  result.evals_avoided = flight->avoided;
   ++stats_.queries;
   if (result.outcome == ServeOutcome::kCoalesced) {
     ++stats_.coalesced;
@@ -304,6 +309,7 @@ void SummaryService::execute(const FlightPtr& flight) {
   bool from_cache = false;
   double run_seconds = 0.0;
   std::uint64_t spent = 0;
+  std::uint64_t avoided = 0;
 
   try {
     const CorpusEntry& corpus = *flight->corpus;
@@ -324,11 +330,20 @@ void SummaryService::execute(const FlightPtr& flight) {
       params.epsilon = flight->key.epsilon;
       params.machines = flight->key.machines;
 
+      // Certified runs share the corpus's singleton-gain cache: the first
+      // run over a corpus pays the round-0 scans, later ones warm-start
+      // from them. Attaching never changes selections (bound_heap.h), so
+      // the cache's bitwise determinism contract is untouched.
+      RuntimeOptions runtime = flight->runtime;
+      if (flight->certified && corpus.bounds) {
+        runtime.singleton_bounds = corpus.bounds;
+      }
+
       const auto run_start = Clock::now();
-      const RunResult run =
-          run_distributed(flight->key.algorithm, *corpus.proto,
-                          corpus.ground, flight->runtime, params);
+      const RunResult run = run_distributed(
+          flight->key.algorithm, *corpus.proto, corpus.ground, runtime, params);
       run_seconds = seconds_since(run_start);
+      avoided = run.stats.total_evals_avoided();
 
       if (flight->certified) {
         summary = build_summary(flight->key, flight->k, run, *corpus.proto,
@@ -354,6 +369,7 @@ void SummaryService::execute(const FlightPtr& flight) {
   flight->served_from_cache = from_cache;
   flight->run_seconds = run_seconds;
   flight->spent = spent;
+  flight->avoided = avoided;
   flight->done = true;
   in_flight_.erase(
       std::remove(in_flight_.begin(), in_flight_.end(), flight),

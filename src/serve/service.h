@@ -104,6 +104,10 @@ struct ServeResult {
   double queue_seconds = 0.0;    // admission wait (0 for hits)
   double run_seconds = 0.0;      // computation time (0 for hits)
   double total_seconds = 0.0;    // submit → answer
+  // Gain evaluations this query's own run skipped via lazy bounds
+  // (core/bound_heap.h), including the cross-query singleton warm start.
+  // Zero for answers that ran no computation (hits, coalesced, degraded).
+  std::uint64_t evals_avoided = 0;
 };
 
 struct ServiceStats {
@@ -168,6 +172,12 @@ class SummaryService {
     bool cacheable = true;  // objective's cache_safe flag
     std::shared_ptr<SubmodularOracle> proto;
     std::vector<ElementId> ground;
+    // Cross-query lazy-bound warm start (core/bound_heap.h): singleton
+    // gains f({x}) computed by one certified run seed the round-0 scans of
+    // every later run over this corpus. Only created for cache_safe
+    // objectives — the same determinism contract that makes summaries
+    // cacheable makes their gains reusable as bounds.
+    std::shared_ptr<detail::SingletonBoundCache> bounds;
   };
 
   // One admitted computation; identical queries coalesce onto it.
@@ -187,6 +197,7 @@ class SummaryService {
     bool served_from_cache = false;  // double-check hit: no run happened
     ServeResult raw;        // non-certified answer, served verbatim
     std::uint64_t spent = 0;  // oracle evals charged by a raw run
+    std::uint64_t avoided = 0;  // lazy-bound evals skipped by the run
     std::exception_ptr error;
     bool done = false;
   };

@@ -20,6 +20,7 @@
 
 #include "core/baselines.h"
 #include "core/bicriteria.h"
+#include "core/bound_heap.h"
 #include "core/matroid.h"
 #include "dist/engine.h"
 #include "legacy_reference.h"
@@ -28,6 +29,12 @@
 
 namespace bds {
 namespace {
+
+// This suite compares engine runs against the frozen pre-engine loops down
+// to exact eval counts; the cross-round bound substrate (core/bound_heap.h)
+// deliberately changes eval counts, so pin it off for the whole binary.
+// Lazy-on selection identity has its own suite (test_lazy_bounds.cpp).
+const detail::ForcedLazy g_lazy_off(false);
 
 using bds::testing::iota_ids;
 using bds::testing::random_set_system;

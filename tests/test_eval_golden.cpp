@@ -1,0 +1,114 @@
+// Exact oracle-evaluation-count goldens per (algorithm × worker-oracle mode
+// × lazy on/off), pinned on one frozen coverage instance. Two things are
+// frozen here, deliberately:
+//
+//  * lazy-off counts are the historical Minoux accounting — a regression
+//    here means an algorithm's evaluation pattern changed, which is a
+//    bigger event than any perf tweak and must be reviewed by hand;
+//  * lazy-on counts pin the substrate's exact savings (and the metered
+//    evals_avoided), so a change to bound carrying that silently degrades
+//    (or inflates the accounting of) the pruning fails loudly.
+//
+// Counts are mode-invariant (shard views reset their eval counters; the
+// clone/view contract is bit-identical gains), which the table also locks
+// in. Skipped when BDS_FAULT_SEED injects a fault plan into every run —
+// delivered-work accounting is only frozen for fault-free execution.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/bound_heap.h"
+#include "core/registry.h"
+#include "objectives/coverage.h"
+#include "test_support.h"
+
+namespace bds {
+namespace {
+
+struct GoldenRow {
+  const char* algorithm;
+  WorkerOracleMode mode;
+  bool lazy;
+  std::uint64_t total_evals;
+  std::uint64_t evals_avoided;
+};
+
+std::size_t rounds_for(const std::string& algorithm) {
+  if (algorithm == "naive" || algorithm == "multiplicity" ||
+      algorithm == "scaling") {
+    return 2;
+  }
+  if (algorithm == "greedi" || algorithm == "randgreedi") return 1;
+  return 3;
+}
+
+TEST(EvalCountGolden, FrozenPerAlgorithmModeAndLazyGrid) {
+  if (std::getenv("BDS_FAULT_SEED") != nullptr) {
+    GTEST_SKIP() << "eval goldens are frozen for fault-free runs only";
+  }
+  const CoverageOracle proto(
+      bds::testing::random_set_system(80, 160, 0.05, 99));
+  const auto ground = bds::testing::iota_ids(proto.ground_size());
+
+  const std::vector<GoldenRow> golden = {
+      {"bicriteria", WorkerOracleMode::kShardView, false, 479u, 0u},
+      {"bicriteria", WorkerOracleMode::kShardView, true, 367u, 797u},
+      {"bicriteria", WorkerOracleMode::kClone, false, 479u, 0u},
+      {"bicriteria", WorkerOracleMode::kClone, true, 367u, 797u},
+      {"hybrid", WorkerOracleMode::kShardView, false, 4024u, 0u},
+      {"hybrid", WorkerOracleMode::kShardView, true, 3328u, 18520u},
+      {"hybrid", WorkerOracleMode::kClone, false, 4024u, 0u},
+      {"hybrid", WorkerOracleMode::kClone, true, 3328u, 18520u},
+      {"naive", WorkerOracleMode::kShardView, false, 357u, 0u},
+      {"naive", WorkerOracleMode::kShardView, true, 294u, 656u},
+      {"naive", WorkerOracleMode::kClone, false, 357u, 0u},
+      {"naive", WorkerOracleMode::kClone, true, 294u, 656u},
+      {"parallel", WorkerOracleMode::kShardView, false, 883u, 0u},
+      {"parallel", WorkerOracleMode::kShardView, true, 443u, 2072u},
+      {"parallel", WorkerOracleMode::kClone, false, 883u, 0u},
+      {"parallel", WorkerOracleMode::kClone, true, 443u, 2072u},
+      {"greedi", WorkerOracleMode::kShardView, false, 194u, 0u},
+      {"greedi", WorkerOracleMode::kShardView, true, 174u, 301u},
+      {"greedi", WorkerOracleMode::kClone, false, 194u, 0u},
+      {"greedi", WorkerOracleMode::kClone, true, 174u, 301u},
+      {"randgreedi", WorkerOracleMode::kShardView, false, 184u, 0u},
+      {"randgreedi", WorkerOracleMode::kShardView, true, 164u, 311u},
+      {"randgreedi", WorkerOracleMode::kClone, false, 184u, 0u},
+      {"randgreedi", WorkerOracleMode::kClone, true, 164u, 311u},
+      {"multiplicity", WorkerOracleMode::kShardView, false, 4746u, 0u},
+      {"multiplicity", WorkerOracleMode::kShardView, true, 4710u, 23752u},
+      {"multiplicity", WorkerOracleMode::kClone, false, 4746u, 0u},
+      {"multiplicity", WorkerOracleMode::kClone, true, 4710u, 23752u},
+      // Threshold workers have no heap to seed: the substrate is inert on
+      // scaling by design, and the golden proves it stays that way.
+      {"scaling", WorkerOracleMode::kShardView, false, 247u, 0u},
+      {"scaling", WorkerOracleMode::kShardView, true, 247u, 0u},
+      {"scaling", WorkerOracleMode::kClone, false, 247u, 0u},
+      {"scaling", WorkerOracleMode::kClone, true, 247u, 0u},
+  };
+
+  for (const GoldenRow& row : golden) {
+    detail::ForcedLazy guard(row.lazy);
+    RuntimeOptions runtime;
+    runtime.seed = 7;
+    runtime.worker_oracle = row.mode;
+    AlgorithmParams params;
+    params.k = 5;
+    params.rounds = rounds_for(row.algorithm);
+    params.output_items = 12;
+    params.epsilon = 0.25;
+    const RunResult run =
+        run_distributed(row.algorithm, proto, ground, runtime, params);
+    const std::string label =
+        std::string(row.algorithm) + " mode=" +
+        (row.mode == WorkerOracleMode::kClone ? "clone" : "view") +
+        " lazy=" + (row.lazy ? "on" : "off");
+    EXPECT_EQ(run.stats.total_evals(), row.total_evals) << label;
+    EXPECT_EQ(run.stats.total_evals_avoided(), row.evals_avoided) << label;
+  }
+}
+
+}  // namespace
+}  // namespace bds

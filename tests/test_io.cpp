@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 #include "core/registry.h"
 #include "data/format.h"
@@ -19,7 +22,10 @@ namespace {
 
 class IoTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "/bds_io_test.bin";
+  // Per-process path: ctest runs each test case as its own process, and a
+  // shared fixed name races when cases run in parallel (ctest -j).
+  std::string path_ = ::testing::TempDir() + "/bds_io_test_" +
+                      std::to_string(::getpid()) + ".bin";
   void TearDown() override { std::remove(path_.c_str()); }
 
   // Overwrites sizeof(T) bytes at `offset` (header-field surgery for the
