@@ -41,7 +41,7 @@ int main() {
     cfg.mode = BicriteriaMode::kPractical;
     cfg.k = k;
     cfg.machines = m;
-    cfg.seed = 9;
+    cfg.runtime.seed = 9;
     const auto result = bicriteria_greedy(oracle, ground, cfg);
     const auto& round = result.stats.rounds[0];
     table.add_row({util::Table::fmt_int(m),

@@ -50,7 +50,7 @@ int main() {
       cfg.k = k;
       cfg.rounds = 1;
       cfg.epsilon = eps;
-      cfg.seed = 3;
+      cfg.runtime.seed = 3;
       const auto plan = plan_bicriteria(cfg, ground.size());
       const auto result = bicriteria_greedy(oracle, ground, cfg);
       table.add_row(

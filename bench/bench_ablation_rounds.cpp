@@ -44,7 +44,7 @@ int main() {
     cfg.k = K;
     cfg.output_items = K;  // equal output for every r: rounds do the work
     cfg.rounds = r;
-    cfg.seed = 7;
+    cfg.runtime.seed = 7;
     const auto result = bicriteria_greedy(oracle, ground, cfg);
 
     double prev_gap = opt;  // gap before round 1 is f(OPT) - f(empty)

@@ -57,7 +57,7 @@ int main() {
       BicriteriaConfig cfg;
       cfg.k = 20;
       cfg.selector = c.selector;
-      cfg.seed = 3;
+      cfg.runtime.seed = 3;
       util::Timer timer;
       const auto result = bicriteria_greedy(proto, ground, cfg);
       table.add_row({c.name, util::Table::fmt(result.value, 0),
@@ -92,7 +92,7 @@ int main() {
       BicriteriaConfig cfg;
       cfg.k = 10;
       cfg.selector = c.selector;
-      cfg.seed = 3;
+      cfg.runtime.seed = 3;
       cfg.machine_oracle_factory =
           [&points](std::size_t machine)
           -> std::unique_ptr<SubmodularOracle> {

@@ -59,7 +59,7 @@ int main() {
     cfg.k = c.k;
     cfg.target_ratio = 0.95;
     cfg.max_rounds = 6;
-    cfg.seed = 7;
+    cfg.runtime.seed = 7;
     const auto adaptive = adaptive_bicriteria(oracle, ground, cfg);
 
     std::string trajectory;

@@ -67,7 +67,7 @@ int main() {
       cfg.k = K;
       cfg.output_items = k;
       cfg.rounds = r;
-      cfg.seed = 7;
+      cfg.runtime.seed = 7;
       Cell cell;
       cell.k = k;
       cell.r = r;

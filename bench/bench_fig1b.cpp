@@ -78,7 +78,7 @@ int main() {
       cfg.k = K;
       cfg.output_items = k;
       cfg.rounds = 1;
-      cfg.seed = 5;
+      cfg.runtime.seed = 5;
       auto result = bicriteria_greedy(oracle, ground, cfg);
       values.push_back(result.value);
       solutions.push_back(std::move(result.solution));

@@ -100,7 +100,7 @@ int main() {
       cfg.k = K;
       cfg.output_items = k;
       cfg.rounds = 1;
-      cfg.seed = 5;
+      cfg.runtime.seed = 5;
       cfg.selector = MachineSelector::kStochasticGreedy;
       cfg.stochastic_c = 3.0;
       cfg.machine_oracle_factory =

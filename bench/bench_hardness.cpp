@@ -56,7 +56,7 @@ int main() {
         OneRoundConfig rc;
         rc.k = budget;
         rc.machines = 64;
-        rc.seed = 1'000 + trial;
+        rc.runtime.seed = 1'000 + trial;
         const auto result = rand_greedi(oracle, items, rc);
         const double ratio = result.value / opt;
         if (budget == k) ratio_at_k_sum += ratio;

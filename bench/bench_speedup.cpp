@@ -67,7 +67,7 @@ int main() {
       cfg.k = k;
       cfg.output_items = k;
       cfg.rounds = 1;
-      cfg.seed = 5;
+      cfg.runtime.seed = 5;
       cfg.machine_oracle_factory =
           [&points](std::size_t machine)
           -> std::unique_ptr<SubmodularOracle> {

@@ -51,7 +51,7 @@ int main() {
   {
     BicriteriaConfig cfg;
     cfg.k = k;
-    cfg.seed = 3;
+    cfg.runtime.seed = 3;
     const auto result = bicriteria_greedy(oracle, ground, cfg);
     table.add_row({"distributed greedy (1 round, k items)", "1 round",
                    util::Table::fmt_int(
@@ -63,7 +63,7 @@ int main() {
     BicriteriaConfig cfg;
     cfg.k = k;
     cfg.output_items = 2 * k;
-    cfg.seed = 3;
+    cfg.runtime.seed = 3;
     const auto result = bicriteria_greedy(oracle, ground, cfg);
     table.add_row({"distributed bicriteria (1 round, 2k items)", "1 round",
                    util::Table::fmt_int(

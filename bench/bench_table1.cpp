@@ -58,7 +58,7 @@ int main() {
   {
     OneRoundConfig cfg;
     cfg.k = k;
-    cfg.seed = 3;
+    cfg.runtime.seed = 3;
     rows.push_back({"GreeDi [23]", ">=1/min(m,k), k items",
                     greedi(oracle, ground, cfg)});
     rows.push_back({"PseudoGreedy [21]", "0.54, k items",
@@ -70,7 +70,7 @@ int main() {
     ParallelAlgConfig cfg;
     cfg.k = k;
     cfg.epsilon = 0.25;
-    cfg.seed = 3;
+    cfg.runtime.seed = 3;
     rows.push_back({"ParallelAlg [6]", "1-1/e-eps, k items, 1/eps rounds",
                     parallel_alg(oracle, ground, cfg)});
   }
@@ -78,7 +78,7 @@ int main() {
     NaiveDistributedConfig cfg;
     cfg.k = k;
     cfg.epsilon = epsilon;
-    cfg.seed = 3;
+    cfg.runtime.seed = 3;
     rows.push_back({"NaiveDistributedGreedy", "1-eps, k log(1/eps) items",
                     naive_distributed_greedy(oracle, ground, cfg)});
   }
@@ -87,7 +87,7 @@ int main() {
     cfg.k = k;
     cfg.rounds = r;
     cfg.epsilon = epsilon;
-    cfg.seed = 3;
+    cfg.runtime.seed = 3;
     cfg.mode = BicriteriaMode::kTheory;
     rows.push_back({"BicriteriaGreedy* (r=" + std::to_string(r) + ")",
                     "1-eps, O(r a^2 ln^2(a) k)",

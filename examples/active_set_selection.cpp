@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
   {
     BicriteriaConfig cfg;
     cfg.k = k;
-    cfg.seed = 5;
+    cfg.runtime.seed = 5;
     const auto result = bicriteria_greedy(oracle, ground, cfg);
     table.add_row({"distributed (1 round)",
                    util::Table::fmt(result.value, 3),

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     BicriteriaConfig cfg;
     cfg.k = k;
     cfg.output_items = out;
-    cfg.seed = 2;
+    cfg.runtime.seed = 2;
     auto result = bicriteria_greedy(oracle, ground, cfg);
     rows.push_back({"BicriteriaGreedy (" + std::to_string(out) + " ads)",
                     std::move(result.solution), result.value});
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
     ParallelAlgConfig cfg;
     cfg.k = k;
     cfg.epsilon = 0.25;
-    cfg.seed = 2;
+    cfg.runtime.seed = 2;
     auto result = parallel_alg(oracle, ground, cfg);
     rows.push_back({"ParallelAlg (4 rounds, k ads)",
                     std::move(result.solution), result.value});

@@ -12,6 +12,8 @@
 // or --load <file> written by a previous --save (coverage datasets only).
 // Algorithms: whatever core/registry.h registers — --help enumerates them
 // live, so the listing can never drift from the library.
+#include <unistd.h>
+
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -25,6 +27,7 @@
 #include "dist/engine.h"
 #include "data/bigram_gen.h"
 #include "dist/report.h"
+#include "data/corpus.h"
 #include "data/graph_gen.h"
 #include "data/io.h"
 #include "data/synthetic_coverage.h"
@@ -59,6 +62,11 @@ constexpr const char* kUsage = R"(usage: bds_cli [options]
   --threads T        host threads (0 = hardware default)
   --fault-seed S     nonzero: inject the recoverable fault mix with this
                      seed (crashes, drops, stragglers; unlimited retries)
+  --transport NAME   inproc (default) | process: run each machine in its
+                     own forked bds_worker process over the wire protocol;
+                     selections are bit-identical across transports
+  --worker BIN       with --transport process: the bds_worker binary
+                     (default: $BDS_WORKER, else bds_worker next to bds_cli)
   --checkpoint-dir D write DIR/checkpoint.bds after every completed round
                      (engine-backed algorithms; see dist/engine.h)
   --resume FILE      continue a killed run from its checkpoint file; the
@@ -73,8 +81,14 @@ constexpr const char* kUsage = R"(usage: bds_cli [options]
   --help             this text
 )";
 
+// When `corpus` is non-null (--transport process) the workers rebuild the
+// oracle from a dataset file, so generated datasets are spilled to one (the
+// --save path when given, else a temp file) and the coordinator reloads it
+// through the same data::CorpusSpec::make_oracle() call the workers use —
+// one canonical construction on both sides of the wire.
 std::shared_ptr<const SubmodularOracle> make_oracle(
-    const util::Flags& flags, std::string* description) {
+    const util::Flags& flags, std::string* description,
+    data::CorpusSpec* corpus) {
   const std::string dataset = flags.get_string("dataset", "synthetic");
   const std::uint64_t seed = flags.get_uint("seed", 1);
 
@@ -86,48 +100,20 @@ std::shared_ptr<const SubmodularOracle> make_oracle(
     *description = std::string(mmap ? "mapped" : "loaded") +
                    " coverage dataset (" + std::to_string(sets->num_sets()) +
                    " sets)";
+    if (corpus != nullptr) {
+      corpus->objective = "coverage";
+      corpus->path = path;
+      corpus->mmap = mmap;
+    }
     return std::make_shared<CoverageOracle>(sets);
   }
 
-  if (dataset == "synthetic") {
-    data::SyntheticCoverageConfig cfg;
-    cfg.universe_size = static_cast<std::uint32_t>(
-        flags.get_uint("universe", 10'000));
-    cfg.planted_sets =
-        static_cast<std::uint32_t>(flags.get_uint("planted", 100));
-    cfg.random_sets =
-        static_cast<std::uint32_t>(flags.get_uint("decoys", 100'000));
-    cfg.seed = seed;
-    const auto instance = data::make_synthetic_coverage(cfg);
-    if (flags.has("save")) {
-      data::save_set_system(*instance.sets, flags.get_string("save", ""));
-    }
-    *description = "synthetic hard coverage";
-    return std::make_shared<CoverageOracle>(instance.sets);
-  }
-  if (dataset == "dblp" || dataset == "livejournal") {
-    const auto nodes =
-        static_cast<std::uint32_t>(flags.get_uint("nodes", 20'000));
-    const auto sets = dataset == "dblp"
-                          ? data::make_dblp_like(nodes, seed)
-                          : data::make_livejournal_like(nodes, seed);
-    if (flags.has("save")) {
-      data::save_set_system(*sets, flags.get_string("save", ""));
-    }
-    *description = dataset + "-like neighborhood coverage";
-    return std::make_shared<CoverageOracle>(sets);
-  }
-  if (dataset == "gutenberg") {
-    data::BigramConfig cfg;
-    cfg.books = static_cast<std::uint32_t>(flags.get_uint("books", 1'000));
-    cfg.seed = seed;
-    const auto sets = data::make_bigram_sets(cfg);
-    if (flags.has("save")) {
-      data::save_set_system(*sets, flags.get_string("save", ""));
-    }
-    *description = "gutenberg-like bi-gram coverage";
-    return std::make_shared<CoverageOracle>(sets);
-  }
+  const auto spill_path = [&flags] {
+    return flags.has("save")
+               ? flags.get_string("save", "")
+               : "/tmp/bds_cli." + std::to_string(::getpid()) + ".corpus";
+  };
+
   if (dataset == "wiki" || dataset == "images") {
     std::shared_ptr<const PointSet> points;
     if (dataset == "wiki") {
@@ -144,14 +130,62 @@ std::shared_ptr<const SubmodularOracle> make_oracle(
       points = data::make_image_like_vectors(cfg);
     }
     *description = dataset + "-like exemplar clustering";
+    if (corpus != nullptr) {
+      const std::string path = spill_path();
+      data::save_point_set(*points, path);
+      corpus->objective = "exemplar";
+      corpus->path = path;
+      corpus->p0_dist = 2.0;
+      return corpus->make_oracle();
+    }
     return std::make_shared<ExemplarOracle>(points, 2.0);
   }
-  throw std::invalid_argument("unknown --dataset " + dataset);
+
+  std::shared_ptr<const SetSystem> sets;
+  if (dataset == "synthetic") {
+    data::SyntheticCoverageConfig cfg;
+    cfg.universe_size = static_cast<std::uint32_t>(
+        flags.get_uint("universe", 10'000));
+    cfg.planted_sets =
+        static_cast<std::uint32_t>(flags.get_uint("planted", 100));
+    cfg.random_sets =
+        static_cast<std::uint32_t>(flags.get_uint("decoys", 100'000));
+    cfg.seed = seed;
+    sets = data::make_synthetic_coverage(cfg).sets;
+    *description = "synthetic hard coverage";
+  } else if (dataset == "dblp" || dataset == "livejournal") {
+    const auto nodes =
+        static_cast<std::uint32_t>(flags.get_uint("nodes", 20'000));
+    sets = dataset == "dblp" ? data::make_dblp_like(nodes, seed)
+                             : data::make_livejournal_like(nodes, seed);
+    *description = dataset + "-like neighborhood coverage";
+  } else if (dataset == "gutenberg") {
+    data::BigramConfig cfg;
+    cfg.books = static_cast<std::uint32_t>(flags.get_uint("books", 1'000));
+    cfg.seed = seed;
+    sets = data::make_bigram_sets(cfg);
+    *description = "gutenberg-like bi-gram coverage";
+  } else {
+    throw std::invalid_argument("unknown --dataset " + dataset);
+  }
+
+  if (flags.has("save")) {
+    data::save_set_system(*sets, flags.get_string("save", ""));
+  }
+  if (corpus != nullptr) {
+    const std::string path = spill_path();
+    if (!flags.has("save")) data::save_set_system(*sets, path);
+    corpus->objective = "coverage";
+    corpus->path = path;
+    return corpus->make_oracle();
+  }
+  return std::make_shared<CoverageOracle>(sets);
 }
 
 RunResult run_algorithm(const util::Flags& flags,
                         const SubmodularOracle& oracle,
-                        std::span<const ElementId> ground) {
+                        std::span<const ElementId> ground,
+                        const data::CorpusSpec* corpus) {
   AlgorithmParams params;
   params.k = flags.get_uint("k", 10);
   params.rounds = flags.get_uint("rounds", 1);
@@ -183,6 +217,14 @@ RunResult run_algorithm(const util::Flags& flags,
         load_checkpoint_file(flags.get_string("resume", "")));
   }
   runtime.halt_after_round = flags.get_uint("halt-after-round", 0);
+  const std::string transport = flags.get_string("transport", "inproc");
+  if (transport == "process") {
+    runtime.transport = TransportKind::kProcess;
+    runtime.process.worker_binary = flags.get_string("worker", "");
+    runtime.process.corpus_spec = corpus->serialize();
+  } else if (transport != "inproc") {
+    throw std::invalid_argument("unknown --transport " + transport);
+  }
   return run_distributed(flags.get_string("algorithm", "bicriteria"), oracle,
                          ground, runtime, params);
 }
@@ -211,8 +253,12 @@ int main(int argc, char** argv) {
     }
 
     std::string description;
+    const bool process_transport =
+        flags.get_string("transport", "inproc") == "process";
+    data::CorpusSpec corpus;
     util::Timer gen_timer;
-    const auto oracle = make_oracle(flags, &description);
+    const auto oracle =
+        make_oracle(flags, &description, process_transport ? &corpus : nullptr);
     std::vector<ElementId> ground(oracle->ground_size());
     for (std::size_t i = 0; i < ground.size(); ++i) {
       ground[i] = static_cast<ElementId>(i);
@@ -221,7 +267,8 @@ int main(int argc, char** argv) {
                 ground.size(), gen_timer.elapsed_seconds());
 
     util::Timer run_timer;
-    const auto result = run_algorithm(flags, *oracle, ground);
+    const auto result = run_algorithm(flags, *oracle, ground,
+                                      process_transport ? &corpus : nullptr);
     const double seconds = run_timer.elapsed_seconds();
 
     const std::size_t k = flags.get_uint("k", 10);

@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
   {
     const LaminarBound constraint(base_matroid, k);
     MatroidDistributedConfig cfg;
-    cfg.seed = 7;
+    cfg.runtime.seed = 7;
     const auto result =
         rand_greedi_matroid(oracle, ground, constraint, cfg);
     std::map<std::uint32_t, int> hist;

@@ -55,7 +55,7 @@ int main() {
     OneRoundConfig rc;
     rc.k = out;
     rc.machines = 64;  // m >> k: planted B-sets are isolated on machines
-    rc.seed = 3;
+    rc.runtime.seed = 3;
     const auto result = rand_greedi(oracle, items, rc);
     const auto outcome = evaluate_hardness_solution(instance, result.solution);
     char name[64];

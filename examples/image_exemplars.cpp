@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     BicriteriaConfig cfg;
     cfg.k = K;
     cfg.output_items = out;
-    cfg.seed = 3;
+    cfg.runtime.seed = 3;
     cfg.selector = MachineSelector::kStochasticGreedy;
     // Each machine estimates the objective on its own 500-point sample of
     // the *projected* vectors (cheap oracle), per the paper's setup.

@@ -50,7 +50,7 @@ int main() {
       cfg.k = K;
       cfg.output_items = out;
       cfg.rounds = rounds;
-      cfg.seed = 42;
+      cfg.runtime.seed = 42;
       const DistributedResult result = bicriteria_greedy(oracle, ground, cfg);
 
       // 4. Certify: f(OPT_K) <= f(S) + sum of top-K marginals.

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     BicriteriaConfig cfg;
     cfg.k = K;
     cfg.output_items = K;
-    cfg.seed = 1;
+    cfg.runtime.seed = 1;
     rows.push_back({"BicriteriaGreedy (k=K)",
                     bicriteria_greedy(oracle, ground, cfg)});
     cfg.output_items = 2 * K;
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   {
     OneRoundConfig cfg;
     cfg.k = K;
-    cfg.seed = 1;
+    cfg.runtime.seed = 1;
     rows.push_back({"RandGreeDi (k=K)", rand_greedi(oracle, ground, cfg)});
   }
   {

@@ -130,7 +130,7 @@ int main(int argc, char** argv) {
   {
     BicriteriaConfig cfg;
     cfg.k = k;
-    cfg.seed = 5;
+    cfg.runtime.seed = 5;
     const auto result = bicriteria_greedy(oracle, ground, cfg);
     table.add_row({"distributed (1 round)",
                    util::Table::fmt(result.value, 2),
@@ -141,7 +141,7 @@ int main(int argc, char** argv) {
     BicriteriaConfig cfg;
     cfg.k = k;
     cfg.output_items = 2 * k;
-    cfg.seed = 5;
+    cfg.runtime.seed = 5;
     const auto result = bicriteria_greedy(oracle, ground, cfg);
     table.add_row({"distributed (2k sentences)",
                    util::Table::fmt(result.value, 2),

@@ -23,7 +23,7 @@ AdaptiveResult adaptive_bicriteria(const SubmodularOracle& proto,
   }
   const std::size_t per_round =
       config.items_per_round == 0 ? config.k : config.items_per_round;
-  const RuntimeOptions runtime = detail::resolve_runtime(config);
+  const RuntimeOptions runtime = config.runtime;
 
   AdaptiveResult adaptive;
   auto accumulated = proto.clone();  // carries S across rounds

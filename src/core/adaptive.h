@@ -32,9 +32,6 @@ struct AdaptiveConfig {
   double stochastic_c = 3.0;
   MachineOracleFactory machine_oracle_factory;
   RuntimeOptions runtime;  // see core/runtime_options.h
-  // Deprecated flat runtime fields; non-default values override `runtime`.
-  std::size_t threads = 0;
-  std::uint64_t seed = 1;
 };
 
 struct AdaptiveResult {

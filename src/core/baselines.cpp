@@ -58,7 +58,7 @@ DistributedResult one_round_merge(const SubmodularOracle& proto,
     return spec;
   };
   return run_round_program(proto, ground, program,
-                           detail::resolve_runtime(config));
+                           config.runtime);
 }
 
 }  // namespace
@@ -121,7 +121,7 @@ DistributedResult naive_distributed_greedy(
     return spec;
   };
   return run_round_program(proto, ground, program,
-                           detail::resolve_runtime(config));
+                           config.runtime);
 }
 
 DistributedResult parallel_alg(const SubmodularOracle& proto,
@@ -172,7 +172,7 @@ DistributedResult parallel_alg(const SubmodularOracle& proto,
     return spec;
   };
   return run_round_program(proto, ground, program,
-                           detail::resolve_runtime(config));
+                           config.runtime);
 }
 
 DistributedResult greedy_scaling(const SubmodularOracle& proto,
@@ -225,7 +225,7 @@ DistributedResult greedy_scaling(const SubmodularOracle& proto,
     return spec;
   };
   return run_round_program(proto, ground, program,
-                           detail::resolve_runtime(config));
+                           config.runtime);
 }
 
 DistributedResult centralized_greedy(const SubmodularOracle& proto,

@@ -42,12 +42,6 @@ struct OneRoundConfig {
   MachineOracleFactory machine_oracle_factory;
   // Execution-environment knobs (core/runtime_options.h).
   RuntimeOptions runtime;
-  // Deprecated flat runtime fields; non-default values override `runtime`.
-  bool parallel_central = false;
-  WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
-  bool incremental_gains = false;
-  std::size_t threads = 0;
-  std::uint64_t seed = 1;
 };
 
 DistributedResult greedi(const SubmodularOracle& proto,
@@ -73,12 +67,6 @@ struct NaiveDistributedConfig {
   bool stop_when_no_gain = true;
   MachineOracleFactory machine_oracle_factory;
   RuntimeOptions runtime;  // see core/runtime_options.h
-  // Deprecated flat runtime fields; non-default values override `runtime`.
-  bool parallel_central = false;
-  WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
-  bool incremental_gains = false;
-  std::size_t threads = 0;
-  std::uint64_t seed = 1;
 };
 
 DistributedResult naive_distributed_greedy(const SubmodularOracle& proto,
@@ -104,12 +92,6 @@ struct ParallelAlgConfig {
   bool stop_when_no_gain = true;
   MachineOracleFactory machine_oracle_factory;
   RuntimeOptions runtime;  // see core/runtime_options.h
-  // Deprecated flat runtime fields; non-default values override `runtime`.
-  bool parallel_central = false;
-  WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
-  bool incremental_gains = false;
-  std::size_t threads = 0;
-  std::uint64_t seed = 1;
 };
 
 DistributedResult parallel_alg(const SubmodularOracle& proto,
@@ -129,11 +111,6 @@ struct GreedyScalingConfig {
   std::size_t machines = 0;  // 0 → ⌈√(n/k)⌉
   bool stop_when_no_gain = true;
   RuntimeOptions runtime;  // see core/runtime_options.h
-  // Deprecated flat runtime fields; non-default values override `runtime`.
-  WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
-  bool incremental_gains = false;
-  std::size_t threads = 0;
-  std::uint64_t seed = 1;
 };
 
 DistributedResult greedy_scaling(const SubmodularOracle& proto,

@@ -158,7 +158,7 @@ DistributedResult bicriteria_greedy(const SubmodularOracle& proto,
   const BicriteriaPlan plan = plan_bicriteria(config, ground.size());
   const RoundProgram program = make_bicriteria_program(config, plan);
   return run_round_program(proto, ground, program,
-                           detail::resolve_runtime(config));
+                           config.runtime);
 }
 
 }  // namespace bds

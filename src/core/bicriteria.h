@@ -61,16 +61,6 @@ struct BicriteriaConfig {
   // Execution-environment knobs: threads, seed, worker oracle construction,
   // incremental/parallel coordinator evaluation, fault injection, tracing.
   RuntimeOptions runtime;
-
-  // --- deprecated flat runtime fields -------------------------------------
-  // Thin forwarders kept for one release; prefer `runtime`. A non-default
-  // value here overrides the matching `runtime` field (detail::
-  // resolve_runtime in core/runtime_options.h).
-  WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
-  bool incremental_gains = false;
-  bool parallel_central = false;
-  std::size_t threads = 0;
-  std::uint64_t seed = 1;
 };
 
 // Parameters Algorithm 1 derives from a config and ground-set size; exposed

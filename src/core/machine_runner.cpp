@@ -83,6 +83,28 @@ dist::Cluster::WorkerFn make_machine_worker(
   };
 }
 
+dist::Cluster::WorkerFn make_threshold_worker(
+    const ThresholdWorkerConfig& config) {
+  assert(config.central != nullptr);
+  return [config](std::size_t,
+                  std::span<const ElementId> shard) -> dist::WorkerOutput {
+    auto oracle = config.worker_oracle == WorkerOracleMode::kShardView
+                      ? config.central->shard_view(shard)
+                      : config.central->clone();
+    dist::WorkerOutput output;
+    for (const ElementId x : shard) {
+      if (output.summary.size() >= config.budget) break;
+      if (oracle->gain(x) >= config.threshold) {
+        oracle->add(x);
+        output.summary.push_back(x);
+      }
+    }
+    output.oracle_evals = oracle->evals();
+    output.state_bytes = oracle->state_bytes();
+    return output;
+  };
+}
+
 std::unique_ptr<SubmodularOracle> make_central_oracle(
     const SubmodularOracle& proto, bool incremental_gains) {
   if (incremental_gains) {

@@ -55,6 +55,21 @@ struct MachineWorkerConfig {
 // round.
 dist::Cluster::WorkerFn make_machine_worker(const MachineWorkerConfig& config);
 
+// GreedyScaling's per-round worker: keep shard items whose marginal gain on
+// top of S ∪ (local picks) clears `threshold`, up to `budget` of them.
+struct ThresholdWorkerConfig {
+  double threshold = 0.0;
+  std::size_t budget = 0;
+  const SubmodularOracle* central = nullptr;
+  WorkerOracleMode worker_oracle = WorkerOracleMode::kShardView;
+};
+
+// Same contract as make_machine_worker: pure in (machine, shard), safe to
+// invoke concurrently and repeatedly. Shared by the in-process engine and
+// bds_worker so both transports execute the identical accept loop.
+dist::Cluster::WorkerFn make_threshold_worker(
+    const ThresholdWorkerConfig& config);
+
 // Coordinator oracle for a distributed run: a clone of `proto`, upgraded to
 // inverted-index incremental gains (objectives/coverage_incremental.h) when
 // requested and the objective supports it (unweighted coverage). The

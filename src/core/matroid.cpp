@@ -220,7 +220,7 @@ DistributedResult rand_greedi_matroid(
     return spec;
   };
   return run_round_program(proto, ground, program,
-                           detail::resolve_runtime(config));
+                           config.runtime);
 }
 
 }  // namespace bds

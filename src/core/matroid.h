@@ -142,9 +142,6 @@ ConstrainedGreedyResult lazy_greedy_matroid(
 struct MatroidDistributedConfig {
   std::size_t machines = 0;  // 0 → ⌈√(n/rank)⌉
   RuntimeOptions runtime;    // see core/runtime_options.h
-  // Deprecated flat runtime fields; non-default values override `runtime`.
-  std::size_t threads = 0;
-  std::uint64_t seed = 1;
 };
 
 DistributedResult rand_greedi_matroid(

@@ -15,15 +15,6 @@ namespace bds {
 
 namespace {
 
-// Merges the deprecated AlgorithmParams::seed into the runtime: a caller
-// that moved it off its default predates RuntimeOptions and wins.
-RuntimeOptions effective_runtime(const AlgorithmParams& params,
-                                 const RuntimeOptions& runtime) {
-  RuntimeOptions rt = runtime;
-  if (params.seed != 1) rt.seed = params.seed;
-  return rt;
-}
-
 DistributedResult run_bicriteria_mode(BicriteriaMode mode,
                                       const SubmodularOracle& proto,
                                       std::span<const ElementId> ground,
@@ -36,7 +27,7 @@ DistributedResult run_bicriteria_mode(BicriteriaMode mode,
   cfg.rounds = std::max<std::size_t>(1, params.rounds);
   cfg.epsilon = params.epsilon;
   cfg.machines = params.machines;
-  cfg.runtime = effective_runtime(params, runtime);
+  cfg.runtime = runtime;
   return bicriteria_greedy(proto, ground, cfg);
 }
 
@@ -49,7 +40,7 @@ DistributedResult run_one_round(
   OneRoundConfig cfg;
   cfg.k = params.k;
   cfg.machines = params.machines;
-  cfg.runtime = effective_runtime(params, runtime);
+  cfg.runtime = runtime;
   return fn(proto, ground, cfg);
 }
 
@@ -90,7 +81,7 @@ std::vector<AlgorithmSpec> build_registry() {
                      OneRoundConfig cfg;
                      cfg.k = a.k;
                      cfg.machines = a.machines;
-                     cfg.runtime = effective_runtime(a, rt);
+                     cfg.runtime = rt;
                      return pseudo_greedy(p, g, cfg);
                    }});
   specs.push_back({"parallel", "ParallelAlg [6], 1/eps rounds", true,
@@ -99,7 +90,7 @@ std::vector<AlgorithmSpec> build_registry() {
                      cfg.k = a.k;
                      cfg.epsilon = a.epsilon;
                      cfg.machines = a.machines;
-                     cfg.runtime = effective_runtime(a, rt);
+                     cfg.runtime = rt;
                      return parallel_alg(p, g, cfg);
                    }});
   specs.push_back({"naive", "NaiveDistributedGreedy, ln(1/eps) rounds", true,
@@ -108,7 +99,7 @@ std::vector<AlgorithmSpec> build_registry() {
                      cfg.k = a.k;
                      cfg.epsilon = a.epsilon;
                      cfg.machines = a.machines;
-                     cfg.runtime = effective_runtime(a, rt);
+                     cfg.runtime = rt;
                      return naive_distributed_greedy(p, g, cfg);
                    }});
   specs.push_back({"scaling", "GreedyScaling [18], threshold rounds", true,
@@ -117,7 +108,7 @@ std::vector<AlgorithmSpec> build_registry() {
                      cfg.k = a.k;
                      cfg.epsilon = std::clamp(a.epsilon, 0.05, 0.9);
                      cfg.machines = a.machines;
-                     cfg.runtime = effective_runtime(a, rt);
+                     cfg.runtime = rt;
                      return greedy_scaling(p, g, cfg);
                    }});
   specs.push_back(
@@ -128,7 +119,7 @@ std::vector<AlgorithmSpec> build_registry() {
          cfg.target_ratio = std::clamp(1.0 - a.epsilon, 0.01, 0.99);
          cfg.max_rounds = std::max<std::size_t>(1, a.rounds > 1 ? a.rounds : 8);
          cfg.machines = a.machines;
-         cfg.runtime = effective_runtime(a, rt);
+         cfg.runtime = rt;
          return adaptive_bicriteria(p, g, cfg).result;
        }});
   specs.push_back(
@@ -157,7 +148,7 @@ std::vector<AlgorithmSpec> build_registry() {
       {"random", "uniform random k-subset baseline", false,
        [](const auto& p, auto g, const auto& a, const auto& rt) {
          auto oracle = p.clone();
-         util::Rng rng(effective_runtime(a, rt).seed);
+         util::Rng rng(rt.seed);
          const auto picks = random_subset(*oracle, g, a.k, rng);
          DistributedResult result;
          result.solution = picks.picks;

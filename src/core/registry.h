@@ -27,9 +27,6 @@ struct AlgorithmParams {
   std::size_t output_items = 0;   // bicriteria modes; 0 → k
   double epsilon = 0.1;           // where meaningful
   std::size_t machines = 0;       // 0 → algorithm default
-  // Deprecated thin forwarder: prefer RuntimeOptions::seed. A non-default
-  // value here overrides the runtime's seed for one release.
-  std::uint64_t seed = 1;
 };
 
 struct AlgorithmSpec {

@@ -200,7 +200,8 @@ struct RoundProgram {
 struct Checkpoint {
   // Format version; bumped on any serialized-field change. Loaders reject
   // versions they do not understand (no silent forward compatibility).
-  static constexpr std::uint32_t kVersion = 2;
+  // v3: RoundSpan/AttemptSpan transport + wire-byte fields.
+  static constexpr std::uint32_t kVersion = 3;
 
   std::string program_id;   // RoundProgram::id of the producing run
   std::uint64_t seed = 0;   // RuntimeOptions::seed of the producing run

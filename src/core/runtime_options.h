@@ -1,11 +1,9 @@
 // bds::RuntimeOptions — the one place for execution-environment knobs.
 //
-// Every distributed algorithm config used to carry its own copy of the
-// runtime flags (threads, seed, worker_oracle, ...). They are now grouped
-// here and embedded as a `runtime` member in each config; the old flat
-// fields remain as deprecated thin forwarders for one release (a non-default
-// flat value overrides the corresponding runtime field, so existing call
-// sites keep working unchanged).
+// Every distributed algorithm config embeds these execution-environment
+// knobs (threads, seed, worker_oracle, ...) as a `runtime` member — one
+// vocabulary for "how a run executes" shared by every algorithm, as opposed
+// to the per-algorithm "what to compute" fields beside it.
 //
 // RuntimeOptions also carries the simulator's fault-injection and tracing
 // controls (dist/faults.h, dist/trace.h): a FaultPlan + RetryPolicy pair
@@ -15,12 +13,33 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "core/bound_heap.h"
 #include "core/distributed.h"
 #include "core/round_spec.h"
 
 namespace bds {
+
+// Which ClusterTransport backend (dist/transport.h) executes worker
+// attempts. Selections and eval accounting are bit-identical across
+// backends for every declarative (non-custom) worker; kProcess makes the
+// paper's machines literal OS processes speaking the dist/wire.h protocol.
+enum class TransportKind : std::uint8_t {
+  kInProcess = 0,  // default: workers run as closures on the host pool
+  kProcess,        // one forked bds_worker per logical machine
+};
+
+// Provisioning for TransportKind::kProcess. Worker processes hold no
+// coordinator memory, so the corpus must be re-loadable machine-locally:
+// `corpus_spec` is a serialized data::CorpusSpec (data/corpus.h) each
+// worker materializes its prototype oracle from at handshake.
+struct ProcessTransportOptions {
+  // Worker binary path; empty resolves $BDS_WORKER, then "bds_worker"
+  // next to the current executable.
+  std::string worker_binary;
+  std::string corpus_spec;
+};
 
 struct RuntimeOptions {
   // --- host execution ---
@@ -45,6 +64,10 @@ struct RuntimeOptions {
   // entirely under BDS_LAZY=off.
   std::shared_ptr<detail::SingletonBoundCache> singleton_bounds;
 
+  // --- execution backend (dist/transport.h) ---
+  TransportKind transport = TransportKind::kInProcess;
+  ProcessTransportOptions process;  // consulted only under kProcess
+
   // --- fault injection / retry / tracing (dist/faults.h, dist/trace.h) ---
   dist::FaultPlan faults;    // all-healthy default == fault-free executor
   dist::RetryPolicy retry;
@@ -67,40 +90,8 @@ struct RuntimeOptions {
 
   // The subset the cluster simulator consumes.
   dist::ClusterOptions cluster_options() const {
-    return dist::ClusterOptions{threads, faults, retry, trace_sink};
+    return dist::ClusterOptions{threads, faults, retry, trace_sink, nullptr};
   }
 };
 
-namespace detail {
-
-// Merges a config's deprecated flat runtime fields into its `runtime`
-// member. A flat field that was moved off its default wins over the
-// corresponding RuntimeOptions field (callers predating `runtime` keep
-// their behaviour); flat defaults defer to `runtime`. Constrained with
-// `requires` per field so configs carrying different flat subsets (e.g.
-// GreedyScalingConfig has no parallel_central) share this one helper.
-template <typename Config>
-RuntimeOptions resolve_runtime(const Config& config) {
-  RuntimeOptions rt = config.runtime;
-  if constexpr (requires { config.threads; }) {
-    if (config.threads != 0) rt.threads = config.threads;
-  }
-  if constexpr (requires { config.seed; }) {
-    if (config.seed != 1) rt.seed = config.seed;
-  }
-  if constexpr (requires { config.worker_oracle; }) {
-    if (config.worker_oracle != WorkerOracleMode::kShardView) {
-      rt.worker_oracle = config.worker_oracle;
-    }
-  }
-  if constexpr (requires { config.incremental_gains; }) {
-    if (config.incremental_gains) rt.incremental_gains = true;
-  }
-  if constexpr (requires { config.parallel_central; }) {
-    if (config.parallel_central) rt.parallel_central = true;
-  }
-  return rt;
-}
-
-}  // namespace detail
 }  // namespace bds

@@ -1,0 +1,94 @@
+#include "data/corpus.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "data/io.h"
+#include "objectives/coverage.h"
+#include "objectives/exemplar.h"
+#include "objectives/logdet.h"
+#include "objectives/prob_coverage.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace bds::data {
+
+namespace {
+constexpr std::uint32_t kCorpusVersion = 1;
+}  // namespace
+
+std::string CorpusSpec::serialize() const {
+  std::ostringstream out;
+  out << "bdscorpus " << kCorpusVersion << '\n';
+  out << "objective " << objective << '\n';
+  out << "path ";
+  util::write_blob(out, path);
+  out << '\n';
+  out << "mmap " << (mmap ? 1 : 0) << '\n';
+  out << "p0 " << util::double_bits(p0_dist) << '\n';
+  out << "sample_size " << sample_size << '\n';
+  out << "sample_seed " << sample_seed << '\n';
+  out << "bandwidth " << util::double_bits(bandwidth) << '\n';
+  out << "noise " << util::double_bits(noise_variance) << '\n';
+  out << "end\n";
+  return std::move(out).str();
+}
+
+CorpusSpec CorpusSpec::deserialize(std::string_view text) {
+  util::TokenReader in(text, "corpus");
+  in.expect("bdscorpus");
+  const std::uint64_t version = in.u64();
+  if (version != kCorpusVersion) {
+    throw std::invalid_argument("corpus: unsupported version " +
+                                std::to_string(version));
+  }
+  CorpusSpec spec;
+  in.expect("objective");
+  spec.objective = in.word();
+  in.expect("path");
+  spec.path = in.blob();
+  in.expect("mmap");
+  spec.mmap = in.flag();
+  in.expect("p0");
+  spec.p0_dist = in.real();
+  in.expect("sample_size");
+  spec.sample_size = in.size();
+  in.expect("sample_seed");
+  spec.sample_seed = in.u64();
+  in.expect("bandwidth");
+  spec.bandwidth = in.real();
+  in.expect("noise");
+  spec.noise_variance = in.real();
+  in.expect("end");
+  return spec;
+}
+
+std::unique_ptr<SubmodularOracle> CorpusSpec::make_oracle() const {
+  if (objective == "coverage") {
+    const auto sets = mmap ? map_set_system(path) : load_set_system(path);
+    return std::make_unique<CoverageOracle>(sets);
+  }
+  if (objective == "prob-coverage") {
+    const auto sets =
+        mmap ? map_prob_set_system(path) : load_prob_set_system(path);
+    return std::make_unique<ProbCoverageOracle>(sets);
+  }
+  if (objective == "exemplar") {
+    const auto points = mmap ? map_point_set(path) : load_point_set(path);
+    return std::make_unique<ExemplarOracle>(points, p0_dist);
+  }
+  if (objective == "sampled-exemplar") {
+    const auto points = mmap ? map_point_set(path) : load_point_set(path);
+    util::Rng rng(util::mix64(sample_seed));
+    return std::make_unique<SampledExemplarOracle>(points, p0_dist,
+                                                   sample_size, rng);
+  }
+  if (objective == "logdet") {
+    const auto points = mmap ? map_point_set(path) : load_point_set(path);
+    return std::make_unique<LogDetOracle>(points, bandwidth, noise_variance);
+  }
+  throw std::invalid_argument("corpus: unknown objective '" + objective +
+                              "'");
+}
+
+}  // namespace bds::data

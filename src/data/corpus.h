@@ -1,0 +1,61 @@
+// CorpusSpec — a machine-shippable recipe for rebuilding an oracle.
+//
+// The process transport's workers (examples/bds_worker) hold none of the
+// coordinator's memory, so "which objective over which dataset" must travel
+// to them as data. A CorpusSpec names an objective family, the dataset file
+// it reads (data/io.h container formats), and the scalar construction
+// parameters — everything needed to materialize a prototype oracle that is
+// bit-identical to the coordinator's, including the frozen sample of
+// sampled objectives (the sample RNG is derived from `sample_seed` here, on
+// both sides, so the estimate is the same estimate).
+//
+// Drivers that want cross-backend bit-identity should build their own
+// coordinator oracle through the same make_oracle() call they serialize for
+// the workers; bds_cli and the golden tests do exactly that.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "objectives/submodular.h"
+
+namespace bds::data {
+
+struct CorpusSpec {
+  // Objective family: "coverage", "prob-coverage", "exemplar",
+  // "sampled-exemplar", "logdet". (Objectives without a dataset file
+  // format — e.g. saturated coverage's similarity matrix — cannot be
+  // shipped and are unsupported.)
+  std::string objective;
+  // Dataset container file (data/io.h): a SetSystem for coverage, a
+  // ProbSetSystem for prob-coverage, a PointSet for the rest.
+  std::string path;
+  // mmap the container zero-copy instead of heap-loading it. Bit-identical
+  // either way; workers on one host share the page cache.
+  bool mmap = false;
+
+  // Exemplar family: phantom-point distance.
+  double p0_dist = 2.0;
+  // sampled-exemplar: sample size and the seed its frozen sample is drawn
+  // from (util::Rng(mix64(sample_seed)) — the canonical construction).
+  std::size_t sample_size = 0;
+  std::uint64_t sample_seed = 1;
+  // logdet: RBF kernel bandwidth and diagonal noise.
+  double bandwidth = 1.0;
+  double noise_variance = 1.0;
+
+  // Token-text round trip (util/serialize.h discipline: versioned header,
+  // bit-pattern doubles, length-prefixed path blob). deserialize throws
+  // std::invalid_argument on malformed input or version/objective issues.
+  std::string serialize() const;
+  static CorpusSpec deserialize(std::string_view text);
+
+  // Loads the dataset and builds the prototype oracle. Deterministic:
+  // equal specs produce oracles with bit-identical gains, values and eval
+  // accounting on both sides of a transport. Throws on unknown objective
+  // names or unreadable datasets.
+  std::unique_ptr<SubmodularOracle> make_oracle() const;
+};
+
+}  // namespace bds::data

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
+#include "dist/transport.h"
 #include "util/timer.h"
 
 namespace bds::dist {
@@ -138,6 +140,8 @@ Cluster::Cluster(std::size_t machines, const ClusterOptions& options)
       faults_(options.faults),
       retry_(options.retry),
       trace_sink_(options.trace_sink),
+      transport_(options.transport ? options.transport
+                                   : make_inproc_transport()),
       pool_(pool_threads(machines, options.threads)) {
   if (machines == 0) {
     throw std::invalid_argument("Cluster: need at least one machine");
@@ -150,7 +154,7 @@ Cluster::Cluster(std::size_t machines, std::size_t threads)
 
 MachineReport Cluster::run_machine(std::size_t round, std::size_t machine,
                                    std::span<const ElementId> shard,
-                                   const WorkerFn& worker,
+                                   const RoundWork& work,
                                    MachineSpan& span) const {
   span.machine = machine;
 
@@ -159,11 +163,22 @@ MachineReport Cluster::run_machine(std::size_t round, std::size_t machine,
 
   const std::size_t cap = retry_.attempt_cap();
   for (std::size_t attempt = 1; attempt <= cap; ++attempt) {
-    util::Timer timer;
-    WorkerOutput output = worker(machine, shard);
-    double seconds = timer.elapsed_seconds();
+    // The fault decision is a pure hash of (seed, round, machine, attempt),
+    // so deciding it before the attempt runs changes nothing in the
+    // schedule — and lets the process backend turn an injected kCrash into
+    // a real worker death.
+    const FaultKind injected = faults_.fault_at(round, machine, attempt);
+    AttemptResult attempt_result = transport_->run_attempt(
+        round, machine, attempt, injected, shard, work);
+    WorkerOutput output = std::move(attempt_result.output);
+    double seconds = attempt_result.seconds;
 
-    const FaultKind fault = faults_.fault_at(round, machine, attempt);
+    // A real worker death (SIGKILL'd process, broken socket) surfaces as a
+    // crash fault regardless of the schedule: nothing reached the
+    // coordinator, and the retry path respawns and re-runs the pure
+    // (machine, shard) computation.
+    const FaultKind fault =
+        attempt_result.crashed ? FaultKind::kCrash : injected;
     report.attempts = attempt;
     report.last_fault = fault;
 
@@ -171,6 +186,8 @@ MachineReport Cluster::run_machine(std::size_t round, std::size_t machine,
     attempt_span.attempt = attempt;
     attempt_span.fault = fault;
     attempt_span.evals = output.oracle_evals;
+    attempt_span.wire_bytes_sent = attempt_result.wire_bytes_sent;
+    attempt_span.wire_bytes_received = attempt_result.wire_bytes_received;
 
     bool failed = false;
     switch (fault) {
@@ -237,10 +254,19 @@ MachineReport Cluster::run_machine(std::size_t round, std::size_t machine,
 
 std::vector<MachineReport> Cluster::run_round(const Partition& partition,
                                               const WorkerFn& worker) {
+  // Closure-only work: in-process execution, declaratively opaque.
+  RoundWork work;
+  work.fn = worker;
+  return run_round(partition, work);
+}
+
+std::vector<MachineReport> Cluster::run_round(const Partition& partition,
+                                              const RoundWork& work) {
   assert(partition.size() == machines_);
 
   RoundSpan span;
   span.round_index = stats_.rounds.size();
+  span.transport = std::string(transport_->name());
   span.machines.resize(machines_);
 
   util::Timer scatter_timer;
@@ -258,7 +284,7 @@ std::vector<MachineReport> Cluster::run_round(const Partition& partition,
   std::vector<MachineReport> reports(machines_);
   pool_.parallel_for(machines_, [&](std::size_t i) {
     reports[i] = run_machine(round.round_index, i,
-                             std::span<const ElementId>(partition[i]), worker,
+                             std::span<const ElementId>(partition[i]), work,
                              span.machines[i]);
   });
   span.map_seconds = map_timer.elapsed_seconds();
@@ -286,6 +312,8 @@ std::vector<MachineReport> Cluster::run_round(const Partition& partition,
         round.wasted_evals += attempt.evals;
       }
       round.backoff_seconds += attempt.backoff_seconds;
+      span.wire_bytes_sent += attempt.wire_bytes_sent;
+      span.wire_bytes_received += attempt.wire_bytes_received;
     }
     if (!rep.heard()) {
       ++round.machines_unheard;

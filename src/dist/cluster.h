@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -41,6 +42,11 @@
 #include "util/element.h"
 
 namespace bds::dist {
+
+// Execution backend seam (dist/transport.h): where a worker attempt
+// physically runs — in-process closure or a forked bds_worker process.
+class ClusterTransport;
+struct RoundWork;
 
 // What one worker observes and returns from one execution attempt. This is
 // strictly the worker's own view — the cluster stamps timing, retry and
@@ -184,6 +190,10 @@ struct ClusterOptions {
   FaultPlan faults;     // all-healthy default == legacy executor
   RetryPolicy retry;
   TraceSink trace_sink; // optional per-round span callback
+  // Execution backend for worker attempts; null = the in-process default
+  // (dist/transport.h). Shared because the engine builds the backend and
+  // the cluster must keep it alive for its own lifetime.
+  std::shared_ptr<ClusterTransport> transport;
 };
 
 // The simulator. One Cluster instance is reused across the r rounds of an
@@ -212,8 +222,16 @@ class Cluster {
   // returns the per-machine reports (indexed by machine). Starts a new
   // RoundStats entry + RoundSpan; the caller completes them with
   // record_central_stage(). Precondition: partition.size() == machines().
+  // Attempts execute on the configured ClusterTransport; the RoundWork form
+  // carries the wire-serializable WorkerPlan the process backend needs, the
+  // WorkerFn form wraps the closure as in-process-only custom work.
+  std::vector<MachineReport> run_round(const Partition& partition,
+                                       const RoundWork& work);
   std::vector<MachineReport> run_round(const Partition& partition,
                                        const WorkerFn& worker);
+
+  // The execution backend attempts run on (never null after construction).
+  const ClusterTransport& transport() const noexcept { return *transport_; }
 
   // Records the coordinator's filtering stage for the most recent round,
   // completes the round's trace span and fires the trace sink.
@@ -239,12 +257,13 @@ class Cluster {
   // returns its report + span. Deterministic per (round, machine, shard).
   MachineReport run_machine(std::size_t round, std::size_t machine,
                             std::span<const ElementId> shard,
-                            const WorkerFn& worker, MachineSpan& span) const;
+                            const RoundWork& work, MachineSpan& span) const;
 
   std::size_t machines_;
   FaultPlan faults_;
   RetryPolicy retry_;
   TraceSink trace_sink_;
+  std::shared_ptr<ClusterTransport> transport_;
   ThreadPool pool_;
   ExecutionStats stats_;
 };

@@ -1,7 +1,6 @@
 #include "dist/engine.h"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -13,7 +12,9 @@
 #include "core/machine_runner.h"
 #include "dist/cluster.h"
 #include "dist/partitioner.h"
+#include "dist/transport.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 #include "util/timer.h"
 
 namespace bds {
@@ -21,86 +22,15 @@ namespace bds {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Checkpoint serialization: whitespace-separated tokens under a versioned
-// header. Doubles are serialized as their IEEE-754 bit patterns so a
-// restored run is bit-exact, not merely close.
+// Checkpoint serialization: the shared token/bit-pattern vocabulary of
+// util/serialize.h under the checkpoint's own versioned header. Doubles are
+// serialized as their IEEE-754 bit patterns so a restored run is bit-exact,
+// not merely close.
 
-std::uint64_t double_bits(double v) noexcept {
-  return std::bit_cast<std::uint64_t>(v);
-}
-
-double bits_double(std::uint64_t bits) noexcept {
-  return std::bit_cast<double>(bits);
-}
-
-void write_ids(std::ostream& out, const char* tag,
-               const std::vector<ElementId>& ids) {
-  out << tag << ' ' << ids.size();
-  for (const ElementId x : ids) out << ' ' << x;
-  out << '\n';
-}
-
-void write_indices(std::ostream& out, const std::vector<std::size_t>& ids) {
-  out << ids.size();
-  for (const std::size_t x : ids) out << ' ' << x;
-}
-
-class TokenReader {
- public:
-  explicit TokenReader(std::string_view text) : in_(std::string(text)) {}
-
-  std::string word() {
-    std::string token;
-    if (!(in_ >> token)) {
-      throw std::invalid_argument("checkpoint: truncated input");
-    }
-    return token;
-  }
-
-  void expect(const char* tag) {
-    const std::string token = word();
-    if (token != tag) {
-      throw std::invalid_argument(std::string("checkpoint: expected '") +
-                                  tag + "', found '" + token + "'");
-    }
-  }
-
-  std::uint64_t u64() {
-    const std::string token = word();
-    try {
-      std::size_t used = 0;
-      const std::uint64_t value = std::stoull(token, &used);
-      if (used != token.size()) throw std::invalid_argument(token);
-      return value;
-    } catch (const std::exception&) {
-      throw std::invalid_argument("checkpoint: bad integer '" + token + "'");
-    }
-  }
-
-  std::size_t size() { return static_cast<std::size_t>(u64()); }
-  double real() { return bits_double(u64()); }
-  bool flag() { return u64() != 0; }
-
-  std::vector<ElementId> ids(const char* tag) {
-    expect(tag);
-    return ids();
-  }
-
-  std::vector<ElementId> ids() {
-    std::vector<ElementId> out(size());
-    for (auto& x : out) x = static_cast<ElementId>(u64());
-    return out;
-  }
-
-  std::vector<std::size_t> indices() {
-    std::vector<std::size_t> out(size());
-    for (auto& x : out) x = size();
-    return out;
-  }
-
- private:
-  std::istringstream in_;
-};
+using util::TokenReader;
+using util::double_bits;
+using util::write_ids;
+using util::write_indices;
 
 void serialize_round_stats(std::ostream& out, const dist::RoundStats& r) {
   out << "SR " << r.round_index << ' ' << r.machines_used << ' '
@@ -144,12 +74,16 @@ dist::RoundStats deserialize_round_stats(TokenReader& in) {
 }
 
 void serialize_round_span(std::ostream& out, const dist::RoundSpan& span) {
+  // Transport names are single tokens ("inproc", "process"); "-" stands in
+  // for the empty string so the token stream stays well-formed.
   out << "TR " << span.round_index << ' '
       << double_bits(span.scatter_seconds) << ' '
       << double_bits(span.map_seconds) << ' '
       << double_bits(span.gather_seconds) << ' '
       << double_bits(span.filter_seconds) << ' ' << span.retries << ' '
-      << span.faults_injected << ' ' << span.evals_avoided << ' ';
+      << span.faults_injected << ' ' << span.evals_avoided << ' '
+      << (span.transport.empty() ? "-" : span.transport.c_str()) << ' '
+      << span.wire_bytes_sent << ' ' << span.wire_bytes_received << ' ';
   write_indices(out, span.unheard);
   out << ' ' << span.machines.size() << '\n';
   for (const dist::MachineSpan& m : span.machines) {
@@ -160,7 +94,8 @@ void serialize_round_span(std::ostream& out, const dist::RoundSpan& span) {
       out << "A " << a.attempt << ' '
           << static_cast<unsigned>(a.fault) << ' ' << (a.delivered ? 1 : 0)
           << ' ' << a.evals << ' ' << double_bits(a.seconds) << ' '
-          << double_bits(a.backoff_seconds) << '\n';
+          << double_bits(a.backoff_seconds) << ' ' << a.wire_bytes_sent
+          << ' ' << a.wire_bytes_received << '\n';
     }
   }
 }
@@ -176,6 +111,10 @@ dist::RoundSpan deserialize_round_span(TokenReader& in) {
   span.retries = in.u64();
   span.faults_injected = in.u64();
   span.evals_avoided = in.u64();
+  span.transport = in.word();
+  if (span.transport == "-") span.transport.clear();
+  span.wire_bytes_sent = in.u64();
+  span.wire_bytes_received = in.u64();
   span.unheard = in.indices();
   span.machines.resize(in.size());
   for (dist::MachineSpan& m : span.machines) {
@@ -193,6 +132,8 @@ dist::RoundSpan deserialize_round_span(TokenReader& in) {
       a.evals = in.u64();
       a.seconds = in.real();
       a.backoff_seconds = in.real();
+      a.wire_bytes_sent = in.u64();
+      a.wire_bytes_received = in.u64();
     }
   }
   return span;
@@ -270,8 +211,18 @@ struct EngineRun {
                   ? program.central_factory(proto, runtime.incremental_gains)
                   : detail::make_central_oracle(proto,
                                                 runtime.incremental_gains);
+    dist::ClusterOptions cluster_options = runtime.cluster_options();
+    if (runtime.transport == TransportKind::kProcess) {
+      dist::ProcessTransportConfig transport_config;
+      transport_config.machines = program.machines;
+      transport_config.ground_size = proto.ground_size();
+      transport_config.worker_binary = runtime.process.worker_binary;
+      transport_config.corpus_spec = runtime.process.corpus_spec;
+      cluster_options.transport =
+          dist::make_process_transport(transport_config);
+    }
     cluster = std::make_unique<dist::Cluster>(program.machines,
-                                              runtime.cluster_options());
+                                              cluster_options);
     // The substrate stays off for factory-built machine oracles: their
     // gains are estimates over machine-local state, not marginals of the
     // coordinator's f, so nothing certifies across machines or rounds.
@@ -342,7 +293,23 @@ struct EngineRun {
     throw std::logic_error("unknown PartitionStrategy");
   }
 
-  dist::Cluster::WorkerFn make_worker(const RoundSpec& spec) const {
+  // Builds the round's work in both transport forms: the executable
+  // closure (in-process backend) and the declarative WorkerPlan (process
+  // backend). Work that only exists as a closure — CustomWorkerFn rounds,
+  // factory-built machine oracles, custom central factories — is marked
+  // kCustom, which the process backend refuses with an error naming the
+  // machine; no registered algorithm hits that path.
+  dist::RoundWork make_work(const RoundSpec& spec) const {
+    dist::RoundWork work;
+    work.plan.seed = runtime.seed;
+    work.plan.round = rounds_completed;
+    work.plan.worker_oracle = runtime.worker_oracle;
+    work.plan.incremental_central = runtime.incremental_gains;
+
+    const bool custom_oracles =
+        (program.oracle_factory != nullptr && *program.oracle_factory) ||
+        static_cast<bool>(program.central_factory);
+
     if (const auto* selector = std::get_if<SelectorWorkerSpec>(&spec.worker)) {
       detail::MachineWorkerConfig config;
       config.selector = selector->selector;
@@ -361,35 +328,35 @@ struct EngineRun {
           (lazy_active && selector->selector == MachineSelector::kLazyGreedy)
               ? &bounds
               : nullptr;
-      return detail::make_machine_worker(config);
+      work.fn = detail::make_machine_worker(config);
+      work.plan.kind = custom_oracles ? dist::WorkerPlanKind::kCustom
+                                      : dist::WorkerPlanKind::kSelector;
+      work.plan.selector = selector->selector;
+      work.plan.stochastic_c = selector->stochastic_c;
+      work.plan.stop_when_no_gain = selector->stop_when_no_gain;
+      work.plan.budget = selector->budget;
+      work.plan.lazy_bounds = config.bounds != nullptr;
+      work.bounds = config.bounds;
+    } else if (const auto* thresh =
+                   std::get_if<ThresholdWorkerSpec>(&spec.worker)) {
+      detail::ThresholdWorkerConfig config;
+      config.threshold = thresh->threshold;
+      config.budget = thresh->budget;
+      config.central = central.get();
+      config.worker_oracle = runtime.worker_oracle;
+      work.fn = detail::make_threshold_worker(config);
+      work.plan.kind = custom_oracles ? dist::WorkerPlanKind::kCustom
+                                      : dist::WorkerPlanKind::kThreshold;
+      work.plan.threshold = thresh->threshold;
+      work.plan.budget = thresh->budget;
+    } else {
+      work.fn = std::get<CustomWorkerFn>(spec.worker);
+      work.plan.kind = dist::WorkerPlanKind::kCustom;
     }
-    if (const auto* thresh = std::get_if<ThresholdWorkerSpec>(&spec.worker)) {
-      // Threshold worker: greedily keep shard items whose marginal on top
-      // of S ∪ (local picks) clears τ, up to `budget` of them.
-      const double threshold = thresh->threshold;
-      const std::size_t budget = thresh->budget;
-      const SubmodularOracle* central_ptr = central.get();
-      const bool use_view =
-          runtime.worker_oracle == WorkerOracleMode::kShardView;
-      return [threshold, budget, central_ptr, use_view](
-                 std::size_t,
-                 std::span<const ElementId> shard) -> dist::WorkerOutput {
-        auto oracle =
-            use_view ? central_ptr->shard_view(shard) : central_ptr->clone();
-        dist::WorkerOutput output;
-        for (const ElementId x : shard) {
-          if (output.summary.size() >= budget) break;
-          if (oracle->gain(x) >= threshold) {
-            oracle->add(x);
-            output.summary.push_back(x);
-          }
-        }
-        output.oracle_evals = oracle->evals();
-        output.state_bytes = oracle->state_bytes();
-        return output;
-      };
+    if (work.plan.kind != dist::WorkerPlanKind::kCustom) {
+      work.plan.committed = central->current_set();
     }
-    return std::get<CustomWorkerFn>(spec.worker);
+    return work;
   }
 
   // Coordinator-side seeded lazy greedy: warm-starts the filter's heap from
@@ -549,7 +516,7 @@ struct EngineRun {
       }
 
       const std::vector<dist::MachineReport> reports =
-          cluster->run_round(partition, make_worker(*spec));
+          cluster->run_round(partition, make_work(*spec));
       std::uint64_t worker_avoided = 0;
       if (lazy_active) {
         // Absorb the round's exported certificates before the filter runs so
@@ -704,7 +671,7 @@ std::string Checkpoint::serialize() const {
 }
 
 Checkpoint Checkpoint::deserialize(std::string_view text) {
-  TokenReader in(text);
+  TokenReader in(text, "checkpoint");
   in.expect("bdsckpt");
   const std::uint64_t version = in.u64();
   if (version != kVersion) {

@@ -51,6 +51,9 @@ std::string trace_to_json(const ExecutionTrace& trace) {
         << ",\"gather_seconds\":" << round.gather_seconds
         << ",\"filter_seconds\":" << round.filter_seconds << "}"
         << ",\"machines\":" << round.machines.size()
+        << ",\"transport\":\"" << round.transport << "\""
+        << ",\"wire_bytes_sent\":" << round.wire_bytes_sent
+        << ",\"wire_bytes_received\":" << round.wire_bytes_received
         << ",\"retries\":" << round.retries
         << ",\"faults_injected\":" << round.faults_injected
         << ",\"evals_avoided\":" << round.evals_avoided;

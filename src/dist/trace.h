@@ -31,6 +31,10 @@ struct AttemptSpan {
   std::uint64_t evals = 0;              // oracle evaluations this attempt
   double seconds = 0.0;                 // wall clock, straggler-inflated
   double backoff_seconds = 0.0;         // charged after a failed attempt
+  // Transport wire traffic for this attempt (request / response frames,
+  // headers included); 0 under the in-process backend.
+  std::uint64_t wire_bytes_sent = 0;
+  std::uint64_t wire_bytes_received = 0;
 };
 
 // One machine's history within one round.
@@ -54,6 +58,13 @@ struct RoundSpan {
   // Oracle evaluations the lazy-bound substrate saved this round (workers +
   // filter), vs. an eager re-scan; see RoundStats::evals_avoided.
   std::uint64_t evals_avoided = 0;
+  // Which ClusterTransport backend executed the round's attempts
+  // ("inproc", "process") and the round's summed wire traffic across all
+  // attempts — 0 bytes for in-process, where nothing is serialized. Lets
+  // BENCH and trace consumers attribute comms cost per round.
+  std::string transport;
+  std::uint64_t wire_bytes_sent = 0;
+  std::uint64_t wire_bytes_received = 0;
   std::vector<std::size_t> unheard;      // machines that never delivered
   std::vector<MachineSpan> machines;
 };

@@ -1,0 +1,39 @@
+#include <stdexcept>
+
+#include "dist/transport.h"
+#include "util/timer.h"
+
+namespace bds::dist {
+
+namespace {
+
+// The original simulator execution path: the worker closure runs on the
+// cluster pool thread that called run_attempt. Stateless, so one shared
+// instance would do — but each Cluster gets its own via the factory to
+// keep ownership uniform with the process backend.
+class InprocTransport final : public ClusterTransport {
+ public:
+  std::string_view name() const noexcept override { return "inproc"; }
+
+  AttemptResult run_attempt(std::size_t /*round*/, std::size_t machine,
+                            std::size_t /*attempt*/, FaultKind /*injected*/,
+                            std::span<const ElementId> shard,
+                            const RoundWork& work) override {
+    if (!work.fn) {
+      throw std::logic_error("inproc transport: RoundWork has no worker fn");
+    }
+    AttemptResult result;
+    util::Timer timer;
+    result.output = work.fn(machine, shard);
+    result.seconds = timer.elapsed_seconds();
+    return result;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<ClusterTransport> make_inproc_transport() {
+  return std::make_shared<InprocTransport>();
+}
+
+}  // namespace bds::dist

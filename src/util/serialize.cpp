@@ -1,0 +1,102 @@
+#include "util/serialize.h"
+
+#include <bit>
+#include <ostream>
+#include <stdexcept>
+
+namespace bds::util {
+
+std::uint64_t double_bits(double v) noexcept {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+double bits_double(std::uint64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
+
+void write_ids(std::ostream& out, const char* tag,
+               const std::vector<ElementId>& ids) {
+  out << tag << ' ' << ids.size();
+  for (const ElementId x : ids) out << ' ' << x;
+  out << '\n';
+}
+
+void write_indices(std::ostream& out, const std::vector<std::size_t>& ids) {
+  out << ids.size();
+  for (const std::size_t x : ids) out << ' ' << x;
+}
+
+void write_reals(std::ostream& out, const std::vector<double>& values) {
+  out << values.size();
+  for (const double v : values) out << ' ' << double_bits(v);
+}
+
+void write_blob(std::ostream& out, std::string_view bytes) {
+  out << bytes.size() << ' ';
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TokenReader::TokenReader(std::string_view text, std::string context)
+    : in_(std::string(text)), context_(std::move(context)) {}
+
+void TokenReader::fail(const std::string& what) const {
+  throw std::invalid_argument(context_ + ": " + what);
+}
+
+std::string TokenReader::word() {
+  std::string token;
+  if (!(in_ >> token)) fail("truncated input");
+  return token;
+}
+
+void TokenReader::expect(const char* tag) {
+  const std::string token = word();
+  if (token != tag) {
+    fail(std::string("expected '") + tag + "', found '" + token + "'");
+  }
+}
+
+std::uint64_t TokenReader::u64() {
+  const std::string token = word();
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    fail("bad integer '" + token + "'");
+  }
+}
+
+std::vector<ElementId> TokenReader::ids() {
+  std::vector<ElementId> out(size());
+  for (auto& x : out) x = static_cast<ElementId>(u64());
+  return out;
+}
+
+std::vector<std::size_t> TokenReader::indices() {
+  std::vector<std::size_t> out(size());
+  for (auto& x : out) x = size();
+  return out;
+}
+
+std::vector<double> TokenReader::reals() {
+  std::vector<double> out(size());
+  for (auto& x : out) x = real();
+  return out;
+}
+
+std::string TokenReader::blob() {
+  const std::size_t n = size();
+  in_.get();  // the single separator byte after the length token
+  std::string bytes(n, '\0');
+  if (n != 0) in_.read(bytes.data(), static_cast<std::streamsize>(n));
+  if (!in_ && n != 0) fail("truncated blob");
+  return bytes;
+}
+
+bool TokenReader::at_end() {
+  return !(in_ >> std::ws) || in_.peek() == std::istringstream::traits_type::eof();
+}
+
+}  // namespace bds::util

@@ -39,7 +39,7 @@ DistributedResult one_round_merge(const SubmodularOracle& proto,
                                    : default_machines(ground.size(), config.k);
   const auto machine_budget = static_cast<std::size_t>(std::ceil(
       std::max(1.0, config.budget_factor) * static_cast<double>(config.k)));
-  const RuntimeOptions runtime = detail::resolve_runtime(config);
+  const RuntimeOptions runtime = config.runtime;
 
   auto central = detail::make_central_oracle(proto, runtime.incremental_gains);
   dist::Cluster cluster(machines, runtime.cluster_options());
@@ -117,7 +117,7 @@ DistributedResult bicriteria_greedy(const SubmodularOracle& proto,
                                     std::span<const ElementId> ground,
                                     const BicriteriaConfig& config) {
   const BicriteriaPlan plan = plan_bicriteria(config, ground.size());
-  const RuntimeOptions runtime = detail::resolve_runtime(config);
+  const RuntimeOptions runtime = config.runtime;
 
   auto central = detail::make_central_oracle(proto, runtime.incremental_gains);
   dist::Cluster cluster(plan.machines, runtime.cluster_options());
@@ -249,7 +249,7 @@ DistributedResult naive_distributed_greedy(
                                    ? config.machines
                                    : default_machines(ground.size(), config.k);
 
-  const RuntimeOptions runtime = detail::resolve_runtime(config);
+  const RuntimeOptions runtime = config.runtime;
   auto central = detail::make_central_oracle(proto, runtime.incremental_gains);
   dist::Cluster cluster(machines, runtime.cluster_options());
   util::Rng rng(util::mix64(runtime.seed));
@@ -323,7 +323,7 @@ DistributedResult parallel_alg(const SubmodularOracle& proto,
                                    ? config.machines
                                    : default_machines(ground.size(), config.k);
 
-  const RuntimeOptions runtime = detail::resolve_runtime(config);
+  const RuntimeOptions runtime = config.runtime;
   auto central = detail::make_central_oracle(proto, runtime.incremental_gains);
   dist::Cluster cluster(machines, runtime.cluster_options());
   util::Rng rng(util::mix64(runtime.seed));
@@ -418,7 +418,7 @@ DistributedResult greedy_scaling(const SubmodularOracle& proto,
                                    ? config.machines
                                    : default_machines(ground.size(), config.k);
 
-  const RuntimeOptions runtime = detail::resolve_runtime(config);
+  const RuntimeOptions runtime = config.runtime;
   auto central = detail::make_central_oracle(proto, runtime.incremental_gains);
   dist::Cluster cluster(machines, runtime.cluster_options());
   util::Rng rng(util::mix64(runtime.seed));
@@ -519,7 +519,7 @@ DistributedResult rand_greedi_matroid(const SubmodularOracle& proto,
                double(rank)))));
   }
 
-  const RuntimeOptions runtime = detail::resolve_runtime(config);
+  const RuntimeOptions runtime = config.runtime;
   auto central = proto.clone();
   dist::Cluster cluster(machines, runtime.cluster_options());
   util::Rng rng(util::mix64(runtime.seed));

@@ -70,7 +70,7 @@ TEST(Adaptive, HardInstanceSpendsMoreRounds) {
   cfg.k = 20;
   cfg.target_ratio = 0.97;
   cfg.max_rounds = 6;
-  cfg.seed = 3;
+  cfg.runtime.seed = 3;
   const auto adaptive = adaptive_bicriteria(proto, ground, cfg);
   // Needs >1 round of k items each to certify 97% on the hard instance.
   EXPECT_GT(adaptive.result.rounds.size(), 1u);

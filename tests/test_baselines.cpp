@@ -65,7 +65,7 @@ TEST_P(OneRoundFamily, AllBaselinesProduceValidSolutions) {
   OneRoundConfig cfg;
   cfg.k = 8;
   cfg.machines = 6;
-  cfg.seed = GetParam();
+  cfg.runtime.seed = GetParam();
 
   for (const auto& result :
        {greedi(proto, iota_ids(150), cfg), rand_greedi(proto, iota_ids(150), cfg),
@@ -91,7 +91,7 @@ TEST(OneRoundBaselines, RespectTheirApproximationOnSmallInstances) {
     OneRoundConfig cfg;
     cfg.k = 3;
     cfg.machines = 4;
-    cfg.seed = seed;
+    cfg.runtime.seed = seed;
     EXPECT_GE(rand_greedi(proto, iota_ids(16), cfg).value,
               0.316 * opt.value - 1e-9);
     EXPECT_GE(pseudo_greedy(proto, iota_ids(16), cfg).value,
@@ -119,16 +119,16 @@ TEST(GreediVsRandGreedi, PartitionStyleDiffers) {
   OneRoundConfig cfg;
   cfg.k = 5;
   cfg.machines = 5;
-  cfg.seed = 42;
+  cfg.runtime.seed = 42;
   const auto det = greedi(proto, iota_ids(100), cfg);
   // GreeDi's round-robin partition is seed-independent.
-  cfg.seed = 43;
+  cfg.runtime.seed = 43;
   const auto det2 = greedi(proto, iota_ids(100), cfg);
   EXPECT_EQ(det.solution, det2.solution);
 
   // RandGreeDi depends on the seed.
   const auto ra = rand_greedi(proto, iota_ids(100), cfg);
-  cfg.seed = 44;
+  cfg.runtime.seed = 44;
   const auto rb = rand_greedi(proto, iota_ids(100), cfg);
   EXPECT_NE(ra.solution, rb.solution);
 }
@@ -154,7 +154,7 @@ TEST(NaiveDistributed, ReachesNearOptimalValue) {
     cfg.k = 3;
     cfg.epsilon = 0.1;
     cfg.machines = 4;
-    cfg.seed = seed;
+    cfg.runtime.seed = seed;
     const auto result = naive_distributed_greedy(proto, iota_ids(16), cfg);
     EXPECT_GE(result.value, (1.0 - cfg.epsilon) * opt.value - 1e-9);
   }
@@ -209,7 +209,7 @@ TEST(ParallelAlg, BeatsItsGuaranteeOnSmallInstances) {
     cfg.k = 3;
     cfg.epsilon = 0.25;
     cfg.machines = 4;
-    cfg.seed = seed;
+    cfg.runtime.seed = seed;
     const auto result = parallel_alg(proto, iota_ids(16), cfg);
     EXPECT_GE(result.value,
               (1.0 - 1.0 / std::exp(1.0) - cfg.epsilon) * opt.value - 1e-9);
@@ -238,7 +238,7 @@ TEST(GreedyScaling, OutputsAtMostKItemsWithGoodValue) {
     cfg.k = 3;
     cfg.epsilon = 0.2;
     cfg.machines = 4;
-    cfg.seed = seed;
+    cfg.runtime.seed = seed;
     const auto result = greedy_scaling(proto, iota_ids(16), cfg);
     EXPECT_LE(result.solution.size(), 3u);
     // 1 - 1/e - eps floor.

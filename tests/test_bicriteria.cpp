@@ -169,7 +169,7 @@ TEST(Bicriteria, DeterministicGivenSeed) {
   BicriteriaConfig cfg;
   cfg.k = 6;
   cfg.output_items = 12;
-  cfg.seed = 99;
+  cfg.runtime.seed = 99;
   const auto a = bicriteria_greedy(proto, iota_ids(200), cfg);
   const auto b = bicriteria_greedy(proto, iota_ids(200), cfg);
   EXPECT_EQ(a.solution, b.solution);
@@ -182,9 +182,9 @@ TEST(Bicriteria, DifferentSeedsUsuallyDiffer) {
   BicriteriaConfig cfg;
   cfg.k = 6;
   cfg.output_items = 12;
-  cfg.seed = 1;
+  cfg.runtime.seed = 1;
   const auto a = bicriteria_greedy(proto, iota_ids(200), cfg);
-  cfg.seed = 2;
+  cfg.runtime.seed = 2;
   const auto b = bicriteria_greedy(proto, iota_ids(200), cfg);
   EXPECT_NE(a.solution, b.solution);
 }
@@ -218,7 +218,7 @@ TEST_P(TheoryModeGuarantee, AchievesOneMinusEpsilonOfBruteOptimum) {
   cfg.rounds = static_cast<std::size_t>(rounds);
   cfg.epsilon = 0.15;
   cfg.machines = 4;
-  cfg.seed = 11;
+  cfg.runtime.seed = 11;
   const auto result = bicriteria_greedy(proto, iota_ids(14), cfg);
 
   // The guarantee is in expectation; on this small instance with the full
@@ -242,7 +242,7 @@ TEST(Bicriteria, ValueIsMonotoneInOutputItems) {
     BicriteriaConfig cfg;
     cfg.k = 10;
     cfg.output_items = out;
-    cfg.seed = 5;
+    cfg.runtime.seed = 5;
     const auto result = bicriteria_greedy(proto, iota_ids(500), cfg);
     EXPECT_GE(result.value + 1e-9, prev);
     prev = result.value;
@@ -264,7 +264,7 @@ TEST(Bicriteria, MultipleRoundsHelpOnHardInstance) {
   BicriteriaConfig cfg;
   cfg.k = 20;
   cfg.output_items = 20;
-  cfg.seed = 3;
+  cfg.runtime.seed = 3;
   cfg.rounds = 1;
   const auto r1 = bicriteria_greedy(proto, ground, cfg);
   cfg.rounds = 3;
@@ -331,7 +331,7 @@ TEST(Bicriteria, NaiveGreedySelectorMatchesLazySelector) {
   BicriteriaConfig cfg;
   cfg.k = 5;
   cfg.output_items = 10;
-  cfg.seed = 7;
+  cfg.runtime.seed = 7;
   cfg.selector = MachineSelector::kGreedy;
   const auto naive = bicriteria_greedy(proto, iota_ids(200), cfg);
   cfg.selector = MachineSelector::kLazyGreedy;

@@ -50,7 +50,7 @@ TEST(DeterminismRegression, BicriteriaPipelineIsFrozen) {
   cfg.k = 5;
   cfg.output_items = 8;
   cfg.rounds = 2;
-  cfg.seed = 7;
+  cfg.runtime.seed = 7;
   const auto result = bicriteria_greedy(proto, fx.ground, cfg);
   EXPECT_DOUBLE_EQ(result.value, 362.0);
   EXPECT_EQ(result.solution,
@@ -67,9 +67,9 @@ TEST(DeterminismRegression, BicriteriaParallelCentralMatchesGolden) {
   cfg.k = 5;
   cfg.output_items = 8;
   cfg.rounds = 2;
-  cfg.seed = 7;
-  cfg.parallel_central = true;
-  cfg.threads = 4;
+  cfg.runtime.seed = 7;
+  cfg.runtime.parallel_central = true;
+  cfg.runtime.threads = 4;
   const auto result = bicriteria_greedy(proto, fx.ground, cfg);
   EXPECT_DOUBLE_EQ(result.value, 362.0);
   EXPECT_EQ(result.solution,
@@ -82,9 +82,9 @@ TEST(DeterminismRegression, RandGreediParallelCentralMatchesGolden) {
   OneRoundConfig cfg;
   cfg.k = 4;
   cfg.machines = 5;
-  cfg.seed = 3;
-  cfg.parallel_central = true;
-  cfg.threads = 4;
+  cfg.runtime.seed = 3;
+  cfg.runtime.parallel_central = true;
+  cfg.runtime.threads = 4;
   const auto result = rand_greedi(proto, fx.ground, cfg);
   EXPECT_DOUBLE_EQ(result.value, 217.0);
   EXPECT_EQ(result.solution, (std::vector<ElementId>{18, 200, 33, 26}));
@@ -96,7 +96,7 @@ TEST(DeterminismRegression, RandGreediPipelineIsFrozen) {
   OneRoundConfig cfg;
   cfg.k = 4;
   cfg.machines = 5;
-  cfg.seed = 3;
+  cfg.runtime.seed = 3;
   const auto result = rand_greedi(proto, fx.ground, cfg);
   EXPECT_DOUBLE_EQ(result.value, 217.0);
   EXPECT_EQ(result.solution, (std::vector<ElementId>{18, 200, 33, 26}));
@@ -112,8 +112,8 @@ TEST(DeterminismRegression, BicriteriaCloneWorkersMatchGolden) {
   cfg.k = 5;
   cfg.output_items = 8;
   cfg.rounds = 2;
-  cfg.seed = 7;
-  cfg.worker_oracle = WorkerOracleMode::kClone;
+  cfg.runtime.seed = 7;
+  cfg.runtime.worker_oracle = WorkerOracleMode::kClone;
   const auto result = bicriteria_greedy(proto, fx.ground, cfg);
   EXPECT_DOUBLE_EQ(result.value, 362.0);
   EXPECT_EQ(result.solution,
@@ -131,9 +131,9 @@ TEST(DeterminismRegression, BicriteriaIncrementalGainsMatchGolden) {
     cfg.k = 5;
     cfg.output_items = 8;
     cfg.rounds = 2;
-    cfg.seed = 7;
-    cfg.worker_oracle = mode;
-    cfg.incremental_gains = true;
+    cfg.runtime.seed = 7;
+    cfg.runtime.worker_oracle = mode;
+    cfg.runtime.incremental_gains = true;
     const auto result = bicriteria_greedy(proto, fx.ground, cfg);
     EXPECT_DOUBLE_EQ(result.value, 362.0);
     EXPECT_EQ(result.solution,
@@ -147,9 +147,9 @@ TEST(DeterminismRegression, RandGreediBothSwitchesMatchGolden) {
   OneRoundConfig cfg;
   cfg.k = 4;
   cfg.machines = 5;
-  cfg.seed = 3;
-  cfg.worker_oracle = WorkerOracleMode::kClone;
-  cfg.incremental_gains = true;
+  cfg.runtime.seed = 3;
+  cfg.runtime.worker_oracle = WorkerOracleMode::kClone;
+  cfg.runtime.incremental_gains = true;
   const auto result = rand_greedi(proto, fx.ground, cfg);
   EXPECT_DOUBLE_EQ(result.value, 217.0);
   EXPECT_EQ(result.solution, (std::vector<ElementId>{18, 200, 33, 26}));

@@ -84,7 +84,7 @@ DistributedResult run(Algo algo, const SubmodularOracle& proto,
       cfg.rounds = 2;
       cfg.epsilon = 0.2;
       cfg.machines = algo == Algo::kPractical ? 0 : 6;
-      cfg.seed = seed;
+      cfg.runtime.seed = seed;
       return bicriteria_greedy(proto, ground, cfg);
     }
     case Algo::kGreedi:
@@ -93,7 +93,7 @@ DistributedResult run(Algo algo, const SubmodularOracle& proto,
       OneRoundConfig cfg;
       cfg.k = kK;
       cfg.machines = 6;
-      cfg.seed = seed;
+      cfg.runtime.seed = seed;
       if (algo == Algo::kGreedi) return greedi(proto, ground, cfg);
       if (algo == Algo::kRandGreedi) return rand_greedi(proto, ground, cfg);
       return pseudo_greedy(proto, ground, cfg);
@@ -103,7 +103,7 @@ DistributedResult run(Algo algo, const SubmodularOracle& proto,
       cfg.k = kK;
       cfg.epsilon = 0.4;
       cfg.machines = 6;
-      cfg.seed = seed;
+      cfg.runtime.seed = seed;
       return parallel_alg(proto, ground, cfg);
     }
     case Algo::kNaive: {
@@ -111,7 +111,7 @@ DistributedResult run(Algo algo, const SubmodularOracle& proto,
       cfg.k = kK;
       cfg.epsilon = 0.2;
       cfg.machines = 6;
-      cfg.seed = seed;
+      cfg.runtime.seed = seed;
       return naive_distributed_greedy(proto, ground, cfg);
     }
     case Algo::kScaling: {
@@ -119,7 +119,7 @@ DistributedResult run(Algo algo, const SubmodularOracle& proto,
       cfg.k = kK;
       cfg.epsilon = 0.3;
       cfg.machines = 6;
-      cfg.seed = seed;
+      cfg.runtime.seed = seed;
       return greedy_scaling(proto, ground, cfg);
     }
   }

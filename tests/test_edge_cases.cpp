@@ -164,7 +164,7 @@ TEST(EdgeCases, OneRoundWithSingleMachineEqualsCentralized) {
   OneRoundConfig cfg;
   cfg.k = 6;
   cfg.machines = 1;
-  cfg.seed = 2;
+  cfg.runtime.seed = 2;
   const auto dist_result = rand_greedi(proto, iota_ids(60), cfg);
   const auto central = centralized_greedy(proto, iota_ids(60), 6);
   EXPECT_DOUBLE_EQ(dist_result.value, central.value);

@@ -119,7 +119,7 @@ TEST(Hardness, OneRoundAlgorithmLosesBSets) {
   OneRoundConfig rg;
   rg.k = cfg.k;
   rg.machines = 50;  // m >> k: B-sets land on machines alone
-  rg.seed = 7;
+  rg.runtime.seed = 7;
   const auto result = rand_greedi(proto, instance.all_items(), rg);
   const auto outcome = evaluate_hardness_solution(instance, result.solution);
   EXPECT_LT(outcome.b_selected, instance.family_b.size());
@@ -138,7 +138,7 @@ TEST(Hardness, LargerOutputRecoversTheGap) {
   OneRoundConfig rg;
   rg.k = static_cast<std::size_t>(double(cfg.k) / cfg.epsilon);  // k/eps
   rg.machines = 50;
-  rg.seed = 9;
+  rg.runtime.seed = 9;
   const auto result = rand_greedi(proto, instance.all_items(), rg);
   const auto outcome = evaluate_hardness_solution(instance, result.solution);
   EXPECT_GT(outcome.value / instance.config.universe, 1.0 - cfg.epsilon);

@@ -152,9 +152,9 @@ TEST(IncrementalCoverage, DistributedRunsBitIdenticalWithUpgrade) {
   config.k = 6;
   config.output_items = 10;
   config.rounds = 2;
-  config.seed = 9;
+  config.runtime.seed = 9;
   const DistributedResult plain = bicriteria_greedy(proto, ground, config);
-  config.incremental_gains = true;
+  config.runtime.incremental_gains = true;
   const DistributedResult upgraded = bicriteria_greedy(proto, ground, config);
   EXPECT_EQ(upgraded.solution, plain.solution);
   EXPECT_EQ(upgraded.value, plain.value);
@@ -162,9 +162,9 @@ TEST(IncrementalCoverage, DistributedRunsBitIdenticalWithUpgrade) {
 
   OneRoundConfig one_round;
   one_round.k = 5;
-  one_round.seed = 9;
+  one_round.runtime.seed = 9;
   const DistributedResult rg_plain = rand_greedi(proto, ground, one_round);
-  one_round.incremental_gains = true;
+  one_round.runtime.incremental_gains = true;
   const DistributedResult rg_upgraded =
       rand_greedi(proto, ground, one_round);
   EXPECT_EQ(rg_upgraded.solution, rg_plain.solution);

@@ -39,7 +39,7 @@ TEST(Integration, SyntheticCoveragePipelineRatiosIncreaseWithK) {
   BicriteriaConfig big;
   big.k = K;
   big.output_items = 2 * K;
-  big.seed = 1;
+  big.runtime.seed = 1;
   const auto big_result = bicriteria_greedy(proto, ground, big);
   const double ub =
       solution_upper_bound(proto, big_result.solution, ground, K);
@@ -50,7 +50,7 @@ TEST(Integration, SyntheticCoveragePipelineRatiosIncreaseWithK) {
     BicriteriaConfig cfg;
     cfg.k = K;
     cfg.output_items = out;
-    cfg.seed = 1;
+    cfg.runtime.seed = 1;
     const auto result = bicriteria_greedy(proto, ground, cfg);
     const double ratio = result.value / ub;
     EXPECT_GE(ratio + 0.02, prev_ratio);  // monotone up to small noise
@@ -70,7 +70,7 @@ TEST(Integration, GraphCoveragePipelineBeatsRandomBaseline) {
   BicriteriaConfig cfg;
   cfg.k = K;
   cfg.output_items = 2 * K;
-  cfg.seed = 2;
+  cfg.runtime.seed = 2;
   const auto dist_result = bicriteria_greedy(proto, ground, cfg);
 
   auto random_oracle = proto.clone();
@@ -98,7 +98,7 @@ TEST(Integration, BigramPipelineConvergesInOneRound) {
   BicriteriaConfig cfg;
   cfg.k = 10;
   cfg.output_items = 20;
-  cfg.seed = 3;
+  cfg.runtime.seed = 3;
   const auto one_round = bicriteria_greedy(proto, ground, cfg);
   const auto central = centralized_greedy(proto, ground, 20);
   // Distributed one-round result is within a whisker of centralized.
@@ -122,7 +122,7 @@ TEST(Integration, ExemplarClusteringPipeline) {
   BicriteriaConfig cfg;
   cfg.k = K;
   cfg.output_items = 2 * K;
-  cfg.seed = 4;
+  cfg.runtime.seed = 4;
   cfg.selector = MachineSelector::kStochasticGreedy;
   cfg.machine_oracle_factory =
       [&](std::size_t machine) -> std::unique_ptr<SubmodularOracle> {
@@ -183,7 +183,7 @@ TEST(Integration, SpeedupAccountingFavorsDistribution) {
   BicriteriaConfig cfg;
   cfg.k = k;
   cfg.selector = MachineSelector::kGreedy;  // same selector both sides
-  cfg.seed = 6;
+  cfg.runtime.seed = 6;
   const auto dist_result = bicriteria_greedy(proto, ground, cfg);
 
   const auto central_evals = central.stats.rounds[0].worker_evals;
@@ -210,14 +210,14 @@ TEST(Integration, AllAlgorithmsAgreeOnEasyInstance) {
 
   OneRoundConfig rc;
   rc.k = k;
-  rc.seed = 1;
+  rc.runtime.seed = 1;
   EXPECT_DOUBLE_EQ(rand_greedi(proto, ground, rc).value, opt);
   EXPECT_DOUBLE_EQ(greedi(proto, ground, rc).value, opt);
   EXPECT_DOUBLE_EQ(pseudo_greedy(proto, ground, rc).value, opt);
 
   BicriteriaConfig bc;
   bc.k = k;
-  bc.seed = 1;
+  bc.runtime.seed = 1;
   EXPECT_DOUBLE_EQ(bicriteria_greedy(proto, ground, bc).value, opt);
 }
 

@@ -537,9 +537,9 @@ TEST(KernelDeterminismRegression, BicriteriaSelectionsInvariantAcrossModes) {
     cfg.k = 6;
     cfg.output_items = 10;
     cfg.rounds = 2;
-    cfg.seed = 7;
-    cfg.threads = threads;
-    cfg.parallel_central = parallel;
+    cfg.runtime.seed = 7;
+    cfg.runtime.threads = threads;
+    cfg.runtime.parallel_central = parallel;
     return bicriteria_greedy(proto, ground, cfg);
   };
 

@@ -188,7 +188,7 @@ TEST(RandGreediMatroid, SolutionIsIndependentAndValued) {
 
   MatroidDistributedConfig cfg;
   cfg.machines = 6;
-  cfg.seed = 3;
+  cfg.runtime.seed = 3;
   const auto result = rand_greedi_matroid(proto, iota_ids(150), matroid, cfg);
 
   EXPECT_LE(result.solution.size(), matroid.rank());
@@ -216,7 +216,7 @@ TEST(RandGreediMatroid, CloseToCentralizedConstrainedGreedy) {
       lazy_greedy_matroid(*central_oracle, iota_ids(200), *central_state);
 
   MatroidDistributedConfig cfg;
-  cfg.seed = 5;
+  cfg.runtime.seed = 5;
   const auto dist_result =
       rand_greedi_matroid(proto, iota_ids(200), matroid, cfg);
   EXPECT_GE(dist_result.value, 0.8 * central.gained);
@@ -227,7 +227,7 @@ TEST(RandGreediMatroid, DeterministicBySeed) {
   const CoverageOracle proto(sys);
   const CardinalityConstraint constraint(6);
   MatroidDistributedConfig cfg;
-  cfg.seed = 9;
+  cfg.runtime.seed = 9;
   const auto a = rand_greedi_matroid(proto, iota_ids(100), constraint, cfg);
   const auto b = rand_greedi_matroid(proto, iota_ids(100), constraint, cfg);
   EXPECT_EQ(a.solution, b.solution);

@@ -64,13 +64,6 @@ TEST_P(RegistryRunners, EveryAlgorithmRunsAndReportsConsistently) {
   // Determinism through the registry path too.
   const auto again = spec.run(proto, ground, params, runtime);
   EXPECT_EQ(again.solution, result.solution);
-
-  // The deprecated flat AlgorithmParams::seed must behave identically when
-  // it carries the seed instead of the runtime.
-  AlgorithmParams flat = params;
-  flat.seed = 3;
-  const auto via_flat = spec.run(proto, ground, flat, RuntimeOptions{});
-  EXPECT_EQ(via_flat.solution, result.solution);
 }
 
 INSTANTIATE_TEST_SUITE_P(All, RegistryRunners,
