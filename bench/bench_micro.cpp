@@ -26,7 +26,11 @@
 //                   substrate (core/bound_heap.h) against eager accounting
 //                   on a 4-round coverage bicriteria workload: total/worker
 //                   oracle evals, the metered evals_avoided, and min-of-N
-//                   wall clock for both modes.
+//                   wall clock for both modes. A `dynamic` section times the
+//                   mutation path (corpus apply, O(degree) incremental
+//                   oracle update vs O(corpus) rebuild), the certified
+//                   maintenance loop under churn (kept/resolved ledger and
+//                   re-solve rate), and sliding-window advance latency.
 //   --repeat N      repetitions for the measured-at-write-time timings (the
 //                   `lazy` section): one untimed warmup run, then the
 //                   minimum over N timed runs is reported. Default 1.
@@ -64,6 +68,9 @@
 #include "core/bicriteria.h"
 #include "core/bound_heap.h"
 #include "core/greedy.h"
+#include "core/maintain.h"
+#include "core/window.h"
+#include "data/dynamic.h"
 #include "data/graph_gen.h"
 #include "data/io.h"
 #include "data/synthetic_coverage.h"
@@ -764,6 +771,55 @@ void ensure_mmap_corpus(const std::string& path) {
   data::save_set_system(view, path);
 }
 
+// --- dynamic corpus churn ---------------------------------------------------
+//
+// The mutation path the dynamic-corpus layer promises: a corpus apply is an
+// O(items) log append into the heap-side overlay, the incremental coverage
+// oracle absorbs an insert in O(degree) instead of an O(corpus) index
+// rebuild, and the certified maintenance loop re-solves only when the
+// bicriteria certificate decays past epsilon — the re-solve rate under
+// churn is the number the exit gate pins below 100%.
+
+std::shared_ptr<const SetSystem> churn_bench_sets() {
+  static const auto sets = data::make_dblp_like(4'000, 23);
+  return sets;
+}
+
+MaintainConfig churn_config() {
+  MaintainConfig cfg;
+  cfg.k = 10;
+  cfg.epsilon = 0.25;
+  cfg.max_rounds = 3;
+  cfg.machines = 8;
+  return cfg;
+}
+
+// Deterministic churn: three small random inserts to one erase, erases
+// walking the live ids from the bottom (so some hit solution members and
+// force the unaddressable re-solve path).
+std::unique_ptr<CertifiedMaintainer> run_churn_workload(std::size_t steps) {
+  auto corpus =
+      std::make_shared<data::DynamicCorpus>(churn_bench_sets(), "bench-churn");
+  auto maintainer =
+      std::make_unique<CertifiedMaintainer>(corpus, churn_config());
+  util::Rng rng(29);
+  const std::uint32_t universe = churn_bench_sets()->universe_size();
+  ElementId erase_cursor = 0;
+  for (std::size_t step = 0; step < steps; ++step) {
+    if (step % 4 == 3) {
+      while (!corpus->is_live(erase_cursor)) ++erase_cursor;
+      maintainer->erase(erase_cursor++);
+    } else {
+      std::vector<std::uint32_t> items(2 + rng.next_below(6));
+      for (auto& e : items) {
+        e = static_cast<std::uint32_t>(rng.next_below(universe));
+      }
+      maintainer->insert(std::move(items));
+    }
+  }
+  return maintainer;
+}
+
 // --- --json reporting -------------------------------------------------------
 
 struct GainBenchSpec {
@@ -1126,6 +1182,108 @@ void write_gain_json(const std::string& path,
         << "\n  },\n";
   }
 
+  // Dynamic corpus: mutation-path costs and the certified churn ledger,
+  // measured at write time (deterministic seeds, so stable across runs).
+  {
+    const auto sets = churn_bench_sets();
+    const std::uint32_t universe = sets->universe_size();
+    constexpr std::size_t kMutations = 512;
+    constexpr std::size_t kRebuildMutations = 32;
+    util::Rng rng(31);
+    // Payloads drawn up front so the timings cover apply, not generation.
+    std::vector<std::vector<std::uint32_t>> payloads(kMutations);
+    for (auto& p : payloads) {
+      p.resize(2 + rng.next_below(6));
+      for (auto& e : p) {
+        e = static_cast<std::uint32_t>(rng.next_below(universe));
+      }
+    }
+
+    // Corpus apply alone: canonicalize + append to the overlay and log.
+    const double corpus_s = min_wall_seconds([&] {
+      data::DynamicCorpus corpus(sets, "bench-apply");
+      for (const auto& p : payloads) corpus.insert(p);
+    });
+
+    // Incremental path: the oracle absorbs each insert in O(degree).
+    double incremental_s = 0.0;
+    {
+      data::DynamicCorpus corpus(sets, "bench-incremental");
+      const auto oracle = data::make_dynamic_oracle(corpus, "coverage", {});
+      util::Timer timer;
+      for (const auto& p : payloads) {
+        const ElementId id = corpus.insert(p);
+        oracle->apply_insert(id, corpus.log().back().items, corpus.epoch());
+      }
+      incremental_s = timer.elapsed_seconds();
+    }
+
+    // Rebuild path: what a non-incremental oracle pays per mutation.
+    double rebuild_s = 0.0;
+    {
+      data::DynamicCorpus corpus(sets, "bench-rebuild");
+      data::DynamicOracleOptions opts;
+      opts.prefer_incremental = false;
+      util::Timer timer;
+      for (std::size_t i = 0; i < kRebuildMutations; ++i) {
+        corpus.insert(payloads[i]);
+        benchmark::DoNotOptimize(
+            data::make_dynamic_oracle(corpus, "coverage", opts));
+      }
+      rebuild_s = timer.elapsed_seconds();
+    }
+    const double incr_us = incremental_s * 1e6 / double(kMutations);
+    const double rebuild_us = rebuild_s * 1e6 / double(kRebuildMutations);
+
+    // Certified maintenance under churn, and window-advance latency.
+    util::Timer churn_timer;
+    const auto maintainer = run_churn_workload(200);
+    const double churn_s = churn_timer.elapsed_seconds();
+    const MaintainStats& churn = maintainer->stats();
+
+    CoverageOracle window_proto(shared_sets());
+    WindowConfig wcfg;
+    wcfg.window = 64;
+    wcfg.k = 10;
+    wcfg.decay_epsilon = 0.3;
+    SlidingWindowSieve sieve(window_proto, wcfg);
+    util::Rng wrng(33);
+    constexpr std::size_t kArrivals = 2'000;
+    util::Timer window_timer;
+    for (std::size_t t = 0; t < kArrivals; ++t) {
+      sieve.push(
+          static_cast<ElementId>(wrng.next_below(window_proto.ground_size())));
+    }
+    const double window_s = window_timer.elapsed_seconds();
+    const WindowStats& wstats = sieve.stats();
+
+    out << "  \"dynamic\": {\n"
+        << "    \"corpus\": \"dblp-like " << sets->num_sets()
+        << " sets, universe " << universe << "\",\n"
+        << "    \"mutations\": " << kMutations << ",\n"
+        << "    \"corpus_apply_us_per_mutation\": "
+        << corpus_s * 1e6 / double(kMutations) << ",\n"
+        << "    \"incremental_apply_us_per_mutation\": " << incr_us << ",\n"
+        << "    \"rebuild_us_per_mutation\": " << rebuild_us << ",\n"
+        << "    \"incremental_vs_rebuild_speedup\": "
+        << (incr_us > 0.0 ? rebuild_us / incr_us : 0.0) << ",\n"
+        << "    \"churn\": {"
+        << "\"steps\": 200, \"epsilon\": " << churn_config().epsilon
+        << ", \"kept\": " << churn.kept << ", \"resolved\": " << churn.resolved
+        << ", \"resolve_rate\": " << churn.resolve_rate()
+        << ", \"certificate_evals\": " << churn.certificate_evals
+        << ", \"resolve_evals\": " << churn.resolve_evals
+        << ", \"oracle_rebuilds\": " << churn.oracle_rebuilds
+        << ", \"wall_s\": " << churn_s << "},\n"
+        << "    \"window\": {"
+        << "\"arrivals\": " << kArrivals << ", \"window\": " << wcfg.window
+        << ", \"k\": " << wcfg.k
+        << ", \"push_us_per_arrival\": " << window_s * 1e6 / double(kArrivals)
+        << ", \"kept\": " << wstats.kept
+        << ", \"resolves\": " << wstats.resolves
+        << ", \"resolve_rate\": " << wstats.resolve_rate() << "}\n  },\n";
+  }
+
   // Parallel scaling of the exemplar oracle-internal cost-point split.
   {
     out << "  \"parallel\": {\n"
@@ -1151,7 +1309,15 @@ void write_gain_json(const std::string& path,
 int check_parallel_scaling(
     const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
   const unsigned hc = std::thread::hardware_concurrency();
-  if (hc < 8) return 0;
+  if (hc < 8) {
+    // Narrow container (CI runners are often 1-4 cores): scaling cannot be
+    // demonstrated, so the gate is skipped *explicitly* rather than failing.
+    std::fprintf(stderr,
+                 "SKIP: parallel-scaling gate needs >= 8 hardware threads, "
+                 "host has %u\n",
+                 hc);
+    return 0;
+  }
   double batch = 0.0, par = 0.0;
   for (const auto& run : runs) {
     if (run.benchmark_name() == "BM_ExemplarExactGainBatch") {
@@ -1234,6 +1400,24 @@ int check_lazy_pruning() {
   return 0;
 }
 
+// The dynamic-churn regression gate: on the deterministic churn workload
+// the certified maintenance loop must absorb at least one batch — a 100%
+// re-solve rate means the certificate never pays for itself and the
+// dynamic layer degenerated into solve-from-scratch-per-mutation. Runs
+// unconditionally, like check_lazy_pruning.
+int check_dynamic_churn() {
+  const auto maintainer = run_churn_workload(64);
+  const MaintainStats& stats = maintainer->stats();
+  if (stats.batches == 0 || stats.resolved >= stats.batches) {
+    std::fprintf(stderr,
+                 "FAIL: certified maintenance re-solved %ju of %ju churn "
+                 "batches — the re-solve rate must stay below 100%%\n",
+                 std::uintmax_t(stats.resolved), std::uintmax_t(stats.batches));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1279,5 +1463,5 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) write_gain_json(json_path, reporter.collected());
   return check_parallel_scaling(reporter.collected()) |
          check_prob_batch_speedup(reporter.collected()) |
-         check_lazy_pruning();
+         check_lazy_pruning() | check_dynamic_churn();
 }

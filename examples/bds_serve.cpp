@@ -5,6 +5,7 @@
 //
 //   $ build/examples/bds_serve --queries 64 --clients 4
 //   $ build/examples/bds_serve --verify --min-hit-rate 0.5
+//   $ build/examples/bds_serve --mutations 24 --verify
 //   $ build/examples/bds_serve --trace
 //
 // --verify pins the serving contract offline: the largest-budget answer
@@ -12,8 +13,16 @@
 // same parameters, and every smaller-budget cache hit must be the bitwise
 // prefix of that run with the replayed prefix value. --min-hit-rate turns
 // the hit rate into an exit gate for CI.
+//
+// --mutations N registers a third, *dynamic* coverage corpus and runs a
+// mutation storm against it: a mutator thread interleaves N inserts/erases
+// with the concurrent client queries (the race CI's smoke leg exists to
+// catch). With --verify, the post-storm answer must additionally be
+// bitwise equal to a direct run over a from-scratch rebuild of the mutated
+// corpus — the dynamic-vs-rebuild identity from data/dynamic.h.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -21,6 +30,7 @@
 #include <vector>
 
 #include "core/registry.h"
+#include "data/dynamic.h"
 #include "data/graph_gen.h"
 #include "data/vectors_gen.h"
 #include "dist/trace.h"
@@ -28,6 +38,7 @@
 #include "objectives/exemplar.h"
 #include "serve/service.h"
 #include "util/flags.h"
+#include "util/rng.h"
 #include "util/table.h"
 
 namespace {
@@ -41,6 +52,7 @@ constexpr const char* kUsage = R"(usage: bds_serve [options]
   --clients C        concurrent client threads     (default 4)
   --tenants T        tenants in the mix            (default 3)
   --algorithm NAME   any registered algorithm      (default bicriteria)
+  --mutations N      storm: N inserts/erases on a dynamic corpus (default 0)
   --seed S           corpus + runtime seed         (default 1)
   --threads T        service pool threads (0 = hardware default)
   --min-hit-rate X   exit 1 if the mix's hit rate lands below X
@@ -159,9 +171,19 @@ int main(int argc, char** argv) {
     service.add_corpus("dblp", "coverage", coverage);
     service.add_corpus("wiki", "exemplar", exemplar);
 
+    // The mutation storm target: the same base set system behind a
+    // DynamicCorpus, mutated concurrently with the query mix.
+    const std::size_t n_mutations = flags.get_uint("mutations", 0);
+    const auto dynamic = std::make_shared<data::DynamicCorpus>(sets, "churn");
+    if (n_mutations > 0) {
+      service.add_dynamic_corpus("churn", "coverage", dynamic);
+    }
+
     // The scripted mix: tenants cycle; budgets cycle over a small ladder so
     // the same configurations recur (the serving workload this service is
-    // for); both corpora are interleaved.
+    // for); all corpora are interleaved.
+    std::vector<std::string> corpora{"dblp", "wiki"};
+    if (n_mutations > 0) corpora.push_back("churn");
     const std::size_t n_queries = flags.get_uint("queries", 48);
     const std::size_t tenants = std::max<std::uint64_t>(1, flags.get_uint("tenants", 3));
     const std::size_t budgets[] = {4, 8, 16, 8, 4, 16, 32, 8};
@@ -169,9 +191,9 @@ int main(int argc, char** argv) {
     mix.queries.reserve(n_queries);
     for (std::size_t i = 0; i < n_queries; ++i) {
       serve::Query q;
-      q.corpus = i % 2 == 0 ? "dblp" : "wiki";
+      q.corpus = corpora[i % corpora.size()];
       q.algorithm = algorithm;
-      q.k = budgets[(i / 2) % std::size(budgets)];
+      q.k = budgets[(i / corpora.size()) % std::size(budgets)];
       q.tenant = "tenant-" + std::to_string(i % tenants);
       q.runtime.seed = seed;
       mix.queries.push_back(std::move(q));
@@ -183,7 +205,42 @@ int main(int argc, char** argv) {
     for (std::size_t c = 0; c < clients; ++c) {
       workers.emplace_back([&mix] { client_loop(mix); });
     }
+
+    // Mutator thread: interleaves inserts (random small sets) and erases
+    // (oldest live id) with the client queries. Every mutation goes through
+    // the service's endpoints, so each one bumps the epoch and runs the
+    // invalidate-or-recertify pass while queries are in flight.
+    std::atomic<std::size_t> mutation_failures{0};
+    std::thread mutator;
+    if (n_mutations > 0) {
+      mutator = std::thread([&] {
+        util::Rng rng(util::mix64(seed ^ 0xc0ffee));
+        ElementId erase_cursor = 0;
+        for (std::size_t i = 0; i < n_mutations; ++i) {
+          try {
+            if (i % 3 == 2) {
+              while (!dynamic->is_live(erase_cursor)) ++erase_cursor;
+              service.corpus_erase("churn", erase_cursor++);
+            } else {
+              const std::size_t len = 5 + rng.next_below(16);
+              std::vector<std::uint32_t> items(len);
+              for (auto& item : items) {
+                item = static_cast<std::uint32_t>(
+                    rng.next_below(dynamic->universe_size()));
+              }
+              service.corpus_insert("churn", std::move(items));
+            }
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "mutation %zu failed: %s\n", i, e.what());
+            mutation_failures.fetch_add(1);
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+    }
+
     for (auto& w : workers) w.join();
+    if (mutator.joinable()) mutator.join();
 
     const serve::ServiceStats stats = service.stats();
     const serve::CacheStats cache = service.cache_stats();
@@ -201,6 +258,17 @@ int main(int argc, char** argv) {
                    util::Table::fmt_int(stats.evals_spent)});
     table.add_row({"cache entries", util::Table::fmt_int(service.cache_stats().insertions)});
     table.add_row({"cache evictions", util::Table::fmt_int(cache.evictions)});
+    if (n_mutations > 0) {
+      table.add_row({"mutations", util::Table::fmt_int(stats.mutations)});
+      table.add_row({"corpus epoch",
+                     util::Table::fmt_int(service.corpus_epoch("churn"))});
+      table.add_row({"summaries recertified",
+                     util::Table::fmt_int(stats.summaries_recertified)});
+      table.add_row({"summaries invalidated",
+                     util::Table::fmt_int(stats.summaries_invalidated)});
+      table.add_row({"oracle rebuilds",
+                     util::Table::fmt_int(stats.oracle_rebuilds)});
+    }
     std::printf("%s", table.to_string().c_str());
 
     if (flags.get_bool("trace", false)) {
@@ -223,13 +291,28 @@ int main(int argc, char** argv) {
                                   cov_ground, 32, seed);
       mismatches += verify_corpus(service, "wiki", algorithm, *exemplar,
                                   ex_ground, 16, seed);
+      if (n_mutations > 0) {
+        // The dynamic-vs-rebuild identity: the service answers over its
+        // incrementally maintained oracle; the reference is a direct run
+        // over a from-scratch rebuild of the mutated corpus at the same
+        // (final) epoch. The two must agree bitwise.
+        data::DynamicOracleOptions rebuild_opts;
+        rebuild_opts.prefer_incremental = false;
+        const auto rebuilt =
+            data::make_dynamic_oracle(*dynamic, "coverage", rebuild_opts);
+        mismatches += verify_corpus(service, "churn", algorithm, *rebuilt,
+                                    dynamic->live_ground(), 16, seed);
+      }
       std::printf("\nverify: %s\n",
                   mismatches == 0 ? "all served answers bitwise-identical "
                                     "to direct runs"
                                   : "MISMATCH");
     }
 
-    if (mix.failures.load() != 0 || mismatches != 0) return 1;
+    if (mix.failures.load() != 0 || mutation_failures.load() != 0 ||
+        mismatches != 0) {
+      return 1;
+    }
     if (flags.has("min-hit-rate") &&
         stats.hit_rate() < flags.get_double("min-hit-rate", 0.0)) {
       std::fprintf(stderr, "hit rate %.2f below required %.2f\n",

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Fetches the paper's real corpora (SNAP edge lists) and converts them into
+# mmap-ready v2 .bds containers with bds_convert, so Table 1 / Figure 1 can
+# run at the paper's actual scale instead of on the synthetic stand-ins.
+#
+# Usage: scripts/fetch_corpora.sh [--with-livejournal] [build-dir]
+#
+#   corpora/dblp.bds          com-DBLP co-authorship (~1M edges, default)
+#   corpora/livejournal.bds   com-LiveJournal (~34M edges, opt-in: large)
+#
+# The conversion turns each edge list into the paper's neighborhood
+# coverage instance (one set per node holding its neighbors). Re-running is
+# idempotent: corpora that already converted cleanly are skipped.
+#
+# Recipes once fetched:
+#   build/bench/bench_fig1b  --load=corpora/dblp.bds --mmap
+#   build/bench/bench_table1 --load=corpora/dblp.bds --mmap --k 40
+#   build/examples/bds_cli --load corpora/dblp.bds --mmap --algorithm bicriteria --k 10
+set -euo pipefail
+
+WITH_LJ=0
+BUILD=build
+for arg in "$@"; do
+  case "$arg" in
+    --with-livejournal) WITH_LJ=1 ;;
+    --help|-h) sed -n '2,19p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) BUILD="$arg" ;;
+  esac
+done
+
+cd "$(dirname "$0")/.."
+CONVERT="$BUILD/examples/bds_convert"
+if [ ! -x "$CONVERT" ]; then
+  echo "error: $CONVERT not found — build first:" >&2
+  echo "  cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+if command -v curl > /dev/null; then
+  FETCH="curl -fL --retry 3 -o"
+elif command -v wget > /dev/null; then
+  FETCH="wget -O"
+else
+  echo "error: need curl or wget to download corpora" >&2
+  exit 1
+fi
+
+mkdir -p corpora
+
+# fetch_one <name> <url-of-gzipped-edge-list>
+fetch_one() {
+  local name="$1" url="$2"
+  local out="corpora/$name.bds" txt="corpora/$name.ungraph.txt"
+  if [ -f "$out" ]; then
+    echo "$out already present — skipping (delete it to re-fetch)"
+    return 0
+  fi
+  if [ ! -f "$txt" ]; then
+    echo "fetching $url ..."
+    $FETCH "$txt.gz" "$url"
+    gunzip -f "$txt.gz"
+  fi
+  "$CONVERT" "$txt" "$out"
+  rm -f "$txt"
+  echo "wrote $out"
+}
+
+fetch_one dblp "https://snap.stanford.edu/data/bigdata/communities/com-dblp.ungraph.txt.gz"
+if [ "$WITH_LJ" = 1 ]; then
+  fetch_one livejournal "https://snap.stanford.edu/data/bigdata/communities/com-lj.ungraph.txt.gz"
+fi
+
+echo
+echo "done. paper-scale runs:"
+echo "  $BUILD/bench/bench_fig1b  --load=corpora/dblp.bds --mmap"
+echo "  $BUILD/bench/bench_table1 --load=corpora/dblp.bds --mmap --k 40"

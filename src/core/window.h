@@ -1,0 +1,86 @@
+// SlidingWindowSieve — certified sliding-window summarization layered on
+// SieveStreaming (ISSUE 10 tentpole, core layer, log-style streams).
+//
+// A log-style stream only ever cares about the last W arrivals: elements
+// age out instead of being erased by id. Re-running the sieve on every
+// arrival would cost O(W) evals per tick; the certificate makes most ticks
+// free. The maintained invariant mirrors CertifiedMaintainer's:
+//
+//  * the cached solution S was produced by sieve_streaming over some past
+//    window, with a certified upper bound UB on f(OPT_k) of that window;
+//  * an arrival x can raise f(OPT_k) of the *current* window by at most its
+//    singleton value f({x}) (monotone submodularity), so UB += f({x}) keeps
+//    the bound valid at one oracle eval per tick;
+//  * a re-solve happens only when a solution member ages out of the window
+//    (the answer ceases to describe it) or f(S)/UB decays below 1−ε.
+//
+// After each re-solve the bound is recomputed exactly (core/upper_bound
+// math over the window), so the singleton slack never compounds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "objectives/submodular.h"
+#include "util/element.h"
+
+namespace bds {
+
+struct WindowConfig {
+  std::size_t window = 256;   // W: arrivals kept live
+  std::size_t k = 10;         // cardinality target of the certificate
+  double sieve_epsilon = 0.1;   // SieveStreaming threshold granularity
+  double decay_epsilon = 0.2;   // re-solve when f(S)/UB < 1 − decay_epsilon
+};
+
+struct WindowStats {
+  std::uint64_t arrivals = 0;
+  std::uint64_t expirations = 0;
+  std::uint64_t resolves = 0;  // sieve re-runs over the window
+  std::uint64_t kept = 0;      // ticks absorbed by the certificate
+  std::uint64_t oracle_evals = 0;
+
+  double resolve_rate() const noexcept {
+    return arrivals == 0 ? 0.0
+                         : static_cast<double>(resolves) /
+                               static_cast<double>(arrivals);
+  }
+};
+
+class SlidingWindowSieve {
+ public:
+  // `proto` must be a fresh (empty-set) oracle over the stream's ground
+  // set; it is cloned, never mutated. Throws std::invalid_argument on
+  // window == 0, k == 0, or an epsilon outside (0, 1).
+  SlidingWindowSieve(const SubmodularOracle& proto, WindowConfig config);
+  ~SlidingWindowSieve();
+
+  // Advances the window by one arrival (evicting the oldest element once
+  // full) and maintains the certified solution. Returns true when the tick
+  // triggered a sieve re-solve.
+  bool push(ElementId x);
+
+  std::span<const ElementId> window() const noexcept {
+    return std::span<const ElementId>(window_vec_);
+  }
+  const std::vector<ElementId>& solution() const noexcept { return solution_; }
+  double value() const noexcept { return value_; }
+  double upper_bound() const noexcept { return upper_bound_; }
+  const WindowStats& stats() const noexcept { return stats_; }
+
+ private:
+  void resolve();
+
+  WindowConfig config_;
+  std::unique_ptr<SubmodularOracle> proto_;  // pristine empty-set clone
+  std::unique_ptr<SubmodularOracle> probe_;  // empty-set; singleton gains
+  std::vector<ElementId> window_vec_;        // window contents, oldest first
+  std::vector<ElementId> solution_;
+  double value_ = 0.0;
+  double upper_bound_ = 0.0;
+  WindowStats stats_;
+};
+
+}  // namespace bds

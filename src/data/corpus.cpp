@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "data/dynamic.h"
 #include "data/io.h"
 #include "objectives/coverage.h"
 #include "objectives/exemplar.h"
@@ -14,7 +15,9 @@
 namespace bds::data {
 
 namespace {
-constexpr std::uint32_t kCorpusVersion = 1;
+// Version 2 appends the dynamic-corpus fields (mutation delta + epoch).
+// Version-1 documents are still accepted and decode as frozen corpora.
+constexpr std::uint32_t kCorpusVersion = 2;
 }  // namespace
 
 std::string CorpusSpec::serialize() const {
@@ -30,6 +33,10 @@ std::string CorpusSpec::serialize() const {
   out << "sample_seed " << sample_seed << '\n';
   out << "bandwidth " << util::double_bits(bandwidth) << '\n';
   out << "noise " << util::double_bits(noise_variance) << '\n';
+  out << "epoch " << epoch << '\n';
+  out << "mutations ";
+  util::write_blob(out, mutations);
+  out << '\n';
   out << "end\n";
   return std::move(out).str();
 }
@@ -38,7 +45,7 @@ CorpusSpec CorpusSpec::deserialize(std::string_view text) {
   util::TokenReader in(text, "corpus");
   in.expect("bdscorpus");
   const std::uint64_t version = in.u64();
-  if (version != kCorpusVersion) {
+  if (version == 0 || version > kCorpusVersion) {
     throw std::invalid_argument("corpus: unsupported version " +
                                 std::to_string(version));
   }
@@ -59,11 +66,49 @@ CorpusSpec CorpusSpec::deserialize(std::string_view text) {
   spec.bandwidth = in.real();
   in.expect("noise");
   spec.noise_variance = in.real();
+  if (version >= 2) {
+    in.expect("epoch");
+    spec.epoch = in.u64();
+    in.expect("mutations");
+    spec.mutations = in.blob();
+  }
   in.expect("end");
   return spec;
 }
 
 std::unique_ptr<SubmodularOracle> CorpusSpec::make_oracle() const {
+  // Dynamic path: rebuild the coordinator's mutated corpus from the base
+  // dataset plus the shipped delta, then construct through the same
+  // factory the coordinator used — bit-identical state on both ends.
+  if (!mutations.empty() || epoch != 0) {
+    const std::vector<Mutation> log = DynamicCorpus::parse_delta(mutations);
+    DynamicOracleOptions options;
+    options.p0_dist = p0_dist;
+    options.sample_size = sample_size;
+    options.sample_seed = sample_seed;
+    options.bandwidth = bandwidth;
+    options.noise_variance = noise_variance;
+    std::unique_ptr<DynamicCorpus> corpus;
+    if (objective == "coverage") {
+      const auto sets = mmap ? map_set_system(path) : load_set_system(path);
+      corpus = std::make_unique<DynamicCorpus>(sets, path);
+    } else if (objective == "exemplar" || objective == "sampled-exemplar" ||
+               objective == "logdet") {
+      const auto points = mmap ? map_point_set(path) : load_point_set(path);
+      corpus = std::make_unique<DynamicCorpus>(points, path);
+    } else {
+      throw std::invalid_argument("corpus: objective '" + objective +
+                                  "' has no dynamic path");
+    }
+    for (const Mutation& m : log) corpus->apply(m);
+    if (corpus->epoch() != epoch) {
+      throw std::invalid_argument(
+          "corpus: delta replays to epoch " +
+          std::to_string(corpus->epoch()) + " but the spec claims epoch " +
+          std::to_string(epoch));
+    }
+    return make_dynamic_oracle(*corpus, objective, options);
+  }
   if (objective == "coverage") {
     const auto sets = mmap ? map_set_system(path) : load_set_system(path);
     return std::make_unique<CoverageOracle>(sets);

@@ -45,6 +45,15 @@ struct CorpusSpec {
   double bandwidth = 1.0;
   double noise_variance = 1.0;
 
+  // Dynamic corpora (data/dynamic.h): the serialized mutation delta
+  // (DynamicCorpus::serialize_delta) to replay on top of the base dataset,
+  // and the epoch the replayed corpus must land on (a cheap cross-check
+  // that the delta is complete). Empty delta + epoch 0 is the frozen case;
+  // version-1 specs decode to exactly that, so old coordinators and
+  // workers keep interoperating.
+  std::string mutations;
+  std::uint64_t epoch = 0;
+
   // Token-text round trip (util/serialize.h discipline: versioned header,
   // bit-pattern doubles, length-prefixed path blob). deserialize throws
   // std::invalid_argument on malformed input or version/objective issues.
@@ -53,8 +62,11 @@ struct CorpusSpec {
 
   // Loads the dataset and builds the prototype oracle. Deterministic:
   // equal specs produce oracles with bit-identical gains, values and eval
-  // accounting on both sides of a transport. Throws on unknown objective
-  // names or unreadable datasets.
+  // accounting on both sides of a transport. A non-empty `mutations` delta
+  // is replayed through a DynamicCorpus first, so process workers
+  // provision the identical mutated oracle the coordinator holds (the
+  // epoch stamp travels with it). Throws on unknown objective names,
+  // unreadable datasets, or a delta/epoch mismatch.
   std::unique_ptr<SubmodularOracle> make_oracle() const;
 };
 

@@ -89,7 +89,10 @@ std::string query_spans_to_json(const std::vector<QuerySpan>& spans) {
         << ",\"evals_avoided\":" << q.evals_avoided
         << ",\"queue_seconds\":" << q.queue_seconds
         << ",\"run_seconds\":" << q.run_seconds
-        << ",\"total_seconds\":" << q.total_seconds << "}";
+        << ",\"total_seconds\":" << q.total_seconds
+        << ",\"epoch\":" << q.epoch
+        << ",\"recertified\":" << q.summaries_recertified
+        << ",\"invalidated\":" << q.summaries_invalidated << "}";
   }
   out << "\n]}";
   return out.str();

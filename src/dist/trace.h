@@ -102,6 +102,13 @@ struct QuerySpan {
   double queue_seconds = 0.0;  // admission until compute start (0 for hits)
   double run_seconds = 0.0;    // cache-miss computation (0 for hits)
   double total_seconds = 0.0;  // submit to answer
+  // Corpus epoch the answer (or mutation) applies to; 0 for frozen corpora.
+  std::uint64_t epoch = 0;
+  // Mutation spans only (outcome "mutate-insert" / "mutate-erase"): how the
+  // invalidate-or-recertify pass decided for this corpus's cached
+  // summaries. Query spans leave both at 0.
+  std::size_t summaries_recertified = 0;
+  std::size_t summaries_invalidated = 0;
 };
 
 // JSON serialization: {"queries": [...]} with one object per QuerySpan.

@@ -1,5 +1,7 @@
 #include "objectives/coverage_incremental.h"
 
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "objectives/shard_view.h"
@@ -12,19 +14,22 @@ namespace {
 // (local element ids), its transpose, the parent's covered flags projected
 // onto the touched slice, and the parent's residuals copied for the shard
 // rows. Residuals stay exact within the view because its transpose lists
-// exactly the shard rows containing each touched element.
+// exactly the shard rows containing each touched element. Built from the
+// parent oracle (not its SetSystem) so shard members that live in the
+// parent's dynamic overlay slice exactly like base sets.
 class IncrementalCoverageShardView final : public SubmodularOracle {
  public:
-  IncrementalCoverageShardView(const SetSystem& sets,
-                               std::span<const std::uint8_t> covered,
-                               std::span<const std::uint32_t> residual,
+  IncrementalCoverageShardView(const IncrementalCoverageOracle& parent,
                                std::span<const ElementId> shard)
       : index_(shard),
-        ground_size_(sets.num_sets()),
-        universe_size_(sets.universe_size()) {
+        ground_size_(parent.ground_size()),
+        universe_size_(
+            static_cast<std::uint32_t>(parent.covered_flags().size())) {
+    const std::span<const std::uint8_t> covered = parent.covered_flags();
+    const std::span<const std::uint32_t> residual = parent.residuals();
     std::size_t total = 0;
     for (const ElementId item : index_.items()) {
-      total += sets.set_items(item).size();
+      total += parent.set_items(item).size();
     }
     offsets_.reserve(index_.size() + 1);
     offsets_.push_back(0);
@@ -33,7 +38,7 @@ class IncrementalCoverageShardView final : public SubmodularOracle {
     detail::U32LocalIdMap remap(total);
     for (const ElementId item : index_.items()) {
       residual_.push_back(residual[item]);
-      for (const std::uint32_t e : sets.set_items(item)) {
+      for (const std::uint32_t e : parent.set_items(item)) {
         const auto next = static_cast<std::uint32_t>(covered_.size());
         const std::uint32_t local = remap.find_or_insert(e, next);
         if (local == next) covered_.push_back(covered[e]);
@@ -177,15 +182,67 @@ void IncrementalCoverageOracle::do_gain_batch(std::span<const ElementId> xs,
   }
 }
 
+std::span<const std::uint32_t> IncrementalCoverageOracle::set_items(
+    ElementId x) const {
+  const std::size_t base = sets_->num_sets();
+  if (x < base) return sets_->set_items(x);
+  const std::size_t row = x - base;
+  return std::span<const std::uint32_t>(
+      ov_entries_.data() + ov_offsets_[row],
+      static_cast<std::size_t>(ov_offsets_[row + 1] - ov_offsets_[row]));
+}
+
 double IncrementalCoverageOracle::do_add(ElementId x) {
   const double gain = static_cast<double>(residual_[x]);
-  for (const std::uint32_t e : sets_->set_items(x)) {
+  for (const std::uint32_t e : set_items(x)) {
     if (covered_[e]) continue;
     covered_[e] = 1;
     ++covered_count_;
     for (const std::uint32_t s : index_->sets_of(e)) --residual_[s];
+    if (!ov_index_.empty()) {
+      if (const auto hit = ov_index_.find(e); hit != ov_index_.end()) {
+        for (const std::uint32_t s : hit->second) --residual_[s];
+      }
+    }
   }
   return gain;
+}
+
+void IncrementalCoverageOracle::do_apply_insert(
+    ElementId id, std::span<const std::uint32_t> items) {
+  if (id != residual_.size()) {
+    throw std::invalid_argument(
+        "apply_insert: id " + std::to_string(id) +
+        " is not the next ground id (" + std::to_string(residual_.size()) +
+        ") — mutations must be applied in log order");
+  }
+  // Items arrive canonical (sorted unique, in range) from the DynamicCorpus;
+  // validate the range anyway so a bad caller cannot corrupt the bitmap.
+  std::uint32_t residual = 0;
+  for (const std::uint32_t e : items) {
+    if (e >= covered_.size()) {
+      throw std::out_of_range("apply_insert: element " + std::to_string(e) +
+                              " outside universe");
+    }
+    if (!covered_[e]) ++residual;
+  }
+  const std::size_t ov_row = ov_offsets_.size() - 1;
+  ov_entries_.insert(ov_entries_.end(), items.begin(), items.end());
+  ov_offsets_.push_back(ov_entries_.size());
+  residual_.push_back(residual);
+  for (const std::uint32_t e : items) {
+    ov_index_[e].push_back(static_cast<std::uint32_t>(
+        sets_->num_sets() + ov_row));
+  }
+}
+
+void IncrementalCoverageOracle::do_apply_erase(ElementId id) {
+  if (id >= residual_.size()) {
+    throw std::out_of_range("apply_erase: unknown ground id " +
+                            std::to_string(id));
+  }
+  // An erase is a ground-set exclusion: the corpus tombstones the id and
+  // ground enumeration skips it, so no residual or coverage state changes.
 }
 
 std::unique_ptr<SubmodularOracle> IncrementalCoverageOracle::do_clone()
@@ -195,13 +252,20 @@ std::unique_ptr<SubmodularOracle> IncrementalCoverageOracle::do_clone()
 
 std::unique_ptr<SubmodularOracle> IncrementalCoverageOracle::do_shard_view(
     std::span<const ElementId> shard) const {
-  return std::make_unique<IncrementalCoverageShardView>(*sets_, covered_,
-                                                        residual_, shard);
+  return std::make_unique<IncrementalCoverageShardView>(*this, shard);
 }
 
 std::size_t IncrementalCoverageOracle::do_state_bytes() const noexcept {
+  std::size_t ov_index_bytes = 0;
+  for (const auto& [element, sets] : ov_index_) {
+    (void)element;
+    ov_index_bytes += sizeof(std::uint32_t) +
+                      sets.capacity() * sizeof(std::uint32_t);
+  }
   return covered_.capacity() * sizeof(std::uint8_t) +
-         residual_.capacity() * sizeof(std::uint32_t);
+         residual_.capacity() * sizeof(std::uint32_t) +
+         ov_offsets_.capacity() * sizeof(std::uint64_t) +
+         ov_entries_.capacity() * sizeof(std::uint32_t) + ov_index_bytes;
 }
 
 std::unique_ptr<SubmodularOracle> make_incremental_coverage(

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "objectives/coverage.h"
@@ -61,6 +62,16 @@ class InvertedIndex {
 
 // Drop-in replacement for an unweighted CoverageOracle with O(1) gains.
 // Same values, same evaluation accounting; only the cost model changes.
+//
+// This is also the repo's one oracle with an *incremental dynamic path*
+// (supports_dynamic_updates): a corpus insert appends one residual counter,
+// one overlay-CSR row, and one inverted-index posting per item — O(degree)
+// — while the base SetSystem (possibly an mmap'd borrow) stays untouched.
+// Because residuals are integers, a replayed mutation log yields state
+// bit-identical to an oracle built from a materialized snapshot, which is
+// what the dynamic-vs-rebuild identity tests pin. An erase is a ground-set
+// exclusion (the id is tombstoned by the DynamicCorpus and never queried
+// again); it costs nothing here and leaves other residuals untouched.
 class IncrementalCoverageOracle final : public SubmodularOracle {
  public:
   // Builds the inverted index from `sets`.
@@ -70,7 +81,7 @@ class IncrementalCoverageOracle final : public SubmodularOracle {
                             std::shared_ptr<const InvertedIndex> index);
 
   std::size_t ground_size() const noexcept override {
-    return sets_->num_sets();
+    return residual_.size();
   }
   double max_value() const noexcept override {
     return static_cast<double>(sets_->universe_size());
@@ -78,6 +89,16 @@ class IncrementalCoverageOracle final : public SubmodularOracle {
   std::uint64_t covered_count() const noexcept { return covered_count_; }
   bool supports_compacted_shard_view() const noexcept override {
     return true;
+  }
+  bool supports_dynamic_updates() const noexcept override { return true; }
+
+  // Members of set `x`, whether it lives in the base CSR or the overlay.
+  std::span<const std::uint32_t> set_items(ElementId x) const;
+  std::span<const std::uint8_t> covered_flags() const noexcept {
+    return covered_;
+  }
+  std::span<const std::uint32_t> residuals() const noexcept {
+    return residual_;
   }
 
  protected:
@@ -89,6 +110,9 @@ class IncrementalCoverageOracle final : public SubmodularOracle {
   std::unique_ptr<SubmodularOracle> do_shard_view(
       std::span<const ElementId> shard) const override;
   std::size_t do_state_bytes() const noexcept override;
+  void do_apply_insert(ElementId id,
+                       std::span<const std::uint32_t> items) override;
+  void do_apply_erase(ElementId id) override;
 
  private:
   std::shared_ptr<const SetSystem> sets_;
@@ -96,6 +120,13 @@ class IncrementalCoverageOracle final : public SubmodularOracle {
   std::vector<std::uint8_t> covered_;
   std::vector<std::uint32_t> residual_;  // current marginal gain per set
   std::uint64_t covered_count_ = 0;
+  // Dynamic overlay: sets appended after construction, ids starting at
+  // sets_->num_sets(). ov_index_ is the overlay's element → sets posting
+  // list (the inverted index's growable sibling); empty until the first
+  // insert, so the frozen fast path never consults it.
+  std::vector<std::uint64_t> ov_offsets_{0};
+  std::vector<std::uint32_t> ov_entries_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> ov_index_;
 };
 
 // Upgrades `proto` to an incremental-gain oracle when it is an unweighted

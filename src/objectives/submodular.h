@@ -18,6 +18,7 @@
 #include <limits>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "util/element.h"
@@ -134,6 +135,7 @@ class SubmodularOracle {
     view->set_ = set_;
     view->value_ = value_;
     view->evals_ = 0;
+    view->corpus_epoch_ = corpus_epoch_;
     return view;
   }
 
@@ -149,6 +151,39 @@ class SubmodularOracle {
   // simulator's bytes_cloned / peak_worker_state_bytes accounting.
   std::size_t state_bytes() const noexcept {
     return do_state_bytes() + set_.capacity() * sizeof(ElementId);
+  }
+
+  // --- dynamic-corpus support (data/dynamic.h) ---
+
+  // Epoch of the data::DynamicCorpus snapshot this oracle answers for
+  // (0 for frozen corpora). Clones inherit it via the copy constructor;
+  // shard_view() stamps it onto the view. data::require_epoch() turns a
+  // mismatch into a StaleOracleError naming the corpus, so an oracle can
+  // never silently answer for a ground set that has moved on.
+  std::uint64_t corpus_epoch() const noexcept { return corpus_epoch_; }
+  void stamp_corpus_epoch(std::uint64_t epoch) noexcept {
+    corpus_epoch_ = epoch;
+  }
+
+  // True when the oracle absorbs corpus mutations in place (unweighted
+  // coverage: O(degree) via the inverted index). False means callers must
+  // rebuild from the mutated corpus — the rebuild-on-epoch-change fallback
+  // behind the same interface (data::make_dynamic_oracle).
+  virtual bool supports_dynamic_updates() const noexcept { return false; }
+
+  // Structural updates for dynamic corpora: a freshly inserted ground
+  // element with its payload, or a tombstoned one. `new_epoch` restamps
+  // the oracle in the same call so state and version move together. Both
+  // throw std::logic_error when the oracle has no incremental path (see
+  // supports_dynamic_updates).
+  void apply_insert(ElementId id, std::span<const std::uint32_t> items,
+                    std::uint64_t new_epoch) {
+    do_apply_insert(id, items);
+    corpus_epoch_ = new_epoch;
+  }
+  void apply_erase(ElementId id, std::uint64_t new_epoch) {
+    do_apply_erase(id);
+    corpus_epoch_ = new_epoch;
   }
 
   // Evaluations (gain + add calls) performed since construction/clone.
@@ -180,6 +215,24 @@ class SubmodularOracle {
   // (added by state_bytes()). 0 means "unknown / negligible".
   virtual std::size_t do_state_bytes() const noexcept { return 0; }
 
+  // Hooks behind apply_insert / apply_erase. The defaults refuse: an
+  // oracle without an incremental structure must be rebuilt, and silently
+  // accepting the call would desynchronize it from its corpus.
+  virtual void do_apply_insert(ElementId id,
+                               std::span<const std::uint32_t> items) {
+    (void)id;
+    (void)items;
+    throw std::logic_error(
+        "apply_insert: oracle has no incremental update path; rebuild it "
+        "from the mutated corpus (data::make_dynamic_oracle)");
+  }
+  virtual void do_apply_erase(ElementId id) {
+    (void)id;
+    throw std::logic_error(
+        "apply_erase: oracle has no incremental update path; rebuild it "
+        "from the mutated corpus (data::make_dynamic_oracle)");
+  }
+
   // Kernel behind gain_batch(). The default is the scalar loop (one
   // virtual do_gain per element); objectives with cache-friendly batched
   // kernels override it. Overrides must return exactly the values do_gain
@@ -210,6 +263,7 @@ class SubmodularOracle {
   std::vector<ElementId> set_;
   double value_ = 0.0;
   std::uint64_t evals_ = 0;
+  std::uint64_t corpus_epoch_ = 0;
 };
 
 // Clones `proto` and commits every element of `seed` into the copy.

@@ -22,6 +22,7 @@ std::size_t QueryKeyHash::operator()(const QueryKey& key) const noexcept {
   std::size_t h = 1469598103934665603ull;
   const std::hash<std::string> sh;
   mix(h, sh(key.corpus));
+  mix(h, key.epoch);
   mix(h, sh(key.objective));
   mix(h, sh(key.algorithm));
   mix(h, std::bit_cast<std::uint64_t>(key.epsilon));
@@ -41,9 +42,11 @@ bool cache_safe(const RuntimeOptions& runtime) noexcept {
 
 QueryKey make_key(std::string corpus, std::string objective,
                   std::string algorithm, double epsilon, std::size_t rounds,
-                  std::size_t machines, const RuntimeOptions& runtime) {
+                  std::size_t machines, const RuntimeOptions& runtime,
+                  std::uint64_t epoch) {
   QueryKey key;
   key.corpus = std::move(corpus);
+  key.epoch = epoch;
   key.objective = std::move(objective);
   key.algorithm = std::move(algorithm);
   key.epsilon = epsilon;
@@ -160,6 +163,21 @@ void SummaryCache::insert(std::shared_ptr<const CachedSummary> entry) {
   QueryKey map_key = entry->key;
   entries_.emplace(std::move(map_key), Slot{std::move(entry), ++tick_});
   ++stats_.insertions;
+}
+
+std::vector<std::shared_ptr<const CachedSummary>> SummaryCache::take_corpus(
+    const std::string& corpus) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::shared_ptr<const CachedSummary>> taken;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.corpus == corpus) {
+      taken.push_back(std::move(it->second.entry));
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return taken;
 }
 
 void SummaryCache::evict_locked() {

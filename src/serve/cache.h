@@ -60,6 +60,11 @@ namespace bds::serve {
 // answerable from one summary (at any budget ≤ the cached one).
 struct QueryKey {
   std::string corpus;
+  // Corpus epoch (data/dynamic.h) the summary was certified against.
+  // Frozen corpora stay at 0. A mutation bumps the corpus epoch, so stale
+  // summaries simply stop matching — no blanket flush; the mutation path
+  // recertifies or drops them explicitly (SummaryService).
+  std::uint64_t epoch = 0;
   std::string objective;
   std::string algorithm;
   double epsilon = 0.1;
@@ -82,10 +87,12 @@ struct QueryKeyHash {
 // round halt. Unsafe runs are computed fresh and never cached.
 bool cache_safe(const RuntimeOptions& runtime) noexcept;
 
-// Derives the key from a query's configuration + runtime.
+// Derives the key from a query's configuration + runtime. `epoch` is the
+// corpus's current epoch (0 for frozen corpora).
 QueryKey make_key(std::string corpus, std::string objective,
                   std::string algorithm, double epsilon, std::size_t rounds,
-                  std::size_t machines, const RuntimeOptions& runtime);
+                  std::size_t machines, const RuntimeOptions& runtime,
+                  std::uint64_t epoch = 0);
 
 // One cached bicriteria summary with its certificate.
 struct CachedSummary {
@@ -152,6 +159,13 @@ class SummaryCache {
   std::shared_ptr<const CachedSummary> peek(const QueryKey& key) const;
 
   void insert(std::shared_ptr<const CachedSummary> entry);
+
+  // Removes and returns every entry for `corpus` (any epoch) — the
+  // mutation path takes them out, recertifies each against the new epoch,
+  // and reinserts the survivors under the bumped key. Not a lookup: LRU
+  // order and hit/miss stats are untouched.
+  std::vector<std::shared_ptr<const CachedSummary>> take_corpus(
+      const std::string& corpus);
 
   std::size_t size() const;
   CacheStats stats() const;

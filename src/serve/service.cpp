@@ -24,6 +24,42 @@ std::size_t wanted_items(const Query& q, std::size_t ground_size) {
   return std::min(want, ground_size);
 }
 
+// Recertifies one cached summary against the mutated corpus: replays its
+// solution on the new prototype for a fresh f(S), rebuilds prefix values
+// and the top-gain certificate over the new ground, and keeps the entry
+// (under the bumped epoch key) iff its certified ratio f(S)/UB decayed by
+// less than `tolerance` relative to what the summary certified when it was
+// built. A mutation that changes no gains keeps every summary; only decay
+// *caused by the mutation* can evict. Returns nullptr on eviction.
+std::shared_ptr<const CachedSummary> recertify_summary(
+    const CachedSummary& old, std::uint64_t epoch,
+    const SubmodularOracle& proto, std::span<const ElementId> ground,
+    double tolerance, std::uint64_t* evals_spent) {
+  QueryKey key = old.key;
+  key.epoch = epoch;
+  RunResult run;
+  run.algorithm = key.algorithm;
+  run.solution = old.solution;
+  const auto probe = seeded_clone(proto, old.solution);
+  run.value = probe->value();
+  *evals_spent += probe->evals();
+  const auto fresh =
+      build_summary(std::move(key), old.budget_k, run, proto, ground);
+  *evals_spent += fresh->build_evals;
+  const double old_bound = old.upper_bound(old.budget_k);
+  const double old_ratio = old_bound > 0.0 ? old.value / old_bound : 1.0;
+  const double bound = fresh->upper_bound(fresh->budget_k);
+  const double ratio = bound > 0.0 ? fresh->value / bound : 1.0;
+  if (ratio < (1.0 - tolerance) * old_ratio) {
+    return nullptr;
+  }
+  // Keep the producing run's eval provenance: hits on the recertified
+  // entry still report what a fresh run would have cost.
+  CachedSummary kept = *fresh;
+  kept.run_evals = old.run_evals;
+  return std::make_shared<const CachedSummary>(std::move(kept));
+}
+
 }  // namespace
 
 const char* serve_outcome_name(ServeOutcome outcome) noexcept {
@@ -52,6 +88,31 @@ SummaryService::~SummaryService() = default;
 void SummaryService::add_corpus(std::string name, std::string objective,
                                 std::shared_ptr<SubmodularOracle> proto,
                                 std::vector<ElementId> ground) {
+  register_corpus(std::move(name), std::move(objective), std::move(proto),
+                  std::move(ground), nullptr, {});
+}
+
+void SummaryService::add_dynamic_corpus(
+    std::string name, std::string objective,
+    std::shared_ptr<data::DynamicCorpus> corpus,
+    data::DynamicOracleOptions oracle_options) {
+  if (!corpus) {
+    throw std::invalid_argument("add_dynamic_corpus: null corpus");
+  }
+  std::shared_ptr<SubmodularOracle> proto =
+      data::make_dynamic_oracle(*corpus, objective, oracle_options);
+  // Sequence the ground computation before std::move(corpus): argument
+  // evaluation order is unspecified.
+  std::vector<ElementId> ground = corpus->live_ground();
+  register_corpus(std::move(name), std::move(objective), std::move(proto),
+                  std::move(ground), std::move(corpus), oracle_options);
+}
+
+void SummaryService::register_corpus(
+    std::string name, std::string objective,
+    std::shared_ptr<SubmodularOracle> proto, std::vector<ElementId> ground,
+    std::shared_ptr<data::DynamicCorpus> dynamic,
+    data::DynamicOracleOptions oracle_options) {
   if (!proto || proto->ground_size() == 0) {
     throw std::invalid_argument("add_corpus: empty oracle prototype");
   }
@@ -78,10 +139,15 @@ void SummaryService::add_corpus(std::string name, std::string objective,
   entry.objective = std::move(objective);
   entry.cacheable = spec.cache_safe;
   entry.proto = std::move(proto);
-  entry.ground = std::move(ground);
+  entry.ground =
+      std::make_shared<const std::vector<ElementId>>(std::move(ground));
   if (spec.cache_safe) {
     entry.bounds = std::make_shared<detail::SingletonBoundCache>();
   }
+  entry.epoch = dynamic ? dynamic->epoch() : 0;
+  entry.dynamic = std::move(dynamic);
+  entry.oracle_options = oracle_options;
+  if (entry.dynamic) entry.proto->stamp_corpus_epoch(entry.epoch);
   if (!corpora_.emplace(std::move(name), std::move(entry)).second) {
     throw std::invalid_argument("add_corpus: corpus already registered");
   }
@@ -96,11 +162,21 @@ std::vector<std::string> SummaryService::corpus_names() const {
   return names;
 }
 
-const SummaryService::CorpusEntry& SummaryService::require_corpus(
+SummaryService::CorpusSnapshot SummaryService::snapshot_corpus(
     const std::string& name) const {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = corpora_.find(name);
-  if (it != corpora_.end()) return it->second;
+  if (it != corpora_.end()) {
+    const CorpusEntry& entry = it->second;
+    CorpusSnapshot snap;
+    snap.objective = entry.objective;
+    snap.cacheable = entry.cacheable;
+    snap.proto = entry.proto;
+    snap.ground = entry.ground;
+    snap.bounds = entry.bounds;
+    snap.epoch = entry.epoch;
+    return snap;
+  }
   std::ostringstream message;
   message << "unknown corpus '" << name << "'; known:";
   std::vector<std::string> names;
@@ -108,6 +184,134 @@ const SummaryService::CorpusEntry& SummaryService::require_corpus(
   std::sort(names.begin(), names.end());
   for (const auto& known : names) message << " " << known;
   throw std::invalid_argument(message.str());
+}
+
+std::uint64_t SummaryService::corpus_epoch(const std::string& name) const {
+  return snapshot_corpus(name).epoch;
+}
+
+SummaryService::MutationOutcome SummaryService::corpus_insert(
+    const std::string& name, std::vector<std::uint32_t> items) {
+  data::Mutation m;
+  m.kind = data::MutationKind::kInsert;
+  m.items = std::move(items);
+  return apply_mutation(name, std::move(m));
+}
+
+SummaryService::MutationOutcome SummaryService::corpus_erase(
+    const std::string& name, ElementId id) {
+  data::Mutation m;
+  m.kind = data::MutationKind::kErase;
+  m.id = id;
+  return apply_mutation(name, std::move(m));
+}
+
+SummaryService::MutationOutcome SummaryService::apply_mutation(
+    const std::string& name, data::Mutation m) {
+  // One mutation at a time end to end (corpus apply + recertify pass);
+  // queries proceed concurrently off their snapshots.
+  std::lock_guard<std::mutex> mlk(mutate_mu_);
+
+  MutationOutcome out;
+  std::shared_ptr<SubmodularOracle> proto;
+  std::shared_ptr<const std::vector<ElementId>> ground;
+  std::shared_ptr<data::DynamicCorpus> corpus;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = corpora_.find(name);
+    if (it == corpora_.end()) {
+      throw std::invalid_argument("unknown corpus '" + name + "'");
+    }
+    CorpusEntry& entry = it->second;
+    if (!entry.dynamic) {
+      throw std::invalid_argument(
+          "corpus '" + name +
+          "' is frozen; register it via add_dynamic_corpus to mutate");
+    }
+    corpus = entry.dynamic;
+    // Inserts get the next ground id; the caller's id field is ignored.
+    if (m.kind == data::MutationKind::kInsert) {
+      m.id = static_cast<ElementId>(corpus->size());
+    }
+    corpus->apply(m);
+    const data::Mutation& applied = corpus->log().back();
+    out.epoch = corpus->epoch();
+    out.id = applied.id;
+
+    // Copy-on-mutate: the fresh prototype replaces the entry's handle; any
+    // in-flight run keeps the snapshot it took at submit.
+    if (entry.proto->supports_dynamic_updates()) {
+      std::shared_ptr<SubmodularOracle> next = entry.proto->clone();
+      if (applied.kind == data::MutationKind::kInsert) {
+        next->apply_insert(applied.id, applied.items, out.epoch);
+      } else {
+        next->apply_erase(applied.id, out.epoch);
+      }
+      entry.proto = std::move(next);
+    } else {
+      entry.proto = data::make_dynamic_oracle(*corpus, entry.objective,
+                                              entry.oracle_options);
+      out.oracle_rebuilt = true;
+      ++stats_.oracle_rebuilds;
+    }
+    entry.ground =
+        std::make_shared<const std::vector<ElementId>>(corpus->live_ground());
+    // Singleton gains shift with the ground set; start a fresh warm-start
+    // cache rather than serving stale bounds (still never changes bits —
+    // bounds only order scans).
+    if (entry.cacheable) {
+      entry.bounds = std::make_shared<detail::SingletonBoundCache>();
+    }
+    entry.epoch = out.epoch;
+    ++stats_.mutations;
+    proto = entry.proto;
+    ground = entry.ground;
+  }
+
+  // Invalidate-or-recertify, outside mu_: pull every cached summary for
+  // this corpus, keep the ones whose recomputed certificate decayed less
+  // than recertify_epsilon (re-keyed at the new epoch), drop the rest.
+  std::uint64_t spent = 0;
+  const bool ids_stable = corpus->ids_stable();
+  for (auto& old : cache_.take_corpus(name)) {
+    std::shared_ptr<const CachedSummary> fresh;
+    bool addressable = ids_stable;
+    if (addressable && m.kind == data::MutationKind::kErase) {
+      for (const ElementId x : old->solution) {
+        if (!corpus->is_live(x)) {
+          addressable = false;  // a selected set was tombstoned
+          break;
+        }
+      }
+    }
+    if (addressable) {
+      fresh = recertify_summary(*old, out.epoch, *proto, *ground,
+                                options_.recertify_epsilon, &spent);
+    }
+    if (fresh) {
+      cache_.insert(std::move(fresh));
+      ++out.summaries_recertified;
+    } else {
+      ++out.summaries_invalidated;
+    }
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.summaries_recertified += out.summaries_recertified;
+  stats_.summaries_invalidated += out.summaries_invalidated;
+  stats_.evals_spent += spent;
+  if (options_.record_query_spans) {
+    dist::QuerySpan span;
+    span.query_id = next_query_id_++;
+    span.tenant = "mutation";
+    span.outcome = m.kind == data::MutationKind::kInsert ? "mutate-insert"
+                                                         : "mutate-erase";
+    span.epoch = out.epoch;
+    span.summaries_recertified = out.summaries_recertified;
+    span.summaries_invalidated = out.summaries_invalidated;
+    spans_.push_back(std::move(span));
+  }
+  return out;
 }
 
 ServeResult SummaryService::serve_from_summary(const CachedSummary& summary,
@@ -125,6 +329,7 @@ ServeResult SummaryService::serve_from_summary(const CachedSummary& summary,
                                                   : summary.prefix_value[items];
   result.budget_k = std::min(q.k, summary.budget_k);
   result.upper_bound = summary.upper_bound(result.budget_k);
+  result.epoch = summary.key.epoch;
   return result;
 }
 
@@ -140,18 +345,20 @@ void SummaryService::record_span(const Query& q, const ServeResult& result) {
   span.queue_seconds = result.queue_seconds;
   span.run_seconds = result.run_seconds;
   span.total_seconds = result.total_seconds;
+  span.epoch = result.epoch;
   spans_.push_back(std::move(span));
 }
 
 ServeResult SummaryService::query(const Query& q) {
   const auto t0 = Clock::now();
   require_algorithm(q.algorithm);  // throws listing the known names
-  const CorpusEntry& corpus = require_corpus(q.corpus);
+  const CorpusSnapshot corpus = snapshot_corpus(q.corpus);
 
-  const QueryKey key = make_key(q.corpus, corpus.objective, q.algorithm,
-                                q.epsilon, q.rounds, q.machines, q.runtime);
+  const QueryKey key =
+      make_key(q.corpus, corpus.objective, q.algorithm, q.epsilon, q.rounds,
+               q.machines, q.runtime, corpus.epoch);
   const bool certified = corpus.cacheable && cache_safe(q.runtime);
-  const std::size_t min_items = wanted_items(q, corpus.ground.size());
+  const std::size_t min_items = wanted_items(q, corpus.ground->size());
 
   // Fast path: certified hits answer synchronously, bypassing admission.
   if (certified) {
@@ -228,7 +435,7 @@ ServeResult SummaryService::query(const Query& q) {
     flight->tenant = q.tenant;
     flight->certified = certified;
     flight->runtime = q.runtime;
-    flight->corpus = &corpus;
+    flight->corpus = corpus;
     flight->enqueued = Clock::now();
     if (std::find(tenant_order_.begin(), tenant_order_.end(), q.tenant) ==
         tenant_order_.end()) {
@@ -312,14 +519,14 @@ void SummaryService::execute(const FlightPtr& flight) {
   std::uint64_t avoided = 0;
 
   try {
-    const CorpusEntry& corpus = *flight->corpus;
+    const CorpusSnapshot& corpus = flight->corpus;
     if (flight->certified) {
       // Double-check: an earlier flight may have published while this one
       // queued, turning the miss into a free answer.
       const std::size_t want = flight->output_items != 0 ? flight->output_items
                                                          : flight->k;
       summary = cache_.lookup(flight->key, flight->k,
-                              std::min(want, corpus.ground.size()));
+                              std::min(want, corpus.ground->size()));
       from_cache = summary != nullptr;
     }
     if (!summary) {
@@ -340,14 +547,15 @@ void SummaryService::execute(const FlightPtr& flight) {
       }
 
       const auto run_start = Clock::now();
-      const RunResult run = run_distributed(
-          flight->key.algorithm, *corpus.proto, corpus.ground, runtime, params);
+      const RunResult run = run_distributed(flight->key.algorithm,
+                                            *corpus.proto, *corpus.ground,
+                                            runtime, params);
       run_seconds = seconds_since(run_start);
       avoided = run.stats.total_evals_avoided();
 
       if (flight->certified) {
         summary = build_summary(flight->key, flight->k, run, *corpus.proto,
-                                corpus.ground);
+                                *corpus.ground);
         cache_.insert(summary);
       } else {
         raw.outcome = ServeOutcome::kComputed;
@@ -355,6 +563,7 @@ void SummaryService::execute(const FlightPtr& flight) {
         raw.value = run.value;
         raw.upper_bound = corpus.proto->max_value();
         raw.budget_k = flight->k;
+        raw.epoch = corpus.epoch;
         spent = run.stats.total_evals() + run.stats.total_merge_evals();
       }
     }

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "core/registry.h"
+#include "data/dynamic.h"
 #include "dist/thread_pool.h"
 #include "dist/trace.h"
 #include "serve/cache.h"
@@ -65,6 +66,12 @@ struct ServiceOptions {
   // as a degraded answer instead of rejecting (when one exists).
   bool allow_degraded = true;
   bool record_query_spans = false;  // keep dist::QuerySpan per query
+  // Mutation path: a cached summary survives an epoch bump when its
+  // recomputed certificate f(S)/UB decayed by less than recertify_epsilon
+  // relative to the ratio it certified at build time (invalidate-or-
+  // recertify instead of blanket-flushing). Gain-neutral mutations keep
+  // every summary.
+  double recertify_epsilon = 0.1;
 };
 
 // One request. `tenant` is the fairness bucket; `runtime` carries the
@@ -108,6 +115,8 @@ struct ServeResult {
   // (core/bound_heap.h), including the cross-query singleton warm start.
   // Zero for answers that ran no computation (hits, coalesced, degraded).
   std::uint64_t evals_avoided = 0;
+  // Corpus epoch this answer is certified for (0 for frozen corpora).
+  std::uint64_t epoch = 0;
 };
 
 struct ServiceStats {
@@ -117,6 +126,11 @@ struct ServiceStats {
   std::uint64_t computed = 0;
   std::uint64_t degraded = 0;
   std::uint64_t rejected = 0;
+  // Mutation endpoints (dynamic corpora).
+  std::uint64_t mutations = 0;
+  std::uint64_t summaries_recertified = 0;  // epoch-bumped, kept
+  std::uint64_t summaries_invalidated = 0;  // decayed past ε or unaddressable
+  std::uint64_t oracle_rebuilds = 0;  // syncs that took the rebuild fallback
   // Oracle evaluations a direct run would have spent on queries answered
   // without one (hits + coalesced waiters + degraded), vs. evaluations the
   // service actually charged (runs + certificate builds).
@@ -149,6 +163,38 @@ class SummaryService {
                   std::shared_ptr<SubmodularOracle> proto,
                   std::vector<ElementId> ground = {});
 
+  // Registers a *mutable* corpus: the prototype is built through
+  // data::make_dynamic_oracle at the corpus's current epoch, the ground is
+  // its live id set, and the corpus_insert / corpus_erase endpoints become
+  // usable. The service owns the mutation lock: mutate only through those
+  // endpoints once registered.
+  void add_dynamic_corpus(std::string name, std::string objective,
+                          std::shared_ptr<data::DynamicCorpus> corpus,
+                          data::DynamicOracleOptions oracle_options = {});
+
+  // Outcome of one mutation: the bumped epoch plus what the
+  // invalidate-or-recertify pass did to this corpus's cached summaries.
+  struct MutationOutcome {
+    std::uint64_t epoch = 0;
+    ElementId id = 0;  // id assigned (insert) or tombstoned (erase)
+    std::size_t summaries_recertified = 0;
+    std::size_t summaries_invalidated = 0;
+    bool oracle_rebuilt = false;  // rebuild fallback vs in-place O(degree)
+  };
+
+  // Mutation endpoints. Both bump the corpus epoch, refresh the prototype
+  // (in place when the oracle supports dynamic updates, rebuild otherwise
+  // — in-flight runs keep their snapshot either way), then recertify or
+  // drop every cached summary of this corpus instead of blanket-flushing.
+  // Throw std::invalid_argument for an unknown or non-dynamic corpus and
+  // propagate DynamicCorpus validation errors.
+  MutationOutcome corpus_insert(const std::string& name,
+                                std::vector<std::uint32_t> items);
+  MutationOutcome corpus_erase(const std::string& name, ElementId id);
+
+  // Current epoch of a registered corpus (0 for frozen ones).
+  std::uint64_t corpus_epoch(const std::string& name) const;
+
   std::vector<std::string> corpus_names() const;
 
   // Blocking: returns when the answer is ready. Throws
@@ -171,13 +217,33 @@ class SummaryService {
     std::string objective;
     bool cacheable = true;  // objective's cache_safe flag
     std::shared_ptr<SubmodularOracle> proto;
-    std::vector<ElementId> ground;
+    // Shared so flights snapshot it by handle: a mutation swaps in a fresh
+    // vector (copy-on-mutate) and never touches one an in-flight run holds.
+    std::shared_ptr<const std::vector<ElementId>> ground;
     // Cross-query lazy-bound warm start (core/bound_heap.h): singleton
     // gains f({x}) computed by one certified run seed the round-0 scans of
     // every later run over this corpus. Only created for cache_safe
     // objectives — the same determinism contract that makes summaries
-    // cacheable makes their gains reusable as bounds.
+    // cacheable makes their gains reusable as bounds. Reset on mutation
+    // (the singletons change with the ground set).
     std::shared_ptr<detail::SingletonBoundCache> bounds;
+    // Dynamic corpora only (add_dynamic_corpus).
+    std::shared_ptr<data::DynamicCorpus> dynamic;
+    data::DynamicOracleOptions oracle_options;
+    std::uint64_t epoch = 0;
+  };
+
+  // Immutable view of a corpus at submit time. Mutations replace the
+  // entry's handles under mu_ (copy-on-mutate), so a snapshot stays
+  // self-consistent for the whole life of a flight without holding the
+  // lock — the whole reason queries and mutations can overlap safely.
+  struct CorpusSnapshot {
+    std::string objective;
+    bool cacheable = true;
+    std::shared_ptr<SubmodularOracle> proto;
+    std::shared_ptr<const std::vector<ElementId>> ground;
+    std::shared_ptr<detail::SingletonBoundCache> bounds;
+    std::uint64_t epoch = 0;
   };
 
   // One admitted computation; identical queries coalesce onto it.
@@ -188,7 +254,7 @@ class SummaryService {
     std::string tenant;
     bool certified = false;  // cache_safe → publish into the cache
     RuntimeOptions runtime;
-    const CorpusEntry* corpus = nullptr;
+    CorpusSnapshot corpus;
     std::chrono::steady_clock::time_point enqueued;
     double queue_seconds = 0.0;
     double run_seconds = 0.0;
@@ -203,7 +269,13 @@ class SummaryService {
   };
   using FlightPtr = std::shared_ptr<Flight>;
 
-  const CorpusEntry& require_corpus(const std::string& name) const;
+  CorpusSnapshot snapshot_corpus(const std::string& name) const;
+  void register_corpus(std::string name, std::string objective,
+                       std::shared_ptr<SubmodularOracle> proto,
+                       std::vector<ElementId> ground,
+                       std::shared_ptr<data::DynamicCorpus> dynamic,
+                       data::DynamicOracleOptions oracle_options);
+  MutationOutcome apply_mutation(const std::string& name, data::Mutation m);
   ServeResult serve_from_summary(const CachedSummary& summary,
                                  const Query& q, ServeOutcome outcome) const;
   // Picks the next flight round-robin across tenants and runs it. Invoked
@@ -215,6 +287,11 @@ class SummaryService {
   const ServiceOptions options_;
   SummaryCache cache_;
 
+  // Serializes whole mutations (corpus apply + recertify pass) against each
+  // other without blocking queries: queries only read snapshots taken under
+  // mu_, never the DynamicCorpus itself. Acquired before mu_; never the
+  // other way around.
+  std::mutex mutate_mu_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::unordered_map<std::string, CorpusEntry> corpora_;

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "core/registry.h"
+#include "data/dynamic.h"
 #include "test_support.h"
+#include "util/rng.h"
 
 namespace bds {
 namespace {
@@ -293,6 +295,179 @@ TEST(Serve, UnknownNamesThrowListingKnownOnes) {
                std::invalid_argument);
   EXPECT_THROW(service.add_corpus("corpus", "coverage", small_coverage()),
                std::invalid_argument);  // duplicate name
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic corpora: epoch-keyed caching + invalidate-or-recertify mutations.
+
+// Sets confined to the first 40 items of a 220-item universe: the cached
+// solution saturates the coverable range, so a duplicate insert is exactly
+// gain-neutral while a universe-covering insert collapses the certificate.
+std::shared_ptr<data::DynamicCorpus> dynamic_corpus(std::uint64_t seed = 43) {
+  util::Rng rng(seed);
+  std::vector<std::vector<std::uint32_t>> sets(60);
+  for (auto& s : sets) {
+    const std::size_t len = 3 + rng.next_below(6);
+    for (std::size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<std::uint32_t>(rng.next_below(40)));
+    }
+  }
+  return std::make_shared<data::DynamicCorpus>(
+      std::make_shared<const SetSystem>(std::move(sets), 220), "churn");
+}
+
+TEST(ServeDynamic, MutationBumpsEpochAndStopsStaleHits) {
+  SummaryService service;
+  const auto corpus = dynamic_corpus();
+  service.add_dynamic_corpus("churn", "coverage", corpus);
+
+  Query q = base_query(8);
+  q.corpus = "churn";
+  const ServeResult before = service.query(q);
+  EXPECT_EQ(before.outcome, ServeOutcome::kComputed);
+  EXPECT_EQ(before.epoch, 0u);
+  EXPECT_EQ(service.query(q).outcome, ServeOutcome::kHit);
+
+  // A mutation moves the corpus to epoch 1; answers must be for epoch 1
+  // (never a stale epoch-0 summary served as current).
+  const auto outcome = service.corpus_insert("churn", {1, 2, 3});
+  EXPECT_EQ(outcome.epoch, 1u);
+  EXPECT_EQ(service.corpus_epoch("churn"), 1u);
+  const ServeResult after = service.query(q);
+  EXPECT_EQ(after.epoch, 1u);
+  EXPECT_EQ(service.stats().mutations, 1u);
+}
+
+TEST(ServeDynamic, HarmlessMutationRecertifiesInsteadOfFlushing) {
+  SummaryService service;
+  const auto corpus = dynamic_corpus();
+  service.add_dynamic_corpus("churn", "coverage", corpus);
+
+  Query q = base_query(8);
+  q.corpus = "churn";
+  (void)service.query(q);  // populate the cache at epoch 0
+
+  // Inserting a duplicate of an existing set changes no gain anywhere: the
+  // cached summary must survive re-keyed at epoch 1, and the next query is
+  // a *hit* — no re-solve, evals saved.
+  const auto dup = corpus->set_items(0);
+  const auto outcome = service.corpus_insert(
+      "churn", std::vector<std::uint32_t>(dup.begin(), dup.end()));
+  EXPECT_EQ(outcome.summaries_recertified, 1u);
+  EXPECT_EQ(outcome.summaries_invalidated, 0u);
+
+  const ServeResult after = service.query(q);
+  EXPECT_EQ(after.outcome, ServeOutcome::kHit);
+  EXPECT_EQ(after.epoch, 1u);
+  EXPECT_EQ(service.stats().summaries_recertified, 1u);
+}
+
+TEST(ServeDynamic, DominatingInsertInvalidatesTheDecayedSummary) {
+  SummaryService service;
+  const auto corpus = dynamic_corpus();
+  service.add_dynamic_corpus("churn", "coverage", corpus);
+
+  Query q = base_query(8);
+  q.corpus = "churn";
+  const ServeResult before = service.query(q);
+
+  // One set covering the whole universe: the old summary's certificate
+  // collapses, so the mutation must drop it and the next query recomputes —
+  // selecting the new set first.
+  std::vector<std::uint32_t> everything(220);
+  for (std::uint32_t e = 0; e < 220; ++e) everything[e] = e;
+  const auto outcome = service.corpus_insert("churn", std::move(everything));
+  EXPECT_EQ(outcome.summaries_recertified, 0u);
+  EXPECT_EQ(outcome.summaries_invalidated, 1u);
+
+  const ServeResult after = service.query(q);
+  EXPECT_EQ(after.outcome, ServeOutcome::kComputed);
+  ASSERT_FALSE(after.solution.empty());
+  EXPECT_EQ(after.solution.front(), outcome.id);
+  EXPECT_GT(after.value, before.value);
+}
+
+TEST(ServeDynamic, ErasingASolutionMemberInvalidates) {
+  SummaryService service;
+  const auto corpus = dynamic_corpus();
+  service.add_dynamic_corpus("churn", "coverage", corpus);
+
+  Query q = base_query(8);
+  q.corpus = "churn";
+  const ServeResult before = service.query(q);
+  ASSERT_FALSE(before.solution.empty());
+
+  const auto outcome =
+      service.corpus_erase("churn", before.solution.front());
+  EXPECT_EQ(outcome.summaries_invalidated, 1u);
+  const ServeResult after = service.query(q);
+  EXPECT_EQ(after.outcome, ServeOutcome::kComputed);
+  for (const ElementId x : after.solution) {
+    EXPECT_NE(x, before.solution.front());
+  }
+}
+
+TEST(ServeDynamic, MutatedAnswerMatchesFreshRebuildBitwise) {
+  // A query computed *after* mutations runs on the service's incremental
+  // oracle; it must be bitwise what a from-scratch rebuild of the mutated
+  // corpus produces. (A recertified cached answer is intentionally the old
+  // certified solution, so the cache stays cold here.)
+  SummaryService service;
+  const auto corpus = dynamic_corpus();
+  service.add_dynamic_corpus("churn", "coverage", corpus);
+
+  service.corpus_insert("churn", {7, 8, 9, 10, 11});
+  service.corpus_erase("churn", 3);
+
+  Query q = base_query(8);
+  q.corpus = "churn";
+  const ServeResult served = service.query(q);
+  EXPECT_EQ(served.outcome, ServeOutcome::kComputed);
+
+  data::DynamicOracleOptions rebuild_opts;
+  rebuild_opts.prefer_incremental = false;
+  const auto rebuilt =
+      data::make_dynamic_oracle(*corpus, "coverage", rebuild_opts);
+  AlgorithmParams params;
+  params.k = 8;
+  RuntimeOptions runtime;
+  runtime.seed = 5;
+  const auto ground = corpus->live_ground();
+  const RunResult direct =
+      run_distributed("bicriteria", *rebuilt, ground, runtime, params);
+  EXPECT_EQ(served.solution, direct.solution);
+  EXPECT_EQ(served.value, direct.value);  // bitwise
+}
+
+TEST(ServeDynamic, MutationSpansRecordEpochAndDecisions) {
+  ServiceOptions options;
+  options.record_query_spans = true;
+  SummaryService service(options);
+  const auto corpus = dynamic_corpus();
+  service.add_dynamic_corpus("churn", "coverage", corpus);
+
+  Query q = base_query(6);
+  q.corpus = "churn";
+  (void)service.query(q);
+  service.corpus_insert("churn", {1, 2});
+
+  const auto spans = service.drain_query_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].outcome, "computed");
+  EXPECT_EQ(spans[0].epoch, 0u);
+  EXPECT_EQ(spans[1].outcome, "mutate-insert");
+  EXPECT_EQ(spans[1].epoch, 1u);
+  EXPECT_EQ(spans[1].summaries_recertified +
+                spans[1].summaries_invalidated,
+            1u);
+}
+
+TEST(ServeDynamic, FrozenCorpusRefusesMutations) {
+  SummaryService service;
+  service.add_corpus("corpus", "coverage", small_coverage());
+  EXPECT_THROW(service.corpus_insert("corpus", {1}), std::invalid_argument);
+  EXPECT_THROW(service.corpus_erase("corpus", 0), std::invalid_argument);
+  EXPECT_THROW(service.corpus_insert("nope", {1}), std::invalid_argument);
 }
 
 }  // namespace
